@@ -1,0 +1,22 @@
+//! # asic — application-specific parallel-CRC comparison models
+//!
+//! Fig. 6 of the paper compares DREAM against Synopsys syntheses of the
+//! OpenCores *Ultimate CRC* on ST CMOS LP 65 nm and against two
+//! theoretical bandwidth laws. The silicon flow is unavailable; this crate
+//! substitutes a calibrated synthesis-timing model driven by the *real*
+//! `[A^M | B_M]` matrices (gate depth, literal counts, wire-dominated
+//! delay), a functional UCRC-equivalent core, a Verilog emitter, and the
+//! two theory curves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipelined;
+mod tech;
+mod theory;
+mod ucrc;
+
+pub use pipelined::PipelinedCrcAsic;
+pub use tech::TechNode;
+pub use theory::TheoryCurves;
+pub use ucrc::{UcrcModel, UcrcStats};

@@ -1,0 +1,197 @@
+//! The pipelined ASIC: Derby's method applied to a custom design.
+//!
+//! Fig. 6's "M theory" curve assumes a designer applies \[7\] to the ASIC:
+//! keep the companion loop (one XOR level, serial-class clock) and
+//! pipeline the `B_Mt` network behind registers. This module *builds* that
+//! design from the real matrices and prices it on a [`TechNode`], so the
+//! theory curve has a structural witness: the loop depth stays at one
+//! XOR2 level regardless of M, and throughput scales as `M × f_serial`
+//! (minus the small per-level register overhead the theory ignores).
+
+use crate::tech::TechNode;
+use crate::ucrc::UcrcStats;
+use gf2::BitVec;
+use lfsr::crc::{CrcSpec, RawCrcCore};
+use lfsr::StateSpaceLfsr;
+use lfsr_parallel::{BlockSystem, DerbyTransform, ParallelError};
+use xornet::{synthesize, SynthOptions, XorNetwork};
+
+/// A Derby-structured pipelined parallel CRC for ASIC implementation.
+#[derive(Debug, Clone)]
+pub struct PipelinedCrcAsic {
+    spec: CrcSpec,
+    m: usize,
+    tech: TechNode,
+    derby: DerbyTransform,
+    net: XorNetwork,
+    serial: StateSpaceLfsr,
+}
+
+impl PipelinedCrcAsic {
+    /// Builds the design for `spec` at look-ahead `m` (XOR2 netlist: the
+    /// ASIC flow maps to 2-input standard cells, unlike PiCoGA's 10-input
+    /// cells).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParallelError`] (including the no-cyclic-vector case,
+    /// where this structure does not exist — the flat UCRC still does).
+    pub fn new(spec: &CrcSpec, m: usize, tech: TechNode) -> Result<Self, ParallelError> {
+        let serial =
+            StateSpaceLfsr::crc(&spec.generator()).expect("catalogue generators are valid");
+        let block = BlockSystem::new(&serial, m)?;
+        let derby = DerbyTransform::new(&block)?;
+        let net = synthesize(
+            derby.b_mt(),
+            SynthOptions {
+                max_fanin: 2,
+                share_patterns: true,
+            },
+        );
+        Ok(PipelinedCrcAsic {
+            spec: *spec,
+            m,
+            tech,
+            derby,
+            net,
+            serial,
+        })
+    }
+
+    /// The look-ahead factor.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Pipeline depth of the input network in register stages.
+    pub fn pipeline_stages(&self) -> usize {
+        self.net.depth()
+    }
+
+    /// Synthesis statistics: the critical path is ONE pipeline stage —
+    /// max(one XOR2 level + its wires, the companion feedback level) —
+    /// independent of M; area grows with the pipelined network.
+    pub fn stats(&self) -> UcrcStats {
+        // Widest single level bounds the per-stage wiring.
+        let level_widths: Vec<usize> = self.net.levelize().iter().map(|l| l.len()).collect();
+        let worst_level = level_widths.iter().copied().max().unwrap_or(1);
+        // The loop: companion update is a 2..3-input XOR per bit.
+        let loop_literals = self.derby.a_mt().count_ones() + self.spec.width;
+        let stage_literals = (2 * worst_level).max(loop_literals);
+        let clock_hz = self.tech.clock_hz(1, stage_literals);
+        UcrcStats {
+            m: self.m,
+            xor2_gates: self.net.gate_count() + loop_literals,
+            literals: self.derby.b_mt().count_ones() + loop_literals,
+            depth: 1,
+            clock_hz,
+            throughput_bps: self.m as f64 * clock_hz,
+        }
+    }
+}
+
+impl RawCrcCore for PipelinedCrcAsic {
+    fn width(&self) -> usize {
+        self.spec.width
+    }
+
+    fn process(&mut self, state: &BitVec, bits: &BitVec) -> BitVec {
+        let m = self.m;
+        let full = bits.len() / m;
+        let mut x_t = self.derby.transform_state(state);
+        for c in 0..full {
+            // p = pipelined network output (functionally immediate here).
+            let p = self.net.evaluate(&bits.slice(c * m, m));
+            let mut next = self.derby.a_mt().mul_vec(&x_t);
+            next.xor_assign(&p);
+            x_t = next;
+        }
+        let mut x = self.derby.anti_transform_state(&x_t);
+        let tail = bits.len() - full * m;
+        if tail > 0 {
+            self.serial.set_state(x);
+            self.serial.absorb(&bits.slice(full * m, tail));
+            x = self.serial.state().clone();
+        }
+        x
+    }
+
+    fn block_bits(&self) -> usize {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ucrc::UcrcModel;
+    use lfsr::crc::{crc_bitwise, CrcEngine};
+
+    fn design(m: usize) -> PipelinedCrcAsic {
+        PipelinedCrcAsic::new(CrcSpec::crc32_ethernet(), m, TechNode::st65lp()).unwrap()
+    }
+
+    #[test]
+    fn functional_equivalence_with_serial() {
+        let msg: Vec<u8> = (0..130u8).collect();
+        for m in [8usize, 32, 128] {
+            let mut e = CrcEngine::new(*CrcSpec::crc32_ethernet(), design(m));
+            for len in [0usize, 3, 16, 77, 130] {
+                assert_eq!(
+                    e.checksum(&msg[..len]),
+                    crc_bitwise(CrcSpec::crc32_ethernet(), &msg[..len]),
+                    "M={m} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clock_is_roughly_independent_of_m() {
+        // The whole point: the loop stays one level deep, so the clock
+        // degrades only mildly (wire growth of the widest stage).
+        let f8 = design(8).stats().clock_hz;
+        let f128 = design(128).stats().clock_hz;
+        assert!(f128 > 0.5 * f8, "clock collapsed: {f8} -> {f128}");
+    }
+
+    #[test]
+    fn beats_flat_ucrc_at_high_m() {
+        for m in [64usize, 128, 256] {
+            let flat = UcrcModel::new(CrcSpec::crc32_ethernet(), m, TechNode::st65lp())
+                .unwrap()
+                .stats()
+                .throughput_bps;
+            let piped = design(m).stats().throughput_bps;
+            assert!(
+                piped > flat,
+                "M={m}: pipelined {piped:.2e} should beat flat {flat:.2e}"
+            );
+        }
+    }
+
+    #[test]
+    fn sits_at_or_below_the_m_theory_bound() {
+        use crate::theory::TheoryCurves;
+        let t = TheoryCurves::from_serial_synthesis(CrcSpec::crc32_ethernet(), TechNode::st65lp())
+            .unwrap();
+        for m in [16usize, 64, 256] {
+            let piped = design(m).stats().throughput_bps;
+            // Within the bound, up to small model slack on the serial anchor.
+            assert!(
+                piped <= 1.1 * t.m_theory_bps(m),
+                "M={m}: {piped:.2e} vs bound {:.2e}",
+                t.m_theory_bps(m)
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_grows_with_m_but_stage_depth_stays_one() {
+        let d32 = design(32);
+        let d256 = design(256);
+        assert!(d256.pipeline_stages() >= d32.pipeline_stages());
+        assert_eq!(d32.stats().depth, 1);
+        assert_eq!(d256.stats().depth, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Technology-node timing parameters for the synthesis estimator.
+//!
+//! The paper synthesised the OpenCores *Ultimate CRC* with Synopsys Design
+//! Compiler on ST CMOS LP 65 nm. Without that flow, achievable frequency is
+//! estimated from a calibrated wire-dominated delay model (see
+//! [`crate::ucrc`]); the node parameters below set its constants.
+
+/// Timing constants of a standard-cell node (all picoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Node name.
+    pub name: &'static str,
+    /// Sequential overhead per cycle (clk→Q + setup + clock margins).
+    pub seq_ps: f64,
+    /// Delay of one XOR2 logic level at nominal load.
+    pub xor2_ps: f64,
+    /// Wire/congestion coefficient: added delay scales with the square
+    /// root of the network's literal count (bisection-style growth of a
+    /// flat synthesis region).
+    pub wire_ps: f64,
+}
+
+impl TechNode {
+    /// ST CMOS LP 65 nm — the paper's comparison node.
+    pub fn st65lp() -> Self {
+        TechNode {
+            name: "ST-CMOS-LP-65nm",
+            seq_ps: 250.0,
+            xor2_ps: 70.0,
+            wire_ps: 150.0,
+        }
+    }
+
+    /// ST CMOS 90 nm — DREAM's node (for cross-checking the 200 MHz
+    /// fabric clock is conservative for its pipeline stages).
+    pub fn st90() -> Self {
+        TechNode {
+            name: "ST-CMOS-90nm",
+            seq_ps: 320.0,
+            xor2_ps: 95.0,
+            wire_ps: 190.0,
+        }
+    }
+
+    /// Achievable clock for a combinational block of `depth` XOR2 levels
+    /// and `literals` total literals, in Hz.
+    pub fn clock_hz(&self, depth: usize, literals: usize) -> f64 {
+        let delay_ps =
+            self.seq_ps + depth as f64 * self.xor2_ps + self.wire_ps * (literals as f64).sqrt();
+        1e12 / delay_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_and_bigger_is_slower() {
+        let t = TechNode::st65lp();
+        assert!(t.clock_hz(1, 10) > t.clock_hz(2, 10));
+        assert!(t.clock_hz(2, 10) > t.clock_hz(2, 1000));
+    }
+
+    #[test]
+    fn serial_crc_runs_around_a_gigahertz_at_65nm() {
+        // Serial CRC-32: one XOR level, ~15 literals in the widest row.
+        let f = TechNode::st65lp().clock_hz(1, 15);
+        assert!((0.5e9..2.0e9).contains(&f), "got {f}");
+    }
+
+    #[test]
+    fn node_90nm_is_slower_than_65nm() {
+        assert!(TechNode::st90().clock_hz(4, 500) < TechNode::st65lp().clock_hz(4, 500));
+    }
+}

@@ -1,0 +1,74 @@
+//! The two theoretical bandwidth laws of Fig. 6.
+//!
+//! Both start from the *serial* bandwidth the UCRC synthesis achieves and
+//! apply the speed-up factor the respective method guarantees:
+//!
+//! * **M theory** — Derby's state-space transformation \[7\] keeps the
+//!   feedback loop in companion form, so a custom design retains the
+//!   serial clock: speed-up = M.
+//! * **M/2 theory** — Pei & Zukowski \[6\] showed that exponentiating `A`,
+//!   even optimised, "limits the achievable speed-up to 0.5·M for
+//!   M ∈ [0, 32]": speed-up = M/2.
+
+use crate::tech::TechNode;
+use crate::ucrc::UcrcModel;
+use lfsr::crc::CrcSpec;
+use lfsr_parallel::ParallelError;
+
+/// The Fig. 6 reference curves, anchored on a serial synthesis point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoryCurves {
+    /// Serial (M = 1) bandwidth of the synthesised design, bit/s.
+    pub serial_bps: f64,
+}
+
+impl TheoryCurves {
+    /// Anchors the curves on the serial UCRC synthesis of `spec` at `tech`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParallelError`].
+    pub fn from_serial_synthesis(spec: &CrcSpec, tech: TechNode) -> Result<Self, ParallelError> {
+        let serial = UcrcModel::new(spec, 1, tech)?;
+        Ok(TheoryCurves {
+            serial_bps: serial.stats().throughput_bps,
+        })
+    }
+
+    /// Derby-method bandwidth bound at look-ahead `m`.
+    pub fn m_theory_bps(&self, m: usize) -> f64 {
+        self.serial_bps * m as f64
+    }
+
+    /// Pei-method bandwidth bound at look-ahead `m`.
+    pub fn m_half_theory_bps(&self, m: usize) -> f64 {
+        self.serial_bps * m as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_order_correctly() {
+        let t = TheoryCurves::from_serial_synthesis(CrcSpec::crc32_ethernet(), TechNode::st65lp())
+            .unwrap();
+        for m in [2usize, 16, 128, 512] {
+            assert!(t.m_theory_bps(m) == 2.0 * t.m_half_theory_bps(m));
+            // The synthesised flat UCRC must sit below the M-theory bound.
+            let ucrc = UcrcModel::new(CrcSpec::crc32_ethernet(), m, TechNode::st65lp())
+                .unwrap()
+                .stats()
+                .throughput_bps;
+            assert!(ucrc < t.m_theory_bps(m), "M={m}");
+        }
+    }
+
+    #[test]
+    fn serial_anchor_is_plausible_for_65nm() {
+        let t = TheoryCurves::from_serial_synthesis(CrcSpec::crc32_ethernet(), TechNode::st65lp())
+            .unwrap();
+        assert!((0.3e9..3.0e9).contains(&t.serial_bps), "{}", t.serial_bps);
+    }
+}

@@ -1,0 +1,19 @@
+//! `cargo bench --bench experiments` — regenerates every table and figure
+//! of the paper (harness = false; this is the reproduction run, not a
+//! timing microbenchmark — see `engines` for Criterion timings).
+fn main() {
+    for (name, text) in [
+        ("Table 1", bench::table1()),
+        ("Fig. 4", bench::fig4()),
+        ("Fig. 5", bench::fig5()),
+        ("Fig. 6", bench::fig6()),
+        ("Fig. 7", bench::fig7()),
+        ("Fig. 8", bench::fig8()),
+        ("Mapping report (§4)", bench::mapping_report()),
+        ("Ablation study", bench::ablation()),
+        ("Pipelined-ASIC extension", bench::pipelined_asic_study()),
+    ] {
+        println!("======== {name} ========");
+        println!("{text}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ablation study (see DESIGN.md and EXPERIMENTS.md).
+fn main() {
+    print!("{}", bench::ablation());
+}

@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the paper in one run.
+fn main() {
+    for (name, text) in [
+        ("table1", bench::table1()),
+        ("fig4", bench::fig4()),
+        ("fig5", bench::fig5()),
+        ("fig6", bench::fig6()),
+        ("fig7", bench::fig7()),
+        ("fig8", bench::fig8()),
+        ("mapping_report", bench::mapping_report()),
+        ("ablation", bench::ablation()),
+        ("pipelined_asic", bench::pipelined_asic_study()),
+    ] {
+        println!("==== {name} ====");
+        println!("{text}");
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 4 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", bench::fig4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 8 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", bench::fig8());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's mapping_report (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", bench::mapping_report());
+}

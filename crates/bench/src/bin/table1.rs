@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", bench::table1());
+}

@@ -1,0 +1,122 @@
+//! Design-space exploration over the look-ahead factor (paper §4: "the
+//! selection of the look-ahead factor and the eventual partitioning …
+//! depending on both I/O bandwidth and computational resources available.
+//! … We generated PiCoGA operations for different values of M, finding
+//! that PiCoGA is able to elaborate up to 128 bit per cycle").
+
+use crate::flow::{build_crc_app, FlowOptions, FlowReport};
+use dream::BuildError;
+use lfsr::crc::CrcSpec;
+use picoga::PicogaParams;
+use std::fmt;
+
+/// One point of the M sweep.
+#[derive(Debug, Clone)]
+pub struct MappingPoint {
+    /// The look-ahead factor tried.
+    pub m: usize,
+    /// The flow outcome: a report if it mapped, the failure otherwise.
+    pub outcome: Result<FlowReport, BuildError>,
+}
+
+impl MappingPoint {
+    /// `true` if this M mapped onto the fabric.
+    pub fn fits(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+impl fmt::Display for MappingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            Ok(r) => write!(
+                f,
+                "M={:>4}: fits — update {} rows / {} cells, finalize {} rows, {:.1} Gbit/s kernel",
+                self.m,
+                r.update_stats.rows,
+                r.update_stats.cells,
+                r.finalize_stats.map_or(0, |s| s.rows),
+                r.kernel_bps / 1e9
+            ),
+            Err(e) => write!(f, "M={:>4}: does not fit — {e}", self.m),
+        }
+    }
+}
+
+/// Sweeps the flow across candidate look-ahead factors.
+pub fn sweep_m(spec: &CrcSpec, candidates: &[usize], params: &PicogaParams) -> Vec<MappingPoint> {
+    candidates
+        .iter()
+        .map(|&m| {
+            let opts = FlowOptions {
+                m,
+                params: *params,
+                ..FlowOptions::dream_m128()
+            };
+            MappingPoint {
+                m,
+                outcome: build_crc_app(spec, &opts).map(|(_, report)| report),
+            }
+        })
+        .collect()
+}
+
+/// Finds the largest power-of-two look-ahead that maps onto `params`
+/// (up to a sane bound of 1024).
+pub fn max_lookahead(spec: &CrcSpec, params: &PicogaParams) -> usize {
+    let candidates: Vec<usize> = (0..=10).map(|i| 1usize << i).collect();
+    sweep_m(spec, &candidates, params)
+        .into_iter()
+        .filter(|p| p.fits())
+        .map(|p| p.m)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dream_limit_is_128_bits_per_cycle() {
+        // The paper's §4 headline result.
+        assert_eq!(
+            max_lookahead(CrcSpec::crc32_ethernet(), &PicogaParams::dream()),
+            128
+        );
+    }
+
+    #[test]
+    fn sweep_reports_both_outcomes() {
+        let pts = sweep_m(
+            CrcSpec::crc32_ethernet(),
+            &[32, 256],
+            &PicogaParams::dream(),
+        );
+        assert!(pts[0].fits());
+        assert!(!pts[1].fits());
+        // Display renders without panicking for both.
+        assert!(pts[0].to_string().contains("fits"));
+        assert!(pts[1].to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn bigger_fabric_raises_the_limit() {
+        let mut big = PicogaParams::dream();
+        big.rows = 96;
+        big.input_bits = 4096;
+        big.cells_per_row = 64;
+        big.usable_cells_per_row = 48;
+        let limit = max_lookahead(CrcSpec::crc32_ethernet(), &big);
+        assert!(limit > 128, "got {limit}");
+    }
+
+    #[test]
+    fn smaller_fabric_lowers_the_limit() {
+        let mut small = PicogaParams::dream();
+        small.rows = 8;
+        let limit = max_lookahead(CrcSpec::crc32_ethernet(), &small);
+        assert!(limit < 128, "got {limit}");
+        assert!(limit >= 1, "even tiny fabrics map M=1..small");
+    }
+}

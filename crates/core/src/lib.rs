@@ -1,0 +1,37 @@
+//! # dream-lfsr — parallel LFSR applications on a pipelined configurable
+//! gate array
+//!
+//! The core crate of the picolfsr workspace: the end-to-end design flow of
+//! the DATE 2008 paper *"Implementation of Parallel LFSR-based
+//! Applications on an Adaptive DSP featuring a Pipelined Configurable Gate
+//! Array"*. Given an LFSR application (a CRC standard or an additive
+//! scrambler) and a look-ahead factor M, the flow generates the
+//! state-space matrices, applies Derby's transformation so the feedback
+//! loop stays in companion form, maps the feed-forward networks onto
+//! 10-input XOR cells with common-pattern sharing, partitions the result
+//! into PiCoGA operations, and emits a ready-to-run application on the
+//! DREAM system model.
+//!
+//! ```
+//! use dream_lfsr::{build_crc_app, FlowOptions};
+//! use lfsr::crc::CrcSpec;
+//!
+//! let (mut app, report) =
+//!     build_crc_app(CrcSpec::crc32_ethernet(), &FlowOptions::dream_m128())?;
+//! let (crc, cycles) = app.checksum(b"123456789");
+//! assert_eq!(crc, 0xCBF43926);
+//! assert!(report.kernel_bps > 25e9); // the paper's ~25 Gbit/s headline
+//! assert!(cycles.total_cycles() > 0);
+//! # Ok::<(), dream::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explore;
+mod flow;
+
+pub use explore::{max_lookahead, sweep_m, MappingPoint};
+pub use flow::{
+    build_crc_app, build_personality, build_scrambler_app, explore_f, FlowOptions, FlowReport,
+};

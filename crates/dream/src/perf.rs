@@ -1,0 +1,122 @@
+//! Performance accounting shared by the DREAM applications.
+
+use picoga::CycleCounters;
+
+/// Control-processor overhead model (the STxP70 side of DREAM).
+///
+/// The paper attributes the Fig. 4 throughput variation to "the control
+/// overhead introduced by the processor and the pipeline break caused by
+/// the configuration switch when the second PiCoGA operation is triggered".
+/// These parameters quantify the processor part; the configuration part is
+/// counted by the PiCoGA simulator itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlModel {
+    /// Cycles to set a message up (pointer/length registers, start).
+    pub msg_setup_cycles: u64,
+    /// Cycles to collect the checksum and wind the message down.
+    pub msg_finalize_cycles: u64,
+    /// Cycles to save/restore one message's state registers when messages
+    /// are interleaved (state spill to the local memory subsystem).
+    pub state_swap_cycles: u64,
+    /// Processor cycles per *byte* for tail bits handled in software with
+    /// the byte-table CRC (message lengths that are not a multiple of M).
+    pub tail_cycles_per_byte: u64,
+}
+
+impl Default for ControlModel {
+    fn default() -> Self {
+        ControlModel {
+            msg_setup_cycles: 24,
+            msg_finalize_cycles: 12,
+            state_swap_cycles: 4,
+            tail_cycles_per_byte: 4,
+        }
+    }
+}
+
+/// Cycle breakdown of one application run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Message payload processed, in bits.
+    pub bits: u64,
+    /// Fabric cycles (compute + context switches + loads).
+    pub picoga: CycleCounters,
+    /// Control-processor cycles.
+    pub control_cycles: u64,
+    /// Software-handled tail cycles.
+    pub tail_cycles: u64,
+    /// Cycles lost to local-memory bank conflicts.
+    pub memory_stall_cycles: u64,
+}
+
+impl RunReport {
+    /// Total cycles across fabric and processor (they share the clock).
+    pub fn total_cycles(&self) -> u64 {
+        self.picoga.total() + self.control_cycles + self.tail_cycles + self.memory_stall_cycles
+    }
+
+    /// Sustained throughput at `clock_hz`.
+    pub fn throughput_bps(&self, clock_hz: f64) -> f64 {
+        if self.total_cycles() == 0 {
+            return 0.0;
+        }
+        self.bits as f64 * clock_hz / self.total_cycles() as f64
+    }
+
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.bits += other.bits;
+        self.picoga.compute += other.picoga.compute;
+        self.picoga.context_switch += other.picoga.context_switch;
+        self.picoga.context_load += other.picoga.context_load;
+        self.control_cycles += other.control_cycles;
+        self.tail_cycles += other.tail_cycles;
+        self.memory_stall_cycles += other.memory_stall_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_arithmetic() {
+        let r = RunReport {
+            bits: 1000,
+            picoga: CycleCounters {
+                compute: 80,
+                context_switch: 2,
+                context_load: 0,
+            },
+            control_cycles: 18,
+            tail_cycles: 0,
+            memory_stall_cycles: 0,
+        };
+        assert_eq!(r.total_cycles(), 100);
+        let bps = r.throughput_bps(200e6);
+        assert!((bps - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_cycles_zero_throughput() {
+        let r = RunReport::default();
+        assert_eq!(r.throughput_bps(200e6), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RunReport {
+            bits: 10,
+            control_cycles: 5,
+            ..Default::default()
+        };
+        let b = RunReport {
+            bits: 20,
+            tail_cycles: 7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.bits, 30);
+        assert_eq!(a.total_cycles(), 12);
+    }
+}

@@ -1,0 +1,547 @@
+//! Whole-SoC view: one fabric, many application personalities.
+//!
+//! The paper's introduction motivates reconfigurable LFSR engines with
+//! multi-standard devices: "Multi-mode devices need to handle this in a
+//! flexible way, requiring a dedicated circuit for each supported standard
+//! or a reconfigurable/reprogrammable implementation."
+//!
+//! [`DreamSystem`] owns a single [`PicogaSim`] and hosts any number of
+//! *personalities* (pairs/singletons of PGA operations produced by the
+//! flow). The 4-entry on-fabric configuration cache is managed with an LRU
+//! policy: switching to a resident personality costs the 2-cycle context
+//! exchange; a miss additionally pays the off-fabric configuration load —
+//! the cost structure that makes the paper's Fig. 4/5 overhead story
+//! concrete at the system level.
+
+use crate::perf::{ControlModel, RunReport};
+use gf2::BitVec;
+use lfsr::crc::{message_bits, reflect, CrcSpec};
+use lfsr::scramble::ScramblerSpec;
+use lfsr::StateSpaceLfsr;
+use lfsr_parallel::DerbyTransform;
+use picoga::{PgaOperation, PicogaParams, PicogaSim, SimError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A named personality: the operations one application needs resident.
+#[derive(Debug, Clone)]
+pub struct Personality {
+    /// Name used to select the personality.
+    pub name: String,
+    /// The CRC spec (only CRC personalities are hosted here; scramblers
+    /// keep their single-op `DreamScramblerApp`).
+    pub spec: CrcSpec,
+    /// Look-ahead factor.
+    pub m: usize,
+    /// State-update operation.
+    pub update: PgaOperation,
+    /// Anti-transform operation (Derby personalities).
+    pub finalize: Option<PgaOperation>,
+    /// The transform, for state conversion.
+    pub derby: Option<DerbyTransform>,
+}
+
+/// Errors from driving the system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// No personality registered under that name.
+    UnknownPersonality {
+        /// The requested name.
+        name: String,
+    },
+    /// A personality with that name already exists.
+    DuplicatePersonality {
+        /// The clashing name.
+        name: String,
+    },
+    /// A personality needs more context slots than the fabric has.
+    TooManyOps {
+        /// Slots needed.
+        needed: usize,
+        /// Contexts available.
+        available: usize,
+    },
+    /// Underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::UnknownPersonality { name } => {
+                write!(f, "unknown personality '{name}'")
+            }
+            SystemError::DuplicatePersonality { name } => {
+                write!(f, "personality '{name}' already registered")
+            }
+            SystemError::TooManyOps { needed, available } => {
+                write!(
+                    f,
+                    "personality needs {needed} contexts, fabric has {available}"
+                )
+            }
+            SystemError::Sim(e) => write!(f, "fabric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<SimError> for SystemError {
+    fn from(e: SimError) -> Self {
+        SystemError::Sim(e)
+    }
+}
+
+/// What occupies one context slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SlotState {
+    personality: String,
+    /// 0 = update op, 1 = finalize op.
+    role: u8,
+    last_use: u64,
+}
+
+/// A scrambler personality: one autonomous-scrambler operation.
+#[derive(Debug, Clone)]
+pub struct ScramblerPersonality {
+    /// Name used to select the personality.
+    pub name: String,
+    /// The scrambler spec.
+    pub spec: ScramblerSpec,
+    /// Look-ahead factor.
+    pub m: usize,
+    /// The single PGA operation.
+    pub op: PgaOperation,
+    /// The transform (for seed conversion).
+    pub derby: DerbyTransform,
+}
+
+/// One fabric hosting many reconfigurable personalities.
+#[derive(Debug, Clone)]
+pub struct DreamSystem {
+    sim: PicogaSim,
+    control: ControlModel,
+    personalities: HashMap<String, Personality>,
+    scramblers: HashMap<String, ScramblerPersonality>,
+    slots: Vec<Option<SlotState>>,
+    use_clock: u64,
+    /// Serial tail engines per personality (software side).
+    tails: HashMap<String, StateSpaceLfsr>,
+}
+
+impl DreamSystem {
+    /// Creates an empty system on the given fabric.
+    pub fn new(params: PicogaParams, control: ControlModel) -> Self {
+        let contexts = params.contexts;
+        DreamSystem {
+            sim: PicogaSim::new(params),
+            control,
+            personalities: HashMap::new(),
+            scramblers: HashMap::new(),
+            slots: vec![None; contexts],
+            use_clock: 0,
+            tails: HashMap::new(),
+        }
+    }
+
+    /// Registers a personality (does not load it yet — loading is lazy,
+    /// on first use).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::DuplicatePersonality`] / [`SystemError::TooManyOps`].
+    pub fn register(&mut self, p: Personality) -> Result<(), SystemError> {
+        if self.personalities.contains_key(&p.name) || self.scramblers.contains_key(&p.name) {
+            return Err(SystemError::DuplicatePersonality { name: p.name });
+        }
+        let needed = 1 + p.finalize.is_some() as usize;
+        if needed > self.slots.len() {
+            return Err(SystemError::TooManyOps {
+                needed,
+                available: self.slots.len(),
+            });
+        }
+        let tail = StateSpaceLfsr::crc(&p.spec.generator()).expect("valid generator");
+        self.tails.insert(p.name.clone(), tail);
+        self.personalities.insert(p.name.clone(), p);
+        Ok(())
+    }
+
+    /// Registered personality names.
+    pub fn personalities(&self) -> Vec<&str> {
+        self.personalities.keys().map(String::as_str).collect()
+    }
+
+    /// Which personality-role pairs are currently resident on the fabric.
+    pub fn resident(&self) -> Vec<(String, u8)> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| (s.personality.clone(), s.role))
+            .collect()
+    }
+
+    /// Cycle counters accumulated so far (compute + switches + loads).
+    pub fn counters(&self) -> picoga::CycleCounters {
+        self.sim.counters()
+    }
+
+    /// Resets the counters (residency is preserved).
+    pub fn reset_counters(&mut self) {
+        self.sim.reset_counters();
+    }
+
+    /// Registers a scrambler personality (one context slot; loading is
+    /// lazy).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::DuplicatePersonality`].
+    pub fn register_scrambler(&mut self, p: ScramblerPersonality) -> Result<(), SystemError> {
+        if self.personalities.contains_key(&p.name) || self.scramblers.contains_key(&p.name) {
+            return Err(SystemError::DuplicatePersonality { name: p.name });
+        }
+        let tail = StateSpaceLfsr::additive_scrambler(&p.spec.polynomial())
+            .expect("catalogue polynomials are valid");
+        self.tails.insert(p.name.clone(), tail);
+        self.scramblers.insert(p.name.clone(), p);
+        Ok(())
+    }
+
+    /// Scrambles one frame under the named scrambler personality.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    pub fn scramble(
+        &mut self,
+        name: &str,
+        seed: u64,
+        data: &BitVec,
+    ) -> Result<(BitVec, RunReport), SystemError> {
+        let p = self
+            .scramblers
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        let start = self.sim.counters();
+        let mut report = RunReport {
+            bits: data.len() as u64,
+            control_cycles: self.control.msg_setup_cycles + self.control.msg_finalize_cycles,
+            ..Default::default()
+        };
+
+        let seed_state = BitVec::from_u64(seed, p.derby.dim());
+        let x_t0 = p.derby.transform_state(&seed_state);
+        let full = data.len() / p.m;
+        let blocks: Vec<BitVec> = (0..full).map(|c| data.slice(c * p.m, p.m)).collect();
+
+        self.ensure_scrambler_resident(name)?;
+        let (mut out, x_t) = self.sim.run_scrambler_stream(&x_t0, blocks.iter())?;
+
+        let tail_len = data.len() - full * p.m;
+        if tail_len > 0 {
+            report.tail_cycles += (tail_len as u64).div_ceil(8) * self.control.tail_cycles_per_byte;
+            let tail_sys = self.tails.get_mut(name).expect("registered");
+            tail_sys.set_state(p.derby.anti_transform_state(&x_t));
+            let y = tail_sys.transduce(&data.slice(full * p.m, tail_len));
+            out = out.concat(&y);
+        }
+
+        let end = self.sim.counters();
+        report.picoga = picoga::CycleCounters {
+            compute: end.compute - start.compute,
+            context_switch: end.context_switch - start.context_switch,
+            context_load: end.context_load - start.context_load,
+        };
+        Ok((out, report))
+    }
+
+    fn ensure_scrambler_resident(&mut self, name: &str) -> Result<usize, SystemError> {
+        self.use_clock += 1;
+        if let Some(idx) = self.slots.iter().position(|s| {
+            s.as_ref()
+                .is_some_and(|s| s.personality == name && s.role == 2)
+        }) {
+            self.slots[idx].as_mut().expect("hit").last_use = self.use_clock;
+            self.sim.switch_to(idx)?;
+            return Ok(idx);
+        }
+        let idx = self.pick_victim_slot();
+        let op = self
+            .scramblers
+            .get(name)
+            .map(|p| p.op.clone())
+            .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        self.sim.load_context(idx, op)?;
+        self.slots[idx] = Some(SlotState {
+            personality: name.to_string(),
+            role: 2,
+            last_use: self.use_clock,
+        });
+        self.sim.switch_to(idx)?;
+        Ok(idx)
+    }
+
+    fn pick_victim_slot(&self) -> usize {
+        self.slots
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.as_ref().map_or(0, |s| s.last_use))
+                    .map(|(i, _)| i)
+                    .expect("at least one slot")
+            })
+    }
+
+    /// Finds or loads the slot holding `(personality, role)`, LRU-evicting
+    /// if necessary, and makes it active. Returns the slot index.
+    fn ensure_resident(&mut self, name: &str, role: u8) -> Result<usize, SystemError> {
+        self.use_clock += 1;
+        // Hit?
+        if let Some(idx) = self.slots.iter().position(|s| {
+            s.as_ref()
+                .is_some_and(|s| s.personality == name && s.role == role)
+        }) {
+            self.slots[idx].as_mut().expect("hit").last_use = self.use_clock;
+            self.sim.switch_to(idx)?;
+            return Ok(idx);
+        }
+        // Miss: pick an empty slot, else the LRU victim.
+        let idx = self.pick_victim_slot();
+        let p = self
+            .personalities
+            .get(name)
+            .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        let op = match role {
+            0 => p.update.clone(),
+            _ => p
+                .finalize
+                .clone()
+                .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?,
+        };
+        self.sim.load_context(idx, op)?;
+        self.slots[idx] = Some(SlotState {
+            personality: name.to_string(),
+            role,
+            last_use: self.use_clock,
+        });
+        self.sim.switch_to(idx)?;
+        Ok(idx)
+    }
+
+    /// Computes one message's checksum under the named personality.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    pub fn checksum(&mut self, name: &str, data: &[u8]) -> Result<(u64, RunReport), SystemError> {
+        let p = self
+            .personalities
+            .get(name)
+            .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?
+            .clone();
+        let start = self.sim.counters();
+        let mut report = RunReport {
+            bits: (data.len() * 8) as u64,
+            control_cycles: self.control.msg_setup_cycles + self.control.msg_finalize_cycles,
+            ..Default::default()
+        };
+
+        let bits = message_bits(&p.spec, data);
+        let init = BitVec::from_u64(p.spec.init & p.spec.mask(), p.spec.width);
+        let full = bits.len() / p.m;
+        let blocks: Vec<BitVec> = (0..full).map(|c| bits.slice(c * p.m, p.m)).collect();
+
+        self.ensure_resident(name, 0)?;
+        let mut x = match &p.derby {
+            Some(derby) => {
+                let x_t0 = derby.transform_state(&init);
+                let x_t = self.sim.run_crc_stream(&x_t0, blocks.iter())?;
+                self.ensure_resident(name, 1)?;
+                self.sim.run_linear(&x_t)?
+            }
+            None => self.sim.run_crc_stream_dense(&init, blocks.iter())?,
+        };
+
+        let tail_len = bits.len() - full * p.m;
+        if tail_len > 0 {
+            report.tail_cycles += (tail_len as u64).div_ceil(8) * self.control.tail_cycles_per_byte;
+            let tail_sys = self.tails.get_mut(name).expect("registered");
+            tail_sys.set_state(x);
+            tail_sys.absorb(&bits.slice(full * p.m, tail_len));
+            x = tail_sys.state().clone();
+        }
+
+        let end = self.sim.counters();
+        report.picoga = picoga::CycleCounters {
+            compute: end.compute - start.compute,
+            context_switch: end.context_switch - start.context_switch,
+            context_load: end.context_load - start.context_load,
+        };
+
+        let mut out = x.to_u64();
+        if p.spec.refout {
+            out = reflect(out, p.spec.width);
+        }
+        Ok(((out ^ p.spec.xorout) & p.spec.mask(), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc_app::BuildError;
+    use lfsr::crc::crc_bitwise;
+    use lfsr_parallel::{BlockSystem, DerbyTransform};
+    use xornet::{synthesize, SynthOptions};
+
+    /// Builds a Derby personality directly (mirrors DreamCrcApp::build).
+    fn personality(name: &str, spec: &CrcSpec, m: usize) -> Result<Personality, BuildError> {
+        let params = PicogaParams::dream();
+        let serial = StateSpaceLfsr::crc(&spec.generator()).unwrap();
+        let block = BlockSystem::new(&serial, m).unwrap();
+        let derby = DerbyTransform::new(&block).expect("derby ok for these specs");
+        let update_net = synthesize(derby.b_mt(), SynthOptions::default());
+        let update = PgaOperation::crc_update("u", update_net, derby.a_mt(), &params)
+            .map_err(|source| BuildError::Map { op: "u", source })?;
+        let fin_net = synthesize(derby.t(), SynthOptions::default());
+        let finalize = PgaOperation::linear("f", fin_net, &params)
+            .map_err(|source| BuildError::Map { op: "f", source })?;
+        Ok(Personality {
+            name: name.into(),
+            spec: *spec,
+            m,
+            update,
+            finalize: Some(finalize),
+            derby: Some(derby),
+        })
+    }
+
+    fn system_with(names: &[(&str, &str, usize)]) -> DreamSystem {
+        let mut sys = DreamSystem::new(PicogaParams::dream(), ControlModel::default());
+        for (name, spec, m) in names {
+            let spec = CrcSpec::by_name(spec).unwrap();
+            sys.register(personality(name, spec, *m).unwrap()).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn hosts_multiple_personalities_correctly() {
+        let mut sys = system_with(&[
+            ("eth", "CRC-32/ETHERNET", 32),
+            ("hdlc", "CRC-16/IBM-SDLC", 32),
+        ]);
+        let data = b"multi-standard traffic".to_vec();
+        let (eth, _) = sys.checksum("eth", &data).unwrap();
+        let (hdlc, _) = sys.checksum("hdlc", &data).unwrap();
+        assert_eq!(eth, crc_bitwise(CrcSpec::crc32_ethernet(), &data));
+        assert_eq!(
+            hdlc,
+            crc_bitwise(CrcSpec::by_name("CRC-16/IBM-SDLC").unwrap(), &data)
+        );
+    }
+
+    #[test]
+    fn second_run_hits_the_configuration_cache() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        let data = vec![0xAAu8; 64];
+        let (_, first) = sys.checksum("eth", &data).unwrap();
+        let (_, second) = sys.checksum("eth", &data).unwrap();
+        assert!(first.picoga.context_load > 0, "cold start loads configs");
+        assert_eq!(second.picoga.context_load, 0, "warm run must not reload");
+        assert!(second.total_cycles() < first.total_cycles());
+    }
+
+    #[test]
+    fn lru_evicts_when_cache_overflows() {
+        // Three 2-op personalities on a 4-context cache: ping-ponging
+        // between all three forces evictions.
+        let mut sys = system_with(&[
+            ("a", "CRC-32/ETHERNET", 32),
+            ("b", "CRC-16/IBM-SDLC", 32),
+            ("c", "CRC-16/XMODEM", 32),
+        ]);
+        let data = vec![0x55u8; 32];
+        for name in ["a", "b", "c", "a", "b", "c"] {
+            let (crc, _) = sys.checksum(name, &data).unwrap();
+            let spec = sys.personalities.get(name).unwrap().spec;
+            assert_eq!(crc, crc_bitwise(&spec, &data), "{name}");
+        }
+        // Only 4 slots exist, so at most 2 personalities resident.
+        assert!(sys.resident().len() <= 4);
+        // Cumulative loads exceed the initial 6 op-loads: evictions happened.
+        assert!(sys.counters().context_load > 6 * PicogaParams::dream().context_load_cycles);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_names_are_errors() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        assert!(matches!(
+            sys.checksum("nope", b"x"),
+            Err(SystemError::UnknownPersonality { .. })
+        ));
+        let dup = personality("eth", CrcSpec::crc32_ethernet(), 16).unwrap();
+        assert!(matches!(
+            sys.register(dup),
+            Err(SystemError::DuplicatePersonality { .. })
+        ));
+    }
+
+    #[test]
+    fn scrambler_personality_coexists_with_crc() {
+        use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        // Build the 802.11 scrambler op by hand (mirrors the flow).
+        let sspec = ScramblerSpec::ieee80211();
+        let serial = StateSpaceLfsr::additive_scrambler(&sspec.polynomial()).unwrap();
+        let block = BlockSystem::new(&serial, 32).unwrap();
+        let derby = DerbyTransform::new(&block).unwrap();
+        let net_matrix = derby.c_stack_t().hstack(derby.d_stack());
+        let net = synthesize(&net_matrix, SynthOptions::default());
+        let op =
+            PgaOperation::scrambler("scr", net, derby.a_mt(), 32, &PicogaParams::dream()).unwrap();
+        sys.register_scrambler(ScramblerPersonality {
+            name: "wifi".into(),
+            spec: *sspec,
+            m: 32,
+            op,
+            derby,
+        })
+        .unwrap();
+
+        let frame = BitVec::from_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF, 100);
+        let (scrambled, _) = sys.scramble("wifi", sspec.default_seed, &frame).unwrap();
+        let mut reference = AdditiveScrambler::new(sspec).unwrap();
+        assert_eq!(scrambled, reference.scramble(&frame));
+
+        // And the CRC personality still works afterwards.
+        let (crc, _) = sys.checksum("eth", b"mixed traffic").unwrap();
+        assert_eq!(
+            crc,
+            crc_bitwise(CrcSpec::crc32_ethernet(), b"mixed traffic")
+        );
+
+        // Duplicate names across kinds are rejected.
+        let dup = personality("wifi", CrcSpec::crc32_ethernet(), 16).unwrap();
+        assert!(matches!(
+            sys.register(dup),
+            Err(SystemError::DuplicatePersonality { .. })
+        ));
+    }
+
+    #[test]
+    fn resident_set_reflects_usage() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        assert!(sys.resident().is_empty(), "lazy loading");
+        sys.checksum("eth", &[1, 2, 3, 4]).unwrap();
+        let resident = sys.resident();
+        assert!(resident.contains(&("eth".to_string(), 0)));
+        assert!(resident.contains(&("eth".to_string(), 1)));
+    }
+}

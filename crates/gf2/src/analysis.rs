@@ -1,0 +1,212 @@
+//! Structural analysis of GF(2) matrices: minimal polynomials, cyclicity
+//! and null spaces.
+//!
+//! These answer the question Derby's method hinges on: `T⁻¹·A^M·T` can be
+//! companion **iff `A^M` is cyclic** (nonderogatory — its minimal
+//! polynomial has full degree), because the Krylov chain of a cyclic
+//! vector spans the space. [`BitMat::is_cyclic`] decides that directly,
+//! and [`BitMat::min_poly_of_vector`] is the certificate for one seed.
+
+use crate::bitvec::BitVec;
+use crate::matrix::BitMat;
+use crate::poly::Gf2Poly;
+
+impl BitMat {
+    /// The minimal polynomial of `v` with respect to this matrix: the
+    /// lowest-degree monic `p` with `p(A)·v = 0`.
+    ///
+    /// Found by Gaussian elimination over the Krylov sequence
+    /// `v, A·v, A²·v, …` — the first linear dependence gives the
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `v.len()` mismatches.
+    pub fn min_poly_of_vector(&self, v: &BitVec) -> Gf2Poly {
+        assert_eq!(self.rows(), self.cols(), "requires a square matrix");
+        assert_eq!(v.len(), self.rows(), "vector dimension mismatch");
+        let n = self.rows();
+        if v.is_zero() {
+            return Gf2Poly::one();
+        }
+        // Reduced rows plus the combination that produced them: each
+        // basis entry is (reduced Krylov vector, polynomial combination).
+        let mut basis: Vec<(BitVec, Gf2Poly)> = Vec::new();
+        let mut cur = v.clone();
+        for step in 0..=n {
+            // Reduce `cur` against the basis, tracking the combination.
+            let mut vec = cur.clone();
+            let mut comb = Gf2Poly::x_pow(step);
+            for (b, c) in &basis {
+                if let Some(p) = b.highest_one() {
+                    if vec.get(p) {
+                        vec.xor_assign(b);
+                        comb = comb.add(c);
+                    }
+                }
+            }
+            if vec.is_zero() {
+                return comb;
+            }
+            basis.push((vec, comb));
+            cur = self.mul_vec(&cur);
+        }
+        unreachable!("a dependence must occur within n+1 Krylov vectors");
+    }
+
+    /// The minimal polynomial of the matrix: the lcm of the vector-minimal
+    /// polynomials over a spanning set (unit vectors suffice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn minimal_polynomial(&self) -> Gf2Poly {
+        assert_eq!(self.rows(), self.cols(), "requires a square matrix");
+        let n = self.rows();
+        let mut m = Gf2Poly::one();
+        for i in 0..n {
+            let p = self.min_poly_of_vector(&BitVec::unit(i, n));
+            // lcm(m, p) = m·p / gcd(m, p).
+            let g = m.gcd(&p);
+            m = m.mul(&p).divmod(&g).0;
+            if m.degree() == Some(n) {
+                break; // cannot grow further
+            }
+        }
+        m
+    }
+
+    /// `true` if the matrix is cyclic (nonderogatory): its minimal
+    /// polynomial has degree `n`, equivalently some vector's Krylov chain
+    /// spans the whole space — the precondition of Derby's transform.
+    pub fn is_cyclic(&self) -> bool {
+        self.minimal_polynomial().degree() == Some(self.rows())
+    }
+
+    /// A basis of the null space `{x : A·x = 0}` (empty for full column
+    /// rank).
+    pub fn nullspace(&self) -> Vec<BitVec> {
+        let rows: Vec<BitVec> = self.iter_rows().cloned().collect();
+        let n = self.cols();
+        // Row-reduce, remembering pivot columns.
+        let mut reduced: Vec<BitVec> = Vec::new();
+        let mut pivot_cols: Vec<usize> = Vec::new();
+        for r in rows {
+            let mut v = r;
+            for (b, &pc) in reduced.iter().zip(&pivot_cols) {
+                if v.get(pc) {
+                    v.xor_assign(b);
+                }
+            }
+            if let Some(p) = v.highest_one() {
+                // Back-substitute to keep it reduced.
+                for b in reduced.iter_mut() {
+                    if b.get(p) {
+                        b.xor_assign(&v);
+                    }
+                }
+                reduced.push(v);
+                pivot_cols.push(p);
+            }
+        }
+        // Free columns generate the null space.
+        let mut basis = Vec::new();
+        for free in (0..n).filter(|c| !pivot_cols.contains(c)) {
+            let mut x = BitVec::unit(free, n);
+            for (b, &pc) in reduced.iter().zip(&pivot_cols) {
+                if b.get(free) {
+                    x.flip(pc);
+                }
+            }
+            basis.push(x);
+        }
+        basis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn companion(bits: u64) -> BitMat {
+        BitMat::companion(&Gf2Poly::from_u64(bits))
+    }
+
+    #[test]
+    fn companion_minimal_polynomial_is_its_generator() {
+        // Companion matrices are nonderogatory: min poly = char poly = g.
+        for g in [0b111u64, 0b1011, 0b10011, 0b101001101] {
+            let a = companion(g);
+            assert_eq!(a.minimal_polynomial(), Gf2Poly::from_u64(g));
+            assert!(a.is_cyclic());
+        }
+    }
+
+    #[test]
+    fn identity_is_maximally_derogatory() {
+        let i = BitMat::identity(8);
+        // min poly of I is x + 1.
+        assert_eq!(i.minimal_polynomial(), Gf2Poly::from_u64(0b11));
+        assert!(!i.is_cyclic());
+    }
+
+    #[test]
+    fn min_poly_annihilates() {
+        let a = companion(0b10011).pow(6);
+        let p = a.minimal_polynomial();
+        // p(A) must be the zero matrix.
+        let mut acc = BitMat::zeros(4, 4);
+        for (e, _) in (0..=p.degree().unwrap())
+            .enumerate()
+            .filter(|&(e, _)| p.coeff(e))
+        {
+            acc = acc.add(&a.pow(e as u64));
+        }
+        assert!(acc.is_zero(), "p(A) != 0 for p = {p}");
+    }
+
+    #[test]
+    fn cyclicity_predicts_derby_existence_for_dect() {
+        // CRC-16/DECT generator at M=16: A^16 is derogatory — exactly the
+        // case where the Krylov transform search fails and the flow falls
+        // back to the dense structure.
+        let g = Gf2Poly::from_crc_notation(0x0589, 16);
+        let a = BitMat::companion(&g);
+        assert!(a.is_cyclic(), "A itself is companion, hence cyclic");
+        assert!(!a.pow(16).is_cyclic(), "A^16 must be derogatory");
+        // Whereas the Ethernet generator stays cyclic at the paper's M.
+        let eth = BitMat::companion(&Gf2Poly::from_crc_notation(0x04C11DB7, 32));
+        for m in [32u64, 64, 128] {
+            assert!(eth.pow(m).is_cyclic(), "M={m}");
+        }
+    }
+
+    #[test]
+    fn min_poly_of_zero_vector_is_one() {
+        let a = companion(0b1011);
+        assert_eq!(a.min_poly_of_vector(&BitVec::zeros(3)), Gf2Poly::one());
+    }
+
+    #[test]
+    fn nullspace_of_invertible_is_empty() {
+        assert!(companion(0b10011).nullspace().is_empty());
+    }
+
+    #[test]
+    fn nullspace_vectors_are_annihilated_and_independent() {
+        // Rank-2 matrix on 4 columns -> 2-dimensional null space.
+        let rows = vec![
+            BitVec::from_u64(0b1100, 4),
+            BitVec::from_u64(0b0110, 4),
+            BitVec::from_u64(0b1010, 4), // dependent (row0 ^ row1)
+        ];
+        let m = BitMat::from_rows(rows);
+        let ns = m.nullspace();
+        assert_eq!(ns.len(), 2);
+        for x in &ns {
+            assert!(m.mul_vec(x).is_zero());
+        }
+        let span = BitMat::from_rows(ns);
+        assert_eq!(span.rank(), 2);
+    }
+}

@@ -1,0 +1,406 @@
+//! Polynomials over GF(2).
+//!
+//! [`Gf2Poly`] backs the generator polynomials of every CRC and scrambler in
+//! the workspace, and the Galois-field arithmetic of the GFMAC CRC method
+//! (`CRC[A(x)] = Σ Wᵢ·βᵢ mod G`).
+
+use crate::bitvec::BitVec;
+use std::fmt;
+
+/// A polynomial over GF(2), bit `i` of the backing vector holding the
+/// coefficient of `x^i`.
+///
+/// # Examples
+///
+/// ```
+/// use gf2::Gf2Poly;
+///
+/// // x^4 + x + 1
+/// let g = Gf2Poly::from_u64(0b10011);
+/// assert_eq!(g.degree(), Some(4));
+/// // x^4 mod g = x + 1
+/// let r = Gf2Poly::x_pow(4).rem(&g);
+/// assert_eq!(r, Gf2Poly::from_u64(0b11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Gf2Poly {
+    // Invariant: no explicit trailing zero words needed; degree derived from
+    // highest set bit. Coefficients beyond the backing length are zero.
+    coeffs: BitVec,
+}
+
+impl Gf2Poly {
+    /// Canonicalises the backing vector to exactly `degree + 1` bits so that
+    /// derived equality and hashing see one representation per value.
+    fn normalized(coeffs: BitVec) -> Self {
+        let len = coeffs.highest_one().map_or(0, |d| d + 1);
+        Gf2Poly {
+            coeffs: coeffs.resized(len),
+        }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Gf2Poly {
+            coeffs: BitVec::zeros(0),
+        }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Gf2Poly::from_u64(1)
+    }
+
+    /// The monomial `x^e`.
+    pub fn x_pow(e: usize) -> Self {
+        let mut c = BitVec::zeros(e + 1);
+        c.set(e, true);
+        Gf2Poly { coeffs: c }
+    }
+
+    /// Builds a polynomial from a bit mask (bit `i` ⇒ coefficient of `x^i`).
+    pub fn from_u64(bits: u64) -> Self {
+        Gf2Poly::normalized(BitVec::from_u64(bits, 64))
+    }
+
+    /// Builds a polynomial from a 128-bit mask.
+    pub fn from_u128(bits: u128) -> Self {
+        Gf2Poly::normalized(BitVec::from_u128(bits, 128))
+    }
+
+    /// Builds a polynomial whose coefficients are the bits of `v`.
+    pub fn from_bitvec(v: &BitVec) -> Self {
+        Gf2Poly::normalized(v.clone())
+    }
+
+    /// Builds the CRC generator `x^width + (poly bits)` from the usual
+    /// truncated hex representation (e.g. `0x04C11DB7` with `width = 32`).
+    pub fn from_crc_notation(poly: u64, width: usize) -> Self {
+        let mut c = BitVec::zeros(width + 1);
+        for i in 0..width.min(64) {
+            if (poly >> i) & 1 == 1 {
+                c.set(i, true);
+            }
+        }
+        c.set(width, true);
+        Gf2Poly { coeffs: c }
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.highest_one()
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_zero()
+    }
+
+    /// Coefficient of `x^i`.
+    pub fn coeff(&self, i: usize) -> bool {
+        i < self.coeffs.len() && self.coeffs.get(i)
+    }
+
+    /// Sets the coefficient of `x^i`.
+    pub fn set_coeff(&mut self, i: usize, value: bool) {
+        if i >= self.coeffs.len() {
+            self.coeffs = self.coeffs.resized(i + 1);
+        }
+        self.coeffs.set(i, value);
+        if !value {
+            *self = Gf2Poly::normalized(std::mem::take(&mut self.coeffs));
+        }
+    }
+
+    /// Coefficients as a bit vector of length `degree + 1` (empty if zero).
+    pub fn to_bitvec(&self) -> BitVec {
+        match self.degree() {
+            None => BitVec::zeros(0),
+            Some(d) => self.coeffs.resized(d + 1),
+        }
+    }
+
+    /// Low 64 coefficient bits as an integer.
+    pub fn to_u64(&self) -> u64 {
+        self.coeffs.to_u64()
+    }
+
+    /// Sum (XOR) of two polynomials.
+    pub fn add(&self, other: &Gf2Poly) -> Gf2Poly {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut c = self.coeffs.resized(len);
+        c.xor_assign(&other.coeffs.resized(len));
+        Gf2Poly::normalized(c)
+    }
+
+    /// Product of two polynomials (carry-less multiplication).
+    pub fn mul(&self, other: &Gf2Poly) -> Gf2Poly {
+        let (Some(da), Some(db)) = (self.degree(), other.degree()) else {
+            return Gf2Poly::zero();
+        };
+        let mut c = BitVec::zeros(da + db + 1);
+        for i in self.coeffs.iter_ones() {
+            for j in other.coeffs.iter_ones() {
+                c.flip(i + j);
+            }
+        }
+        Gf2Poly { coeffs: c }
+    }
+
+    /// Quotient and remainder of division by `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divmod(&self, divisor: &Gf2Poly) -> (Gf2Poly, Gf2Poly) {
+        let dd = divisor.degree().expect("division by zero polynomial");
+        let Some(mut dr) = self.degree() else {
+            return (Gf2Poly::zero(), Gf2Poly::zero());
+        };
+        if dr < dd {
+            return (Gf2Poly::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.resized(dr + 1);
+        let mut quot = BitVec::zeros(dr - dd + 1);
+        loop {
+            if rem.is_zero() {
+                break;
+            }
+            dr = rem.highest_one().unwrap();
+            if dr < dd {
+                break;
+            }
+            let shift = dr - dd;
+            quot.set(shift, true);
+            for i in divisor.coeffs.iter_ones() {
+                rem.flip(i + shift);
+            }
+        }
+        (Gf2Poly::normalized(quot), Gf2Poly::normalized(rem))
+    }
+
+    /// Remainder of division by `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem(&self, modulus: &Gf2Poly) -> Gf2Poly {
+        self.divmod(modulus).1
+    }
+
+    /// `x^e mod modulus`, computed by square-and-multiply (fast even for the
+    /// huge exponents the GFMAC β-constants need).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` has degree 0 or is zero.
+    pub fn x_pow_mod(e: u64, modulus: &Gf2Poly) -> Gf2Poly {
+        let d = modulus.degree().expect("zero modulus");
+        assert!(d >= 1, "modulus must have degree >= 1");
+        let mut result = Gf2Poly::one();
+        let mut base = Gf2Poly::from_u64(2).rem(modulus); // x mod g
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.mul(&base).rem(modulus);
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.mul(&base).rem(modulus);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (monic over GF(2) automatically).
+    pub fn gcd(&self, other: &Gf2Poly) -> Gf2Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Simple irreducibility test over GF(2) (trial of `gcd(x^{2^i} - x, f)`,
+    /// Rabin's test). Intended for the small degrees used by CRCs.
+    pub fn is_irreducible(&self) -> bool {
+        let Some(n) = self.degree() else { return false };
+        if n == 0 {
+            return false;
+        }
+        if !self.coeff(0) {
+            // Divisible by x (unless it *is* x).
+            return n == 1 && self.coeff(1);
+        }
+        // x^{2^n} ≡ x (mod f) must hold...
+        let mut x2i = Gf2Poly::from_u64(2).rem(self);
+        for _ in 0..n {
+            x2i = x2i.mul(&x2i).rem(self);
+        }
+        if x2i != Gf2Poly::from_u64(2).rem(self) {
+            return false;
+        }
+        // ...and for every prime p | n, gcd(x^{2^{n/p}} - x, f) = 1.
+        let mut primes = Vec::new();
+        let mut m = n;
+        let mut p = 2;
+        while p * p <= m {
+            if m % p == 0 {
+                primes.push(p);
+                while m % p == 0 {
+                    m /= p;
+                }
+            }
+            p += 1;
+        }
+        if m > 1 {
+            primes.push(m);
+        }
+        for p in primes {
+            let k = n / p;
+            let mut t = Gf2Poly::from_u64(2).rem(self);
+            for _ in 0..k {
+                t = t.mul(&t).rem(self);
+            }
+            let diff = t.add(&Gf2Poly::from_u64(2));
+            if self.gcd(&diff).degree() != Some(0) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Poly(")?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let Some(d) = self.degree() else {
+            return write!(f, "0");
+        };
+        let mut first = true;
+        for i in (0..=d).rev() {
+            if self.coeff(i) {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                match i {
+                    0 => write!(f, "1")?,
+                    1 => write!(f, "x")?,
+                    _ => write!(f, "x^{i}")?,
+                }
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_zero() {
+        assert_eq!(Gf2Poly::zero().degree(), None);
+        assert_eq!(Gf2Poly::one().degree(), Some(0));
+        assert_eq!(Gf2Poly::x_pow(7).degree(), Some(7));
+    }
+
+    #[test]
+    fn add_is_xor() {
+        let a = Gf2Poly::from_u64(0b1011);
+        let b = Gf2Poly::from_u64(0b0110);
+        assert_eq!(a.add(&b), Gf2Poly::from_u64(0b1101));
+        assert!(a.add(&a).is_zero());
+    }
+
+    #[test]
+    fn mul_distributes() {
+        let a = Gf2Poly::from_u64(0b101); // x^2+1
+        let b = Gf2Poly::from_u64(0b11); // x+1
+                                         // (x^2+1)(x+1) = x^3+x^2+x+1
+        assert_eq!(a.mul(&b), Gf2Poly::from_u64(0b1111));
+    }
+
+    #[test]
+    fn divmod_reconstructs() {
+        let a = Gf2Poly::from_u64(0b110101011);
+        let g = Gf2Poly::from_u64(0b10011);
+        let (q, r) = a.divmod(&g);
+        assert_eq!(q.mul(&g).add(&r), a);
+        assert!(r.degree().unwrap_or(0) < g.degree().unwrap());
+    }
+
+    #[test]
+    fn x_pow_mod_matches_naive() {
+        let g = Gf2Poly::from_u64(0b10011);
+        for e in 0..40u64 {
+            let naive = Gf2Poly::x_pow(e as usize).rem(&g);
+            assert_eq!(Gf2Poly::x_pow_mod(e, &g), naive, "e={e}");
+        }
+    }
+
+    #[test]
+    fn crc_notation_builds_full_generator() {
+        // CRC-32 generator: degree 32, truncated poly 0x04C11DB7.
+        let g = Gf2Poly::from_crc_notation(0x04C1_1DB7, 32);
+        assert_eq!(g.degree(), Some(32));
+        assert!(g.coeff(0)); // +1 term
+        assert!(g.coeff(32)); // monic
+        assert!(g.coeff(26)); // x^26 term of the Ethernet polynomial
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        let a = Gf2Poly::from_u64(0b111); // x^2+x+1, irreducible
+        let b = Gf2Poly::from_u64(0b1011); // x^3+x+1, irreducible
+        assert_eq!(a.gcd(&b).degree(), Some(0));
+        let c = a.mul(&b);
+        assert_eq!(c.gcd(&a), a);
+    }
+
+    #[test]
+    fn irreducibility_known_cases() {
+        assert!(Gf2Poly::from_u64(0b111).is_irreducible()); // x^2+x+1
+        assert!(Gf2Poly::from_u64(0b1011).is_irreducible()); // x^3+x+1
+        assert!(Gf2Poly::from_u64(0b10011).is_irreducible()); // x^4+x+1
+        assert!(!Gf2Poly::from_u64(0b101).is_irreducible()); // x^2+1=(x+1)^2
+        assert!(!Gf2Poly::from_u64(0b1111).is_irreducible()); // (x+1)(x^2+x+1)
+                                                              // x^16+x^12+x^5+1 (CRC-CCITT) is reducible: (x+1) divides it
+                                                              // (even number of terms), so both facts must agree.
+        let ccitt = Gf2Poly::from_crc_notation(0x1021, 16);
+        let x_plus_1 = Gf2Poly::from_u64(0b11);
+        assert!(ccitt.rem(&x_plus_1).is_zero());
+        assert!(!ccitt.is_irreducible());
+        // The IEEE CRC-32 generator is irreducible (Rabin's test); its
+        // factorisation is widely misquoted, so pin the computed fact.
+        let g = Gf2Poly::from_crc_notation(0x04C1_1DB7, 32);
+        assert!(g.is_irreducible());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = Gf2Poly::from_u64(0b10011);
+        assert_eq!(g.to_string(), "x^4 + x + 1");
+        assert_eq!(Gf2Poly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn set_coeff_grows() {
+        let mut p = Gf2Poly::zero();
+        p.set_coeff(70, true);
+        assert_eq!(p.degree(), Some(70));
+        p.set_coeff(70, false);
+        assert!(p.is_zero());
+    }
+}

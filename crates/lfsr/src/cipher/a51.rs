@@ -1,0 +1,206 @@
+//! The A5/1 GSM stream cipher (paper §1: "the A5/1 standard which ensures
+//! communication privacy of GSM telephones").
+//!
+//! Three LFSRs of 19, 22 and 23 bits with *majority-controlled irregular
+//! clocking*: each step, the majority of the three clocking taps is taken
+//! and only the registers agreeing with it advance. The irregular clocking
+//! makes A5/1 **non-linear in time**, so the matrix look-ahead methods of
+//! `lfsr-parallel` do not apply — exactly why the paper's PiCoGA maps such
+//! kernels with LUT cells rather than pure XOR planes.
+//!
+//! Register geometry, key/frame loading and output follow the well-known
+//! reference implementation by Briceno, Goldberg and Wagner, and the
+//! implementation reproduces its published test vector.
+
+/// A5/1 keystream generator.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::cipher::A51;
+///
+/// let mut cipher = A51::new(&[0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF], 0x134);
+/// let downlink = cipher.keystream_bytes(15); // 114 bits + 6 pad bits
+/// assert_eq!(downlink[0], 0x53);
+/// ```
+#[derive(Debug, Clone)]
+pub struct A51 {
+    r1: u32,
+    r2: u32,
+    r3: u32,
+}
+
+const R1_MASK: u32 = 0x07FFFF; // 19 bits
+const R2_MASK: u32 = 0x3FFFFF; // 22 bits
+const R3_MASK: u32 = 0x7FFFFF; // 23 bits
+const R1_TAPS: u32 = 0x072000; // bits 18, 17, 16, 13
+const R2_TAPS: u32 = 0x300000; // bits 21, 20
+const R3_TAPS: u32 = 0x700080; // bits 22, 21, 20, 7
+const R1_CLK: u32 = 1 << 8;
+const R2_CLK: u32 = 1 << 10;
+const R3_CLK: u32 = 1 << 10;
+
+fn parity(x: u32) -> u32 {
+    x.count_ones() & 1
+}
+
+fn clock_one(reg: u32, mask: u32, taps: u32) -> u32 {
+    let fb = parity(reg & taps);
+    ((reg << 1) & mask) | fb
+}
+
+impl A51 {
+    /// Creates a generator keyed with a 64-bit session key (as 8 bytes) and
+    /// a 22-bit frame number, running the standard 64 + 22 loading clocks
+    /// and 100 mix clocks.
+    pub fn new(key: &[u8; 8], frame: u32) -> Self {
+        let mut c = A51 {
+            r1: 0,
+            r2: 0,
+            r3: 0,
+        };
+        for i in 0..64 {
+            c.clock_all();
+            let kb = ((key[i / 8] >> (i & 7)) & 1) as u32;
+            c.r1 ^= kb;
+            c.r2 ^= kb;
+            c.r3 ^= kb;
+        }
+        for i in 0..22 {
+            c.clock_all();
+            let fb = (frame >> i) & 1;
+            c.r1 ^= fb;
+            c.r2 ^= fb;
+            c.r3 ^= fb;
+        }
+        for _ in 0..100 {
+            c.clock_majority();
+        }
+        c
+    }
+
+    /// Clocks all three registers unconditionally (loading phase).
+    fn clock_all(&mut self) {
+        self.r1 = clock_one(self.r1, R1_MASK, R1_TAPS);
+        self.r2 = clock_one(self.r2, R2_MASK, R2_TAPS);
+        self.r3 = clock_one(self.r3, R3_MASK, R3_TAPS);
+    }
+
+    /// Performs one majority-controlled clock, returning how many registers
+    /// advanced (always 2 or 3).
+    pub fn clock_majority(&mut self) -> usize {
+        let b1 = (self.r1 & R1_CLK != 0) as u32;
+        let b2 = (self.r2 & R2_CLK != 0) as u32;
+        let b3 = (self.r3 & R3_CLK != 0) as u32;
+        let maj = (b1 + b2 + b3) >= 2;
+        let mut n = 0;
+        if (b1 != 0) == maj {
+            self.r1 = clock_one(self.r1, R1_MASK, R1_TAPS);
+            n += 1;
+        }
+        if (b2 != 0) == maj {
+            self.r2 = clock_one(self.r2, R2_MASK, R2_TAPS);
+            n += 1;
+        }
+        if (b3 != 0) == maj {
+            self.r3 = clock_one(self.r3, R3_MASK, R3_TAPS);
+            n += 1;
+        }
+        n
+    }
+
+    /// Produces the next keystream bit.
+    pub fn next_bit(&mut self) -> bool {
+        self.clock_majority();
+        (parity(self.r1 & (1 << 18)) ^ parity(self.r2 & (1 << 21)) ^ parity(self.r3 & (1 << 22)))
+            == 1
+    }
+
+    /// Produces `n` keystream bytes, bits packed MSB-first as in the GSM
+    /// burst format.
+    pub fn keystream_bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        for i in 0..n * 8 {
+            if self.next_bit() {
+                out[i / 8] |= 1 << (7 - (i & 7));
+            }
+        }
+        out
+    }
+
+    /// XORs the keystream onto `data` in place (encrypt == decrypt).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        let ks = self.keystream_bytes(data.len());
+        for (d, k) in data.iter_mut().zip(ks) {
+            *d ^= k;
+        }
+    }
+
+    /// The three register values (for tests and demonstrations).
+    pub fn registers(&self) -> (u32, u32, u32) {
+        (self.r1, self.r2, self.r3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 8] = [0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF];
+    const FRAME: u32 = 0x134;
+
+    #[test]
+    fn reference_test_vector() {
+        // Published vector of the Briceno/Goldberg/Wagner reference
+        // implementation: 114 downlink + 114 uplink bits.
+        let mut c = A51::new(&KEY, FRAME);
+        let a_to_b = c.keystream_bytes(15);
+        // Only 114 bits are significant; the reference zero-pads to 15 bytes
+        // but our generator keeps producing, so compare the first 14 bytes
+        // plus the top 2 bits of the 15th.
+        let good: [u8; 15] = [
+            0x53, 0x4E, 0xAA, 0x58, 0x2F, 0xE8, 0x15, 0x1A, 0xB6, 0xE1, 0x85, 0x5A, 0x72, 0x8C,
+            0x00,
+        ];
+        assert_eq!(&a_to_b[..14], &good[..14]);
+        assert_eq!(a_to_b[14] & 0xC0, good[14] & 0xC0);
+    }
+
+    #[test]
+    fn majority_clocking_advances_two_or_three() {
+        let mut c = A51::new(&KEY, 0);
+        for _ in 0..1000 {
+            let n = c.clock_majority();
+            assert!(n == 2 || n == 3, "advanced {n} registers");
+        }
+    }
+
+    #[test]
+    fn registers_stay_in_range() {
+        let mut c = A51::new(&KEY, 7);
+        for _ in 0..500 {
+            c.next_bit();
+            let (r1, r2, r3) = c.registers();
+            assert_eq!(r1 & !R1_MASK, 0);
+            assert_eq!(r2 & !R2_MASK, 0);
+            assert_eq!(r3 & !R3_MASK, 0);
+        }
+    }
+
+    #[test]
+    fn different_frames_give_different_keystreams() {
+        let a = A51::new(&KEY, 1).keystream_bytes(15);
+        let b = A51::new(&KEY, 2).keystream_bytes(15);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut data = b"GSM voice frame bits".to_vec();
+        let orig = data.clone();
+        A51::new(&KEY, 42).apply(&mut data);
+        assert_ne!(data, orig);
+        A51::new(&KEY, 42).apply(&mut data);
+        assert_eq!(data, orig);
+    }
+}

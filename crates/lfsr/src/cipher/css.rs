@@ -1,0 +1,172 @@
+//! The Content Scramble System (CSS) keystream generator (paper §1: "the
+//! content scramble system used for digital right management which uses a
+//! 40-bit stream cipher").
+//!
+//! Two LFSRs — 17 and 25 bits, 40 bits of secret state in addition to two
+//! forced one bits — each produce one byte per eight clocks; the bytes are
+//! combined by **integer addition with carry**, the non-linear element of
+//! CSS. Register geometry and seeding follow the published DeCSS analyses:
+//! LFSR-17 is seeded from key bytes 0–1 with bit 8 forced to one, LFSR-25
+//! from key bytes 2–4 with bit 3 forced to one.
+
+/// CSS keystream generator over a 40-bit key.
+#[derive(Debug, Clone)]
+pub struct Css {
+    lfsr17: u32,
+    lfsr25: u32,
+    carry: u8,
+    /// Optional output-byte inversions (CSS uses different combinations for
+    /// title/disk/data streams).
+    invert17: bool,
+    invert25: bool,
+}
+
+/// Which of CSS's keystream variants to generate (they differ only in which
+/// LFSR's output byte is bit-inverted before the addition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CssMode {
+    /// Title-key stream: invert the LFSR-17 byte.
+    #[default]
+    TitleKey,
+    /// Data stream: invert the LFSR-25 byte.
+    Data,
+    /// Authentication stream: no inversion.
+    Authentication,
+}
+
+impl Css {
+    /// Builds a generator from a 5-byte (40-bit) key.
+    pub fn new(key: &[u8; 5], mode: CssMode) -> Self {
+        let lfsr17 = ((key[0] as u32) << 9) | (key[1] as u32) | (1 << 8);
+        let lfsr25 =
+            ((key[2] as u32) << 17) | ((key[3] as u32) << 9) | ((key[4] as u32) << 1) | (1 << 3);
+        let (invert17, invert25) = match mode {
+            CssMode::TitleKey => (true, false),
+            CssMode::Data => (false, true),
+            CssMode::Authentication => (false, false),
+        };
+        Css {
+            lfsr17,
+            lfsr25,
+            carry: 0,
+            invert17,
+            invert25,
+        }
+    }
+
+    /// Clocks LFSR-17 once (primitive trinomial x¹⁷ + x¹⁴ + 1: feedback
+    /// from bits 16 and 13), returning the emitted bit.
+    fn clock17(&mut self) -> u32 {
+        let bit = ((self.lfsr17 >> 16) ^ (self.lfsr17 >> 13)) & 1;
+        self.lfsr17 = ((self.lfsr17 << 1) | bit) & 0x1FFFF;
+        bit
+    }
+
+    /// Clocks LFSR-25 once (taps x²⁵ + x²⁴ + x²³ + x²⁰ + 1).
+    fn clock25(&mut self) -> u32 {
+        let v = self.lfsr25;
+        let bit = ((v >> 24) ^ (v >> 23) ^ (v >> 22) ^ (v >> 19)) & 1;
+        self.lfsr25 = ((v << 1) | bit) & 0x1FF_FFFF;
+        bit
+    }
+
+    /// Produces the next keystream byte: one byte from each LFSR, combined
+    /// with an add-with-carry.
+    pub fn next_byte(&mut self) -> u8 {
+        let mut b17 = 0u32;
+        let mut b25 = 0u32;
+        for _ in 0..8 {
+            b17 = (b17 << 1) | self.clock17();
+            b25 = (b25 << 1) | self.clock25();
+        }
+        if self.invert17 {
+            b17 ^= 0xFF;
+        }
+        if self.invert25 {
+            b25 ^= 0xFF;
+        }
+        let sum = b17 + b25 + self.carry as u32;
+        self.carry = (sum >> 8) as u8;
+        sum as u8
+    }
+
+    /// Produces `n` keystream bytes.
+    pub fn keystream_bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_byte()).collect()
+    }
+
+    /// XORs the keystream onto `data` in place (encrypt == decrypt).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for d in data.iter_mut() {
+            *d ^= self.next_byte();
+        }
+    }
+
+    /// Raw register state, for inspection.
+    pub fn registers(&self) -> (u32, u32) {
+        (self.lfsr17, self.lfsr25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 5] = [0x51, 0x67, 0x67, 0xC5, 0xE0];
+
+    #[test]
+    fn forced_bits_prevent_dead_registers() {
+        // Even an all-zero key must not freeze either LFSR.
+        let mut c = Css::new(&[0; 5], CssMode::Authentication);
+        let ks = c.keystream_bytes(64);
+        assert!(ks.iter().any(|&b| b != 0), "all-zero keystream");
+    }
+
+    #[test]
+    fn registers_stay_in_range() {
+        let mut c = Css::new(&KEY, CssMode::Data);
+        for _ in 0..512 {
+            c.next_byte();
+            let (r17, r25) = c.registers();
+            assert_eq!(r17 & !0x1FFFF, 0);
+            assert_eq!(r25 & !0x1FF_FFFF, 0);
+        }
+    }
+
+    #[test]
+    fn modes_differ() {
+        let a = Css::new(&KEY, CssMode::TitleKey).keystream_bytes(16);
+        let b = Css::new(&KEY, CssMode::Data).keystream_bytes(16);
+        let c = Css::new(&KEY, CssMode::Authentication).keystream_bytes(16);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let mut data = b"2048-byte DVD sector payload".to_vec();
+        let orig = data.clone();
+        Css::new(&KEY, CssMode::Data).apply(&mut data);
+        assert_ne!(data, orig);
+        Css::new(&KEY, CssMode::Data).apply(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn lfsr17_period_is_maximal() {
+        // x^17 + x^14 + 1 is primitive: LFSR-17 must have period 2^17 - 1.
+        let mut c = Css::new(&KEY, CssMode::Authentication);
+        let start = c.registers().0;
+        let mut period = 0u32;
+        loop {
+            c.clock17();
+            period += 1;
+            if c.registers().0 == start {
+                break;
+            }
+            assert!(period <= (1 << 17), "period exceeds register space");
+        }
+        assert_eq!(period, (1 << 17) - 1);
+    }
+}

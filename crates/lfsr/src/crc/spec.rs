@@ -1,0 +1,514 @@
+//! CRC algorithm specifications and a catalogue of published standards.
+//!
+//! The paper motivates flexibility by noting that "only in the Wikipedia,
+//! ~25 standards are reported, featuring different numbers of bits used in
+//! the shift register and polynomial generator". This module carries a
+//! catalogue of that order (36 entries), each with the conventional
+//! parameters and the published check value over the ASCII string
+//! `"123456789"`, so every engine in the workspace can be validated against
+//! real standards.
+
+use gf2::Gf2Poly;
+use std::fmt;
+
+/// Errors from validating a user-defined [`CrcSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Width must be 1..=64.
+    BadWidth {
+        /// The offending width.
+        width: usize,
+    },
+    /// A parameter does not fit in `width` bits.
+    ValueTooWide {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// The generator must have a non-zero constant term (otherwise it is
+    /// divisible by x and misses trailing errors).
+    NoConstantTerm,
+    /// The declared check value disagrees with the computed CRC of
+    /// `"123456789"`.
+    CheckMismatch {
+        /// What the parameters actually produce.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadWidth { width } => write!(f, "width {width} outside 1..=64"),
+            SpecError::ValueTooWide { what } => write!(f, "{what} does not fit in width bits"),
+            SpecError::NoConstantTerm => write!(f, "generator must have an x^0 term"),
+            SpecError::CheckMismatch { computed } => {
+                write!(f, "check value mismatch: parameters produce 0x{computed:X}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Full parameterisation of a CRC algorithm (the "Rocksoft model"):
+/// width, truncated generator polynomial, initial register value, input and
+/// output reflection, final XOR, and the published check value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrcSpec {
+    /// Human-readable standard name, e.g. `"CRC-32/ETHERNET"`.
+    pub name: &'static str,
+    /// Register width in bits (≤ 64 in this catalogue).
+    pub width: usize,
+    /// Truncated generator polynomial (bit `i` = coefficient of `x^i`,
+    /// the monic `x^width` term implied).
+    pub poly: u64,
+    /// Initial register value (before reflection conventions).
+    pub init: u64,
+    /// If `true`, each input byte is processed least-significant bit first.
+    pub refin: bool,
+    /// If `true`, the final register is bit-reflected before the XOR-out.
+    pub refout: bool,
+    /// Value XORed onto the (possibly reflected) final register.
+    pub xorout: u64,
+    /// CRC of the ASCII bytes `"123456789"` — the standard check value.
+    pub check: u64,
+}
+
+impl CrcSpec {
+    /// Returns the full generator polynomial `x^width + poly`.
+    pub fn generator(&self) -> Gf2Poly {
+        Gf2Poly::from_crc_notation(self.poly, self.width)
+    }
+
+    /// Bit mask covering `width` bits.
+    pub fn mask(&self) -> u64 {
+        if self.width >= 64 {
+            !0
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Validates a user-defined spec: width range, parameter ranges, the
+    /// x⁰ term, and the declared check value (computed bit-serially).
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`SpecError`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lfsr::crc::CrcSpec;
+    ///
+    /// let custom = CrcSpec {
+    ///     name: "CRC-8/HOMEGROWN",
+    ///     width: 8,
+    ///     poly: 0x2F,
+    ///     init: 0x00,
+    ///     refin: false,
+    ///     refout: false,
+    ///     xorout: 0x00,
+    ///     check: 0x3E,
+    /// };
+    /// let spec = custom.validated()?;
+    /// # Ok::<(), lfsr::crc::SpecError>(())
+    /// ```
+    pub fn validated(self) -> Result<CrcSpec, SpecError> {
+        if self.width == 0 || self.width > 64 {
+            return Err(SpecError::BadWidth { width: self.width });
+        }
+        let mask = self.mask();
+        if self.poly & !mask != 0 {
+            return Err(SpecError::ValueTooWide { what: "poly" });
+        }
+        if self.init & !mask != 0 {
+            return Err(SpecError::ValueTooWide { what: "init" });
+        }
+        if self.xorout & !mask != 0 {
+            return Err(SpecError::ValueTooWide { what: "xorout" });
+        }
+        if self.poly & 1 == 0 {
+            return Err(SpecError::NoConstantTerm);
+        }
+        let computed = super::software::crc_bitwise(&self, b"123456789");
+        if computed != self.check {
+            return Err(SpecError::CheckMismatch { computed });
+        }
+        Ok(self)
+    }
+
+    /// Looks a spec up in [`CATALOG`] by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<&'static CrcSpec> {
+        CATALOG.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The paper's test case: the 32-bit CRC of the Ethernet standard
+    /// (IEEE 802.3), reflected, init/xorout all-ones.
+    pub fn crc32_ethernet() -> &'static CrcSpec {
+        CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry")
+    }
+
+    /// The MPEG-2 CRC the paper notes shares the Ethernet generator
+    /// (non-reflected, no xor-out).
+    pub fn crc32_mpeg2() -> &'static CrcSpec {
+        CrcSpec::by_name("CRC-32/MPEG-2").expect("catalogue entry")
+    }
+}
+
+impl fmt::Display for CrcSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (width={}, poly=0x{:X}, init=0x{:X}, refin={}, refout={}, xorout=0x{:X})",
+            self.name, self.width, self.poly, self.init, self.refin, self.refout, self.xorout
+        )
+    }
+}
+
+macro_rules! spec {
+    ($name:expr, $w:expr, $poly:expr, $init:expr, $ri:expr, $ro:expr, $xo:expr, $chk:expr) => {
+        CrcSpec {
+            name: $name,
+            width: $w,
+            poly: $poly,
+            init: $init,
+            refin: $ri,
+            refout: $ro,
+            xorout: $xo,
+            check: $chk,
+        }
+    };
+}
+
+/// Catalogue of published CRC standards (parameters and check values follow
+/// the widely used reveng catalogue).
+pub const CATALOG: &[CrcSpec] = &[
+    spec!("CRC-3/GSM", 3, 0x3, 0x0, false, false, 0x7, 0x4),
+    spec!("CRC-4/G-704", 4, 0x3, 0x0, true, true, 0x0, 0x7),
+    spec!("CRC-5/USB", 5, 0x05, 0x1F, true, true, 0x1F, 0x19),
+    spec!("CRC-5/G-704", 5, 0x15, 0x00, true, true, 0x00, 0x07),
+    spec!("CRC-6/G-704", 6, 0x03, 0x00, true, true, 0x00, 0x06),
+    spec!("CRC-7/MMC", 7, 0x09, 0x00, false, false, 0x00, 0x75),
+    spec!("CRC-8/SMBUS", 8, 0x07, 0x00, false, false, 0x00, 0xF4),
+    spec!("CRC-8/AUTOSAR", 8, 0x2F, 0xFF, false, false, 0xFF, 0xDF),
+    spec!("CRC-8/DARC", 8, 0x39, 0x00, true, true, 0x00, 0x15),
+    spec!("CRC-8/MAXIM-DOW", 8, 0x31, 0x00, true, true, 0x00, 0xA1),
+    spec!("CRC-10/ATM", 10, 0x233, 0x000, false, false, 0x000, 0x199),
+    spec!(
+        "CRC-11/FLEXRAY",
+        11,
+        0x385,
+        0x01A,
+        false,
+        false,
+        0x000,
+        0x5A3
+    ),
+    spec!("CRC-12/DECT", 12, 0x80F, 0x000, false, false, 0x000, 0xF5B),
+    spec!(
+        "CRC-15/CAN",
+        15,
+        0x4599,
+        0x0000,
+        false,
+        false,
+        0x0000,
+        0x059E
+    ),
+    spec!("CRC-16/ARC", 16, 0x8005, 0x0000, true, true, 0x0000, 0xBB3D),
+    spec!(
+        "CRC-16/IBM-3740",
+        16,
+        0x1021,
+        0xFFFF,
+        false,
+        false,
+        0x0000,
+        0x29B1
+    ),
+    spec!(
+        "CRC-16/KERMIT",
+        16,
+        0x1021,
+        0x0000,
+        true,
+        true,
+        0x0000,
+        0x2189
+    ),
+    spec!(
+        "CRC-16/IBM-SDLC",
+        16,
+        0x1021,
+        0xFFFF,
+        true,
+        true,
+        0xFFFF,
+        0x906E
+    ),
+    spec!(
+        "CRC-16/XMODEM",
+        16,
+        0x1021,
+        0x0000,
+        false,
+        false,
+        0x0000,
+        0x31C3
+    ),
+    spec!(
+        "CRC-16/MODBUS",
+        16,
+        0x8005,
+        0xFFFF,
+        true,
+        true,
+        0x0000,
+        0x4B37
+    ),
+    spec!("CRC-16/USB", 16, 0x8005, 0xFFFF, true, true, 0xFFFF, 0xB4C8),
+    spec!("CRC-16/DNP", 16, 0x3D65, 0x0000, true, true, 0xFFFF, 0xEA82),
+    spec!(
+        "CRC-16/DECT-X",
+        16,
+        0x0589,
+        0x0000,
+        false,
+        false,
+        0x0000,
+        0x007F
+    ),
+    spec!(
+        "CRC-16/DECT-R",
+        16,
+        0x0589,
+        0x0000,
+        false,
+        false,
+        0x0001,
+        0x007E
+    ),
+    spec!(
+        "CRC-21/CAN-FD",
+        21,
+        0x102899,
+        0x000000,
+        false,
+        false,
+        0x000000,
+        0x0ED841
+    ),
+    spec!(
+        "CRC-24/OPENPGP",
+        24,
+        0x864CFB,
+        0xB704CE,
+        false,
+        false,
+        0x000000,
+        0x21CF02
+    ),
+    spec!(
+        "CRC-24/BLE",
+        24,
+        0x00065B,
+        0x555555,
+        true,
+        true,
+        0x000000,
+        0xC25A56
+    ),
+    spec!(
+        "CRC-32/ETHERNET",
+        32,
+        0x04C11DB7,
+        0xFFFFFFFF,
+        true,
+        true,
+        0xFFFFFFFF,
+        0xCBF43926
+    ),
+    spec!(
+        "CRC-32/BZIP2",
+        32,
+        0x04C11DB7,
+        0xFFFFFFFF,
+        false,
+        false,
+        0xFFFFFFFF,
+        0xFC891918
+    ),
+    spec!(
+        "CRC-32/MPEG-2",
+        32,
+        0x04C11DB7,
+        0xFFFFFFFF,
+        false,
+        false,
+        0x00000000,
+        0x0376E6E7
+    ),
+    spec!(
+        "CRC-32/CKSUM",
+        32,
+        0x04C11DB7,
+        0x00000000,
+        false,
+        false,
+        0xFFFFFFFF,
+        0x765E7680
+    ),
+    spec!(
+        "CRC-32/ISCSI",
+        32,
+        0x1EDC6F41,
+        0xFFFFFFFF,
+        true,
+        true,
+        0xFFFFFFFF,
+        0xE3069283
+    ),
+    spec!(
+        "CRC-32/JAMCRC",
+        32,
+        0x04C11DB7,
+        0xFFFFFFFF,
+        true,
+        true,
+        0x00000000,
+        0x340BC6D9
+    ),
+    spec!(
+        "CRC-32/AIXM",
+        32,
+        0x814141AB,
+        0x00000000,
+        false,
+        false,
+        0x00000000,
+        0x3010BF7F
+    ),
+    spec!(
+        "CRC-32/XFER",
+        32,
+        0x000000AF,
+        0x00000000,
+        false,
+        false,
+        0x00000000,
+        0xBD0BE338
+    ),
+    spec!(
+        "CRC-40/GSM",
+        40,
+        0x0004820009,
+        0x0000000000,
+        false,
+        false,
+        0xFFFFFFFFFF,
+        0xD4164FC646
+    ),
+    spec!(
+        "CRC-64/ECMA-182",
+        64,
+        0x42F0E1EBA9EA3693,
+        0x0000000000000000,
+        false,
+        false,
+        0x0000000000000000,
+        0x6C40DF5F0B497347
+    ),
+    spec!(
+        "CRC-64/XZ",
+        64,
+        0x42F0E1EBA9EA3693,
+        0xFFFFFFFFFFFFFFFF,
+        true,
+        true,
+        0xFFFFFFFFFFFFFFFF,
+        0x995DC9BBDF1939FA
+    ),
+    spec!(
+        "CRC-64/GO-ISO",
+        64,
+        0x000000000000001B,
+        0xFFFFFFFFFFFFFFFF,
+        true,
+        true,
+        0xFFFFFFFFFFFFFFFF,
+        0xB90956C775A41001
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_sizeable_and_unique() {
+        assert!(CATALOG.len() >= 25, "paper cites ~25 standards");
+        let mut names: Vec<_> = CATALOG.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CATALOG.len(), "duplicate names");
+    }
+
+    #[test]
+    fn generators_are_monic_of_full_degree() {
+        for s in CATALOG {
+            let g = s.generator();
+            assert_eq!(g.degree(), Some(s.width), "{}", s.name);
+            // Every real CRC generator has the +1 term.
+            assert!(g.coeff(0), "{} lacks x^0 term", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(CrcSpec::by_name("crc-32/ethernet").is_some());
+        assert!(CrcSpec::by_name("no-such-crc").is_none());
+        assert_eq!(CrcSpec::crc32_ethernet().check, 0xCBF43926);
+        assert_eq!(CrcSpec::crc32_mpeg2().poly, 0x04C11DB7);
+    }
+
+    #[test]
+    fn whole_catalogue_passes_validation() {
+        for spec in CATALOG {
+            spec.validated()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_specs() {
+        let base = *CrcSpec::crc32_ethernet();
+        assert!(matches!(
+            CrcSpec { width: 0, ..base }.validated(),
+            Err(SpecError::BadWidth { width: 0 })
+        ));
+        assert!(matches!(
+            CrcSpec { width: 8, ..base }.validated(),
+            Err(SpecError::ValueTooWide { .. })
+        ));
+        assert!(matches!(
+            CrcSpec {
+                poly: 0x04C11DB6,
+                check: 0,
+                ..base
+            }
+            .validated(),
+            Err(SpecError::NoConstantTerm)
+        ));
+        match (CrcSpec { check: 0, ..base }).validated() {
+            Err(SpecError::CheckMismatch { computed }) => assert_eq!(computed, 0xCBF43926),
+            other => panic!("expected CheckMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(CrcSpec::by_name("CRC-3/GSM").unwrap().mask(), 0b111);
+        assert_eq!(CrcSpec::by_name("CRC-64/XZ").unwrap().mask(), !0);
+    }
+}

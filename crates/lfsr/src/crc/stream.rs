@@ -1,0 +1,151 @@
+//! Incremental (streaming) CRC over any raw core.
+//!
+//! [`CrcStream`] carries the raw register across `update` calls, so a
+//! message can arrive in arbitrary byte chunks — the DMA-burst usage
+//! pattern of the DREAM memory subsystem. Works with every
+//! [`RawCrcCore`], serial or block-parallel (the cores handle non-aligned
+//! chunk tails exactly, so chunk boundaries never change the result).
+
+use super::engine::{message_bits, RawCrcCore};
+use super::software::reflect;
+use super::spec::CrcSpec;
+use gf2::BitVec;
+
+/// A resumable CRC computation.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::crc::{CrcSpec, CrcStream, SerialCore};
+///
+/// let spec = CrcSpec::crc32_ethernet();
+/// let mut s = CrcStream::new(*spec, SerialCore::new(spec));
+/// s.update(b"123");
+/// s.update(b"45");
+/// s.update(b"6789");
+/// assert_eq!(s.finalize(), 0xCBF43926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrcStream<C> {
+    spec: CrcSpec,
+    core: C,
+    state: BitVec,
+    bytes: u64,
+}
+
+impl<C: RawCrcCore> CrcStream<C> {
+    /// Starts a new computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core width disagrees with the spec width.
+    pub fn new(spec: CrcSpec, core: C) -> Self {
+        assert_eq!(core.width(), spec.width, "core/spec width mismatch");
+        let state = BitVec::from_u64(spec.init & spec.mask(), spec.width);
+        CrcStream {
+            spec,
+            core,
+            state,
+            bytes: 0,
+        }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &CrcSpec {
+        &self.spec
+    }
+
+    /// Bytes absorbed since the last reset.
+    pub fn bytes_processed(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Restarts the computation.
+    pub fn reset(&mut self) {
+        self.state = BitVec::from_u64(self.spec.init & self.spec.mask(), self.spec.width);
+        self.bytes = 0;
+    }
+
+    /// Absorbs a chunk of message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let bits = message_bits(&self.spec, data);
+        self.state = self.core.process(&self.state, &bits);
+        self.bytes += data.len() as u64;
+    }
+
+    /// Returns the checksum of everything absorbed so far (the stream can
+    /// keep absorbing afterwards).
+    pub fn finalize(&self) -> u64 {
+        let mut out = self.state.to_u64();
+        if self.spec.refout {
+            out = reflect(out, self.spec.width);
+        }
+        (out ^ self.spec.xorout) & self.spec.mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::engine::SerialCore;
+    use crate::crc::software::crc_bitwise;
+
+    fn data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 101 + 3) as u8).collect()
+    }
+
+    #[test]
+    fn chunking_never_changes_the_result() {
+        let spec = CrcSpec::crc32_ethernet();
+        let msg = data(250);
+        let expected = crc_bitwise(spec, &msg);
+        for chunk in [1usize, 2, 3, 7, 16, 64, 250] {
+            let mut s = CrcStream::new(*spec, SerialCore::new(spec));
+            for c in msg.chunks(chunk) {
+                s.update(c);
+            }
+            assert_eq!(s.finalize(), expected, "chunk={chunk}");
+            assert_eq!(s.bytes_processed(), 250);
+        }
+    }
+
+    #[test]
+    fn finalize_is_non_destructive() {
+        let spec = CrcSpec::by_name("CRC-16/KERMIT").unwrap();
+        let mut s = CrcStream::new(*spec, SerialCore::new(spec));
+        s.update(b"12345");
+        let mid = s.finalize();
+        assert_eq!(mid, crc_bitwise(spec, b"12345"));
+        s.update(b"6789");
+        assert_eq!(s.finalize(), spec.check);
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let spec = CrcSpec::crc32_ethernet();
+        let mut s = CrcStream::new(*spec, SerialCore::new(spec));
+        s.update(b"garbage");
+        s.reset();
+        s.update(b"123456789");
+        assert_eq!(s.finalize(), 0xCBF43926);
+    }
+
+    #[test]
+    fn streaming_through_a_block_core_matches() {
+        // A block-parallel core must tolerate arbitrary chunk boundaries.
+        use crate::crc::engine::CrcEngine;
+        let spec = CrcSpec::crc32_ethernet();
+        let msg = data(123);
+        // Reference through the one-shot engine.
+        let mut e = CrcEngine::new(*spec, SerialCore::new(spec));
+        let expected = e.checksum(&msg);
+        let mut s = CrcStream::new(*spec, SerialCore::new(spec));
+        s.update(&msg[..5]);
+        s.update(&msg[5..77]);
+        s.update(&msg[77..]);
+        assert_eq!(s.finalize(), expected);
+    }
+}

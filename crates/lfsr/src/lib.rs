@@ -1,0 +1,19 @@
+//! # lfsr — LFSR applications: CRC, scramblers and stream ciphers
+//!
+//! The application substrate of the picolfsr workspace. It provides the
+//! state-space formulation of LFSR systems from §2 of the DATE 2008 paper
+//! ([`StateSpaceLfsr`]), a catalogue of real CRC standards with software
+//! baselines ([`crc`]), digital-broadcast scramblers ([`scramble`]), and
+//! the LFSR-based stream ciphers the paper's introduction motivates
+//! ([`cipher`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cipher;
+pub mod crc;
+pub mod scramble;
+pub mod spread;
+mod statespace;
+
+pub use statespace::{fibonacci_matrix, LfsrError, StateSpaceLfsr};

@@ -1,0 +1,382 @@
+//! Scramblers and PRBS generators for digital broadcasting and
+//! communication (paper §1, second application field).
+//!
+//! Two classic structures:
+//!
+//! * [`AdditiveScrambler`] — frame-synchronous: an autonomous LFSR's output
+//!   is XORed onto the data (the paper's *scrambling/spreading*); used by
+//!   IEEE 802.11, DVB and many others. Built on [`StateSpaceLfsr`], so the
+//!   parallelisation machinery applies directly.
+//! * [`MultiplicativeScrambler`] — self-synchronising: the scrambled output
+//!   is fed back into the register, so the descrambler re-synchronises
+//!   after `k` bits regardless of its initial state (SONET/SDH-style).
+//!
+//! [`PrbsGenerator`] exposes the bare pseudo-random bit sequences
+//! (ITU-T O.150 family) used for link testing and spreading.
+
+use crate::statespace::{LfsrError, StateSpaceLfsr};
+use gf2::{BitVec, Gf2Poly};
+
+/// A named scrambler standard: feedback polynomial plus conventional seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScramblerSpec {
+    /// Standard name.
+    pub name: &'static str,
+    /// Feedback polynomial as a bit mask (bit `i` = coefficient of `x^i`,
+    /// including the monic top bit).
+    pub poly: u64,
+    /// Register width (degree of the polynomial).
+    pub width: usize,
+    /// Conventional all-ones / published initial state.
+    pub default_seed: u64,
+}
+
+impl ScramblerSpec {
+    /// The generator polynomial.
+    pub fn polynomial(&self) -> Gf2Poly {
+        Gf2Poly::from_u64(self.poly)
+    }
+
+    /// Looks up a spec by name in [`SCRAMBLER_CATALOG`].
+    pub fn by_name(name: &str) -> Option<&'static ScramblerSpec> {
+        SCRAMBLER_CATALOG
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The paper's second test case: the IEEE 802.11 scrambler
+    /// `S(x) = x⁷ + x⁴ + 1`.
+    pub fn ieee80211() -> &'static ScramblerSpec {
+        ScramblerSpec::by_name("IEEE-802.11").expect("catalogue entry")
+    }
+}
+
+/// Catalogue of scrambler / PRBS polynomials (ITU-T O.150 and standard
+/// broadcast randomisers).
+pub const SCRAMBLER_CATALOG: &[ScramblerSpec] = &[
+    ScramblerSpec {
+        name: "IEEE-802.11",
+        poly: 0b1001_0001, // x^7 + x^4 + 1
+        width: 7,
+        default_seed: 0b1011101,
+    },
+    ScramblerSpec {
+        name: "DVB",
+        poly: 0b1100_0000_0000_0001, // x^15 + x^14 + 1
+        width: 15,
+        default_seed: 0b100_1010_1000_0000, // DVB framing initialisation
+    },
+    ScramblerSpec {
+        name: "PRBS7",
+        poly: 0b1100_0001, // x^7 + x^6 + 1
+        width: 7,
+        default_seed: 0x7F,
+    },
+    ScramblerSpec {
+        name: "PRBS9",
+        poly: 0b10_0010_0001, // x^9 + x^5 + 1
+        width: 9,
+        default_seed: 0x1FF,
+    },
+    ScramblerSpec {
+        name: "PRBS15",
+        poly: 0b1100_0000_0000_0001, // x^15 + x^14 + 1
+        width: 15,
+        default_seed: 0x7FFF,
+    },
+    ScramblerSpec {
+        name: "PRBS23",
+        poly: 0b1000_0100_0000_0000_0000_0001, // x^23 + x^18 + 1
+        width: 23,
+        default_seed: 0x7F_FFFF,
+    },
+    ScramblerSpec {
+        name: "PRBS31",
+        poly: 0b1001_0000_0000_0000_0000_0000_0000_0001, // x^31 + x^28 + 1
+        width: 31,
+        default_seed: 0x7FFF_FFFF,
+    },
+];
+
+/// Frame-synchronous (additive) scrambler.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+/// use gf2::BitVec;
+///
+/// let spec = ScramblerSpec::ieee80211();
+/// let mut tx = AdditiveScrambler::new(spec)?;
+/// let mut rx = AdditiveScrambler::new(spec)?;
+/// let data = BitVec::from_u64(0xACE, 12);
+/// let restored = rx.scramble(&tx.scramble(&data));
+/// assert_eq!(restored, data);
+/// # Ok::<(), lfsr::LfsrError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdditiveScrambler {
+    sys: StateSpaceLfsr,
+    spec: ScramblerSpec,
+}
+
+impl AdditiveScrambler {
+    /// Builds a scrambler seeded with the spec's default seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] for malformed polynomials.
+    pub fn new(spec: &ScramblerSpec) -> Result<Self, LfsrError> {
+        Self::with_seed(spec, spec.default_seed)
+    }
+
+    /// Builds a scrambler with an explicit seed (low `width` bits used).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] for malformed polynomials.
+    pub fn with_seed(spec: &ScramblerSpec, seed: u64) -> Result<Self, LfsrError> {
+        let mut sys = StateSpaceLfsr::additive_scrambler(&spec.polynomial())?;
+        sys.set_state(BitVec::from_u64(seed, spec.width));
+        Ok(AdditiveScrambler { sys, spec: *spec })
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &ScramblerSpec {
+        &self.spec
+    }
+
+    /// Borrows the underlying state-space system (for the parallelisation
+    /// flow, which needs `A`, `C` and `d`).
+    pub fn system(&self) -> &StateSpaceLfsr {
+        &self.sys
+    }
+
+    /// Current register state.
+    pub fn state(&self) -> u64 {
+        self.sys.state().to_u64()
+    }
+
+    /// Re-seeds the register.
+    pub fn reseed(&mut self, seed: u64) {
+        self.sys.set_state(BitVec::from_u64(seed, self.spec.width));
+    }
+
+    /// Scrambles (equivalently descrambles) a bit stream in index order.
+    pub fn scramble(&mut self, data: &BitVec) -> BitVec {
+        self.sys.transduce(data)
+    }
+
+    /// Scrambles bytes, each byte LSB-first (the usual serialisation order).
+    pub fn scramble_bytes(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut bits = BitVec::zeros(data.len() * 8);
+        for (i, &b) in data.iter().enumerate() {
+            for k in 0..8 {
+                if (b >> k) & 1 == 1 {
+                    bits.set(i * 8 + k, true);
+                }
+            }
+        }
+        let out = self.scramble(&bits);
+        let mut bytes = vec![0u8; data.len()];
+        for i in out.iter_ones() {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+        bytes
+    }
+}
+
+/// Self-synchronising (multiplicative) scrambler/descrambler pair.
+///
+/// The scrambler computes `out = in ⊕ parity(taps(reg))` and shifts the
+/// *output* bit into the register; the descrambler shifts the *input* bit
+/// in, so any seed mismatch flushes out after `width` bits.
+#[derive(Debug, Clone)]
+pub struct MultiplicativeScrambler {
+    taps: u64,
+    width: usize,
+    reg: u64,
+}
+
+impl MultiplicativeScrambler {
+    /// Builds from a feedback polynomial mask (bit `i` = coefficient of
+    /// `x^i`, monic top bit required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial has degree 0.
+    pub fn new(poly: u64, seed: u64) -> Self {
+        assert!(poly > 1, "polynomial must have degree >= 1");
+        let width = 63 - poly.leading_zeros() as usize;
+        let taps = poly & !(1u64 << width);
+        let mask = (1u64 << width) - 1;
+        MultiplicativeScrambler {
+            taps,
+            width,
+            reg: seed & mask,
+        }
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn tap_parity(&self) -> bool {
+        (self.reg & self.taps).count_ones() & 1 == 1
+    }
+
+    fn shift_in(&mut self, bit: bool) {
+        let mask = (1u64 << self.width) - 1;
+        self.reg = ((self.reg << 1) | bit as u64) & mask;
+    }
+
+    /// Scrambles a bit stream.
+    pub fn scramble(&mut self, data: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(data.len());
+        for i in 0..data.len() {
+            let y = data.get(i) ^ self.tap_parity();
+            if y {
+                out.set(i, true);
+            }
+            self.shift_in(y);
+        }
+        out
+    }
+
+    /// Descrambles a bit stream.
+    pub fn descramble(&mut self, data: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(data.len());
+        for i in 0..data.len() {
+            let x = data.get(i);
+            if x ^ self.tap_parity() {
+                out.set(i, true);
+            }
+            self.shift_in(x);
+        }
+        out
+    }
+}
+
+/// Bare PRBS bit generator over a [`ScramblerSpec`] polynomial.
+#[derive(Debug, Clone)]
+pub struct PrbsGenerator {
+    sys: StateSpaceLfsr,
+}
+
+impl PrbsGenerator {
+    /// Builds a generator seeded with the spec default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LfsrError`] for malformed polynomials.
+    pub fn new(spec: &ScramblerSpec) -> Result<Self, LfsrError> {
+        let mut sys = StateSpaceLfsr::additive_scrambler(&spec.polynomial())?;
+        sys.set_state(BitVec::from_u64(spec.default_seed, spec.width));
+        Ok(PrbsGenerator { sys })
+    }
+
+    /// Produces the next `n` sequence bits.
+    pub fn bits(&mut self, n: usize) -> BitVec {
+        self.sys.transduce(&BitVec::zeros(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_roundtrip_all_catalogue() {
+        for spec in SCRAMBLER_CATALOG {
+            let mut tx = AdditiveScrambler::new(spec).unwrap();
+            let mut rx = AdditiveScrambler::new(spec).unwrap();
+            let data = BitVec::from_u128(0x0123_4567_89AB_CDEF_1122_3344, 100);
+            let s = tx.scramble(&data);
+            assert_eq!(rx.scramble(&s), data, "{}", spec.name);
+            assert_ne!(s, data, "{} must alter the stream", spec.name);
+        }
+    }
+
+    #[test]
+    fn scramble_bytes_roundtrip() {
+        let spec = ScramblerSpec::ieee80211();
+        let mut tx = AdditiveScrambler::new(spec).unwrap();
+        let mut rx = AdditiveScrambler::new(spec).unwrap();
+        let data = b"wireless frame payload".to_vec();
+        assert_eq!(rx.scramble_bytes(&tx.scramble_bytes(&data)), data);
+    }
+
+    #[test]
+    fn ieee80211_prbs_period_127() {
+        // x^7+x^4+1 is primitive: the zero-input keystream has period 127.
+        let mut s = AdditiveScrambler::new(ScramblerSpec::ieee80211()).unwrap();
+        let ks = s.scramble(&BitVec::zeros(254));
+        for i in 0..127 {
+            assert_eq!(ks.get(i), ks.get(i + 127));
+        }
+        // ...and is balanced: 64 ones per period for a 7-bit m-sequence.
+        assert_eq!(ks.slice(0, 127).count_ones(), 64);
+    }
+
+    #[test]
+    fn prbs7_is_maximal_length() {
+        let mut g = PrbsGenerator::new(ScramblerSpec::by_name("PRBS7").unwrap()).unwrap();
+        let seq = g.bits(254);
+        for p in [7usize, 31, 63] {
+            let mut matches = true;
+            for i in 0..127 {
+                if seq.get(i) != seq.get(i + p) {
+                    matches = false;
+                    break;
+                }
+            }
+            assert!(!matches, "period divides {p}, not maximal");
+        }
+        for i in 0..127 {
+            assert_eq!(seq.get(i), seq.get(i + 127));
+        }
+    }
+
+    #[test]
+    fn multiplicative_self_synchronises() {
+        // x^7 + x^4 + 1 self-sync scrambler: wrong-seeded descrambler is
+        // correct after the first 7 bits.
+        let poly = 0b1001_0001;
+        let mut tx = MultiplicativeScrambler::new(poly, 0x55);
+        let mut rx = MultiplicativeScrambler::new(poly, 0x00); // wrong seed
+        let data = BitVec::from_u64(0xDEAD_BEEF_55AA, 48);
+        let s = tx.scramble(&data);
+        let d = rx.descramble(&s);
+        for i in 7..48 {
+            assert_eq!(d.get(i), data.get(i), "bit {i} after sync window");
+        }
+    }
+
+    #[test]
+    fn multiplicative_roundtrip_same_seed() {
+        let poly = 0b1100_0000_0000_0001; // x^15 + x^14 + 1
+        let mut tx = MultiplicativeScrambler::new(poly, 0x1234);
+        let mut rx = MultiplicativeScrambler::new(poly, 0x1234);
+        let data = BitVec::from_u128(0xFEED_FACE_CAFE_F00D, 64);
+        assert_eq!(rx.descramble(&tx.scramble(&data)), data);
+    }
+
+    #[test]
+    fn catalogue_polynomials_have_declared_width() {
+        for spec in SCRAMBLER_CATALOG {
+            assert_eq!(
+                spec.polynomial().degree(),
+                Some(spec.width),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn dvb_seed_is_published_value() {
+        let dvb = ScramblerSpec::by_name("DVB").unwrap();
+        assert_eq!(dvb.default_seed, 0b100_1010_1000_0000);
+    }
+}

@@ -1,0 +1,217 @@
+//! Galois-field multiply-accumulate (GFMAC) parallel CRC (paper §2,
+//! after Roy \[9\] and Ji & Killian \[10\]).
+//!
+//! For an N-bit message `A(x)` and M-bit chunks `Wᵢ`:
+//!
+//! ```text
+//! CRC[A(x)] = (A(x)·x^k) mod G(x) = Σᵢ Wᵢ·βᵢ  (mod G)
+//! ```
+//!
+//! where the `βᵢ = x^{M·(n−1−i)+k} mod G` are "N/M constants dependent on
+//! the message length N and the polynomial generator G(x)". Each product is
+//! one sub-word GF multiply-accumulate, so a processor with P GFMAC units
+//! computes a CRC in roughly `⌈n/P⌉` MAC cycles plus a reduction — the
+//! custom-processor comparison point of the paper's §5 ("2-3 cycles … for a
+//! 128 bit message … featuring 16 GFMAC running at 200 MHz").
+
+use gf2::{BitVec, Gf2Poly};
+use lfsr::crc::{CrcSpec, RawCrcCore};
+
+/// Fixed-parameter GFMAC CRC evaluator with a β-constant cache.
+///
+/// The β table depends on the message length; [`GfmacCore`] recomputes it
+/// lazily whenever a new length is seen (real deployments fix the frame
+/// length, e.g. one Ethernet MTU, and burn the table into ROM).
+#[derive(Debug, Clone)]
+pub struct GfmacCore {
+    g: Gf2Poly,
+    width: usize,
+    m: usize,
+    /// (message bit-length, β constants) of the last message shape seen.
+    cache: Option<(usize, Vec<Gf2Poly>)>,
+}
+
+impl GfmacCore {
+    /// Builds a GFMAC core for `spec` with chunk size `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(spec: &CrcSpec, m: usize) -> Self {
+        assert!(m > 0, "chunk size must be >= 1");
+        GfmacCore {
+            g: spec.generator(),
+            width: spec.width,
+            m,
+            cache: None,
+        }
+    }
+
+    /// Chunk size M in bits.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The β constants for an `n_bits`-long message (full chunks only; a
+    /// tail shorter than M is handled as a final smaller chunk with its own
+    /// shift).
+    fn betas(&mut self, n_bits: usize) -> &[Gf2Poly] {
+        let need_recompute = self.cache.as_ref().map(|(l, _)| *l) != Some(n_bits);
+        if need_recompute {
+            let full = n_bits / self.m;
+            let tail = n_bits % self.m;
+            let mut betas = Vec::with_capacity(full + 1);
+            for c in 0..full {
+                // Chunk c's last bit sits x^{tail + M·(full-1-c)} above the
+                // message end; the whole chunk is then lifted by x^k.
+                let e = (tail + self.m * (full - 1 - c) + self.width) as u64;
+                betas.push(Gf2Poly::x_pow_mod(e, &self.g));
+            }
+            if tail > 0 {
+                betas.push(Gf2Poly::x_pow_mod(self.width as u64, &self.g));
+            }
+            self.cache = Some((n_bits, betas));
+        }
+        &self.cache.as_ref().expect("just filled").1
+    }
+}
+
+/// Converts a stream-order chunk (first-fed bit at index 0) into its
+/// polynomial: the first-fed bit is the most significant.
+fn chunk_poly(bits: &BitVec, start: usize, len: usize) -> Gf2Poly {
+    let mut p = Gf2Poly::zero();
+    for j in 0..len {
+        if bits.get(start + j) {
+            p.set_coeff(len - 1 - j, true);
+        }
+    }
+    p
+}
+
+impl RawCrcCore for GfmacCore {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn process(&mut self, state: &BitVec, bits: &BitVec) -> BitVec {
+        let n = bits.len();
+        let m = self.m;
+        let g = self.g.clone();
+        // Initial register contributes state(x)·x^N mod G by linearity.
+        let state_poly = Gf2Poly::from_bitvec(state);
+        let mut acc = state_poly.mul(&Gf2Poly::x_pow_mod(n as u64, &g)).rem(&g);
+        let full = n / m;
+        let tail = n % m;
+        let betas = self.betas(n).to_vec();
+        for (c, beta) in betas.iter().enumerate().take(full) {
+            let w = chunk_poly(bits, c * m, m);
+            acc = acc.add(&w.mul(beta).rem(&g));
+        }
+        if tail > 0 {
+            let w = chunk_poly(bits, full * m, tail);
+            acc = acc.add(&w.mul(&betas[full]).rem(&g));
+        }
+        acc.to_bitvec().resized(self.width)
+    }
+
+    fn block_bits(&self) -> usize {
+        self.m
+    }
+}
+
+/// Cycle-count model of a customizable processor with `units` parallel
+/// GFMAC datapaths (the \[10\] comparison point of §5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GfmacProcessorModel {
+    /// Number of parallel GFMAC units.
+    pub units: usize,
+    /// Sub-word width of each GFMAC (the chunk size M).
+    pub m: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl GfmacProcessorModel {
+    /// The paper's reference configuration: 16 GFMACs at 200 MHz.
+    pub fn reference() -> Self {
+        GfmacProcessorModel {
+            units: 16,
+            m: 8,
+            clock_hz: 200e6,
+        }
+    }
+
+    /// MAC + reduction cycles for an `n_bits` message: `⌈n/(units·M)⌉`
+    /// parallel MAC cycles plus a wide-XOR reduction and the final fold.
+    pub fn cycles(&self, n_bits: usize) -> u64 {
+        let chunks = n_bits.div_ceil(self.m).max(1);
+        let mac = chunks.div_ceil(self.units) as u64;
+        mac + 2
+    }
+
+    /// Sustained throughput in bits per second for `n_bits` messages.
+    pub fn throughput_bps(&self, n_bits: usize) -> f64 {
+        n_bits as f64 * self.clock_hz / self.cycles(n_bits) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookahead::check_against_serial;
+    use lfsr::crc::{crc_bitwise, CrcEngine, CATALOG};
+
+    #[test]
+    fn gfmac_matches_bitwise_for_ethernet() {
+        let spec = CrcSpec::crc32_ethernet();
+        let msg: Vec<u8> = (0u16..200)
+            .map(|i| (i.wrapping_mul(193) >> 3) as u8)
+            .collect();
+        for m in [4usize, 8, 32, 128] {
+            let core = GfmacCore::new(spec, m);
+            let mut e = CrcEngine::new(*spec, core);
+            for len in [0usize, 1, 7, 16, 17, 64, 200] {
+                assert_eq!(
+                    e.checksum(&msg[..len]),
+                    crc_bitwise(spec, &msg[..len]),
+                    "M={m} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gfmac_works_across_catalogue() {
+        let msg = b"sub-word parallel galois field multiply accumulate";
+        for spec in CATALOG.iter().filter(|s| s.width <= 64) {
+            let mut core = GfmacCore::new(spec, 8);
+            check_against_serial(spec, &mut core, msg).unwrap();
+        }
+    }
+
+    #[test]
+    fn beta_cache_recomputes_on_length_change() {
+        let spec = CrcSpec::crc32_ethernet();
+        let core = GfmacCore::new(spec, 32);
+        let mut e = CrcEngine::new(*spec, core);
+        // Two different lengths through the same core must both be right.
+        assert_eq!(e.checksum(b"123456789"), 0xCBF43926);
+        assert_eq!(e.checksum(b"12345678"), crc_bitwise(spec, b"12345678"));
+        assert_eq!(e.checksum(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn processor_model_reproduces_paper_claim() {
+        // "2-3 cycles are required to compute the CRC for 128 bit message
+        // in a custom processor featuring 16 GFMAC running at 200MHz."
+        let p = GfmacProcessorModel::reference();
+        let c = p.cycles(128);
+        assert!((2..=3).contains(&c), "got {c} cycles");
+    }
+
+    #[test]
+    fn processor_throughput_scales_with_length() {
+        let p = GfmacProcessorModel::reference();
+        assert!(p.throughput_bps(12_144) > p.throughput_bps(128));
+    }
+}

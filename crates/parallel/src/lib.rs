@@ -1,0 +1,30 @@
+//! # lfsr-parallel — parallelisation methods for LFSR applications
+//!
+//! The four method families surveyed in §2 of the DATE 2008 paper:
+//!
+//! * [`lookahead`] — M-level look-ahead (Pei & Zukowski): `A^M` feedback,
+//!   `B_M` input network; fast but the dense loop caps the clock.
+//! * [`derby`] — Derby's state-space transformation: similarity transform
+//!   to a **companion** feedback with a fully pipelinable input network;
+//!   the method the paper maps onto PiCoGA.
+//! * [`gfmac`] — sub-word Galois-field MAC chunking (Roy, Ji & Killian):
+//!   `CRC = Σ Wᵢ·βᵢ mod G`, the software/custom-processor alternative.
+//! * [`interleave`] — message interleaving (Kong & Parhi) to hide
+//!   configuration switches across concurrent messages.
+//!
+//! Every engine implements [`lfsr::crc::RawCrcCore`], so all of them are
+//! interchangeable under [`lfsr::crc::CrcEngine`] and are cross-validated
+//! against the serial reference and against each other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod derby;
+pub mod gfmac;
+pub mod interleave;
+pub mod lookahead;
+
+pub use derby::{DerbyComplexity, DerbyCore, DerbyTransform};
+pub use gfmac::{GfmacCore, GfmacProcessorModel};
+pub use interleave::{round_robin_schedule, InterleavedCrc, ScheduleSlot};
+pub use lookahead::{check_against_serial, BlockSystem, LookaheadCore, ParallelError};

@@ -1,0 +1,193 @@
+//! PiCoGA architecture parameters.
+//!
+//! Numbers follow the paper (§3) and the DREAM publications it cites: a
+//! pipelined matrix of mixed-grain logic cells, each with a 4-bit ALU
+//! (with Galois-field facilities) and a 64-bit LUT, 2-bit-granularity
+//! routing, one **row per pipeline stage** under a programmable pipeline
+//! control unit, a 4-context configuration cache exchangeable in 2 clock
+//! cycles, and a fixed 200 MHz clock in ST 90 nm (≈11 mm²).
+
+use std::fmt;
+
+/// Fabric parameters. [`PicogaParams::dream`] gives the DREAM instance;
+/// everything is a plain field so the design-space explorer can vary it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PicogaParams {
+    /// Number of rows (pipeline stages available).
+    pub rows: usize,
+    /// Logic cells per row.
+    pub cells_per_row: usize,
+    /// Cells per row actually placeable for dense bit-wise XOR networks.
+    /// The routing fabric has 2-bit granularity, and the paper notes that
+    /// "bit-wise interconnection is allowed with resource underutilization"
+    /// — dense single-bit networks cannot saturate a row.
+    pub usable_cells_per_row: usize,
+    /// Maximum XOR fan-in of a single cell (the paper's "10-bit XOR
+    /// operation which can be implemented in a single logic cell").
+    pub max_cell_fanin: usize,
+    /// State bits one cell can carry through the 4-bit ALU / GF datapath
+    /// in companion-feedback mode.
+    pub alu_bits_per_cell: usize,
+    /// Primary input bandwidth in bits per issue (12 × 32-bit registers).
+    pub input_bits: usize,
+    /// Primary output bandwidth in bits per issue (4 × 32-bit registers).
+    pub output_bits: usize,
+    /// Configuration contexts held on-fabric.
+    pub contexts: usize,
+    /// Cycles to exchange the active context ("in only 2 clock cycles").
+    pub context_switch_cycles: u64,
+    /// Cycles to load one context from the off-fabric configuration
+    /// memory (charged only on cache misses). Calibrated to a mid-size
+    /// operation; see [`PicogaParams::load_cycles_estimate`] for the
+    /// size-dependent figure.
+    pub context_load_cycles: u64,
+    /// Configuration bits per logic cell (LUT contents + mode + routing).
+    pub config_bits_per_cell: usize,
+    /// Per-row pipeline-control configuration bits.
+    pub config_bits_per_row: usize,
+    /// Width of the configuration bus feeding the cache, bits per cycle.
+    pub config_bus_bits: usize,
+    /// Fixed fabric clock in Hz.
+    pub clock_hz: f64,
+    /// Die area of the fabric in mm² (for efficiency figures of merit).
+    pub area_mm2: f64,
+}
+
+impl PicogaParams {
+    /// The PiCoGA instance embedded in DREAM.
+    pub fn dream() -> Self {
+        PicogaParams {
+            rows: 24,
+            cells_per_row: 16,
+            usable_cells_per_row: 12,
+            max_cell_fanin: 10,
+            alu_bits_per_cell: 4,
+            input_bits: 12 * 32,
+            output_bits: 4 * 32,
+            contexts: 4,
+            context_switch_cycles: 2,
+            context_load_cycles: 1000,
+            config_bits_per_cell: 80, // 64-bit LUT + mode/routing
+            config_bits_per_row: 32,  // row control unit programme
+            config_bus_bits: 32,
+            clock_hz: 200e6,
+            area_mm2: 11.0,
+        }
+    }
+
+    /// Total logic cells in the array.
+    pub fn total_cells(&self) -> usize {
+        self.rows * self.cells_per_row
+    }
+
+    /// Configuration bitstream size for an operation occupying
+    /// `cells` cells over `rows` rows.
+    pub fn config_bits(&self, cells: usize, rows: usize) -> usize {
+        cells * self.config_bits_per_cell + rows * self.config_bits_per_row
+    }
+
+    /// Off-fabric load time estimate for that operation: bitstream size
+    /// over the configuration bus width.
+    pub fn load_cycles_estimate(&self, cells: usize, rows: usize) -> u64 {
+        (self.config_bits(cells, rows) as u64).div_ceil(self.config_bus_bits as u64)
+    }
+
+    /// Sanity-checks the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cells_per_row == 0 {
+            return Err("fabric must have at least one row and one cell".into());
+        }
+        if self.usable_cells_per_row == 0 || self.usable_cells_per_row > self.cells_per_row {
+            return Err("usable cells per row must be in 1..=cells_per_row".into());
+        }
+        if self.max_cell_fanin < 2 {
+            return Err("cell fan-in must be at least 2".into());
+        }
+        if self.alu_bits_per_cell == 0 {
+            return Err("ALU must carry at least one bit per cell".into());
+        }
+        if self.config_bus_bits == 0 {
+            return Err("configuration bus must be at least one bit wide".into());
+        }
+        if self.contexts == 0 {
+            return Err("at least one configuration context is required".into());
+        }
+        if self.clock_hz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for PicogaParams {
+    fn default() -> Self {
+        PicogaParams::dream()
+    }
+}
+
+impl fmt::Display for PicogaParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PiCoGA {}x{} cells, {} contexts, {:.0} MHz, in/out {}/{} bits",
+            self.rows,
+            self.cells_per_row,
+            self.contexts,
+            self.clock_hz / 1e6,
+            self.input_bits,
+            self.output_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dream_instance_matches_paper() {
+        let p = PicogaParams::dream();
+        assert_eq!(p.contexts, 4);
+        assert_eq!(p.context_switch_cycles, 2);
+        assert_eq!(p.max_cell_fanin, 10);
+        assert_eq!(p.clock_hz, 200e6);
+        assert_eq!(p.total_cells(), 384);
+        assert!(p.validate().is_ok());
+        // 128-bit look-ahead plus 32-bit state fits the input bandwidth.
+        assert!(p.input_bits >= 128 + 32);
+    }
+
+    #[test]
+    fn config_size_model_tracks_occupancy() {
+        let p = PicogaParams::dream();
+        // The paper's M=128 update op: 248 cells over 23 rows.
+        let load = p.load_cycles_estimate(248, 23);
+        assert!((400..1500).contains(&load), "got {load}");
+        // The flat parameter should be of the same order.
+        let ratio = p.context_load_cycles as f64 / load as f64;
+        assert!(
+            (0.5..3.0).contains(&ratio),
+            "flat {} vs {load}",
+            p.context_load_cycles
+        );
+        // Monotone in size.
+        assert!(p.load_cycles_estimate(10, 2) < load);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_configs() {
+        let mut p = PicogaParams::dream();
+        p.rows = 0;
+        assert!(p.validate().is_err());
+        let mut p = PicogaParams::dream();
+        p.max_cell_fanin = 1;
+        assert!(p.validate().is_err());
+        let mut p = PicogaParams::dream();
+        p.clock_hz = 0.0;
+        assert!(p.validate().is_err());
+    }
+}

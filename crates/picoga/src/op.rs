@@ -1,0 +1,713 @@
+//! PGA operations: placed, validated configurations for the fabric.
+//!
+//! A [`PgaOperation`] is the unit the configuration cache holds and the
+//! RISC core triggers. Two shapes cover the paper's applications:
+//!
+//! * [`PgaOperation::linear`] — a pure feed-forward XOR network (the
+//!   anti-transform `y = T·x_t`, or a scrambler's whole block step since
+//!   its M-block state update is feed-forward too once unrolled).
+//! * [`PgaOperation::crc_update`] — the Derby-structured state update: a
+//!   deep feed-forward pipeline computing `p = B_Mt·u`, plus **one**
+//!   feedback row implementing the companion update
+//!   `x′ = A_Mt·x ⊕ p` on the 4-bit ALU/GF cells. Because the loop is
+//!   confined to a single row, a new block can issue every cycle (II = 1)
+//!   no matter how deep the input network is — the whole point of choosing
+//!   Derby's method for a *pipelined* gate array.
+
+use crate::arch::PicogaParams;
+use gf2::{BitMat, BitVec};
+use std::fmt;
+use xornet::XorNetwork;
+
+/// Errors from mapping an operation onto the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The network needs more rows than the array has.
+    InsufficientRows {
+        /// Rows required by the placement.
+        needed: usize,
+        /// Rows physically available.
+        available: usize,
+    },
+    /// A gate exceeds the cell fan-in.
+    FaninTooLarge {
+        /// The offending fan-in.
+        fanin: usize,
+        /// The cell limit.
+        limit: usize,
+    },
+    /// Primary input bandwidth exceeded.
+    TooManyInputs {
+        /// Bits required.
+        needed: usize,
+        /// Bits available per issue.
+        available: usize,
+    },
+    /// Primary output bandwidth exceeded.
+    TooManyOutputs {
+        /// Bits required.
+        needed: usize,
+        /// Bits available per issue.
+        available: usize,
+    },
+    /// The feedback matrix of a CRC update is not in companion form.
+    FeedbackNotCompanion,
+    /// The feedback row does not fit (state too wide for one row of ALU
+    /// cells).
+    FeedbackRowTooWide {
+        /// Cells needed.
+        needed: usize,
+        /// Cells per row.
+        available: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::InsufficientRows { needed, available } => {
+                write!(f, "placement needs {needed} rows, array has {available}")
+            }
+            MapError::FaninTooLarge { fanin, limit } => {
+                write!(f, "gate fan-in {fanin} exceeds cell limit {limit}")
+            }
+            MapError::TooManyInputs { needed, available } => {
+                write!(
+                    f,
+                    "operation needs {needed} input bits, fabric provides {available}"
+                )
+            }
+            MapError::TooManyOutputs { needed, available } => {
+                write!(
+                    f,
+                    "operation needs {needed} output bits, fabric provides {available}"
+                )
+            }
+            MapError::FeedbackNotCompanion => {
+                write!(f, "CRC update feedback matrix must be in companion form")
+            }
+            MapError::FeedbackRowTooWide { needed, available } => {
+                write!(
+                    f,
+                    "feedback row needs {needed} ALU cells, row has {available}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Row-by-row placement of a feed-forward network: `rows[r]` lists the gate
+/// indices computed in physical row `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    rows: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Packs a levelized network into rows of at most `cells_per_row`
+    /// gates, preserving level order (a level wider than one row spills
+    /// into the next; dependencies still only point backwards).
+    fn pack(net: &XorNetwork, cells_per_row: usize) -> Placement {
+        let mut rows = Vec::new();
+        for level in net.levelize() {
+            for chunk in level.chunks(cells_per_row) {
+                rows.push(chunk.to_vec());
+            }
+        }
+        Placement { rows }
+    }
+
+    /// Rows used.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Gate indices per row.
+    pub fn rows(&self) -> &[Vec<usize>] {
+        &self.rows
+    }
+
+    /// Total cells occupied.
+    pub fn cell_count(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// The single-row companion feedback stage of a CRC update operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompanionFeedback {
+    /// State width k.
+    pub k: usize,
+    /// The last column of the companion matrix (generator coefficients of
+    /// the transformed polynomial).
+    pub g_col: BitVec,
+    /// ALU cells occupied in the feedback row.
+    pub cells: usize,
+}
+
+impl CompanionFeedback {
+    /// Applies `x′ = A_Mt·x ⊕ p` where `A_Mt` is the companion matrix with
+    /// last column `g_col`.
+    pub fn apply(&self, x: &BitVec, p: &BitVec) -> BitVec {
+        debug_assert_eq!(x.len(), self.k);
+        debug_assert_eq!(p.len(), self.k);
+        let mut next = BitVec::zeros(self.k);
+        let top = x.get(self.k - 1);
+        for i in 0..self.k {
+            let mut v = p.get(i);
+            if i > 0 {
+                v ^= x.get(i - 1);
+            }
+            if top && self.g_col.get(i) {
+                v = !v;
+            }
+            if v {
+                next.set(i, true);
+            }
+        }
+        next
+    }
+}
+
+/// Internal shape of an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OpKind {
+    Linear,
+    CrcUpdate(CompanionFeedback),
+    /// Autonomous scrambler: companion state row + output network reading
+    /// `[x_t | u]` (the first `k` network inputs are the registered state).
+    Scrambler {
+        feedback: CompanionFeedback,
+        /// Input block bits per issue (M).
+        m: usize,
+    },
+    /// Dense (untransformed) look-ahead update: the network computes the
+    /// whole `x′ = A^M·x + B_M·u` over `[x | u]`, so the feedback loop
+    /// spans the full pipeline and a new block can only issue once the
+    /// previous state has drained (II = latency). The fallback when
+    /// Derby's transform does not exist for the generator/M pair.
+    CrcUpdateDense {
+        /// State width k (the first `k` network inputs and all outputs).
+        k: usize,
+    },
+}
+
+/// A placed, validated PiCoGA operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PgaOperation {
+    name: String,
+    net: XorNetwork,
+    placement: Placement,
+    kind: OpKind,
+}
+
+/// Resource/latency statistics of a placed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Pipeline rows used (= pipeline depth in stages).
+    pub rows: usize,
+    /// Logic cells used.
+    pub cells: usize,
+    /// Primary input bits consumed per issue.
+    pub input_bits: usize,
+    /// Primary output bits produced per issue.
+    pub output_bits: usize,
+    /// Initiation interval in cycles (1 for all shapes here).
+    pub initiation_interval: u64,
+    /// Latency from issue to result, in cycles.
+    pub latency: u64,
+}
+
+impl PgaOperation {
+    /// Maps a pure feed-forward network.
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`MapError`] resource violations.
+    pub fn linear(
+        name: impl Into<String>,
+        net: XorNetwork,
+        params: &PicogaParams,
+    ) -> Result<Self, MapError> {
+        Self::check_common(&net, params, 0)?;
+        let placement = Placement::pack(&net, params.usable_cells_per_row);
+        if placement.row_count() > params.rows {
+            return Err(MapError::InsufficientRows {
+                needed: placement.row_count(),
+                available: params.rows,
+            });
+        }
+        Ok(PgaOperation {
+            name: name.into(),
+            net,
+            placement,
+            kind: OpKind::Linear,
+        })
+    }
+
+    /// Maps a Derby CRC state update: `net` computes `p = B_Mt·u` (its
+    /// outputs must be `k` bits), and `a_mt` is the companion feedback.
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`MapError`] resource violations, including
+    /// [`MapError::FeedbackNotCompanion`].
+    pub fn crc_update(
+        name: impl Into<String>,
+        net: XorNetwork,
+        a_mt: &BitMat,
+        params: &PicogaParams,
+    ) -> Result<Self, MapError> {
+        if !a_mt.is_companion() {
+            return Err(MapError::FeedbackNotCompanion);
+        }
+        let k = a_mt.rows();
+        // The state flows in through the feedback row registers, not the
+        // primary inputs, so only u counts against input bandwidth; the
+        // state register readout counts against outputs.
+        Self::check_common(&net, params, k)?;
+        let fb_cells = k.div_ceil(params.alu_bits_per_cell);
+        if fb_cells > params.usable_cells_per_row {
+            return Err(MapError::FeedbackRowTooWide {
+                needed: fb_cells,
+                available: params.usable_cells_per_row,
+            });
+        }
+        let placement = Placement::pack(&net, params.usable_cells_per_row);
+        let total_rows = placement.row_count() + 1;
+        if total_rows > params.rows {
+            return Err(MapError::InsufficientRows {
+                needed: total_rows,
+                available: params.rows,
+            });
+        }
+        Ok(PgaOperation {
+            name: name.into(),
+            net,
+            placement,
+            kind: OpKind::CrcUpdate(CompanionFeedback {
+                k,
+                g_col: a_mt.column(k - 1),
+                cells: fb_cells,
+            }),
+        })
+    }
+
+    /// Maps a dense (untransformed) look-ahead CRC update: `net` computes
+    /// `x′ = A^M·x + B_M·u` over `[x | u]` (first `k` inputs = state).
+    ///
+    /// The feedback traverses the whole pipeline, so the operation's
+    /// initiation interval equals its latency — the performance penalty
+    /// Derby's transformation exists to avoid (paper §2). Use it only when
+    /// the transform is mathematically unavailable.
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`MapError`] resource violations.
+    pub fn crc_update_dense(
+        name: impl Into<String>,
+        net: XorNetwork,
+        k: usize,
+        params: &PicogaParams,
+    ) -> Result<Self, MapError> {
+        debug_assert!(net.n_inputs() > k, "dense update reads [x | u]");
+        let m = net.n_inputs() - k;
+        if m > params.input_bits {
+            return Err(MapError::TooManyInputs {
+                needed: m,
+                available: params.input_bits,
+            });
+        }
+        if k > params.output_bits {
+            return Err(MapError::TooManyOutputs {
+                needed: k,
+                available: params.output_bits,
+            });
+        }
+        if let Some(g) = net
+            .gates()
+            .iter()
+            .find(|g| g.inputs.len() > params.max_cell_fanin)
+        {
+            return Err(MapError::FaninTooLarge {
+                fanin: g.inputs.len(),
+                limit: params.max_cell_fanin,
+            });
+        }
+        let placement = Placement::pack(&net, params.usable_cells_per_row);
+        if placement.row_count() > params.rows {
+            return Err(MapError::InsufficientRows {
+                needed: placement.row_count(),
+                available: params.rows,
+            });
+        }
+        Ok(PgaOperation {
+            name: name.into(),
+            net,
+            placement,
+            kind: OpKind::CrcUpdateDense { k },
+        })
+    }
+
+    /// Maps an autonomous scrambler operation: `a_mt` is the (transformed)
+    /// companion state update; `net` computes the M output bits from
+    /// `[x_t | u]` — its first `k` inputs are the registered state, the
+    /// remaining `m` the data block.
+    ///
+    /// # Errors
+    ///
+    /// Any of the [`MapError`] resource violations.
+    pub fn scrambler(
+        name: impl Into<String>,
+        net: XorNetwork,
+        a_mt: &BitMat,
+        m: usize,
+        params: &PicogaParams,
+    ) -> Result<Self, MapError> {
+        if !a_mt.is_companion() {
+            return Err(MapError::FeedbackNotCompanion);
+        }
+        let k = a_mt.rows();
+        debug_assert_eq!(net.n_inputs(), k + m, "scrambler net reads [x_t | u]");
+        // Only the data block arrives through primary inputs; the state is
+        // fabric-resident.
+        if m > params.input_bits {
+            return Err(MapError::TooManyInputs {
+                needed: m,
+                available: params.input_bits,
+            });
+        }
+        if net.outputs().len() > params.output_bits {
+            return Err(MapError::TooManyOutputs {
+                needed: net.outputs().len(),
+                available: params.output_bits,
+            });
+        }
+        if let Some(g) = net
+            .gates()
+            .iter()
+            .find(|g| g.inputs.len() > params.max_cell_fanin)
+        {
+            return Err(MapError::FaninTooLarge {
+                fanin: g.inputs.len(),
+                limit: params.max_cell_fanin,
+            });
+        }
+        let fb_cells = k.div_ceil(params.alu_bits_per_cell);
+        if fb_cells > params.usable_cells_per_row {
+            return Err(MapError::FeedbackRowTooWide {
+                needed: fb_cells,
+                available: params.usable_cells_per_row,
+            });
+        }
+        let placement = Placement::pack(&net, params.usable_cells_per_row);
+        let total_rows = placement.row_count() + 1;
+        if total_rows > params.rows {
+            return Err(MapError::InsufficientRows {
+                needed: total_rows,
+                available: params.rows,
+            });
+        }
+        Ok(PgaOperation {
+            name: name.into(),
+            net,
+            placement,
+            kind: OpKind::Scrambler {
+                feedback: CompanionFeedback {
+                    k,
+                    g_col: a_mt.column(k - 1),
+                    cells: fb_cells,
+                },
+                m,
+            },
+        })
+    }
+
+    fn check_common(
+        net: &XorNetwork,
+        params: &PicogaParams,
+        extra_outputs: usize,
+    ) -> Result<(), MapError> {
+        if let Some(g) = net
+            .gates()
+            .iter()
+            .find(|g| g.inputs.len() > params.max_cell_fanin)
+        {
+            return Err(MapError::FaninTooLarge {
+                fanin: g.inputs.len(),
+                limit: params.max_cell_fanin,
+            });
+        }
+        if net.n_inputs() > params.input_bits {
+            return Err(MapError::TooManyInputs {
+                needed: net.n_inputs(),
+                available: params.input_bits,
+            });
+        }
+        let outs = net.outputs().len().max(extra_outputs);
+        if outs > params.output_bits {
+            return Err(MapError::TooManyOutputs {
+                needed: outs,
+                available: params.output_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Operation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The feed-forward network.
+    pub fn network(&self) -> &XorNetwork {
+        &self.net
+    }
+
+    /// The row placement of the feed-forward network.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The companion feedback stage, if this op has one.
+    pub fn feedback(&self) -> Option<&CompanionFeedback> {
+        match &self.kind {
+            OpKind::CrcUpdate(fb) => Some(fb),
+            OpKind::Scrambler { feedback, .. } => Some(feedback),
+            OpKind::Linear | OpKind::CrcUpdateDense { .. } => None,
+        }
+    }
+
+    /// The block size M consumed per issue, if this is a scrambler op.
+    pub fn scrambler_m(&self) -> Option<usize> {
+        match &self.kind {
+            OpKind::Scrambler { m, .. } => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// `true` if this op carries a CRC-update feedback stage.
+    pub fn is_crc_update(&self) -> bool {
+        matches!(self.kind, OpKind::CrcUpdate(_))
+    }
+
+    /// The state width of a dense look-ahead update, if this is one.
+    pub fn dense_update_k(&self) -> Option<usize> {
+        match &self.kind {
+            OpKind::CrcUpdateDense { k } => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// `true` if this op is a pure feed-forward network.
+    pub fn is_linear(&self) -> bool {
+        matches!(self.kind, OpKind::Linear)
+    }
+
+    /// Resource and timing statistics.
+    pub fn stats(&self) -> OpStats {
+        let fb = self.feedback();
+        let rows = self.placement.row_count() + fb.map_or(0, |_| 1);
+        let cells = self.placement.cell_count() + fb.map_or(0, |f| f.cells);
+        let ii = match &self.kind {
+            OpKind::CrcUpdateDense { .. } => (rows as u64).max(1),
+            _ => 1,
+        };
+        OpStats {
+            rows,
+            cells,
+            input_bits: match &self.kind {
+                OpKind::Scrambler { m, .. } => *m,
+                OpKind::CrcUpdateDense { k } => self.net.n_inputs() - k,
+                _ => self.net.n_inputs(),
+            },
+            output_bits: match &self.kind {
+                OpKind::Linear | OpKind::Scrambler { .. } => self.net.outputs().len(),
+                OpKind::CrcUpdate(f) => f.k,
+                OpKind::CrcUpdateDense { k } => *k,
+            },
+            initiation_interval: ii,
+            latency: rows as u64,
+        }
+    }
+}
+
+impl fmt::Display for PgaOperation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "PGA op '{}': {} rows, {} cells, in {} / out {} bits, latency {}",
+            self.name, s.rows, s.cells, s.input_bits, s.output_bits, s.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf2::Gf2Poly;
+    use xornet::{synthesize, SynthOptions};
+
+    fn small_params() -> PicogaParams {
+        PicogaParams {
+            rows: 4,
+            cells_per_row: 4,
+            usable_cells_per_row: 4,
+            ..PicogaParams::dream()
+        }
+    }
+
+    fn net_from(mat: &BitMat) -> XorNetwork {
+        synthesize(mat, SynthOptions::default())
+    }
+
+    #[test]
+    fn linear_op_maps_and_reports() {
+        let m = BitMat::identity(8);
+        let op = PgaOperation::linear("wires", net_from(&m), &PicogaParams::dream()).unwrap();
+        let s = op.stats();
+        assert_eq!(s.rows, 0); // pure wiring
+        assert_eq!(s.initiation_interval, 1);
+    }
+
+    #[test]
+    fn insufficient_rows_detected() {
+        // 16-input parity at fan-in 2 needs 4 levels; give it 2 rows.
+        let m = BitMat::from_rows(vec![BitVec::ones(16)]);
+        let net = synthesize(
+            &m,
+            SynthOptions {
+                max_fanin: 2,
+                share_patterns: false,
+            },
+        );
+        let mut p = small_params();
+        p.rows = 2;
+        p.cells_per_row = 16;
+        p.usable_cells_per_row = 16;
+        p.max_cell_fanin = 2;
+        match PgaOperation::linear("parity", net, &p) {
+            Err(MapError::InsufficientRows { needed, available }) => {
+                assert_eq!(available, 2);
+                assert!(needed > 2);
+            }
+            other => panic!("expected InsufficientRows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fanin_violation_detected() {
+        let m = BitMat::from_rows(vec![BitVec::ones(16)]);
+        let net = synthesize(
+            &m,
+            SynthOptions {
+                max_fanin: 16,
+                share_patterns: false,
+            },
+        );
+        let p = PicogaParams::dream(); // cell limit 10
+        assert!(matches!(
+            PgaOperation::linear("wide", net, &p),
+            Err(MapError::FaninTooLarge {
+                fanin: 16,
+                limit: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn io_bandwidth_violations_detected() {
+        let p = PicogaParams::dream();
+        let m = BitMat::identity(p.input_bits + 1);
+        assert!(matches!(
+            PgaOperation::linear("too-wide", net_from(&m), &p),
+            Err(MapError::TooManyInputs { .. })
+        ));
+        let m = BitMat::from_rows(vec![BitVec::unit(0, 4); 200]);
+        assert!(matches!(
+            PgaOperation::linear("too-many-outs", net_from(&m), &p),
+            Err(MapError::TooManyOutputs { .. })
+        ));
+    }
+
+    #[test]
+    fn crc_update_requires_companion() {
+        let p = PicogaParams::dream();
+        let g = Gf2Poly::from_crc_notation(0x1021, 16);
+        let a = BitMat::companion(&g);
+        let dense = a.pow(16); // not companion
+        let net = net_from(&BitMat::identity(16));
+        assert_eq!(
+            PgaOperation::crc_update("bad", net.clone(), &dense, &p).unwrap_err(),
+            MapError::FeedbackNotCompanion
+        );
+        assert!(PgaOperation::crc_update("ok", net, &a, &p).is_ok());
+    }
+
+    #[test]
+    fn companion_feedback_matches_matrix_product() {
+        let g = Gf2Poly::from_crc_notation(0x04C11DB7, 32);
+        let a = BitMat::companion(&g);
+        let fb = CompanionFeedback {
+            k: 32,
+            g_col: a.column(31),
+            cells: 8,
+        };
+        let mut x = BitVec::from_u64(0x8123_4567, 32);
+        let p = BitVec::from_u64(0x0F0F_1234, 32);
+        let expect = &a.mul_vec(&x) ^ &p;
+        assert_eq!(fb.apply(&x, &p), expect);
+        // And with top bit clear (no polynomial fold):
+        x.set(31, false);
+        let expect = &a.mul_vec(&x) ^ &p;
+        assert_eq!(fb.apply(&x, &p), expect);
+    }
+
+    #[test]
+    fn feedback_row_width_enforced() {
+        let mut p = PicogaParams::dream();
+        p.cells_per_row = 4; // 4 cells × 4 bits = 16 state bits max
+        p.usable_cells_per_row = 4;
+        let g = Gf2Poly::from_crc_notation(0x04C11DB7, 32);
+        let a = BitMat::companion(&g);
+        let net = net_from(&BitMat::identity(32));
+        assert!(matches!(
+            PgaOperation::crc_update("wide-state", net, &a, &p),
+            Err(MapError::FeedbackRowTooWide {
+                needed: 8,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn stats_count_feedback_row() {
+        let p = PicogaParams::dream();
+        let g = Gf2Poly::from_crc_notation(0x1021, 16);
+        let a = BitMat::companion(&g);
+        // A nontrivial ff network: B_M for M=16.
+        let sys = lfsr_like_b16(&g);
+        let net = net_from(&sys);
+        let op = PgaOperation::crc_update("upd", net, &a, &p).unwrap();
+        let s = op.stats();
+        assert!(s.rows >= 2, "ff depth + feedback row");
+        assert_eq!(s.latency, s.rows as u64);
+        assert_eq!(s.output_bits, 16);
+    }
+
+    // Builds a B_M-like 16x16 matrix from companion powers.
+    fn lfsr_like_b16(g: &Gf2Poly) -> BitMat {
+        let a = BitMat::companion(g);
+        let mut b = BitVec::zeros(16);
+        for i in 0..16 {
+            if g.coeff(i) {
+                b.set(i, true);
+            }
+        }
+        let cols: Vec<BitVec> = (0..16).map(|j| a.pow(15 - j as u64).mul_vec(&b)).collect();
+        BitMat::from_columns(&cols)
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the fabric model's invariants.
+
+use gf2::{BitMat, BitVec, Gf2Poly};
+use picoga::{run_crc_wavefront, PgaOperation, PicogaParams, PicogaSim};
+use proptest::prelude::*;
+use xornet::{synthesize, SynthOptions};
+
+fn random_linear_op(seed: u64, rows: usize, cols: usize) -> Option<PgaOperation> {
+    let mut m = BitMat::zeros(rows, cols);
+    let mut x = seed | 1;
+    for i in 0..rows {
+        for j in 0..cols {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 3 == 0 {
+                m.set(i, j, true);
+            }
+        }
+    }
+    let net = synthesize(&m, SynthOptions::default());
+    PgaOperation::linear("rand", net, &PicogaParams::dream()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mapped_linear_ops_compute_their_matrix(seed in any::<u64>(), v_bits in any::<u64>()) {
+        let Some(op) = random_linear_op(seed, 24, 40) else { return Ok(()); };
+        let mut sim = PicogaSim::new(PicogaParams::dream());
+        sim.load_context(0, op.clone()).unwrap();
+        sim.switch_to(0).unwrap();
+        let mut v = BitVec::zeros(40);
+        for j in 0..40 {
+            if (v_bits >> (j % 64)) & 1 == 1 {
+                v.set(j, true);
+            }
+        }
+        let got = sim.run_linear(&v).unwrap();
+        prop_assert_eq!(got, op.network().to_matrix().mul_vec(&v));
+    }
+
+    #[test]
+    fn placement_respects_row_capacity_and_order(seed in any::<u64>()) {
+        let Some(op) = random_linear_op(seed, 20, 48) else { return Ok(()); };
+        let params = PicogaParams::dream();
+        let net = op.network();
+        let lv = net.levels();
+        let mut seen_level = 0usize;
+        for row in op.placement().rows() {
+            prop_assert!(row.len() <= params.usable_cells_per_row);
+            for &gi in row {
+                let l = lv[net.n_inputs() + gi];
+                prop_assert!(l >= seen_level, "levels must not regress");
+                seen_level = seen_level.max(l);
+            }
+        }
+        prop_assert!(op.placement().row_count() <= params.rows);
+    }
+
+    #[test]
+    fn wavefront_cycles_follow_closed_form(n_blocks in 1usize..40, seed in any::<u64>()) {
+        // A small CRC-update op over CRC-16.
+        let g = Gf2Poly::from_crc_notation(0x8005, 16);
+        let a = BitMat::companion(&g);
+        let mut b = BitVec::zeros(16);
+        for i in 0..16 {
+            if g.coeff(i) {
+                b.set(i, true);
+            }
+        }
+        let cols: Vec<BitVec> = (0..16u64).map(|j| a.pow(15 - j).mul_vec(&b)).collect();
+        let net = synthesize(&BitMat::from_columns(&cols), SynthOptions::default());
+        let op = PgaOperation::crc_update("u", net, &a, &PicogaParams::dream()).unwrap();
+        let mut x = seed | 1;
+        let blocks: Vec<BitVec> = (0..n_blocks)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                BitVec::from_u64(x, 16)
+            })
+            .collect();
+        let trace = run_crc_wavefront(&op, &BitVec::zeros(16), &blocks);
+        prop_assert_eq!(trace.cycles, op.stats().latency + n_blocks as u64 - 1);
+        prop_assert_eq!(trace.completion_cycles.len(), n_blocks);
+        prop_assert!(trace.max_in_flight <= op.stats().rows);
+    }
+}

@@ -1,0 +1,347 @@
+//! A tiny label-resolving assembler for hand-writing kernels in Rust.
+//!
+//! ```
+//! use riscsim::asm::Asm;
+//! use riscsim::isa::reg::*;
+//! use riscsim::Cpu;
+//!
+//! let mut a = Asm::new();
+//! a.li(T0, 0);
+//! a.li(T1, 5);
+//! a.label("loop");
+//! a.addi(T0, T0, 2);
+//! a.addi(T1, T1, -1);
+//! a.bne(T1, ZERO, "loop");
+//! a.halt();
+//! let prog = a.assemble().unwrap();
+//!
+//! let mut cpu = Cpu::new(16);
+//! cpu.run(&prog, 1000).unwrap();
+//! assert_eq!(cpu.reg(T0), 10);
+//! ```
+
+use crate::isa::{AluOp, Cond, Instr, Reg, Width};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch/jump referenced a label that was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label '{label}'"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label '{label}'"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Pending {
+    Ready(Instr),
+    Branch {
+        cond: Cond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jump {
+        label: String,
+    },
+}
+
+/// Program builder with named labels.
+#[derive(Default)]
+pub struct Asm {
+    items: Vec<Pending>,
+    labels: HashMap<String, usize>,
+    duplicate: Option<String>,
+}
+
+impl Asm {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self
+            .labels
+            .insert(name.to_string(), self.items.len())
+            .is_some()
+        {
+            self.duplicate.get_or_insert_with(|| name.to_string());
+        }
+        self
+    }
+
+    /// Register-register ALU op.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.items
+            .push(Pending::Ready(Instr::Alu { op, rd, rs1, rs2 }));
+        self
+    }
+
+    /// Register-immediate ALU op.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.items
+            .push(Pending::Ready(Instr::AluImm { op, rd, rs1, imm }));
+        self
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// Loads a 32-bit constant with `lui`+`addi` (or one instruction when
+    /// it fits 12 bits, as an assembler would).
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        let v = value as i32;
+        if (-2048..2048).contains(&v) {
+            return self.addi(rd, 0, v);
+        }
+        // lui loads bits 31:12; addi sign-extends, so pre-compensate.
+        let low = (value & 0xFFF) as i32;
+        let low = if low >= 2048 { low - 4096 } else { low };
+        let high = value.wrapping_sub(low as u32) >> 12;
+        self.items
+            .push(Pending::Ready(Instr::Lui { rd, imm: high }));
+        if low != 0 {
+            self.addi(rd, rd, low);
+        }
+        self
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `slli rd, rs1, imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Sll, rd, rs1, imm)
+    }
+
+    /// `srli rd, rs1, imm`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Srl, rd, rs1, imm)
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// Byte load (zero-extending).
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.items.push(Pending::Ready(Instr::Load {
+            width: Width::Byte,
+            rd,
+            base,
+            offset,
+        }));
+        self
+    }
+
+    /// Word load.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.items.push(Pending::Ready(Instr::Load {
+            width: Width::Word,
+            rd,
+            base,
+            offset,
+        }));
+        self
+    }
+
+    /// Word store.
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.items.push(Pending::Ready(Instr::Store {
+            width: Width::Word,
+            rs,
+            base,
+            offset,
+        }));
+        self
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.items.push(Pending::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Ne, rs1, rs2, label)
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Eq, rs1, rs2, label)
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(Cond::Ltu, rs1, rs2, label)
+    }
+
+    /// Unconditional jump to a label.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.items.push(Pending::Jump {
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Stops the machine.
+    pub fn halt(&mut self) -> &mut Self {
+        self.items.push(Pending::Ready(Instr::Halt));
+        self
+    }
+
+    /// Resolves labels and produces the instruction list.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError`] for undefined or duplicate labels.
+    pub fn assemble(&self) -> Result<Vec<Instr>, AsmError> {
+        if let Some(label) = &self.duplicate {
+            return Err(AsmError::DuplicateLabel {
+                label: label.clone(),
+            });
+        }
+        self.items
+            .iter()
+            .map(|p| match p {
+                Pending::Ready(i) => Ok(*i),
+                Pending::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
+                    let target =
+                        *self
+                            .labels
+                            .get(label)
+                            .ok_or_else(|| AsmError::UndefinedLabel {
+                                label: label.clone(),
+                            })?;
+                    Ok(Instr::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        target,
+                    })
+                }
+                Pending::Jump { label } => {
+                    let target =
+                        *self
+                            .labels
+                            .get(label)
+                            .ok_or_else(|| AsmError::UndefinedLabel {
+                                label: label.clone(),
+                            })?;
+                    Ok(Instr::Jump { target })
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Cpu;
+    use crate::isa::reg::*;
+
+    #[test]
+    fn li_covers_all_ranges() {
+        for v in [
+            0u32,
+            1,
+            2047,
+            2048,
+            4095,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            0x1234_5678,
+            0xFFFF_F800,
+        ] {
+            let mut a = Asm::new();
+            a.li(T0, v);
+            a.halt();
+            let mut cpu = Cpu::new(4);
+            cpu.run(&a.assemble().unwrap(), 100).unwrap();
+            assert_eq!(cpu.reg(T0), v, "li 0x{v:X}");
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel {
+                label: "nowhere".into()
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.halt();
+        a.label("x");
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel { label: "x".into() }
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Asm::new();
+        a.li(T0, 3);
+        a.li(T1, 0);
+        a.label("loop");
+        a.addi(T1, T1, 5);
+        a.addi(T0, T0, -1);
+        a.bne(T0, ZERO, "loop");
+        a.beq(ZERO, ZERO, "done"); // forward reference
+        a.addi(T1, T1, 100); // skipped
+        a.label("done");
+        a.halt();
+        let mut cpu = Cpu::new(4);
+        cpu.run(&a.assemble().unwrap(), 1000).unwrap();
+        assert_eq!(cpu.reg(T1), 15);
+    }
+}

@@ -1,0 +1,426 @@
+//! The cycle-counting interpreter.
+
+use crate::isa::{AluOp, Cond, CostModel, Instr, Width};
+use std::fmt;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Memory access outside the allocated space.
+    MemoryOutOfRange {
+        /// Faulting byte address.
+        addr: u32,
+        /// Memory size.
+        size: usize,
+    },
+    /// Unaligned word/half access.
+    Misaligned {
+        /// Faulting byte address.
+        addr: u32,
+    },
+    /// Program counter ran off the end of the program.
+    PcOutOfRange {
+        /// Faulting instruction index.
+        pc: usize,
+    },
+    /// The cycle budget was exhausted (runaway loop guard).
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::MemoryOutOfRange { addr, size } => {
+                write!(f, "memory access at 0x{addr:X} outside {size} bytes")
+            }
+            CpuError::Misaligned { addr } => write!(f, "misaligned access at 0x{addr:X}"),
+            CpuError::PcOutOfRange { pc } => write!(f, "pc {pc} outside program"),
+            CpuError::CycleLimit { limit } => write!(f, "cycle limit {limit} exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+/// A single-core RV32-style machine with a flat byte-addressable memory.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    mem: Vec<u8>,
+    cost: CostModel,
+    cycles: u64,
+    instret: u64,
+}
+
+impl Cpu {
+    /// Creates a machine with `mem_bytes` of zeroed memory.
+    pub fn new(mem_bytes: usize) -> Self {
+        Cpu {
+            regs: [0; 32],
+            mem: vec![0; mem_bytes],
+            cost: CostModel::default(),
+            cycles: 0,
+            instret: 0,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Reads a register (x0 reads as zero).
+    pub fn reg(&self, r: u8) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    /// Writes a register (writes to x0 are discarded).
+    pub fn set_reg(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Copies bytes into memory.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemoryOutOfRange`] if the slice does not fit.
+    pub fn write_mem(&mut self, addr: u32, bytes: &[u8]) -> Result<(), CpuError> {
+        let a = addr as usize;
+        if a + bytes.len() > self.mem.len() {
+            return Err(CpuError::MemoryOutOfRange {
+                addr,
+                size: self.mem.len(),
+            });
+        }
+        self.mem[a..a + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads bytes from memory.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemoryOutOfRange`] if the range does not fit.
+    pub fn read_mem(&self, addr: u32, len: usize) -> Result<&[u8], CpuError> {
+        let a = addr as usize;
+        if a + len > self.mem.len() {
+            return Err(CpuError::MemoryOutOfRange {
+                addr,
+                size: self.mem.len(),
+            });
+        }
+        Ok(&self.mem[a..a + len])
+    }
+
+    fn load(&self, width: Width, addr: u32) -> Result<u32, CpuError> {
+        match width {
+            Width::Byte => Ok(self.read_mem(addr, 1)?[0] as u32),
+            Width::Half => {
+                if !addr.is_multiple_of(2) {
+                    return Err(CpuError::Misaligned { addr });
+                }
+                let b = self.read_mem(addr, 2)?;
+                Ok(u16::from_le_bytes([b[0], b[1]]) as u32)
+            }
+            Width::Word => {
+                if !addr.is_multiple_of(4) {
+                    return Err(CpuError::Misaligned { addr });
+                }
+                let b = self.read_mem(addr, 4)?;
+                Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            }
+        }
+    }
+
+    fn store(&mut self, width: Width, addr: u32, v: u32) -> Result<(), CpuError> {
+        match width {
+            Width::Byte => self.write_mem(addr, &[v as u8]),
+            Width::Half => {
+                if !addr.is_multiple_of(2) {
+                    return Err(CpuError::Misaligned { addr });
+                }
+                self.write_mem(addr, &(v as u16).to_le_bytes())
+            }
+            Width::Word => {
+                if !addr.is_multiple_of(4) {
+                    return Err(CpuError::Misaligned { addr });
+                }
+                self.write_mem(addr, &v.to_le_bytes())
+            }
+        }
+    }
+
+    fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Xor => a ^ b,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+        }
+    }
+
+    fn cond(c: Cond, a: u32, b: u32) -> bool {
+        match c {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    /// Runs `program` from instruction 0 until `Halt`, at most
+    /// `cycle_limit` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CpuError`]; the machine state is left as-is for inspection.
+    pub fn run(&mut self, program: &[Instr], cycle_limit: u64) -> Result<(), CpuError> {
+        let mut pc = 0usize;
+        loop {
+            if self.cycles >= cycle_limit {
+                return Err(CpuError::CycleLimit { limit: cycle_limit });
+            }
+            let Some(instr) = program.get(pc) else {
+                return Err(CpuError::PcOutOfRange { pc });
+            };
+            self.instret += 1;
+            match *instr {
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let v = Self::alu(op, self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    self.cycles += if op == AluOp::Mul {
+                        self.cost.mul
+                    } else {
+                        self.cost.alu
+                    };
+                    pc += 1;
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let v = Self::alu(op, self.reg(rs1), imm as u32);
+                    self.set_reg(rd, v);
+                    self.cycles += self.cost.alu;
+                    pc += 1;
+                }
+                Instr::Lui { rd, imm } => {
+                    self.set_reg(rd, imm << 12);
+                    self.cycles += self.cost.alu;
+                    pc += 1;
+                }
+                Instr::Load {
+                    width,
+                    rd,
+                    base,
+                    offset,
+                } => {
+                    let addr = self.reg(base).wrapping_add(offset as u32);
+                    let v = self.load(width, addr)?;
+                    self.set_reg(rd, v);
+                    self.cycles += self.cost.load;
+                    pc += 1;
+                }
+                Instr::Store {
+                    width,
+                    rs,
+                    base,
+                    offset,
+                } => {
+                    let addr = self.reg(base).wrapping_add(offset as u32);
+                    self.store(width, addr, self.reg(rs))?;
+                    self.cycles += self.cost.store;
+                    pc += 1;
+                }
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    if Self::cond(cond, self.reg(rs1), self.reg(rs2)) {
+                        self.cycles += self.cost.branch_taken;
+                        pc = target;
+                    } else {
+                        self.cycles += self.cost.branch_not_taken;
+                        pc += 1;
+                    }
+                }
+                Instr::Jump { target } => {
+                    self.cycles += self.cost.branch_taken;
+                    pc = target;
+                }
+                Instr::Halt => return Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::reg::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(Cpu::alu(AluOp::Add, 3, u32::MAX), 2);
+        assert_eq!(Cpu::alu(AluOp::Sub, 3, 5), u32::MAX - 1);
+        assert_eq!(Cpu::alu(AluOp::Sra, 0x8000_0000, 4), 0xF800_0000);
+        assert_eq!(Cpu::alu(AluOp::Srl, 0x8000_0000, 4), 0x0800_0000);
+        assert_eq!(Cpu::alu(AluOp::Slt, u32::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(Cpu::alu(AluOp::Sltu, u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn x0_is_hardwired() {
+        let mut cpu = Cpu::new(16);
+        cpu.set_reg(0, 42);
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn simple_loop_counts_cycles() {
+        // t0 = 0; for 10 iterations t0 += 1.
+        let prog = vec![
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: ZERO,
+                imm: 0,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: T1,
+                rs1: ZERO,
+                imm: 10,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: T0,
+                imm: 1,
+            }, // loop body
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1: T0,
+                rs2: T1,
+                target: 2,
+            },
+            Instr::Halt,
+        ];
+        let mut cpu = Cpu::new(16);
+        cpu.run(&prog, 10_000).unwrap();
+        assert_eq!(cpu.reg(T0), 10);
+        // 2 setup + 10 adds + 9 taken + 1 not-taken = 2+10+18+1 = 31.
+        assert_eq!(cpu.cycles(), 31);
+        // 2 setup + 10 adds + 10 branches + 1 halt.
+        assert_eq!(cpu.instret(), 23);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_endianness() {
+        let mut cpu = Cpu::new(64);
+        cpu.set_reg(A0, 8);
+        let prog = vec![
+            Instr::Lui {
+                rd: T0,
+                imm: 0x12345,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: T0,
+                imm: 0x678,
+            },
+            Instr::Store {
+                width: Width::Word,
+                rs: T0,
+                base: A0,
+                offset: 0,
+            },
+            Instr::Load {
+                width: Width::Byte,
+                rd: T1,
+                base: A0,
+                offset: 0,
+            },
+            Instr::Load {
+                width: Width::Half,
+                rd: T2,
+                base: A0,
+                offset: 2,
+            },
+            Instr::Halt,
+        ];
+        cpu.run(&prog, 1000).unwrap();
+        assert_eq!(cpu.reg(T0), 0x1234_5678);
+        assert_eq!(cpu.reg(T1), 0x78); // little-endian low byte
+        assert_eq!(cpu.reg(T2), 0x1234);
+    }
+
+    #[test]
+    fn faults_are_reported() {
+        let mut cpu = Cpu::new(8);
+        let oob = vec![Instr::Load {
+            width: Width::Word,
+            rd: T0,
+            base: ZERO,
+            offset: 100,
+        }];
+        assert!(matches!(
+            cpu.run(&oob, 100),
+            Err(CpuError::MemoryOutOfRange { .. })
+        ));
+        let mis = vec![Instr::Load {
+            width: Width::Word,
+            rd: T0,
+            base: ZERO,
+            offset: 2,
+        }];
+        assert!(matches!(
+            cpu.run(&mis, 100),
+            Err(CpuError::Misaligned { addr: 2 })
+        ));
+        let spin = vec![Instr::Jump { target: 0 }];
+        assert!(matches!(
+            cpu.run(&spin, 50),
+            Err(CpuError::CycleLimit { limit: 50 })
+        ));
+        let off = vec![Instr::AluImm {
+            op: AluOp::Add,
+            rd: T0,
+            rs1: ZERO,
+            imm: 0,
+        }];
+        assert!(matches!(
+            cpu.run(&off, 100),
+            Err(CpuError::PcOutOfRange { pc: 1 })
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Instruction set of the baseline RISC model.
+//!
+//! A compact RV32I-style subset — enough to express real CRC kernels the
+//! way a compiler would emit them for an embedded control core like the
+//! STxP70. Instructions carry decoded operands directly; there is no
+//! binary encoding layer because nothing here needs one.
+
+/// Architectural register index (x0–x31; x0 is hardwired to zero).
+pub type Reg = u8;
+
+/// Conventional ABI names used by the kernels.
+pub mod reg {
+    use super::Reg;
+    /// Hardwired zero.
+    pub const ZERO: Reg = 0;
+    /// Return address.
+    pub const RA: Reg = 1;
+    /// Stack pointer.
+    pub const SP: Reg = 2;
+    /// Argument/return registers a0–a5.
+    pub const A0: Reg = 10;
+    /// Second argument register.
+    pub const A1: Reg = 11;
+    /// Third argument register.
+    pub const A2: Reg = 12;
+    /// Fourth argument register.
+    pub const A3: Reg = 13;
+    /// Fifth argument register.
+    pub const A4: Reg = 14;
+    /// Sixth argument register.
+    pub const A5: Reg = 15;
+    /// Temporaries t0–t4.
+    pub const T0: Reg = 5;
+    /// Second temporary.
+    pub const T1: Reg = 6;
+    /// Third temporary.
+    pub const T2: Reg = 7;
+    /// Fourth temporary.
+    pub const T3: Reg = 28;
+    /// Fifth temporary.
+    pub const T4: Reg = 29;
+}
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Width {
+    /// One byte (zero-extended on load).
+    Byte,
+    /// Two bytes (zero-extended on load).
+    Half,
+    /// Four bytes.
+    Word,
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Register-register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation.
+    AluImm {
+        /// Operation (Sub is not encodable; use a negative Add).
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// Load upper immediate: `rd = imm << 12`.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// Upper 20 bits.
+        imm: u32,
+    },
+    /// Memory load.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Access width.
+        width: Width,
+        /// Source.
+        rs: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Conditional branch to an absolute instruction index.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First comparand.
+        rs1: Reg,
+        /// Second comparand.
+        rs2: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Logical left shift.
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Set-less-than (signed).
+    Slt,
+    /// Set-less-than (unsigned).
+    Sltu,
+    /// 32×32→32 multiply (RV32M).
+    Mul,
+}
+
+/// Per-class cycle costs of the simple in-order pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Plain ALU / immediate operations.
+    pub alu: u64,
+    /// Loads (cache-hit latency).
+    pub load: u64,
+    /// Stores.
+    pub store: u64,
+    /// Not-taken branch.
+    pub branch_not_taken: u64,
+    /// Taken branch / jump (pipeline refill bubble).
+    pub branch_taken: u64,
+    /// Multiply.
+    pub mul: u64,
+}
+
+impl Default for CostModel {
+    /// A small embedded scalar core: single-issue, 2-cycle loads, 2-cycle
+    /// taken-branch penalty.
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            load: 2,
+            store: 1,
+            branch_not_taken: 1,
+            branch_taken: 2,
+            mul: 2,
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # riscsim — the embedded-RISC software baseline
+//!
+//! Table 1 of the paper compares DREAM against "Fast software
+//! implementation on a RISC processor working at the same frequency", and
+//! Fig. 7 against its ≈400 pJ/bit energy. That processor is not available;
+//! this crate substitutes a small RV32-style cycle-counting interpreter
+//! ([`Cpu`]), a label assembler ([`asm::Asm`]) and hand-written CRC kernels
+//! ([`kernels`]) verified bit-exact against the host implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod cpu;
+pub mod isa;
+pub mod kernels;
+
+pub use cpu::{Cpu, CpuError};
+pub use isa::{AluOp, Cond, CostModel, Instr, Width};
+pub use kernels::{crc32_bitwise, crc32_sarwate, crc32_slicing4, CrcKernel, KernelRun};

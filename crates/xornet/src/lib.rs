@@ -1,0 +1,16 @@
+//! # xornet — XOR-network synthesis for linear GF(2) functions
+//!
+//! The design-automation substrate of the picolfsr workspace: it turns the
+//! matrices produced by `lfsr-parallel` (`B_Mt`, `A_Mt`, `T`, stacked
+//! scrambler outputs) into DAGs of bounded-fan-in XOR gates, with the
+//! common-pattern sharing the paper's §4 describes, ready for placement on
+//! PiCoGA rows (`picoga`) or timing estimation in the ASIC model (`asic`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ir;
+mod synth;
+
+pub use ir::{SignalId, XorGate, XorNetwork};
+pub use synth::{report, synthesize, SynthOptions, SynthReport};

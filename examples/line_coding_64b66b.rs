@@ -1,0 +1,99 @@
+//! 64B/66B line scrambling: the *self-synchronising* scrambler
+//! `x⁵⁸ + x³⁹ + 1` that 10G+ Ethernet PCS layers run at line rate —
+//! exactly the "tens of Gbit/sec" regime the paper's introduction names.
+//!
+//! Unlike the frame-synchronous 802.11 scrambler, the multiplicative
+//! scrambler feeds its *output* back into the register, so (a) the
+//! receiver self-synchronises after 58 bits with no seed exchange, and
+//! (b) the state update is still linear — the same look-ahead + Derby
+//! machinery parallelises it to M bits per cycle.
+//!
+//! Run with `cargo run --release --example line_coding_64b66b`.
+
+use picolfsr::gf2::{BitVec, Gf2Poly};
+use picolfsr::lfsr::StateSpaceLfsr;
+use picolfsr::parallel::{BlockSystem, DerbyTransform};
+
+fn pcs_polynomial() -> Gf2Poly {
+    let mut p = Gf2Poly::x_pow(58);
+    p.set_coeff(39, true);
+    p.set_coeff(0, true);
+    p
+}
+
+fn payload(bits: usize, seed: u64) -> BitVec {
+    let mut v = BitVec::zeros(bits);
+    let mut x = seed | 1;
+    for i in 0..bits {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        if x & 1 == 1 {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+fn main() {
+    let s = pcs_polynomial();
+    println!("64B/66B PCS scrambler: s(x) = {s}");
+
+    // --- Serial transmit, wrongly-seeded receive: self-synchronisation. ---
+    let data = payload(660, 0x10_6E);
+    let mut tx = StateSpaceLfsr::multiplicative_scrambler(&s).expect("degree 58");
+    tx.set_state(BitVec::from_u64(0x2AA_AAAA_AAAA, 58));
+    let line = tx.transduce(&data);
+
+    let mut rx = StateSpaceLfsr::multiplicative_descrambler(&s).expect("degree 58");
+    // The receiver starts from all-zero state: no seed was exchanged.
+    let recovered = rx.transduce(&line);
+    let first_good = (0..data.len())
+        .position(|i| (i..data.len()).all(|j| recovered.get(j) == data.get(j)))
+        .expect("must synchronise");
+    println!("  receiver self-synchronised after {first_good} bits (register depth 58)");
+
+    // --- Parallelise to line rate with the paper's machinery. ---
+    println!("\n  M-bit-per-cycle parallel forms (verified against serial):");
+    let base = StateSpaceLfsr::multiplicative_scrambler(&s).expect("degree 58");
+    for m in [32usize, 66, 128] {
+        let bs = BlockSystem::new(&base, m).expect("m >= 1");
+        let derby = DerbyTransform::new(&bs);
+        let loop_ones = match &derby {
+            Ok(d) => d.complexity().feedback_ones,
+            Err(_) => bs.a_m().count_ones(),
+        };
+        // Functional check at this M.
+        let mut serial = base.clone();
+        let seed = BitVec::from_u64(0x1FF, 58);
+        serial.set_state(seed.clone());
+        let expect = serial.transduce(&data);
+        let mut tail = base.clone();
+        let (_, got) = bs.run(&mut tail, &seed, &data);
+        assert_eq!(got, expect, "M={m}");
+        println!(
+            "    M={m:>3}: {} -> {:.1} Gbit/s at 200 MHz; transformed loop = {loop_ones} ones (dense A^M = {})",
+            if derby.is_ok() { "Derby OK " } else { "dense    " },
+            m as f64 * 0.2,
+            bs.a_m().count_ones(),
+        );
+    }
+
+    // --- Error propagation: the known cost of self-sync scrambling. ---
+    let mut corrupted = line.clone();
+    corrupted.flip(300);
+    let mut rx2 = StateSpaceLfsr::multiplicative_descrambler(&s).expect("degree 58");
+    let out = rx2.transduce(&corrupted);
+    // Compare against the clean-line descramble from the same receiver
+    // state, so only the injected error differs.
+    let errors: Vec<usize> = (0..data.len())
+        .filter(|&i| out.get(i) != recovered.get(i))
+        .collect();
+    println!(
+        "\n  one line error at bit 300 multiplies to {} payload errors at {:?}",
+        errors.len(),
+        errors
+    );
+    assert_eq!(errors.len(), 3, "taps of weight 3 triple each line error");
+    assert_eq!(errors, vec![300, 300 + 39, 300 + 58]);
+}

@@ -1,0 +1,64 @@
+//! Quickstart: map the Ethernet CRC-32 onto the DREAM fabric at M = 128
+//! and checksum a frame — the paper's headline configuration.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use picolfsr::dream::EnergyModel;
+use picolfsr::flow::{build_crc_app, FlowOptions};
+use picolfsr::lfsr::crc::{crc_bitwise, CrcSpec};
+
+fn main() {
+    let spec = CrcSpec::crc32_ethernet();
+
+    // 1. Run the paper's design flow: matrices -> Derby transform ->
+    //    10-input XOR mapping -> two PiCoGA operations -> DREAM app.
+    let (mut app, report) =
+        build_crc_app(spec, &FlowOptions::dream_m128()).expect("M = 128 maps onto DREAM");
+
+    println!("Flow report for {} at M = {}:", spec.name, report.m);
+    println!(
+        "  feedback loop: {} ones (plain look-ahead would keep {} ones of A^M in the loop)",
+        report.derby_loop_ones, report.lookahead_loop_ones
+    );
+    println!(
+        "  update op:   {} rows, {} cells (pipeline depth {})",
+        report.update_stats.rows, report.update_stats.cells, report.update_stats.latency
+    );
+    if let Some(fin) = report.finalize_stats {
+        println!("  finalize op: {} rows, {} cells", fin.rows, fin.cells);
+    }
+    println!("  kernel peak: {:.1} Gbit/s", report.kernel_bps / 1e9);
+
+    // 2. Checksum a maximum-size Ethernet frame.
+    let frame: Vec<u8> = (0..1518).map(|i| (i * 37 + 5) as u8).collect();
+    let (crc, run) = app.checksum(&frame);
+    assert_eq!(
+        crc as u32 as u64,
+        crc_bitwise(spec, &frame),
+        "bit-exact vs software"
+    );
+
+    println!("\n1518-byte frame:");
+    println!("  FCS = 0x{crc:08X}");
+    println!(
+        "  {} cycles ({} compute, {} context-switch, {} control, {} tail)",
+        run.total_cycles(),
+        run.picoga.compute,
+        run.picoga.context_switch,
+        run.control_cycles,
+        run.tail_cycles
+    );
+    println!(
+        "  throughput: {:.2} Gbit/s @ 200 MHz",
+        run.throughput_bps(200e6) / 1e9
+    );
+
+    // 3. Energy vs the software RISC reference.
+    let e = EnergyModel::dream_90nm();
+    println!(
+        "  energy: {:.1} pJ/bit ({:.0}x below the {:.0} pJ/bit RISC reference)",
+        e.pj_per_bit(&run, app.update_stats().cells),
+        e.gain_vs_risc(&run, app.update_stats().cells),
+        e.risc_pj_per_bit
+    );
+}

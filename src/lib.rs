@@ -1,0 +1,51 @@
+//! # picolfsr — reproduction of "Implementation of Parallel LFSR-based
+//! Applications on an Adaptive DSP featuring a Pipelined Configurable
+//! Gate Array" (DATE 2008)
+//!
+//! This facade re-exports the workspace crates under one roof so examples
+//! and downstream users need a single dependency:
+//!
+//! * [`gf2`] — GF(2) linear algebra (bit vectors, matrices, polynomials);
+//! * [`lfsr`] — LFSR applications: CRC catalogue + software baselines,
+//!   scramblers/PRBS, stream ciphers (A5/1, E0, CSS);
+//! * [`parallel`] — parallelisation methods: look-ahead, Derby's
+//!   state-space transform, GFMAC, message interleaving;
+//! * [`xornet`] — XOR-network synthesis (10-input cells, common-pattern
+//!   sharing);
+//! * [`picoga`] — the pipelined configurable gate array model and
+//!   cycle-accurate simulator;
+//! * [`dream`] — the DREAM SoC layer (control model, CRC and scrambler
+//!   accelerators, energy model);
+//! * [`riscsim`] — the embedded-RISC software baseline (RV32-style
+//!   interpreter + CRC kernels);
+//! * [`asic`] — the UCRC synthesis comparison model and Fig. 6 theory
+//!   curves;
+//! * [`flow`] — the end-to-end mapping flow and design-space explorer
+//!   (the paper's core contribution).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use picolfsr::flow::{build_crc_app, FlowOptions};
+//! use picolfsr::lfsr::crc::CrcSpec;
+//!
+//! let (mut app, _report) =
+//!     build_crc_app(CrcSpec::crc32_ethernet(), &FlowOptions::dream_with_m(32))?;
+//! let (crc, report) = app.checksum(b"123456789");
+//! assert_eq!(crc, 0xCBF43926);
+//! println!("{} cycles", report.total_cycles());
+//! # Ok::<(), picolfsr::dream::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use asic;
+pub use dream;
+pub use dream_lfsr as flow;
+pub use gf2;
+pub use lfsr;
+pub use lfsr_parallel as parallel;
+pub use picoga;
+pub use riscsim;
+pub use xornet;

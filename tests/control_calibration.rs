@@ -1,0 +1,102 @@
+//! Calibration check: the analytic `ControlModel` constants used by the
+//! DREAM applications are justified by *executing* a realistic driver
+//! sequence on the RISC interpreter — program the address generators,
+//! start the fabric, poll for completion, collect the result.
+
+use picolfsr::dream::ControlModel;
+use picolfsr::riscsim::asm::Asm;
+use picolfsr::riscsim::isa::reg::*;
+use picolfsr::riscsim::Cpu;
+
+/// Memory-mapped register block of the (modelled) PiCoGA control
+/// interface.
+const MMIO: u32 = 0x0800;
+const REG_AG_BASE: i32 = 0x00; // 4 AG base registers, 4 bytes apart
+const REG_AG_STRIDE: i32 = 0x10;
+const REG_COUNT: i32 = 0x20;
+const REG_START: i32 = 0x24;
+const REG_STATUS: i32 = 0x28;
+const REG_RESULT: i32 = 0x2C;
+
+/// The message-setup driver: program 4 address generators (base+stride),
+/// the block count, and fire the start register.
+fn setup_program() -> Vec<picolfsr::riscsim::Instr> {
+    let mut a = Asm::new();
+    a.li(A0, MMIO);
+    a.li(T0, 0x100); // message base
+    for p in 0..4i32 {
+        a.addi(T1, T0, p);
+        a.sw(T1, A0, REG_AG_BASE + 4 * p);
+        a.li(T2, 4);
+        a.sw(T2, A0, REG_AG_STRIDE + 4 * p);
+    }
+    a.li(T3, 96); // block count
+    a.sw(T3, A0, REG_COUNT);
+    a.li(T4, 1);
+    a.sw(T4, A0, REG_START);
+    a.halt();
+    a.assemble().expect("driver assembles")
+}
+
+/// The message-finalize driver: poll the status register (two spins),
+/// read the checksum, store it to the result buffer.
+fn finalize_program() -> Vec<picolfsr::riscsim::Instr> {
+    let mut a = Asm::new();
+    a.li(A0, MMIO);
+    a.label("poll");
+    a.lw(T0, A0, REG_STATUS);
+    a.beq(T0, ZERO, "poll");
+    a.lw(T1, A0, REG_RESULT);
+    a.li(T2, 0x400);
+    a.sw(T1, T2, 0);
+    a.halt();
+    a.assemble().expect("driver assembles")
+}
+
+fn run_cycles(prog: &[picolfsr::riscsim::Instr], preset_status: u32) -> u64 {
+    let mut cpu = Cpu::new(8192);
+    // The fabric raises STATUS after the stream drains; preset it so the
+    // poll loop terminates after one or two spins.
+    cpu.write_mem(MMIO + REG_STATUS as u32, &preset_status.to_le_bytes())
+        .unwrap();
+    cpu.run(prog, 10_000).unwrap();
+    cpu.cycles()
+}
+
+#[test]
+fn setup_constant_is_justified_by_a_real_driver() {
+    let measured = run_cycles(&setup_program(), 0);
+    let model = ControlModel::default().msg_setup_cycles;
+    assert!(
+        (model as f64) >= 0.5 * measured as f64 && (model as f64) <= 2.0 * measured as f64,
+        "modelled {model} vs measured {measured} setup cycles"
+    );
+}
+
+#[test]
+fn finalize_constant_is_justified_by_a_real_driver() {
+    let measured = run_cycles(&finalize_program(), 1);
+    let model = ControlModel::default().msg_finalize_cycles;
+    assert!(
+        (model as f64) >= 0.5 * measured as f64 && (model as f64) <= 2.0 * measured as f64,
+        "modelled {model} vs measured {measured} finalize cycles"
+    );
+}
+
+#[test]
+fn drivers_do_real_register_writes() {
+    // The setup program must leave the MMIO block configured.
+    let prog = setup_program();
+    let mut cpu = Cpu::new(8192);
+    cpu.run(&prog, 10_000).unwrap();
+    let word = |off: i32| {
+        let b = cpu.read_mem((MMIO as i64 + off as i64) as u32, 4).unwrap();
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    };
+    for p in 0..4 {
+        assert_eq!(word(REG_AG_BASE + 4 * p), 0x100 + p as u32);
+        assert_eq!(word(REG_AG_STRIDE + 4 * p), 4);
+    }
+    assert_eq!(word(REG_COUNT), 96);
+    assert_eq!(word(REG_START), 1);
+}

@@ -1,0 +1,154 @@
+//! End-to-end integration: the full flow (spec → matrices → Derby →
+//! XOR mapping → PiCoGA operations → DREAM run) against every independent
+//! implementation in the workspace.
+
+use picolfsr::asic::{TechNode, UcrcModel};
+use picolfsr::dream::EnergyModel;
+use picolfsr::flow::{build_crc_app, build_scrambler_app, FlowOptions};
+use picolfsr::gf2::BitVec;
+use picolfsr::lfsr::crc::{crc_bitwise, CrcEngine, CrcSpec, SarwateCrc, SlicingCrc};
+use picolfsr::lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+use picolfsr::riscsim::CrcKernel;
+
+fn message(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 40) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn five_independent_crc32_implementations_agree() {
+    let spec = CrcSpec::crc32_ethernet();
+    let data = message(777, 42);
+
+    let software = crc_bitwise(spec, &data);
+    let sarwate = SarwateCrc::new(spec).unwrap().checksum(&data);
+    let slicing = SlicingCrc::new(spec, 8).unwrap().checksum(&data);
+    let risc = CrcKernel::ethernet_sarwate().run(&data).unwrap().crc as u64;
+    let (mut dream_app, _) = build_crc_app(spec, &FlowOptions::dream_with_m(32)).expect("mapping");
+    let (dream, _) = dream_app.checksum(&data);
+    let mut ucrc = CrcEngine::new(*spec, UcrcModel::new(spec, 32, TechNode::st65lp()).unwrap());
+    let asic = ucrc.checksum(&data);
+
+    assert_eq!(software, sarwate);
+    assert_eq!(software, slicing);
+    assert_eq!(software, risc);
+    assert_eq!(software, dream);
+    assert_eq!(software, asic);
+}
+
+#[test]
+fn flow_maps_every_narrow_catalogue_spec() {
+    // Every CRC standard of width <= 32 must survive the full flow at a
+    // moderate look-ahead (falling back across f seeds where needed).
+    let data = message(130, 7);
+    for spec in picolfsr::lfsr::crc::CATALOG
+        .iter()
+        .filter(|s| s.width <= 32)
+    {
+        match build_crc_app(spec, &FlowOptions::dream_with_m(16)) {
+            Ok((mut app, _)) => {
+                let (got, _) = app.checksum(&data);
+                assert_eq!(got, crc_bitwise(spec, &data), "{}", spec.name);
+            }
+            Err(e) => panic!("{} failed the flow at M=16: {e}", spec.name),
+        }
+    }
+}
+
+#[test]
+fn dream_beats_risc_and_respects_kernel_bound() {
+    let spec = CrcSpec::crc32_ethernet();
+    let (mut app, report) = build_crc_app(spec, &FlowOptions::dream_m128()).unwrap();
+    let data = message(1536, 3); // block-aligned
+    let (_, run) = app.checksum(&data);
+    let dream_bps = run.throughput_bps(200e6);
+
+    let risc_bps = CrcKernel::ethernet_sarwate().steady_throughput_bps(200e6);
+    assert!(
+        dream_bps > 50.0 * risc_bps,
+        "dream {dream_bps}, risc {risc_bps}"
+    );
+    // Throughput can never exceed M bits per cycle.
+    assert!(dream_bps <= report.kernel_bps + 1.0);
+}
+
+#[test]
+fn scrambler_descrambles_across_implementations() {
+    let spec = ScramblerSpec::ieee80211();
+    let (mut fabric, _) = build_scrambler_app(spec, &FlowOptions::dream_with_m(32)).unwrap();
+    let mut software = AdditiveScrambler::new(spec).unwrap();
+
+    let bits = {
+        let bytes = message(200, 9);
+        let mut v = BitVec::zeros(1600);
+        for (i, b) in bytes.iter().enumerate() {
+            for k in 0..8 {
+                if (b >> k) & 1 == 1 {
+                    v.set(i * 8 + k, true);
+                }
+            }
+        }
+        v
+    };
+    // Fabric scrambles, software descrambles — cross-implementation.
+    let (scrambled, _) = fabric.scramble(spec.default_seed, &bits);
+    let restored = software.scramble(&scrambled);
+    assert_eq!(restored, bits);
+}
+
+#[test]
+fn interleaved_batch_matches_sequential_checksums() {
+    let spec = CrcSpec::crc32_ethernet();
+    let (mut app, _) = build_crc_app(spec, &FlowOptions::dream_with_m(64)).unwrap();
+    let batch: Vec<Vec<u8>> = (0..17).map(|i| message(64 + i * 13, i as u64)).collect();
+    let refs: Vec<&[u8]> = batch.iter().map(|v| v.as_slice()).collect();
+    let (sums, report) = app.checksum_interleaved(&refs);
+    assert_eq!(sums.len(), batch.len());
+    for (s, d) in sums.iter().zip(&batch) {
+        assert_eq!(*s, crc_bitwise(spec, d));
+    }
+    assert_eq!(
+        report.bits,
+        batch.iter().map(|d| 8 * d.len() as u64).sum::<u64>()
+    );
+}
+
+#[test]
+fn energy_model_orders_configurations_sanely() {
+    let spec = CrcSpec::crc32_ethernet();
+    let e = EnergyModel::dream_90nm();
+    let data = message(1518, 5);
+    let mut last_pj = f64::INFINITY;
+    // Larger M processes the same bits in fewer cycles; with the per-cell
+    // coefficients calibrated, pJ/bit must not explode with M.
+    for m in [32usize, 64, 128] {
+        let (mut app, _) = build_crc_app(spec, &FlowOptions::dream_with_m(m)).unwrap();
+        let (_, run) = app.checksum(&data);
+        let pj = e.pj_per_bit(&run, app.update_stats().cells);
+        assert!(pj < 0.25 * e.risc_pj_per_bit, "M={m}: {pj} pJ/bit");
+        assert!(pj < 2.0 * last_pj.min(1e9), "M={m} energy jumped: {pj}");
+        last_pj = pj;
+    }
+}
+
+#[test]
+fn verilog_of_mapped_m_matches_functional_model() {
+    // The emitted Verilog and the functional core come from the same
+    // matrix; sanity-check the matrix row count and a known structural
+    // property (every Ethernet CRC next-state bit depends on some input).
+    let spec = CrcSpec::crc32_ethernet();
+    let model = UcrcModel::new(spec, 8, TechNode::st65lp()).unwrap();
+    let m = model.matrix();
+    assert_eq!(m.rows(), 32);
+    assert_eq!(m.cols(), 40);
+    for r in 0..32 {
+        assert!(m.row(r).count_ones() > 0, "row {r} is empty");
+    }
+}

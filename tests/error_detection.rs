@@ -1,0 +1,144 @@
+//! CRC error-detection guarantees, verified empirically across the
+//! catalogue. These are the properties the protocols of the paper's §1
+//! rely on; they double as deep functional tests of the engines (a subtle
+//! engine bug would almost surely break a guarantee).
+
+use picolfsr::gf2::Gf2Poly;
+use picolfsr::lfsr::crc::{crc_bitwise, CrcSpec, CATALOG};
+
+fn message(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 29) as u8
+        })
+        .collect()
+}
+
+/// Every single-bit error is detected (g has more than one term).
+#[test]
+fn single_bit_errors_always_detected() {
+    for spec in CATALOG.iter().filter(|s| s.width <= 32) {
+        let msg = message(64, 11);
+        let good = crc_bitwise(spec, &msg);
+        for byte in [0usize, 1, 31, 63] {
+            for bit in 0..8 {
+                let mut bad = msg.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc_bitwise(spec, &bad),
+                    good,
+                    "{}: single-bit error at {byte}.{bit} undetected",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// Every burst of length ≤ width is detected: the burst polynomial is
+/// `x^i · b(x)` with `deg b < width`, and `g` (having an x⁰ term and
+/// degree = width) cannot divide it.
+#[test]
+fn bursts_up_to_width_always_detected() {
+    for spec in CATALOG.iter().filter(|s| s.width <= 32 && s.width >= 8) {
+        let msg = message(96, 13);
+        let good = crc_bitwise(spec, &msg);
+        let w = spec.width;
+        // Bursts of exactly `w` bits at several byte-aligned positions,
+        // with both endpoints flipped (true burst length w).
+        for start_byte in [0usize, 7, 40, 96 - w / 8 - 1] {
+            let mut bad = msg.clone();
+            // Flip first and last bit of the window plus a pattern inside.
+            bad[start_byte] ^= 0x01;
+            bad[start_byte + w / 8 - 1] ^= 0x80;
+            for k in 0..w / 8 {
+                bad[start_byte + k] ^= 0x5A;
+            }
+            // Ensure we actually changed something.
+            assert_ne!(bad, msg);
+            assert_ne!(
+                crc_bitwise(spec, &bad),
+                good,
+                "{}: {}-bit burst at byte {start_byte} undetected",
+                spec.name,
+                w
+            );
+        }
+    }
+}
+
+/// Two-bit errors are detected as long as their distance stays below the
+/// generator's order — spot-check the Ethernet CRC across a frame.
+#[test]
+fn double_bit_errors_detected_within_a_frame() {
+    let spec = CrcSpec::crc32_ethernet();
+    let msg = message(1518, 17);
+    let good = crc_bitwise(spec, &msg);
+    for (a, b) in [(0usize, 1usize), (0, 12143), (5000, 5001), (100, 9999)] {
+        let mut bad = msg.clone();
+        bad[a / 8] ^= 1 << (a % 8);
+        bad[b / 8] ^= 1 << (b % 8);
+        assert_ne!(crc_bitwise(spec, &bad), good, "bits {a},{b}");
+    }
+}
+
+/// Generators divisible by (x+1) detect ALL odd-weight error patterns.
+#[test]
+fn odd_weight_errors_detected_when_parity_factor_present() {
+    let x_plus_1 = Gf2Poly::from_u64(0b11);
+    for spec in CATALOG.iter().filter(|s| s.width <= 24) {
+        let has_parity = spec.generator().rem(&x_plus_1).is_zero();
+        if !has_parity {
+            continue;
+        }
+        let msg = message(48, 19);
+        let good = crc_bitwise(spec, &msg);
+        // Random odd-weight patterns (1, 3, 5 flipped bits).
+        let mut x = 0xDADAu64;
+        for weight in [1usize, 3, 5] {
+            let mut bad = msg.clone();
+            for _ in 0..weight {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let pos = (x % (48 * 8)) as usize;
+                bad[pos / 8] ^= 1 << (pos % 8);
+            }
+            // The flips may coincide; only assert when the weight is odd
+            // in effect (xor-distance odd).
+            let dist: u32 = bad
+                .iter()
+                .zip(&msg)
+                .map(|(p, q)| (p ^ q).count_ones())
+                .sum();
+            if dist % 2 == 1 {
+                assert_ne!(
+                    crc_bitwise(spec, &bad),
+                    good,
+                    "{}: odd-weight ({dist}) error undetected",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// The residue property: appending the (non-reflected, init-0, xorout-0)
+/// checksum makes the raw CRC of the extended message zero — the receiver
+/// check real hardware implements.
+#[test]
+fn appended_checksum_yields_zero_residue() {
+    // Use a clean spec (no init/xorout/reflection) so the classic residue
+    // property holds in its textbook form.
+    let spec = CrcSpec::by_name("CRC-32/AIXM").unwrap();
+    assert!(spec.init == 0 && spec.xorout == 0 && !spec.refin && !spec.refout);
+    let msg = message(100, 23);
+    let crc = crc_bitwise(spec, &msg);
+    let mut framed = msg.clone();
+    framed.extend_from_slice(&(crc as u32).to_be_bytes());
+    assert_eq!(crc_bitwise(spec, &framed), 0, "residue must vanish");
+}

@@ -1,0 +1,55 @@
+//! Smoke tests of the experiment harness: every table/figure generator
+//! must render, and the headline claims of the paper must hold in the
+//! regenerated data. (The full sweeps run under `cargo bench`.)
+
+#[test]
+fn table1_headline_speedups() {
+    let t = bench::table1();
+    assert!(t.contains("Table 1"));
+    // One row per message length plus headers/footer.
+    assert!(t.lines().count() >= 8, "{t}");
+    assert!(t.contains("12144 bit"), "{t}");
+    assert!(t.contains("GFMAC"), "{t}");
+}
+
+#[test]
+fn mapping_report_finds_the_128_limit() {
+    let m = bench::mapping_report();
+    assert!(
+        m.contains("maximum look-ahead on DREAM: 128 bits/cycle"),
+        "{m}"
+    );
+    assert!(m.contains("M= 160: does not fit"), "{m}");
+}
+
+#[test]
+fn fig6_orders_the_curves() {
+    let f = bench::fig6();
+    assert!(f.contains("M-theory"));
+    assert!(f.contains("25.6 Gbit/s"), "{f}");
+}
+
+#[test]
+fn fig7_respects_the_energy_band() {
+    let f = bench::fig7();
+    assert!(f.contains("400 pJ/bit"), "{f}");
+    // Every DREAM cell in the table must be below the RISC reference.
+    for line in f.lines().skip(3).filter(|l| l.contains('|')) {
+        let cells: Vec<f64> = line
+            .split(['|', ' '])
+            .filter_map(|t| t.trim().parse::<f64>().ok())
+            .collect();
+        if cells.len() >= 5 {
+            for &pj in &cells[1..4] {
+                assert!(pj < 400.0, "cell {pj} not below RISC in: {line}");
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaving_wins_at_paper_scale() {
+    // 32 messages of one Ethernet minimum frame, M = 128 (the Fig. 5 case).
+    let (il, seq) = bench::interleave_gain(512, 32, 128);
+    assert!(il.total_cycles() < seq.total_cycles());
+}

@@ -1,0 +1,172 @@
+//! Property-based tests over the whole stack: for random messages,
+//! look-ahead factors and specs, every engine must agree with the serial
+//! reference, and the algebraic invariants of the parallelisation theory
+//! must hold.
+
+use picolfsr::gf2::{BitMat, BitVec, Gf2Poly};
+use picolfsr::lfsr::crc::{crc_bitwise, CrcEngine, CrcSpec, SerialCore, CATALOG};
+use picolfsr::lfsr::StateSpaceLfsr;
+use picolfsr::parallel::{BlockSystem, DerbyCore, DerbyTransform, GfmacCore, LookaheadCore};
+use picolfsr::xornet::{synthesize, SynthOptions};
+use proptest::prelude::*;
+
+fn narrow_specs() -> Vec<&'static CrcSpec> {
+    CATALOG.iter().filter(|s| s.width <= 32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_agree_with_bitwise(
+        spec_idx in 0usize..narrow_specs().len(),
+        m in 1usize..48,
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let spec = narrow_specs()[spec_idx];
+        let expected = crc_bitwise(spec, &data);
+
+        let mut serial = CrcEngine::new(*spec, SerialCore::new(spec));
+        prop_assert_eq!(serial.checksum(&data), expected);
+
+        let mut look = CrcEngine::new(*spec, LookaheadCore::new(spec, m).unwrap());
+        prop_assert_eq!(look.checksum(&data), expected);
+
+        let mut gfmac = CrcEngine::new(*spec, GfmacCore::new(spec, m));
+        prop_assert_eq!(gfmac.checksum(&data), expected);
+
+        // Derby can hit a derogatory A^M for composite generators; when the
+        // transform exists it must agree.
+        if let Ok(core) = DerbyCore::new(spec, m) {
+            let mut derby = CrcEngine::new(*spec, core);
+            prop_assert_eq!(derby.checksum(&data), expected);
+        }
+    }
+
+    #[test]
+    fn crc_linearity_over_gf2(
+        a in proptest::collection::vec(any::<u8>(), 1..100),
+        b_seed in any::<u64>(),
+    ) {
+        // CRC of (a XOR b) XOR CRC(a) XOR CRC(b) == CRC(0^n) for the raw
+        // (init = 0, no reflection games needed since xorout cancels).
+        let spec = CrcSpec::by_name("CRC-32/XFER").unwrap(); // init 0, xorout 0
+        let mut x = b_seed | 1;
+        let b: Vec<u8> = a.iter().map(|_| {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            (x >> 17) as u8
+        }).collect();
+        let ab: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        let zero = vec![0u8; a.len()];
+        prop_assert_eq!(
+            crc_bitwise(spec, &ab),
+            crc_bitwise(spec, &a) ^ crc_bitwise(spec, &b) ^ crc_bitwise(spec, &zero)
+        );
+    }
+
+    #[test]
+    fn derby_transform_invariants(m in 1usize..96) {
+        let spec = CrcSpec::crc32_ethernet();
+        let sys = StateSpaceLfsr::crc(&spec.generator()).unwrap();
+        let block = BlockSystem::new(&sys, m).unwrap();
+        let derby = DerbyTransform::new(&block).unwrap();
+        // Companion form.
+        prop_assert!(derby.a_mt().is_companion());
+        // Similarity: T·A_Mt == A^M·T.
+        let a_m = sys.a().pow(m as u64);
+        prop_assert_eq!(derby.t().mul(derby.a_mt()), a_m.mul(derby.t()));
+        // Inverse pair.
+        prop_assert_eq!(derby.t().mul(derby.t_inv()), BitMat::identity(32));
+        // Transformed input network: T·B_Mt == B_M.
+        prop_assert_eq!(derby.t().mul(derby.b_mt()), block.b_m().clone());
+    }
+
+    #[test]
+    fn block_system_equals_m_serial_steps(
+        m in 1usize..64,
+        state_seed in any::<u64>(),
+        block_seed in any::<u64>(),
+    ) {
+        let spec = CrcSpec::by_name("CRC-16/XMODEM").unwrap();
+        let sys = StateSpaceLfsr::crc(&spec.generator()).unwrap();
+        let bs = BlockSystem::new(&sys, m).unwrap();
+
+        let state = BitVec::from_u64(state_seed, 16);
+        let mut block = BitVec::zeros(m);
+        let mut x = block_seed | 1;
+        for i in 0..m {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            if x & 1 == 1 { block.set(i, true); }
+        }
+
+        let (fast, _) = bs.step_block(&state, &block);
+        let mut slow = sys.clone();
+        slow.set_state(state);
+        slow.absorb(&block);
+        prop_assert_eq!(fast, slow.state().clone());
+    }
+
+    #[test]
+    fn synthesis_is_semantics_preserving(
+        rows in 1usize..24,
+        cols in 1usize..48,
+        seed in any::<u64>(),
+        max_fanin in 2usize..12,
+        share in any::<bool>(),
+    ) {
+        let mut m = BitMat::zeros(rows, cols);
+        let mut x = seed | 1;
+        for i in 0..rows {
+            for j in 0..cols {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                if x & 3 == 0 { m.set(i, j, true); }
+            }
+        }
+        let net = synthesize(&m, SynthOptions { max_fanin, share_patterns: share });
+        prop_assert_eq!(net.to_matrix(), m.clone());
+        prop_assert!(net.gates().iter().all(|g| g.inputs.len() <= max_fanin));
+    }
+
+    #[test]
+    fn companion_matrix_multiplication_is_poly_mod(
+        poly_bits in 2u64..u64::MAX,
+        v_seed in any::<u64>(),
+        e in 0u64..64,
+    ) {
+        let g = Gf2Poly::from_u64(poly_bits | 1); // ensure +1 term, degree >= 1
+        prop_assume!(g.degree().unwrap_or(0) >= 1);
+        let k = g.degree().unwrap();
+        let a = BitMat::companion(&g);
+        let v = BitVec::from_u64(v_seed, k);
+        // A^e·v == v(x)·x^e mod g(x).
+        let lhs = a.pow(e).mul_vec(&v);
+        let rhs = Gf2Poly::from_bitvec(&v)
+            .mul(&Gf2Poly::x_pow(e as usize))
+            .rem(&g);
+        prop_assert_eq!(Gf2Poly::from_bitvec(&lhs), rhs);
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip(seed in any::<u64>()) {
+        // Random invertible matrix via random row operations on I.
+        let n = 16;
+        let mut m = BitMat::identity(n);
+        let mut x = seed | 1;
+        for _ in 0..64 {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            let i = (x % n as u64) as usize;
+            let j = ((x >> 8) % n as u64) as usize;
+            if i != j {
+                let row_j = m.row(j).clone();
+                let mut row_i = m.row(i).clone();
+                row_i.xor_assign(&row_j);
+                for c in 0..n {
+                    m.set(i, c, row_i.get(c));
+                }
+            }
+        }
+        let inv = m.inverse().expect("row ops preserve invertibility");
+        prop_assert_eq!(m.mul(&inv), BitMat::identity(n));
+        prop_assert_eq!(m.rank(), n);
+    }
+}
