@@ -73,7 +73,7 @@ impl PipelinedCrcAsic {
     /// independent of M; area grows with the pipelined network.
     pub fn stats(&self) -> UcrcStats {
         // Widest single level bounds the per-stage wiring.
-        let level_widths: Vec<usize> = self.net.levelize().iter().map(|l| l.len()).collect();
+        let level_widths: Vec<usize> = self.net.levelize().iter().map(std::vec::Vec::len).collect();
         let worst_level = level_widths.iter().copied().max().unwrap_or(1);
         // The loop: companion update is a 2..3-input XOR per bit.
         let loop_literals = self.derby.a_mt().count_ones() + self.spec.width;

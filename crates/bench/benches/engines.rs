@@ -45,15 +45,15 @@ fn bench_parallel_engines(c: &mut Criterion) {
     for m in [32usize, 128] {
         let mut look = CrcEngine::new(*spec, LookaheadCore::new(spec, m).unwrap());
         g.bench_with_input(BenchmarkId::new("lookahead", m), &m, |b, _| {
-            b.iter(|| look.checksum(&data))
+            b.iter(|| look.checksum(&data));
         });
         let mut derby = CrcEngine::new(*spec, DerbyCore::new(spec, m).unwrap());
         g.bench_with_input(BenchmarkId::new("derby", m), &m, |b, _| {
-            b.iter(|| derby.checksum(&data))
+            b.iter(|| derby.checksum(&data));
         });
         let mut gfmac = CrcEngine::new(*spec, GfmacCore::new(spec, m));
         g.bench_with_input(BenchmarkId::new("gfmac", m), &m, |b, _| {
-            b.iter(|| gfmac.checksum(&data))
+            b.iter(|| gfmac.checksum(&data));
         });
     }
     g.finish();
@@ -68,7 +68,7 @@ fn bench_picoga_sim(c: &mut Criterion) {
         let (mut app, _) =
             build_crc_app(CrcSpec::crc32_ethernet(), &FlowOptions::dream_with_m(m)).unwrap();
         g.bench_with_input(BenchmarkId::new("crc", m), &m, |b, _| {
-            b.iter(|| app.checksum(&data))
+            b.iter(|| app.checksum(&data));
         });
     }
     g.finish();
@@ -96,7 +96,7 @@ fn bench_synthesis(c: &mut Criterion) {
     let derby = DerbyTransform::new(&block).unwrap();
     let mut g = group(c, "synthesis");
     g.bench_function("b128-cse", |b| {
-        b.iter(|| synthesize(derby.b_mt(), SynthOptions::default()))
+        b.iter(|| synthesize(derby.b_mt(), SynthOptions::default()));
     });
     g.bench_function("b128-naive", |b| {
         b.iter(|| {
@@ -107,7 +107,7 @@ fn bench_synthesis(c: &mut Criterion) {
                     max_fanin: 10,
                 },
             )
-        })
+        });
     });
     g.finish();
 }
@@ -118,15 +118,15 @@ fn bench_ciphers(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(1024));
     let key8 = [0x12, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF];
     g.bench_function("a5-1/keystream-1k", |b| {
-        b.iter(|| A51::new(&key8, 0x134).keystream_bytes(1024))
+        b.iter(|| A51::new(&key8, 0x134).keystream_bytes(1024));
     });
     let key16: [u8; 16] = *b"sixteen byte key";
     g.bench_function("e0/keystream-1k", |b| {
-        b.iter(|| E0::new(&key16).keystream_bytes(1024))
+        b.iter(|| E0::new(&key16).keystream_bytes(1024));
     });
     let key5 = [0x51, 0x67, 0x67, 0xC5, 0xE0];
     g.bench_function("css/keystream-1k", |b| {
-        b.iter(|| Css::new(&key5, CssMode::Data).keystream_bytes(1024))
+        b.iter(|| Css::new(&key5, CssMode::Data).keystream_bytes(1024));
     });
     g.finish();
 }
@@ -156,7 +156,7 @@ fn bench_memory_streaming(c: &mut Criterion) {
     let mut g = group(c, "memory-streaming");
     g.throughput(Throughput::Bytes(frame.len() as u64));
     g.bench_function("crc128-from-scratchpad", |b| {
-        b.iter(|| app.checksum_streamed(&mem, 0, frame.len()).unwrap())
+        b.iter(|| app.checksum_streamed(&mem, 0, frame.len()).unwrap());
     });
     g.finish();
 }

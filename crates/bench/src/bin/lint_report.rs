@@ -1,0 +1,10 @@
+//! Prints the fabric-lint sweep (every catalogue CRC x every paper M)
+//! and exits nonzero if any mapping carries an Error-severity finding.
+
+fn main() {
+    let (report, errors) = bench::lint_report();
+    print!("{report}");
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

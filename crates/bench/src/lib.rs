@@ -7,6 +7,7 @@
 //! deterministic.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use dream::{ControlModel, DreamCrcApp, DreamScramblerApp, EnergyModel, RunReport};
 use dream_lfsr::{build_crc_app, build_scrambler_app, sweep_m, FlowOptions};
@@ -75,11 +76,11 @@ pub fn table1() -> String {
         let data = message(bits / 8, 0xE7);
         let risc = kernel.run(&data).expect("kernel run");
         let risc_thr = risc.throughput_bps(bits as u64, CLOCK_HZ);
-        let mut row = format!("{:>10} bit |", bits);
-        for app in apps.iter_mut() {
+        let mut row = format!("{bits:>10} bit |");
+        for app in &mut apps {
             let (_, report) = app.checksum(&data);
             let speedup = report.throughput_bps(CLOCK_HZ) / risc_thr;
-            let _ = write!(row, " {:>7.1}x", speedup);
+            let _ = write!(row, " {speedup:>7.1}x");
         }
         let _ = writeln!(out, "{row}");
     }
@@ -107,8 +108,8 @@ fn throughput_sweep(interleave: Option<usize>) -> String {
     let _ = writeln!(out, "{}", "-".repeat(50));
     let mut apps: Vec<DreamCrcApp> = ms.iter().map(|&m| crc_app(m)).collect();
     for &bits in &lengths_bits {
-        let mut row = format!("{:>10} |", bits);
-        for app in apps.iter_mut() {
+        let mut row = format!("{bits:>10} |");
+        for app in &mut apps {
             let thr = match interleave {
                 None => {
                     let data = message(bits / 8, 0x51);
@@ -118,7 +119,7 @@ fn throughput_sweep(interleave: Option<usize>) -> String {
                 Some(k) => {
                     let batch: Vec<Vec<u8>> =
                         (0..k).map(|i| message(bits / 8, 0x51 + i as u64)).collect();
-                    let refs: Vec<&[u8]> = batch.iter().map(|v| v.as_slice()).collect();
+                    let refs: Vec<&[u8]> = batch.iter().map(std::vec::Vec::as_slice).collect();
                     let (_, report) = app.checksum_interleaved(&refs);
                     report.throughput_bps(CLOCK_HZ)
                 }
@@ -215,11 +216,11 @@ pub fn fig7() -> String {
     let mut apps: Vec<DreamCrcApp> = ms.iter().map(|&m| crc_app(m)).collect();
     for bits in [368usize, 1024, 4096, 12_144, 65_536] {
         let data = message(bits / 8, 0x33);
-        let mut row = format!("{:>10} |", bits);
-        for app in apps.iter_mut() {
+        let mut row = format!("{bits:>10} |");
+        for app in &mut apps {
             let (_, report) = app.checksum(&data);
             let pj = e.pj_per_bit(&report, app.update_stats().cells);
-            let _ = write!(row, " {:>9.1}", pj);
+            let _ = write!(row, " {pj:>9.1}");
         }
         let _ = writeln!(out, "{row} | {:>9.1}", e.risc_pj_per_bit);
     }
@@ -255,8 +256,8 @@ pub fn fig8() -> String {
             }
             v
         };
-        let mut row = format!("{:>10} |", bits);
-        for app in apps.iter_mut() {
+        let mut row = format!("{bits:>10} |");
+        for app in &mut apps {
             let (_, report) = app.scramble(0x7F, &data);
             let _ = write!(row, " {:>8.2}", report.throughput_bps(CLOCK_HZ) / 1e9);
         }
@@ -295,7 +296,7 @@ pub fn mapping_report() -> String {
 pub fn interleave_gain(bits: usize, k: usize, m: usize) -> (RunReport, RunReport) {
     let mut app = crc_app(m);
     let batch: Vec<Vec<u8>> = (0..k).map(|i| message(bits / 8, i as u64 + 1)).collect();
-    let refs: Vec<&[u8]> = batch.iter().map(|v| v.as_slice()).collect();
+    let refs: Vec<&[u8]> = batch.iter().map(std::vec::Vec::as_slice).collect();
     let (_, il) = app.checksum_interleaved(&refs);
     let mut seq = RunReport::default();
     for d in &batch {
@@ -309,6 +310,94 @@ pub fn interleave_gain(bits: usize, k: usize, m: usize) -> (RunReport, RunReport
 /// binaries can print the calibration they ran with).
 pub fn default_control() -> ControlModel {
     ControlModel::default()
+}
+
+/// Runs the fabric-lint sweep: every catalogue CRC standard at every
+/// paper look-ahead factor M ∈ {8, 16, 32, 64, 128}, each mapped
+/// operation proven equivalent to its source matrix and run through the
+/// structural linter. Returns the rendered report and the total number
+/// of `Error`-severity findings (which should be zero — every artifact
+/// the flow emits is supposed to verify).
+pub fn lint_report() -> (String, usize) {
+    use verify::{verify_mapping, LintConfig, Report};
+
+    let params = PicogaParams::dream();
+    let config = LintConfig::keep_all();
+    let mut out = String::new();
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut mapped = 0usize;
+    let mut skipped = 0usize;
+
+    let _ = writeln!(
+        out,
+        "fabric-lint report: catalogue CRCs x M in {{8,16,32,64,128}} on {params}"
+    );
+    for spec in lfsr::crc::CATALOG {
+        for m in [8usize, 16, 32, 64, 128] {
+            // Verification is what this sweep performs; build without the
+            // strict gate so rejected artifacts are reported, not thrown.
+            let opts = FlowOptions {
+                verify: None,
+                ..FlowOptions::dream_with_m(m)
+            };
+            let (app, flow) = match build_crc_app(spec, &opts) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    skipped += 1;
+                    let _ = writeln!(out, "{:<22} M={m:<3} unmappable: {e}", spec.name);
+                    continue;
+                }
+            };
+
+            let mut report = Report::new();
+            match app.transform() {
+                Some(derby) => {
+                    report.merge(verify_mapping(
+                        app.update_op(),
+                        derby.b_mt(),
+                        &params,
+                        &config,
+                    ));
+                    if let Some(fin) = app.finalize_op() {
+                        report.merge(verify_mapping(fin, derby.t(), &params, &config));
+                    }
+                }
+                None => {
+                    let block = app.dense_block_system().expect("dense datapath");
+                    let expected = block.a_m().hstack(block.b_m());
+                    report.merge(verify_mapping(app.update_op(), &expected, &params, &config));
+                }
+            }
+
+            mapped += 1;
+            total_errors += report.error_count();
+            total_warnings += report.warning_count();
+            let s = app.update_stats();
+            let _ = writeln!(
+                out,
+                "{:<22} M={m:<3} {:<7} rows {:>2}  cells {:>3}  {} error(s) {} warning(s)",
+                spec.name,
+                match flow.method {
+                    dream::CrcMethod::Derby => "derby",
+                    dream::CrcMethod::DenseLookahead => "dense",
+                },
+                s.rows,
+                s.cells,
+                report.error_count(),
+                report.warning_count(),
+            );
+            for d in &report.diagnostics {
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{mapped} mapping(s) verified, {skipped} unmappable point(s) skipped: \
+         {total_errors} error(s), {total_warnings} warning(s)"
+    );
+    (out, total_errors)
 }
 
 #[cfg(test)]

@@ -67,7 +67,7 @@ pub fn max_lookahead(spec: &CrcSpec, params: &PicogaParams) -> usize {
     let candidates: Vec<usize> = (0..=10).map(|i| 1usize << i).collect();
     sweep_m(spec, &candidates, params)
         .into_iter()
-        .filter(|p| p.fits())
+        .filter(MappingPoint::fits)
         .map(|p| p.m)
         .max()
         .unwrap_or(0)

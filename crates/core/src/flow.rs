@@ -18,11 +18,13 @@
 
 use dream::CrcMethod;
 use dream::{BuildError, ControlModel, DreamCrcApp, DreamScramblerApp};
+use gf2::BitMat;
 use lfsr::crc::CrcSpec;
 use lfsr::scramble::ScramblerSpec;
 use lfsr::StateSpaceLfsr;
 use lfsr_parallel::{BlockSystem, DerbyComplexity, DerbyTransform};
-use picoga::{OpStats, PicogaParams};
+use picoga::{OpStats, PgaOperation, PicogaParams};
+use verify::LintConfig;
 use xornet::SynthOptions;
 
 /// Options steering the flow.
@@ -36,16 +38,23 @@ pub struct FlowOptions {
     pub synth: SynthOptions,
     /// Control-processor overheads.
     pub control: ControlModel,
+    /// Strict-mode verification: when set, every mapped operation is
+    /// proven equivalent to its source matrix and run through the
+    /// fabric linter; any `Error`-severity finding fails the build with
+    /// [`BuildError::Verify`]. `None` skips verification entirely.
+    pub verify: Option<LintConfig>,
 }
 
 impl FlowOptions {
-    /// The paper's headline configuration: M = 128 on the DREAM fabric.
+    /// The paper's headline configuration: M = 128 on the DREAM fabric,
+    /// with strict verification at the default lint levels.
     pub fn dream_m128() -> Self {
         FlowOptions {
             m: 128,
             params: PicogaParams::dream(),
             synth: SynthOptions::default(),
             control: ControlModel::default(),
+            verify: Some(LintConfig::keep_all()),
         }
     }
 
@@ -56,6 +65,27 @@ impl FlowOptions {
             ..FlowOptions::dream_m128()
         }
     }
+}
+
+/// Strict-mode gate: proves `op` equivalent to `expected` and lints it,
+/// failing the build on any `Error`-severity finding.
+fn enforce(
+    op_name: &'static str,
+    op: &PgaOperation,
+    expected: &BitMat,
+    opts: &FlowOptions,
+) -> Result<(), BuildError> {
+    let Some(config) = &opts.verify else {
+        return Ok(());
+    };
+    let report = verify::verify_mapping(op, expected, &opts.params, config);
+    if report.has_errors() {
+        return Err(BuildError::Verify {
+            op: op_name,
+            details: report.render(),
+        });
+    }
+    Ok(())
 }
 
 /// What the flow decided and what it cost — the §4 narrative as data.
@@ -94,9 +124,25 @@ pub fn build_crc_app(
     opts: &FlowOptions,
 ) -> Result<(DreamCrcApp, FlowReport), BuildError> {
     let app = DreamCrcApp::build(spec, opts.m, &opts.params, opts.synth, opts.control)?;
+    match app.transform() {
+        Some(derby) => {
+            enforce("crc-update", app.update_op(), derby.b_mt(), opts)?;
+            let fin = app.finalize_op().expect("Derby datapath has a finalize op");
+            enforce("crc-finalize", fin, derby.t(), opts)?;
+        }
+        None => {
+            let block = app
+                .dense_block_system()
+                .expect("non-Derby datapath is dense");
+            let expected = block.a_m().hstack(block.b_m());
+            enforce("crc-update-dense", app.update_op(), &expected, opts)?;
+        }
+    }
     let serial = StateSpaceLfsr::crc(&spec.generator()).expect("valid generator");
     let a_m_ones = serial.a().pow(opts.m as u64).count_ones();
-    let derby = app.transform().map(|d| d.complexity());
+    let derby = app
+        .transform()
+        .map(lfsr_parallel::DerbyTransform::complexity);
     let report = FlowReport {
         m: opts.m,
         method: app.method(),
@@ -120,6 +166,11 @@ pub fn build_scrambler_app(
     opts: &FlowOptions,
 ) -> Result<(DreamScramblerApp, FlowReport), BuildError> {
     let app = DreamScramblerApp::build(spec, opts.m, &opts.params, opts.synth, opts.control)?;
+    {
+        let derby = app.transform();
+        let expected = derby.c_stack_t().hstack(derby.d_stack());
+        enforce("scrambler", app.op(), &expected, opts)?;
+    }
     let serial = StateSpaceLfsr::additive_scrambler(&spec.polynomial()).expect("valid poly");
     let a_m_ones = serial.a().pow(opts.m as u64).count_ones();
     let block = BlockSystem::new(&serial, opts.m).expect("m checked by build");
@@ -173,6 +224,8 @@ pub fn build_personality(
                         source,
                     }
                 })?;
+            enforce("update", &update, derby.b_mt(), opts)?;
+            enforce("finalize", &finalize, derby.t(), opts)?;
             Ok(dream::Personality {
                 name: name.into(),
                 spec: *spec,
@@ -189,6 +242,7 @@ pub fn build_personality(
                     op: "update",
                     source,
                 })?;
+            enforce("update", &update, &block.a_m().hstack(block.b_m()), opts)?;
             Ok(dream::Personality {
                 name: name.into(),
                 spec: *spec,
@@ -286,5 +340,49 @@ mod tests {
     #[test]
     fn f_exploration_of_invalid_m_is_empty() {
         assert!(explore_f(CrcSpec::crc32_ethernet(), 0).is_empty());
+    }
+
+    #[test]
+    fn strict_mode_verifies_every_named_spec_and_m() {
+        // The acceptance sweep: every catalogue CRC at every paper M
+        // builds under strict verification (equivalence proven for the
+        // update and anti-transform networks, no Error-severity lints).
+        for spec in lfsr::crc::CATALOG {
+            for m in [8usize, 16, 32, 64, 128] {
+                let opts = FlowOptions::dream_with_m(m);
+                assert!(opts.verify.is_some(), "strict mode is the default");
+                match build_crc_app(spec, &opts) {
+                    Ok(_) => {}
+                    Err(BuildError::Verify { op, details }) => {
+                        panic!("{} M={m} '{op}' failed verification:\n{details}", spec.name)
+                    }
+                    // Genuinely unmappable points (e.g. M beyond the I/O
+                    // budget for wide states) are not verification bugs.
+                    Err(BuildError::Map { .. } | BuildError::Parallel(_)) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let opts = FlowOptions {
+            verify: None,
+            ..FlowOptions::dream_with_m(32)
+        };
+        let (mut app, _) = build_crc_app(CrcSpec::crc32_ethernet(), &opts).unwrap();
+        let (crc, _) = app.checksum(b"123456789");
+        assert_eq!(crc, 0xCBF43926);
+    }
+
+    #[test]
+    fn tampered_lint_config_cannot_hide_equivalence_errors() {
+        // Even with every lint allowed, the flow still proves equivalence;
+        // a correct build passes and the config only affects lints.
+        let opts = FlowOptions {
+            verify: Some(verify::LintConfig::allow_all()),
+            ..FlowOptions::dream_with_m(64)
+        };
+        assert!(build_crc_app(CrcSpec::crc32_ethernet(), &opts).is_ok());
     }
 }

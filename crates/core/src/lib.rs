@@ -35,3 +35,6 @@ pub use explore::{max_lookahead, sweep_m, MappingPoint};
 pub use flow::{
     build_crc_app, build_personality, build_scrambler_app, explore_f, FlowOptions, FlowReport,
 };
+// Re-exported so flow users can configure strict-mode verification
+// without depending on the verify crate directly.
+pub use verify::{LintConfig, LintLevel};

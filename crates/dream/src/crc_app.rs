@@ -36,6 +36,14 @@ pub enum BuildError {
         /// The underlying mapping error.
         source: MapError,
     },
+    /// Static verification rejected a mapped operation (strict-mode
+    /// flows only; carries the rendered fabric-lint report).
+    Verify {
+        /// Which operation failed verification.
+        op: &'static str,
+        /// The rendered diagnostics.
+        details: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -43,6 +51,9 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::Parallel(e) => write!(f, "parallelisation failed: {e}"),
             BuildError::Map { op, source } => write!(f, "mapping '{op}' failed: {source}"),
+            BuildError::Verify { op, details } => {
+                write!(f, "verification of '{op}' failed:\n{details}")
+            }
         }
     }
 }
@@ -197,6 +208,18 @@ impl DreamCrcApp {
         self.update_stats
     }
 
+    /// The loaded state-update operation (for inspection and static
+    /// verification of the resident configuration).
+    pub fn update_op(&self) -> &PgaOperation {
+        self.sim.context(UPDATE_SLOT).expect("loaded at build")
+    }
+
+    /// The loaded anti-transform operation (absent for the dense
+    /// fallback).
+    pub fn finalize_op(&self) -> Option<&PgaOperation> {
+        self.sim.context(FINALIZE_SLOT)
+    }
+
     /// Resource statistics of the anti-transform operation (absent for the
     /// dense fallback, which needs no second operation).
     pub fn finalize_stats(&self) -> Option<OpStats> {
@@ -287,7 +310,7 @@ impl DreamCrcApp {
             Datapath::Derby(derby) => {
                 let x_t0 = derby.transform_state(&init);
                 let mut states: Vec<BitVec> = vec![x_t0; messages.len()];
-                let counts: Vec<usize> = all_blocks.iter().map(|b| b.len()).collect();
+                let counts: Vec<usize> = all_blocks.iter().map(std::vec::Vec::len).collect();
                 let schedule = lfsr_parallel::round_robin_schedule(&counts);
                 let items = schedule
                     .iter()
@@ -454,7 +477,7 @@ mod tests {
     fn interleaving_beats_sequential_on_short_messages() {
         let mut a = app(128);
         let batch: Vec<Vec<u8>> = (0..32).map(|_| msg(64)).collect();
-        let refs: Vec<&[u8]> = batch.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[u8]> = batch.iter().map(std::vec::Vec::as_slice).collect();
 
         let (sums, il_report) = a.checksum_interleaved(&refs);
         for (s, d) in sums.iter().zip(&batch) {
@@ -497,7 +520,7 @@ mod tests {
         assert_eq!(got, crc_bitwise(spec, &data));
         // Interleaved batch path also works for the fallback.
         let batch = [msg(32), msg(50)];
-        let refs: Vec<&[u8]> = batch.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[u8]> = batch.iter().map(std::vec::Vec::as_slice).collect();
         let (sums, _) = a.checksum_interleaved(&refs);
         assert_eq!(sums[0], crc_bitwise(spec, &batch[0]));
         assert_eq!(sums[1], crc_bitwise(spec, &batch[1]));
@@ -573,7 +596,7 @@ impl DreamCrcApp {
         // message bit order, for MSB-first specs the port wiring reverses
         // each byte (free static routing — modelled here).
         if !self.spec.refin {
-            for b in blocks.iter_mut() {
+            for b in &mut blocks {
                 let mut fixed = BitVec::zeros(b.len());
                 for byte in 0..b.len() / 8 {
                     for k in 0..8 {

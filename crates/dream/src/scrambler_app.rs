@@ -90,6 +90,17 @@ impl DreamScramblerApp {
         self.stats
     }
 
+    /// The loaded scrambler operation (for inspection and static
+    /// verification of the resident configuration).
+    pub fn op(&self) -> &PgaOperation {
+        self.sim.context(SCRAMBLER_SLOT).expect("loaded at build")
+    }
+
+    /// The Derby transform backing the datapath.
+    pub fn transform(&self) -> &DerbyTransform {
+        &self.derby
+    }
+
     /// Kernel-only peak throughput: M bits per cycle at the fabric clock.
     pub fn kernel_throughput_bps(&self) -> f64 {
         self.m as f64 * self.sim.params().clock_hz

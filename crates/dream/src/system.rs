@@ -182,6 +182,23 @@ impl DreamSystem {
             .collect()
     }
 
+    /// The fabric parameters this system hosts personalities on.
+    pub fn params(&self) -> &PicogaParams {
+        self.sim.params()
+    }
+
+    /// Context slots the registered working set needs to be fully
+    /// resident: one per CRC update, one per anti-transform, one per
+    /// scrambler. When this exceeds the fabric's context count,
+    /// round-robin traffic reloads configurations on every switch.
+    pub fn context_demand(&self) -> usize {
+        self.personalities
+            .values()
+            .map(|p| 1 + usize::from(p.finalize.is_some()))
+            .sum::<usize>()
+            + self.scramblers.len()
+    }
+
     /// Cycle counters accumulated so far (compute + switches + loads).
     pub fn counters(&self) -> picoga::CycleCounters {
         self.sim.counters()

@@ -100,7 +100,7 @@ impl BitMat {
             }
             if let Some(p) = v.highest_one() {
                 // Back-substitute to keep it reduced.
-                for b in reduced.iter_mut() {
+                for b in &mut reduced {
                     if b.get(p) {
                         b.xor_assign(&v);
                     }

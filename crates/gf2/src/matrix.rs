@@ -52,7 +52,7 @@ impl BitMat {
     ///
     /// Panics if the rows have unequal lengths.
     pub fn from_rows(rows: Vec<BitVec>) -> Self {
-        let cols = rows.first().map_or(0, |r| r.len());
+        let cols = rows.first().map_or(0, super::bitvec::BitVec::len);
         assert!(
             rows.iter().all(|r| r.len() == cols),
             "rows must all have the same length"
@@ -70,7 +70,7 @@ impl BitMat {
     ///
     /// Panics if the columns have unequal lengths.
     pub fn from_columns(cols: &[BitVec]) -> Self {
-        let n_rows = cols.first().map_or(0, |c| c.len());
+        let n_rows = cols.first().map_or(0, super::bitvec::BitVec::len);
         assert!(
             cols.iter().all(|c| c.len() == n_rows),
             "columns must all have the same length"
@@ -135,12 +135,15 @@ impl BitMat {
 
     /// Returns `true` if every entry is zero.
     pub fn is_zero(&self) -> bool {
-        self.data.iter().all(|r| r.is_zero())
+        self.data.iter().all(super::bitvec::BitVec::is_zero)
     }
 
     /// Total number of one entries (XOR-network size proxy).
     pub fn count_ones(&self) -> usize {
-        self.data.iter().map(|r| r.count_ones()).sum()
+        self.data
+            .iter()
+            .map(super::bitvec::BitVec::count_ones)
+            .sum()
     }
 
     /// Matrix–vector product `self · v`.
@@ -444,7 +447,7 @@ impl fmt::Debug for BitMat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "BitMat {}x{} [", self.rows, self.cols)?;
         for row in &self.data {
-            writeln!(f, "  {}", row)?;
+            writeln!(f, "  {row}")?;
         }
         write!(f, "]")
     }

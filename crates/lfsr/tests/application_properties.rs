@@ -2,7 +2,9 @@
 
 use gf2::BitVec;
 use lfsr::crc::{crc_bitwise, crc_combine, CrcSpec, CrcStream, SerialCore, CATALOG};
-use lfsr::scramble::{AdditiveScrambler, MultiplicativeScrambler, ScramblerSpec, SCRAMBLER_CATALOG};
+use lfsr::scramble::{
+    AdditiveScrambler, MultiplicativeScrambler, ScramblerSpec, SCRAMBLER_CATALOG,
+};
 use proptest::prelude::*;
 
 proptest! {

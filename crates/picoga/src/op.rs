@@ -119,9 +119,23 @@ impl Placement {
         Placement { rows }
     }
 
+    /// Builds a placement directly from per-row gate-index lists.
+    ///
+    /// [`PgaOperation`] constructors always pack topologically; this
+    /// constructor exists for analysis tooling (e.g. the fabric linter's
+    /// hazard tests) that needs to examine arbitrary row assignments.
+    pub fn from_rows(rows: Vec<Vec<usize>>) -> Placement {
+        Placement { rows }
+    }
+
     /// Rows used.
     pub fn row_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The physical row computing gate `gate_idx`, if it is placed.
+    pub fn row_of(&self, gate_idx: usize) -> Option<usize> {
+        self.rows.iter().position(|row| row.contains(&gate_idx))
     }
 
     /// Gate indices per row.
@@ -131,7 +145,7 @@ impl Placement {
 
     /// Total cells occupied.
     pub fn cell_count(&self) -> usize {
-        self.rows.iter().map(|r| r.len()).sum()
+        self.rows.iter().map(std::vec::Vec::len).sum()
     }
 }
 
@@ -504,6 +518,16 @@ impl PgaOperation {
     /// `true` if this op is a pure feed-forward network.
     pub fn is_linear(&self) -> bool {
         matches!(self.kind, OpKind::Linear)
+    }
+
+    /// A stable name for the operation's shape, for reports and lints.
+    pub fn kind_name(&self) -> &'static str {
+        match &self.kind {
+            OpKind::Linear => "linear",
+            OpKind::CrcUpdate(_) => "crc-update",
+            OpKind::Scrambler { .. } => "scrambler",
+            OpKind::CrcUpdateDense { .. } => "crc-update-dense",
+        }
     }
 
     /// Resource and timing statistics.

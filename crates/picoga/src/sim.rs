@@ -167,6 +167,12 @@ impl PicogaSim {
         self.active
     }
 
+    /// The operation resident in context `slot`, if any — read-only
+    /// access for inspection and static verification of loaded contexts.
+    pub fn context(&self, slot: usize) -> Option<&PgaOperation> {
+        self.contexts.get(slot).and_then(Option::as_ref)
+    }
+
     /// Loads an operation into a context slot, charging the off-fabric
     /// load cost.
     ///

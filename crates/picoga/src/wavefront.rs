@@ -79,7 +79,7 @@ pub fn run_crc_wavefront(op: &PgaOperation, x_t0: &BitVec, blocks: &[BitVec]) ->
         // Every wave advances one row this cycle (oldest first, so the
         // feedback row sees them in program order).
         let mut retired = 0;
-        for w in in_flight.iter_mut() {
+        for w in &mut in_flight {
             if w.next_row < ff_rows {
                 for &gi in &placement.rows()[w.next_row] {
                     let g = &net.gates()[gi];

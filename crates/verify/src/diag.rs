@@ -1,0 +1,401 @@
+//! The diagnostics layer: coded findings, severities, configurable
+//! lint levels, and the rendered report.
+//!
+//! Modeled on clippy's lint machinery, scaled to the fabric flow: every
+//! finding carries a stable `FL***` code so reports are grep-able and
+//! levels can be reconfigured per code without touching the checkers.
+
+use std::fmt;
+
+/// Stable diagnostic codes of the fabric-lint subsystem.
+///
+/// `FL000` is reserved for the equivalence checker (a synthesis result
+/// that does not compute its source matrix); `FL001`–`FL008` are the
+/// structural lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// FL000 — the network's function differs from its source matrix.
+    NonEquivalent,
+    /// FL001 — a gate feeds no primary output (dead logic).
+    DeadGate,
+    /// FL002 — two gates compute the same XOR (missed sharing).
+    DuplicateGate,
+    /// FL003 — a single-input gate (buffer) burns a cell for a wire.
+    BufferChain,
+    /// FL004 — a gate's fan-in exceeds the logic-cell limit.
+    FaninExceeded,
+    /// FL005 — a row / cell / I-O budget is exceeded (error) or nearly
+    /// saturated (advisory).
+    BudgetExceeded,
+    /// FL006 — the feedback structure is not in companion form, so the
+    /// initiation interval equals the pipeline latency.
+    NonCompanionFeedback,
+    /// FL007 — a pipeline/wavefront hazard: a gate reads a signal placed
+    /// in its own or a later row.
+    WavefrontHazard,
+    /// FL008 — a working set larger than the configuration cache
+    /// (context thrash on a shared fabric).
+    CacheOverflow,
+}
+
+impl Code {
+    /// Every code, in FL-number order.
+    pub const ALL: [Code; 9] = [
+        Code::NonEquivalent,
+        Code::DeadGate,
+        Code::DuplicateGate,
+        Code::BufferChain,
+        Code::FaninExceeded,
+        Code::BudgetExceeded,
+        Code::NonCompanionFeedback,
+        Code::WavefrontHazard,
+        Code::CacheOverflow,
+    ];
+
+    /// The stable string form (`"FL004"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NonEquivalent => "FL000",
+            Code::DeadGate => "FL001",
+            Code::DuplicateGate => "FL002",
+            Code::BufferChain => "FL003",
+            Code::FaninExceeded => "FL004",
+            Code::BudgetExceeded => "FL005",
+            Code::NonCompanionFeedback => "FL006",
+            Code::WavefrontHazard => "FL007",
+            Code::CacheOverflow => "FL008",
+        }
+    }
+
+    /// One-line description used in report headers and docs.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::NonEquivalent => "network function differs from its source matrix",
+            Code::DeadGate => "gate feeds no primary output",
+            Code::DuplicateGate => "duplicate gate (missed common-pattern sharing)",
+            Code::BufferChain => "single-input buffer gate",
+            Code::FaninExceeded => "gate fan-in exceeds the cell limit",
+            Code::BudgetExceeded => "row/cell/I-O budget exceeded or nearly saturated",
+            Code::NonCompanionFeedback => "feedback not in companion form (II = latency)",
+            Code::WavefrontHazard => "gate reads a signal from its own or a later row",
+            Code::CacheOverflow => "working set exceeds the configuration cache",
+        }
+    }
+
+    fn index(self) -> usize {
+        Code::ALL.iter().position(|&c| c == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a finding is. `Error` findings fail strict builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: worth a look, does not gate the flow.
+    Warning,
+    /// Violation: the artifact is wrong or unmappable.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Where a finding points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// The whole network.
+    Network,
+    /// A gate, by index in the gate list.
+    Gate(usize),
+    /// A primary output, by index.
+    Output(usize),
+    /// A physical fabric row.
+    Row(usize),
+    /// A named PGA operation.
+    Op(String),
+    /// The shared system (configuration cache, contexts).
+    System,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Network => write!(f, "network"),
+            Location::Gate(g) => write!(f, "gate {g}"),
+            Location::Output(o) => write!(f, "output {o}"),
+            Location::Row(r) => write!(f, "row {r}"),
+            Location::Op(name) => write!(f, "op '{name}'"),
+            Location::System => write!(f, "system"),
+        }
+    }
+}
+
+/// One coded finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity after lint-level configuration.
+    pub severity: Severity,
+    /// Human-readable description with the concrete numbers.
+    pub message: String,
+    /// What the finding points at.
+    pub location: Location,
+}
+
+impl Diagnostic {
+    /// Builds an `Error`-severity finding.
+    pub fn error(code: Code, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            location,
+        }
+    }
+
+    /// Builds a `Warning`-severity finding.
+    pub fn warning(code: Code, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            location,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// Per-code reporting level, clippy style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintLevel {
+    /// Drop findings with this code.
+    Allow,
+    /// Report at `Warning` severity regardless of the finding's own.
+    Warn,
+    /// Report at `Error` severity regardless of the finding's own.
+    Deny,
+    /// Keep the checker's intrinsic severity (violations are errors,
+    /// advisories are warnings). The default for every code.
+    #[default]
+    Keep,
+}
+
+/// Maps each [`Code`] to a [`LintLevel`]. `Copy`, so it can ride inside
+/// flow options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintConfig {
+    levels: [LintLevel; Code::ALL.len()],
+}
+
+impl LintConfig {
+    /// Every code at [`LintLevel::Keep`] — intrinsic severities.
+    #[must_use]
+    pub fn keep_all() -> Self {
+        LintConfig {
+            levels: [LintLevel::Keep; Code::ALL.len()],
+        }
+    }
+
+    /// Every code at [`LintLevel::Allow`] — lints off (the equivalence
+    /// checker cannot be configured away by the flow's strict mode).
+    #[must_use]
+    pub fn allow_all() -> Self {
+        LintConfig {
+            levels: [LintLevel::Allow; Code::ALL.len()],
+        }
+    }
+
+    /// Returns a copy with `code` set to `level`.
+    #[must_use]
+    pub fn with(mut self, code: Code, level: LintLevel) -> Self {
+        self.levels[code.index()] = level;
+        self
+    }
+
+    /// The configured level of `code`.
+    #[must_use]
+    pub fn level(&self, code: Code) -> LintLevel {
+        self.levels[code.index()]
+    }
+
+    /// Applies the configuration to raw findings: drops `Allow`ed codes
+    /// and overrides severities for `Warn`/`Deny` codes.
+    #[must_use]
+    pub fn apply(&self, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        raw.into_iter()
+            .filter_map(|mut d| match self.level(d.code) {
+                LintLevel::Allow => None,
+                LintLevel::Warn => {
+                    d.severity = Severity::Warning;
+                    Some(d)
+                }
+                LintLevel::Deny => {
+                    d.severity = Severity::Error;
+                    Some(d)
+                }
+                LintLevel::Keep => Some(d),
+            })
+            .collect()
+    }
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig::keep_all()
+    }
+}
+
+/// A batch of findings with rendering and severity accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends all findings of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of `Error`-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity findings.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// `true` when any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Renders the report as aligned text, one finding per line, with a
+    /// trailing summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{:<7} {:<6} {:<12} {}",
+                d.severity.to_string(),
+                d.code,
+                d.location.to_string(),
+                d.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        );
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            strs,
+            ["FL000", "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007", "FL008"]
+        );
+        for c in Code::ALL {
+            assert!(!c.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn config_levels_rewrite_severities() {
+        let raw = vec![
+            Diagnostic::error(Code::FaninExceeded, Location::Gate(3), "fan-in 12 > 10"),
+            Diagnostic::warning(Code::DeadGate, Location::Gate(7), "unused"),
+        ];
+        let cfg = LintConfig::keep_all()
+            .with(Code::FaninExceeded, LintLevel::Warn)
+            .with(Code::DeadGate, LintLevel::Deny);
+        let out = cfg.apply(raw.clone());
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[1].severity, Severity::Error);
+
+        let allowed = LintConfig::allow_all().apply(raw);
+        assert!(allowed.is_empty());
+    }
+
+    #[test]
+    fn report_counts_and_renders() {
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        r.diagnostics.push(Diagnostic::error(
+            Code::BudgetExceeded,
+            Location::Op("update".into()),
+            "needs 30 rows, fabric has 24",
+        ));
+        r.diagnostics.push(Diagnostic::warning(
+            Code::BufferChain,
+            Location::Gate(0),
+            "1-input gate",
+        ));
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        let text = r.render();
+        assert!(text.contains("FL005"));
+        assert!(text.contains("op 'update'"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Mutation testing of the equivalence checker: inject single-point
+//! faults into networks that are known-good and require [`check_network`]
+//! to catch every semantics-changing mutant. A checker that accepts a
+//! mutant it should reject is worse than no checker — it certifies broken
+//! hardware mappings.
+
+use gf2::BitMat;
+use proptest::prelude::*;
+use verify::check_network;
+use xornet::{synthesize, SynthOptions, XorNetwork};
+
+/// Deterministic xorshift so a `u64` seed expands into a whole matrix.
+fn splat(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed | 1;
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> BitMat {
+    let mut next = splat(seed);
+    let mut m = BitMat::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m.set(r, c, next() & 1 == 1);
+        }
+    }
+    m
+}
+
+/// Rebuilds `net` gate by gate, giving the caller a chance to rewrite
+/// each gate's fan-in list. The rebuilt network keeps the original
+/// output wiring.
+fn rebuild(net: &XorNetwork, mut rewrite: impl FnMut(usize, &mut Vec<usize>)) -> XorNetwork {
+    let mut out = XorNetwork::new(net.n_inputs(), net.max_fanin());
+    for (gi, g) in net.gates().iter().enumerate() {
+        let mut inputs = g.inputs.clone();
+        rewrite(gi, &mut inputs);
+        out.add_gate(inputs);
+    }
+    for o in net.outputs() {
+        out.add_output(*o);
+    }
+    out
+}
+
+/// Flips one fan-in wire of one gate to a different (earlier) signal.
+fn flip_gate_input(net: &XorNetwork, choice: u64) -> Option<XorNetwork> {
+    if net.gate_count() == 0 {
+        return None;
+    }
+    let gi = (choice as usize) % net.gate_count();
+    let gate_signal = net.n_inputs() + gi;
+    if gate_signal < 2 {
+        return None; // no alternative wire exists below this gate
+    }
+    let slot = (choice as usize / 7) % net.gates()[gi].inputs.len();
+    let old = net.gates()[gi].inputs[slot];
+    let replacement = (old + 1 + (choice as usize / 13) % (gate_signal - 1)) % gate_signal;
+    debug_assert_ne!(replacement, old);
+    Some(rebuild(net, |i, inputs| {
+        if i == gi {
+            inputs[slot] = replacement;
+        }
+    }))
+}
+
+/// Swaps two output taps (a routing fault at the output crossbar).
+fn swap_outputs(net: &XorNetwork, choice: u64) -> Option<XorNetwork> {
+    let n_out = net.outputs().len();
+    if n_out < 2 {
+        return None;
+    }
+    let a = (choice as usize) % n_out;
+    let b = (a + 1 + (choice as usize / 11) % (n_out - 1)) % n_out;
+    let outs = net.outputs();
+    let mut swapped = XorNetwork::new(net.n_inputs(), net.max_fanin());
+    for g in net.gates() {
+        swapped.add_gate(g.inputs.clone());
+    }
+    for (i, o) in outs.iter().enumerate() {
+        let o = if i == a {
+            outs[b]
+        } else if i == b {
+            outs[a]
+        } else {
+            *o
+        };
+        swapped.add_output(o);
+    }
+    Some(swapped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every synthesized network verifies against its source matrix
+    /// (soundness: the checker must not cry wolf).
+    #[test]
+    fn synthesized_networks_always_verify(
+        rows in 1usize..10,
+        cols in 1usize..14,
+        seed in any::<u64>(),
+    ) {
+        let m = random_matrix(rows, cols, seed);
+        let net = synthesize(&m, SynthOptions::default());
+        prop_assert!(check_network(&net, &m).is_ok(), "false positive on {net}");
+    }
+
+    /// A flipped gate input that changes the computed function must be
+    /// rejected, and one that happens to preserve it must be accepted —
+    /// the checker agrees exactly with the semantic oracle `to_matrix`.
+    #[test]
+    fn flipped_gate_inputs_are_caught(
+        rows in 2usize..10,
+        cols in 2usize..14,
+        seed in any::<u64>(),
+        choice in any::<u64>(),
+    ) {
+        let m = random_matrix(rows, cols, seed);
+        let net = synthesize(&m, SynthOptions::default());
+        let Some(mutant) = flip_gate_input(&net, choice) else {
+            return Ok(()); // wire-only network: nothing to mutate
+        };
+        let verdict = check_network(&mutant, &m);
+        if mutant.to_matrix() == m {
+            prop_assert!(verdict.is_ok(), "rejected a semantics-preserving mutant");
+        } else {
+            prop_assert!(verdict.is_err(), "accepted a faulty mutant of {net}");
+        }
+    }
+
+    /// Swapped output taps must be caught unless the swapped rows are
+    /// identical (in which case the function is unchanged).
+    #[test]
+    fn swapped_outputs_are_caught(
+        rows in 2usize..10,
+        cols in 2usize..14,
+        seed in any::<u64>(),
+        choice in any::<u64>(),
+    ) {
+        let m = random_matrix(rows, cols, seed);
+        let net = synthesize(&m, SynthOptions::default());
+        let Some(mutant) = swap_outputs(&net, choice) else {
+            return Ok(());
+        };
+        let verdict = check_network(&mutant, &m);
+        if mutant.to_matrix() == m {
+            prop_assert!(verdict.is_ok(), "rejected an identity output swap");
+        } else {
+            prop_assert!(verdict.is_err(), "missed a swapped output pair");
+        }
+    }
+}
+
+/// A guaranteed-semantics-changing mutation on a real CRC network: the
+/// checker must reject it, and must localise the damage to real rows.
+#[test]
+fn targeted_crc_mutation_is_rejected_and_localised() {
+    let spec = lfsr::crc::CrcSpec::crc32_ethernet();
+    let serial = lfsr::StateSpaceLfsr::crc(&spec.generator()).expect("valid generator");
+    let block = lfsr_parallel::BlockSystem::new(&serial, 32).expect("block system");
+    let m = block.a_m().hstack(block.b_m());
+    let net = synthesize(&m, SynthOptions::default());
+    check_network(&net, &m).expect("synthesized CRC network verifies");
+
+    // Exhaustively try single-input flips until one changes the function
+    // (the first almost always does — XOR networks have no redundancy).
+    let mut rejected = false;
+    'outer: for choice in 0..64u64 {
+        if let Some(mutant) = flip_gate_input(&net, choice) {
+            if mutant.to_matrix() != m {
+                let err = check_network(&mutant, &m).expect_err("mutant must be rejected");
+                let diags = err.diagnostics();
+                assert!(!diags.is_empty(), "rejection must carry diagnostics");
+                rejected = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(rejected, "no semantics-changing mutant found in 64 tries");
+}

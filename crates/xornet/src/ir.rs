@@ -284,6 +284,33 @@ mod tests {
     }
 
     #[test]
+    fn fanout_live_and_support_hooks() {
+        // g0 = i0^i1 feeds g1; g2 = i0^i2 is dead; out = [g1, i2].
+        let mut n = XorNetwork::new(3, 2);
+        let g0 = n.add_gate(vec![0, 1]);
+        let g1 = n.add_gate(vec![g0, 2]);
+        let g2 = n.add_gate(vec![0, 2]);
+        n.add_output(Some(g1));
+        n.add_output(Some(2));
+
+        let fan = n.fanout_counts();
+        assert_eq!(fan[0], 2); // i0 read by g0 and g2
+        assert_eq!(fan[2], 3); // i2 read by g1, g2 and output 1
+        assert_eq!(fan[g1], 1);
+        assert_eq!(fan[g2], 0);
+
+        let live = n.live_signals();
+        assert!(live[0] && live[1] && live[2] && live[g0] && live[g1]);
+        assert!(!live[g2], "g2 feeds nothing");
+
+        assert_eq!(n.signal_support(0), BitVec::unit(0, 3));
+        let s = n.signal_support(g1);
+        assert!(s.get(0) && s.get(1) && s.get(2));
+        let s = n.signal_support(g2);
+        assert!(s.get(0) && !s.get(1) && s.get(2));
+    }
+
+    #[test]
     fn wire_only_network_has_depth_zero() {
         let mut n = XorNetwork::new(2, 4);
         n.add_output(Some(1));
@@ -296,6 +323,61 @@ mod tests {
 }
 
 impl XorNetwork {
+    /// How many readers each signal has: gate fan-ins plus primary
+    /// outputs. Indexed like [`levels`](Self::levels) (inputs first).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_signals()];
+        for g in &self.gates {
+            for &s in &g.inputs {
+                counts[s] += 1;
+            }
+        }
+        for o in self.outputs.iter().flatten() {
+            counts[*o] += 1;
+        }
+        counts
+    }
+
+    /// Which signals transitively reach a primary output. Gates that are
+    /// not live are dead logic (they burn a cell for nothing).
+    pub fn live_signals(&self) -> Vec<bool> {
+        let mut live = vec![false; self.n_signals()];
+        for o in self.outputs.iter().flatten() {
+            live[*o] = true;
+        }
+        // Gates are topologically ordered, so one reverse sweep suffices.
+        for gi in (0..self.gates.len()).rev() {
+            if live[self.n_inputs + gi] {
+                for &s in &self.gates[gi].inputs {
+                    live[s] = true;
+                }
+            }
+        }
+        live
+    }
+
+    /// The input-support vector of one signal: which primary inputs its
+    /// value depends on (symbolic forward propagation, the per-signal
+    /// view behind [`to_matrix`](Self::to_matrix)).
+    pub fn signal_support(&self, signal: SignalId) -> BitVec {
+        assert!(signal < self.n_signals(), "undefined signal");
+        if signal < self.n_inputs {
+            return BitVec::unit(signal, self.n_inputs);
+        }
+        let mut support: Vec<BitVec> = Vec::with_capacity(signal + 1);
+        for i in 0..self.n_inputs {
+            support.push(BitVec::unit(i, self.n_inputs));
+        }
+        for g in &self.gates[..=signal - self.n_inputs] {
+            let mut s = BitVec::zeros(self.n_inputs);
+            for &inp in &g.inputs {
+                s.xor_assign(&support[inp]);
+            }
+            support.push(s);
+        }
+        support[signal].clone()
+    }
+
     /// Renders the network as Graphviz DOT (inputs as boxes, gates as
     /// circles labelled with their level, outputs as double circles) —
     /// the debugging view the mapping flow prints on request.

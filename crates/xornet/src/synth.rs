@@ -78,7 +78,7 @@ fn extract_patterns(net: &mut XorNetwork, rows: &mut [Vec<SignalId>], max_fanin:
     // savings no longer justify the runtime and the naive cover is used
     // (matrices this big exceed any PiCoGA-class fabric anyway).
     const CSE_LITERAL_BUDGET: usize = 4096;
-    if rows.iter().map(|r| r.len()).sum::<usize>() > CSE_LITERAL_BUDGET {
+    if rows.iter().map(std::vec::Vec::len).sum::<usize>() > CSE_LITERAL_BUDGET {
         return;
     }
     loop {
@@ -198,7 +198,7 @@ pub fn report(net: &XorNetwork) -> SynthReport {
     SynthReport {
         gates: net.gate_count(),
         depth: net.depth(),
-        max_level_width: levels.iter().map(|l| l.len()).max().unwrap_or(0),
+        max_level_width: levels.iter().map(std::vec::Vec::len).max().unwrap_or(0),
     }
 }
 

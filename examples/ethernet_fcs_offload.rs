@@ -47,7 +47,7 @@ fn main() {
 
     // --- Interleaved offload: the whole burst in two configuration
     //     phases (all state updates, then all anti-transforms). ---
-    let refs: Vec<&[u8]> = burst.iter().map(|f| f.as_slice()).collect();
+    let refs: Vec<&[u8]> = burst.iter().map(std::vec::Vec::as_slice).collect();
     let (fcs_batch, il) = app.checksum_interleaved(&refs);
     for (fcs, f) in fcs_batch.iter().zip(&burst) {
         assert_eq!(*fcs, crc_bitwise(spec, f));

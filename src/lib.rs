@@ -48,4 +48,5 @@ pub use lfsr;
 pub use lfsr_parallel as parallel;
 pub use picoga;
 pub use riscsim;
+pub use verify;
 pub use xornet;

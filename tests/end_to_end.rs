@@ -108,7 +108,7 @@ fn interleaved_batch_matches_sequential_checksums() {
     let spec = CrcSpec::crc32_ethernet();
     let (mut app, _) = build_crc_app(spec, &FlowOptions::dream_with_m(64)).unwrap();
     let batch: Vec<Vec<u8>> = (0..17).map(|i| message(64 + i * 13, i as u64)).collect();
-    let refs: Vec<&[u8]> = batch.iter().map(|v| v.as_slice()).collect();
+    let refs: Vec<&[u8]> = batch.iter().map(std::vec::Vec::as_slice).collect();
     let (sums, report) = app.checksum_interleaved(&refs);
     assert_eq!(sums.len(), batch.len());
     for (s, d) in sums.iter().zip(&batch) {

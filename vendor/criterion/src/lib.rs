@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of criterion's API the workspace's
+//! `benches/` use: [`Criterion::benchmark_group`], group tuning knobs,
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`,
+//! [`Bencher::iter`], [`Throughput`], [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed batches, and reports the best
+//! per-iteration time (the statistic least disturbed by scheduler
+//! noise). There are no plots, baselines, or statistical tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement — the criterion default.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Opaque-to-the-optimizer value laundering, re-exported for parity with
+/// criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a benchmark's throughput is derived from its timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("lookahead", 32)` renders as `lookahead/32`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+            _measurement: measurement::WallTime,
+        }
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters and a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _measurement: M,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput used in the report line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run_one(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up,
+            },
+            best_ns: f64::INFINITY,
+        };
+        // Warm-up pass: run the routine until the warm-up budget is spent.
+        f(&mut bencher);
+        bencher.mode = Mode::Sample {
+            samples: self.sample_size,
+            budget: self.measurement,
+        };
+        f(&mut bencher);
+        let per_iter_ns = bencher.best_ns;
+        let label = format!("{}/{}", self.name, id);
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib_s = bytes as f64 / per_iter_ns.max(f64::MIN_POSITIVE);
+                println!("{label:<45} {per_iter_ns:>12.1} ns/iter  {gib_s:>8.3} GB/s");
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_ns = per_iter_ns / n as f64;
+                println!("{label:<45} {per_iter_ns:>12.1} ns/iter  {elem_ns:>8.3} ns/elem");
+            }
+            None => println!("{label:<45} {per_iter_ns:>12.1} ns/iter"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp { until: Duration },
+    Sample { samples: usize, budget: Duration },
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best observed per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                while start.elapsed() < until {
+                    hint::black_box(routine());
+                }
+            }
+            Mode::Sample { samples, budget } => {
+                let per_sample = budget / samples.max(1) as u32;
+                let deadline = Instant::now() + budget;
+                for _ in 0..samples {
+                    // Batch iterations until the per-sample slice is spent,
+                    // so very fast routines are timed over many calls.
+                    let mut iters = 0u64;
+                    let t0 = Instant::now();
+                    loop {
+                        hint::black_box(routine());
+                        iters += 1;
+                        if t0.elapsed() >= per_sample || iters >= 1_000_000 {
+                            break;
+                        }
+                    }
+                    let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+                    if ns < self.best_ns {
+                        self.best_ns = ns;
+                    }
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(4));
+        g.throughput(Throughput::Bytes(64));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &p| {
+            b.iter(|| black_box(p * 2));
+        });
+        g.finish();
+        assert!(ran > 0, "routine executed during warm-up and sampling");
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 128).to_string(), "f/128");
+    }
+}

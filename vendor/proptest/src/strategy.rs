@@ -1,0 +1,171 @@
+//! Value-generation strategies: the [`Strategy`] trait, `any`, integer
+//! ranges, `Just`, and `prop_map`.
+
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+use core::ops::Range;
+
+/// A recipe for generating values of one type from the test RNG.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`, failing the case as a rejection
+    /// after a bounded number of attempts (proptest's `prop_filter` minus
+    /// the global rejection bookkeeping).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Always produces a clone of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy, reached via [`any`].
+pub trait ArbitraryValue {
+    /// Draws an unconstrained value of the type.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy object returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates unconstrained values of `T` (proptest's `any::<T>()`).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u128;
+                #[allow(clippy::cast_possible_truncation)]
+                let off = ((u128::from(rng.next_u64())) % span) as $t;
+                self.start + off
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_cover_their_span() {
+        let mut rng = TestRng::deterministic("range-span");
+        let strat = 5usize..8;
+        let mut seen = [false; 3];
+        for _ in 0..256 {
+            let v = strat.generate(&mut rng);
+            assert!((5..8).contains(&v));
+            seen[v - 5] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a small range hit");
+    }
+
+    #[test]
+    fn just_and_filter_behave() {
+        let mut rng = TestRng::deterministic("just");
+        assert_eq!(Just(42u8).generate(&mut rng), 42);
+        let even = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..32 {
+            assert_eq!(even.generate(&mut rng) % 2, 0);
+        }
+    }
+}
