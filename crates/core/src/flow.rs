@@ -82,7 +82,7 @@ fn enforce(
     if report.has_errors() {
         return Err(BuildError::Verify {
             op: op_name,
-            details: report.render(),
+            source: verify::VerifyError::from(report),
         });
     }
     Ok(())
@@ -353,12 +353,18 @@ mod tests {
                 assert!(opts.verify.is_some(), "strict mode is the default");
                 match build_crc_app(spec, &opts) {
                     Ok(_) => {}
-                    Err(BuildError::Verify { op, details }) => {
-                        panic!("{} M={m} '{op}' failed verification:\n{details}", spec.name)
+                    Err(BuildError::Verify { op, source }) => {
+                        panic!("{} M={m} '{op}' failed verification:\n{source}", spec.name)
                     }
                     // Genuinely unmappable points (e.g. M beyond the I/O
                     // budget for wide states) are not verification bugs.
                     Err(BuildError::Map { .. } | BuildError::Parallel(_)) => {}
+                    Err(BuildError::Spec(e)) => {
+                        panic!("{} is a catalogue spec and must parse: {e}", spec.name)
+                    }
+                    Err(BuildError::Fabric { op, source }) => {
+                        panic!("DREAM has 4 contexts, '{op}' must load: {source}")
+                    }
                 }
             }
         }

@@ -20,13 +20,16 @@ use gf2::BitVec;
 use lfsr::crc::{message_bits, reflect, CrcSpec};
 use lfsr::StateSpaceLfsr;
 use lfsr_parallel::{BlockSystem, DerbyTransform, ParallelError};
-use picoga::{MapError, OpStats, PgaOperation, PicogaParams, PicogaSim};
+use picoga::{MapError, OpStats, PgaOperation, PicogaParams, PicogaSim, SimError};
 use std::fmt;
 use xornet::{synthesize, SynthOptions};
 
 /// Errors from building a DREAM CRC application.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
+    /// The specification itself is malformed (degenerate generator or
+    /// scrambler polynomial).
+    Spec(lfsr::LfsrError),
     /// The parallelisation math failed (zero M, singular Krylov…).
     Parallel(ParallelError),
     /// An operation did not fit the fabric.
@@ -37,32 +40,59 @@ pub enum BuildError {
         source: MapError,
     },
     /// Static verification rejected a mapped operation (strict-mode
-    /// flows only; carries the rendered fabric-lint report).
+    /// flows only; carries the fabric-lint report as a typed source).
     Verify {
         /// Which operation failed verification.
         op: &'static str,
-        /// The rendered diagnostics.
-        details: String,
+        /// The diagnostics that rejected the mapping.
+        source: verify::VerifyError,
+    },
+    /// The fabric could not host an operation (too few context slots).
+    Fabric {
+        /// Which operation could not be loaded.
+        op: &'static str,
+        /// The underlying simulator error.
+        source: SimError,
     },
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            BuildError::Spec(e) => write!(f, "invalid specification: {e}"),
             BuildError::Parallel(e) => write!(f, "parallelisation failed: {e}"),
             BuildError::Map { op, source } => write!(f, "mapping '{op}' failed: {source}"),
-            BuildError::Verify { op, details } => {
-                write!(f, "verification of '{op}' failed:\n{details}")
+            BuildError::Verify { op, source } => {
+                write!(f, "verification of '{op}' failed:\n{source}")
+            }
+            BuildError::Fabric { op, source } => {
+                write!(f, "fabric cannot host '{op}': {source}")
             }
         }
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Spec(e) => Some(e),
+            BuildError::Parallel(e) => Some(e),
+            BuildError::Map { source, .. } => Some(source),
+            BuildError::Verify { source, .. } => Some(source),
+            BuildError::Fabric { source, .. } => Some(source),
+        }
+    }
+}
 
 impl From<ParallelError> for BuildError {
     fn from(e: ParallelError) -> Self {
         BuildError::Parallel(e)
+    }
+}
+
+impl From<lfsr::LfsrError> for BuildError {
+    fn from(e: lfsr::LfsrError) -> Self {
+        BuildError::Spec(e)
     }
 }
 
@@ -129,8 +159,7 @@ impl DreamCrcApp {
                 },
             });
         }
-        let serial =
-            StateSpaceLfsr::crc(&spec.generator()).expect("catalogue generators are valid");
+        let serial = StateSpaceLfsr::crc(&spec.generator())?;
         let block = BlockSystem::new(&serial, m)?;
 
         let mut sim = PicogaSim::new(*params);
@@ -153,9 +182,15 @@ impl DreamCrcApp {
                 let us = update.stats();
                 let fs = finalize.stats();
                 sim.load_context(UPDATE_SLOT, update)
-                    .expect("slot 0 exists");
+                    .map_err(|source| BuildError::Fabric {
+                        op: "crc-update",
+                        source,
+                    })?;
                 sim.load_context(FINALIZE_SLOT, finalize)
-                    .expect("slot 1 exists");
+                    .map_err(|source| BuildError::Fabric {
+                        op: "crc-finalize",
+                        source,
+                    })?;
                 (Datapath::Derby(derby), us, Some(fs))
             }
             Err(ParallelError::SingularKrylov { .. }) => {
@@ -174,7 +209,10 @@ impl DreamCrcApp {
                 })?;
                 let us = update.stats();
                 sim.load_context(UPDATE_SLOT, update)
-                    .expect("slot 0 exists");
+                    .map_err(|source| BuildError::Fabric {
+                        op: "crc-update-dense",
+                        source,
+                    })?;
                 (Datapath::Dense(block), us, None)
             }
             Err(e) => return Err(e.into()),
@@ -440,6 +478,38 @@ mod tests {
     }
 
     #[test]
+    fn too_few_context_slots_is_a_typed_error_not_a_panic() {
+        // The Derby datapath needs two contexts (update + finalize); a
+        // single-context fabric must be refused, not unwound.
+        let mut params = PicogaParams::dream();
+        params.contexts = 1;
+        let err = DreamCrcApp::build(
+            CrcSpec::crc32_ethernet(),
+            32,
+            &params,
+            SynthOptions::default(),
+            ControlModel::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::Fabric {
+                    op: "crc-finalize",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("crc-finalize"), "{rendered}");
+        assert!(
+            std::error::Error::source(&err).is_some(),
+            "fabric errors carry their simulator cause"
+        );
+    }
+
+    #[test]
     fn m128_fits_dream_and_m256_does_not() {
         // §4: "PiCoGA is able to elaborate up to 128 bit per cycle."
         assert!(DreamCrcApp::build(
@@ -558,12 +628,9 @@ impl DreamCrcApp {
     ///
     /// # Errors
     ///
-    /// [`crate::MemoryError`] for out-of-range streams.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `M` is not a multiple of 32 or `len_bytes * 8` is not a
-    /// multiple of `M`.
+    /// [`crate::MemoryError`] for out-of-range streams, an `M` that is
+    /// not a multiple of the port width, or a message length that is not
+    /// block-aligned.
     pub fn checksum_streamed(
         &mut self,
         mem: &crate::LocalMemory,
@@ -571,16 +638,18 @@ impl DreamCrcApp {
         len_bytes: usize,
     ) -> Result<(u64, RunReport), crate::MemoryError> {
         let word_bits = mem.params().word_bits;
-        assert_eq!(
-            self.m % word_bits,
-            0,
-            "M must be a multiple of the port width"
-        );
-        assert_eq!(
-            (len_bytes * 8) % self.m,
-            0,
-            "streamed messages must be block-aligned"
-        );
+        if !self.m.is_multiple_of(word_bits) {
+            return Err(crate::MemoryError::PortMismatch {
+                m: self.m,
+                word_bits,
+            });
+        }
+        if !(len_bytes * 8).is_multiple_of(self.m) {
+            return Err(crate::MemoryError::UnalignedMessage {
+                bits: len_bytes * 8,
+                m: self.m,
+            });
+        }
         let ports = self.m / word_bits;
         let blocks_n = len_bytes * 8 / self.m;
         let generators: Vec<crate::AddressGenerator> = (0..ports)

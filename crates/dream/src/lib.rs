@@ -19,7 +19,10 @@ mod system;
 
 pub use crc_app::{BuildError, CrcMethod, DreamCrcApp};
 pub use energy::{EnergyModel, FiguresOfMerit};
-pub use memory::{AddressGenerator, LocalMemory, MemoryError, MemoryParams};
+pub use memory::{AddressGenerator, LocalMemory, MemoryError, MemoryParams, TransientFault};
 pub use perf::{ControlModel, RunReport};
 pub use scrambler_app::DreamScramblerApp;
-pub use system::{DreamSystem, Personality, ScramblerPersonality, SystemError};
+pub use system::{
+    DreamSystem, Health, Personality, ResilienceCounters, ScramblerPersonality, ScrubFinding,
+    SystemError,
+};

@@ -62,6 +62,23 @@ pub enum MemoryError {
         /// Total words.
         words: usize,
     },
+    /// The block size is not a multiple of the fabric port width, so no
+    /// address-generator program can feed it.
+    PortMismatch {
+        /// Requested block size (bits per issue).
+        m: usize,
+        /// Port word width in bits.
+        word_bits: usize,
+    },
+    /// A streamed message whose length is not a multiple of the block
+    /// size (DMA framing pads to block boundaries; partial blocks never
+    /// reach the fabric).
+    UnalignedMessage {
+        /// Message length in bits.
+        bits: usize,
+        /// Block size in bits.
+        m: usize,
+    },
 }
 
 impl fmt::Display for MemoryError {
@@ -72,6 +89,15 @@ impl fmt::Display for MemoryError {
             }
             MemoryError::StreamOutOfRange { last, words } => {
                 write!(f, "stream reaches word {last}, memory has {words}")
+            }
+            MemoryError::PortMismatch { m, word_bits } => {
+                write!(
+                    f,
+                    "block size {m} is not a multiple of the {word_bits}-bit port"
+                )
+            }
+            MemoryError::UnalignedMessage { bits, m } => {
+                write!(f, "message of {bits} bits is not aligned to {m}-bit blocks")
             }
         }
     }
@@ -102,11 +128,30 @@ impl AddressGenerator {
     }
 }
 
+/// A transient (soft) error armed against a future word read: the bank
+/// delivers the stored word with one bit flipped on read number
+/// `read_index` (0-based count of words fetched since construction,
+/// across [`LocalMemory::read_word`] and [`LocalMemory::stream_blocks`]),
+/// then the fault is consumed. The stored word is NOT modified — a
+/// re-read returns clean data, which is what makes temporal redundancy
+/// (read twice, compare) an effective detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransientFault {
+    /// Which future word fetch delivers corrupt data.
+    pub read_index: u64,
+    /// Which bit of the delivered word flips.
+    pub bit: u32,
+}
+
 /// The banked scratchpad.
 #[derive(Debug, Clone)]
 pub struct LocalMemory {
     params: MemoryParams,
     words: Vec<u32>,
+    /// Armed soft errors; interior-mutable because reads take `&self`
+    /// (the fabric streams from memory it does not own mutably).
+    transients: std::cell::RefCell<Vec<TransientFault>>,
+    reads_seen: std::cell::Cell<u64>,
 }
 
 impl LocalMemory {
@@ -115,7 +160,36 @@ impl LocalMemory {
         LocalMemory {
             words: vec![0; params.banks * params.words_per_bank],
             params,
+            transients: std::cell::RefCell::new(Vec::new()),
+            reads_seen: std::cell::Cell::new(0),
         }
+    }
+
+    /// Arms a transient read fault (see [`TransientFault`]).
+    pub fn arm_transient(&self, fault: TransientFault) {
+        self.transients.borrow_mut().push(fault);
+    }
+
+    /// Number of word fetches performed so far.
+    pub fn reads_seen(&self) -> u64 {
+        self.reads_seen.get()
+    }
+
+    /// Fetches one word through the fault-injection layer: counts the
+    /// read and applies (then consumes) any transient armed against it.
+    fn fetch(&self, addr: usize) -> u32 {
+        let idx = self.reads_seen.get();
+        self.reads_seen.set(idx + 1);
+        let mut word = self.words[addr];
+        self.transients.borrow_mut().retain(|t| {
+            if t.read_index == idx {
+                word ^= 1u32 << (t.bit % 32);
+                false
+            } else {
+                true
+            }
+        });
+        word
     }
 
     /// Geometry.
@@ -151,13 +225,13 @@ impl LocalMemory {
     ///
     /// [`MemoryError::AddressOutOfRange`].
     pub fn read_word(&self, addr: usize) -> Result<u32, MemoryError> {
-        self.words
-            .get(addr)
-            .copied()
-            .ok_or(MemoryError::AddressOutOfRange {
+        if addr >= self.words.len() {
+            return Err(MemoryError::AddressOutOfRange {
                 addr,
                 words: self.words.len(),
-            })
+            });
+        }
+        Ok(self.fetch(addr))
     }
 
     /// Streams `generators.len()` parallel word streams (one fabric port
@@ -205,7 +279,7 @@ impl LocalMemory {
             for (p, g) in generators.iter().enumerate() {
                 let addr = g.address(i);
                 bank_hits[self.params.bank_of(addr)] += 1;
-                let word = self.words[addr];
+                let word = self.fetch(addr);
                 for b in 0..wb.min(32) {
                     if (word >> b) & 1 == 1 {
                         block.set(p * wb + b, true);
@@ -306,6 +380,31 @@ mod tests {
             m.stream_blocks(&[g]),
             Err(MemoryError::StreamOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn armed_transient_corrupts_exactly_one_read() {
+        let m = mem_with_pattern();
+        let clean = m.read_word(5).unwrap(); // read 0
+        m.arm_transient(TransientFault {
+            read_index: 2,
+            bit: 7,
+        });
+        assert_eq!(m.read_word(5).unwrap(), clean); // read 1
+        assert_eq!(m.read_word(5).unwrap(), clean ^ (1 << 7)); // read 2: hit
+        assert_eq!(m.read_word(5).unwrap(), clean, "transient is consumed");
+        assert_eq!(m.reads_seen(), 4);
+    }
+
+    #[test]
+    fn alignment_errors_render() {
+        let e = MemoryError::PortMismatch {
+            m: 48,
+            word_bits: 32,
+        };
+        assert!(e.to_string().contains("48"));
+        let e = MemoryError::UnalignedMessage { bits: 100, m: 64 };
+        assert!(e.to_string().contains("64-bit blocks"));
     }
 
     #[test]

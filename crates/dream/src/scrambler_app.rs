@@ -44,8 +44,7 @@ impl DreamScramblerApp {
         synth: SynthOptions,
         control: ControlModel,
     ) -> Result<Self, BuildError> {
-        let serial = StateSpaceLfsr::additive_scrambler(&spec.polynomial())
-            .expect("catalogue polynomials are valid");
+        let serial = StateSpaceLfsr::additive_scrambler(&spec.polynomial())?;
         let block = BlockSystem::new(&serial, m)?;
         let derby = DerbyTransform::new(&block)?;
 
@@ -61,7 +60,11 @@ impl DreamScramblerApp {
 
         let stats = op.stats();
         let mut sim = PicogaSim::new(*params);
-        sim.load_context(SCRAMBLER_SLOT, op).expect("slot 0 exists");
+        sim.load_context(SCRAMBLER_SLOT, op)
+            .map_err(|source| BuildError::Fabric {
+                op: "scrambler",
+                source,
+            })?;
         sim.reset_counters();
 
         Ok(DreamScramblerApp {

@@ -15,8 +15,8 @@
 
 use crate::perf::{ControlModel, RunReport};
 use gf2::BitVec;
-use lfsr::crc::{message_bits, reflect, CrcSpec};
-use lfsr::scramble::ScramblerSpec;
+use lfsr::crc::{crc_bitwise, message_bits, reflect, CrcSpec, SarwateCrc};
+use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
 use lfsr::StateSpaceLfsr;
 use lfsr_parallel::DerbyTransform;
 use picoga::{PgaOperation, PicogaParams, PicogaSim, SimError};
@@ -61,6 +61,13 @@ pub enum SystemError {
         /// Contexts available.
         available: usize,
     },
+    /// The personality's LFSR specification is degenerate.
+    BadSpec {
+        /// The personality being registered.
+        name: String,
+        /// Why the serial LFSR could not be constructed.
+        source: lfsr::LfsrError,
+    },
     /// Underlying simulator error.
     Sim(SimError),
 }
@@ -80,12 +87,23 @@ impl fmt::Display for SystemError {
                     "personality needs {needed} contexts, fabric has {available}"
                 )
             }
+            SystemError::BadSpec { name, source } => {
+                write!(f, "personality '{name}' has an invalid spec: {source}")
+            }
             SystemError::Sim(e) => write!(f, "fabric error: {e}"),
         }
     }
 }
 
-impl std::error::Error for SystemError {}
+impl std::error::Error for SystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SystemError::Sim(e) => Some(e),
+            SystemError::BadSpec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<SimError> for SystemError {
     fn from(e: SimError) -> Self {
@@ -117,6 +135,64 @@ pub struct ScramblerPersonality {
     pub derby: DerbyTransform,
 }
 
+/// Health of one hosted personality, as tracked by the runtime
+/// self-checking layer (scrubs, probes, and the recovery policy driving
+/// them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Health {
+    /// No outstanding detection.
+    #[default]
+    Healthy,
+    /// A scrub or probe found the resident configuration or datapath
+    /// wrong; recovery has not yet succeeded.
+    Suspect,
+    /// The fabric path is abandoned for this personality; messages run
+    /// on the software Sarwate kernel.
+    Fallback,
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Health::Healthy => "healthy",
+            Health::Suspect => "suspect",
+            Health::Fallback => "fallback",
+        })
+    }
+}
+
+/// Counters of the detection/recovery machinery (one set per system).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Configuration scrub passes executed.
+    pub scrub_runs: u64,
+    /// Known-answer probe messages executed.
+    pub probe_runs: u64,
+    /// Faults detected (scrub findings + failed probes).
+    pub detections: u64,
+    /// Pristine-configuration reloads issued by [`DreamSystem::reload`].
+    pub reloads: u64,
+    /// Personalities replaced via
+    /// [`DreamSystem::replace_personality`] (re-synthesis / re-place).
+    pub replacements: u64,
+    /// Messages served by the software fallback kernel.
+    pub fallback_messages: u64,
+}
+
+/// One configuration-scrub finding: a resident context no longer
+/// computes the matrix its pristine registration proves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// The context slot holding the corrupted configuration.
+    pub slot: usize,
+    /// The personality the slot belongs to.
+    pub personality: String,
+    /// 0 = update op, 1 = finalize op, 2 = scrambler op.
+    pub role: u8,
+    /// The equivalence rejection (localised to outputs/columns).
+    pub error: verify::EquivError,
+}
+
 /// One fabric hosting many reconfigurable personalities.
 #[derive(Debug, Clone)]
 pub struct DreamSystem {
@@ -128,6 +204,12 @@ pub struct DreamSystem {
     use_clock: u64,
     /// Serial tail engines per personality (software side).
     tails: HashMap<String, StateSpaceLfsr>,
+    /// Per-personality health, as judged by scrubs/probes.
+    health: HashMap<String, Health>,
+    /// Detection/recovery counters.
+    res_counters: ResilienceCounters,
+    /// Lazily built software fallback kernels (Sarwate byte tables).
+    soft: HashMap<String, SarwateCrc>,
 }
 
 impl DreamSystem {
@@ -142,6 +224,9 @@ impl DreamSystem {
             slots: vec![None; contexts],
             use_clock: 0,
             tails: HashMap::new(),
+            health: HashMap::new(),
+            res_counters: ResilienceCounters::default(),
+            soft: HashMap::new(),
         }
     }
 
@@ -150,7 +235,8 @@ impl DreamSystem {
     ///
     /// # Errors
     ///
-    /// [`SystemError::DuplicatePersonality`] / [`SystemError::TooManyOps`].
+    /// [`SystemError::DuplicatePersonality`] / [`SystemError::TooManyOps`]
+    /// / [`SystemError::BadSpec`].
     pub fn register(&mut self, p: Personality) -> Result<(), SystemError> {
         if self.personalities.contains_key(&p.name) || self.scramblers.contains_key(&p.name) {
             return Err(SystemError::DuplicatePersonality { name: p.name });
@@ -162,7 +248,11 @@ impl DreamSystem {
                 available: self.slots.len(),
             });
         }
-        let tail = StateSpaceLfsr::crc(&p.spec.generator()).expect("valid generator");
+        let tail =
+            StateSpaceLfsr::crc(&p.spec.generator()).map_err(|source| SystemError::BadSpec {
+                name: p.name.clone(),
+                source,
+            })?;
         self.tails.insert(p.name.clone(), tail);
         self.personalities.insert(p.name.clone(), p);
         Ok(())
@@ -214,13 +304,17 @@ impl DreamSystem {
     ///
     /// # Errors
     ///
-    /// [`SystemError::DuplicatePersonality`].
+    /// [`SystemError::DuplicatePersonality`] / [`SystemError::BadSpec`].
     pub fn register_scrambler(&mut self, p: ScramblerPersonality) -> Result<(), SystemError> {
         if self.personalities.contains_key(&p.name) || self.scramblers.contains_key(&p.name) {
             return Err(SystemError::DuplicatePersonality { name: p.name });
         }
-        let tail = StateSpaceLfsr::additive_scrambler(&p.spec.polynomial())
-            .expect("catalogue polynomials are valid");
+        let tail = StateSpaceLfsr::additive_scrambler(&p.spec.polynomial()).map_err(|source| {
+            SystemError::BadSpec {
+                name: p.name.clone(),
+                source,
+            }
+        })?;
         self.tails.insert(p.name.clone(), tail);
         self.scramblers.insert(p.name.clone(), p);
         Ok(())
@@ -409,6 +503,270 @@ impl DreamSystem {
     }
 }
 
+/// Runtime self-checking and graceful degradation (fabric-harden).
+///
+/// Detection is layered: [`DreamSystem::scrub`] re-proves every resident
+/// configuration against its pristine registration (complete for
+/// configuration corruption, blind to physical cell faults, costs no
+/// fabric cycles — it reads configuration memory, not the datapath);
+/// [`DreamSystem::probe`] pushes known-answer messages through the real
+/// datapath (catches stuck-at cells too, pays real cycles). Recovery is
+/// a ladder the policy layer climbs: [`DreamSystem::reload`] (heals
+/// configuration upsets), [`DreamSystem::replace_personality`] (a
+/// re-synthesized placement can route around dead cells), and
+/// [`DreamSystem::checksum_software`] (the Sarwate kernel always works).
+impl DreamSystem {
+    /// The underlying fabric simulator (fault-injection campaigns address
+    /// contexts and cells through this).
+    pub fn fabric(&self) -> &PicogaSim {
+        &self.sim
+    }
+
+    /// Mutable fabric access, for fault injection.
+    pub fn fabric_mut(&mut self) -> &mut PicogaSim {
+        &mut self.sim
+    }
+
+    /// The context slot currently holding `(personality, role)`, if
+    /// resident.
+    pub fn slot_of(&self, name: &str, role: u8) -> Option<usize> {
+        self.slots.iter().position(|s| {
+            s.as_ref()
+                .is_some_and(|s| s.personality == name && s.role == role)
+        })
+    }
+
+    /// Current health of a personality (unknown names are `Healthy` —
+    /// health is tracked, not registered).
+    pub fn health(&self, name: &str) -> Health {
+        self.health.get(name).copied().unwrap_or_default()
+    }
+
+    /// Overrides a personality's health (the recovery policy records its
+    /// verdicts here).
+    pub fn set_health(&mut self, name: &str, health: Health) {
+        self.health.insert(name.to_string(), health);
+    }
+
+    /// Detection/recovery counters accumulated so far.
+    pub fn resilience_counters(&self) -> ResilienceCounters {
+        self.res_counters
+    }
+
+    /// Configuration scrub: re-proves every resident context equivalent
+    /// to the matrix of its pristine registered operation (basis-probe
+    /// proof — complete for linear networks). Personalities with
+    /// findings are marked [`Health::Suspect`].
+    pub fn scrub(&mut self) -> Vec<ScrubFinding> {
+        self.res_counters.scrub_runs += 1;
+        let mut findings = Vec::new();
+        for (slot, state) in self.slots.iter().enumerate() {
+            let Some(state) = state else { continue };
+            let Some(resident) = self.sim.context(slot) else {
+                continue;
+            };
+            let pristine = match state.role {
+                0 => self
+                    .personalities
+                    .get(&state.personality)
+                    .map(|p| &p.update),
+                1 => self
+                    .personalities
+                    .get(&state.personality)
+                    .and_then(|p| p.finalize.as_ref()),
+                _ => self.scramblers.get(&state.personality).map(|p| &p.op),
+            };
+            let Some(pristine) = pristine else { continue };
+            let expected = pristine.network().to_matrix();
+            if let Err(error) = verify::check_network(resident.network(), &expected) {
+                findings.push(ScrubFinding {
+                    slot,
+                    personality: state.personality.clone(),
+                    role: state.role,
+                    error,
+                });
+            }
+        }
+        for f in &findings {
+            self.health.insert(f.personality.clone(), Health::Suspect);
+        }
+        self.res_counters.detections += findings.len() as u64;
+        findings
+    }
+
+    /// Known-answer probe: runs `blocks` blocks of deterministic data
+    /// through the personality's full fabric path and compares against
+    /// the bit-serial software reference. Unlike [`DreamSystem::scrub`]
+    /// this exercises the physical datapath, so stuck-at cells are
+    /// caught; it also pays real fabric cycles (visible in
+    /// [`DreamSystem::counters`] — self-checking is not free).
+    ///
+    /// Returns `true` when the answer matched.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    pub fn probe(&mut self, name: &str, blocks: usize) -> Result<bool, SystemError> {
+        self.res_counters.probe_runs += 1;
+        let salt = self.res_counters.probe_runs;
+        let crc_info = self.personalities.get(name).map(|p| (p.spec, p.m));
+        let scr_info = self.scramblers.get(name).map(|p| (p.spec, p.m));
+        let ok = if let Some((spec, m)) = crc_info {
+            let len = ((m * blocks.max(1)) / 8).max(1);
+            let data: Vec<u8> = (0..len as u64)
+                .map(|i| (i.wrapping_mul(151).wrapping_add(salt.wrapping_mul(29)) ^ 0x5A) as u8)
+                .collect();
+            let (got, _) = self.checksum(name, &data)?;
+            got == crc_bitwise(&spec, &data)
+        } else if let Some((spec, m)) = scr_info {
+            let bits = m * blocks.max(1);
+            let mut frame = BitVec::zeros(bits);
+            for i in 0..bits {
+                if (i as u64)
+                    .wrapping_mul(37)
+                    .wrapping_add(salt)
+                    .is_multiple_of(3)
+                {
+                    frame.set(i, true);
+                }
+            }
+            let (got, _) = self.scramble(name, spec.default_seed, &frame)?;
+            let mut reference =
+                AdditiveScrambler::new(&spec).map_err(|source| SystemError::BadSpec {
+                    name: name.to_string(),
+                    source,
+                })?;
+            got == reference.scramble(&frame)
+        } else {
+            return Err(SystemError::UnknownPersonality { name: name.into() });
+        };
+        if !ok {
+            self.res_counters.detections += 1;
+            self.health.insert(name.to_string(), Health::Suspect);
+        }
+        Ok(ok)
+    }
+
+    /// Reloads the pristine configuration of every resident context of
+    /// `name` from the registry (off-fabric configuration memory). Heals
+    /// resident-context upsets; useless against stuck-at cells. The
+    /// reload cycles are charged to the fabric counters. Returns the
+    /// number of contexts reloaded (0 when nothing is resident — the
+    /// next use lazy-loads pristine configuration anyway).
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    pub fn reload(&mut self, name: &str) -> Result<usize, SystemError> {
+        if !self.personalities.contains_key(name) && !self.scramblers.contains_key(name) {
+            return Err(SystemError::UnknownPersonality { name: name.into() });
+        }
+        let targets: Vec<(usize, u8)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|s| s.personality == name)
+                    .map(|s| (i, s.role))
+            })
+            .collect();
+        for &(slot, role) in &targets {
+            let op = match role {
+                0 => self.personalities.get(name).map(|p| p.update.clone()),
+                1 => self
+                    .personalities
+                    .get(name)
+                    .and_then(|p| p.finalize.clone()),
+                _ => self.scramblers.get(name).map(|p| p.op.clone()),
+            };
+            let Some(op) = op else { continue };
+            self.sim.load_context(slot, op)?;
+            self.res_counters.reloads += 1;
+        }
+        Ok(targets.len())
+    }
+
+    /// Drops every resident context of `name` (the slots are reused by
+    /// the LRU policy; the personality stays registered and lazy-loads
+    /// on next use). Returns the number of slots freed.
+    pub fn evict(&mut self, name: &str) -> usize {
+        let mut n = 0;
+        for s in &mut self.slots {
+            if s.as_ref().is_some_and(|s| s.personality == name) {
+                *s = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Replaces a registered personality with a re-synthesized one of
+    /// the same name (a different placement can route around stuck-at
+    /// cells). Resident contexts of the old personality are evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`] when nothing of that name is
+    /// registered, [`SystemError::BadSpec`] for degenerate specs.
+    pub fn replace_personality(&mut self, p: Personality) -> Result<(), SystemError> {
+        if !self.personalities.contains_key(&p.name) {
+            return Err(SystemError::UnknownPersonality { name: p.name });
+        }
+        let tail =
+            StateSpaceLfsr::crc(&p.spec.generator()).map_err(|source| SystemError::BadSpec {
+                name: p.name.clone(),
+                source,
+            })?;
+        self.evict(&p.name);
+        self.tails.insert(p.name.clone(), tail);
+        self.soft.remove(&p.name);
+        self.personalities.insert(p.name.clone(), p);
+        self.res_counters.replacements += 1;
+        Ok(())
+    }
+
+    /// Computes one message's checksum entirely in software (the Sarwate
+    /// byte-table kernel; bit-serial for widths under 8). The last rung
+    /// of the degradation ladder: no fabric cycles, byte-rate cost on
+    /// the control processor.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`].
+    pub fn checksum_software(
+        &mut self,
+        name: &str,
+        data: &[u8],
+    ) -> Result<(u64, RunReport), SystemError> {
+        let spec = self
+            .personalities
+            .get(name)
+            .map(|p| p.spec)
+            .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        let crc = if let Some(s) = self.soft.get_mut(name) {
+            s.reset();
+            s.update(data);
+            s.finalize()
+        } else if let Ok(mut s) = SarwateCrc::new(&spec) {
+            s.update(data);
+            let v = s.finalize();
+            self.soft.insert(name.to_string(), s);
+            v
+        } else {
+            crc_bitwise(&spec, data)
+        };
+        self.res_counters.fallback_messages += 1;
+        let report = RunReport {
+            bits: (data.len() * 8) as u64,
+            control_cycles: self.control.msg_setup_cycles + self.control.msg_finalize_cycles,
+            tail_cycles: (data.len() as u64) * self.control.tail_cycles_per_byte,
+            ..Default::default()
+        };
+        Ok((crc, report))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,5 +918,217 @@ mod tests {
         let resident = sys.resident();
         assert!(resident.contains(&("eth".to_string(), 0)));
         assert!(resident.contains(&("eth".to_string(), 1)));
+    }
+
+    /// Finds a wire flip on the resident update op that changes its
+    /// matrix (a semantic SEU).
+    fn semantic_flip_for(sys: &DreamSystem, slot: usize) -> picoga::ConfigFault {
+        let op = sys.fabric().context(slot).expect("resident");
+        let t = op.network().to_matrix();
+        for gate in (0..op.network().gate_count()).rev() {
+            for new_signal in 0..op.network().n_inputs() {
+                let mut probe = op.clone();
+                if probe.corrupt_wire(gate, 0, new_signal).is_ok()
+                    && probe.network().to_matrix() != t
+                {
+                    return picoga::ConfigFault::WireFlip {
+                        slot,
+                        gate,
+                        pin: 0,
+                        new_signal,
+                    };
+                }
+            }
+        }
+        panic!("no semantic flip found");
+    }
+
+    #[test]
+    fn scrub_detects_config_flip_and_reload_heals() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        let data = b"scrub me".to_vec();
+        sys.checksum("eth", &data).unwrap();
+        assert!(sys.scrub().is_empty(), "pristine fabric is clean");
+        assert_eq!(sys.health("eth"), Health::Healthy);
+
+        let slot = sys.slot_of("eth", 0).unwrap();
+        let fault = semantic_flip_for(&sys, slot);
+        sys.fabric_mut().inject(&fault).unwrap();
+
+        let findings = sys.scrub();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].personality, "eth");
+        assert_eq!(findings[0].role, 0);
+        assert_eq!(sys.health("eth"), Health::Suspect);
+
+        // The corrupted fabric actually computes wrong checksums.
+        let (bad, _) = sys.checksum("eth", &data).unwrap();
+        assert_ne!(bad, crc_bitwise(CrcSpec::crc32_ethernet(), &data));
+
+        // Reload from configuration memory heals an SEU.
+        let loads_before = sys.counters().context_load;
+        assert_eq!(sys.reload("eth").unwrap(), 2, "both ops resident");
+        assert!(
+            sys.counters().context_load > loads_before,
+            "reload cycles are charged"
+        );
+        assert!(sys.scrub().is_empty());
+        assert!(sys.probe("eth", 2).unwrap());
+        sys.set_health("eth", Health::Healthy);
+
+        let (good, _) = sys.checksum("eth", &data).unwrap();
+        assert_eq!(good, crc_bitwise(CrcSpec::crc32_ethernet(), &data));
+        let c = sys.resilience_counters();
+        assert_eq!(c.detections, 1);
+        assert_eq!(c.reloads, 2);
+        assert!(c.scrub_runs >= 3 && c.probe_runs >= 1);
+    }
+
+    #[test]
+    fn probe_catches_stuck_cell_that_scrub_cannot_see() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        sys.checksum("eth", b"warm up").unwrap();
+        // Stick a cell used by the resident placement at 1.
+        sys.fabric_mut()
+            .inject(&picoga::ConfigFault::StuckCell {
+                row: 0,
+                cell: 0,
+                value: true,
+            })
+            .unwrap();
+        // Scrub reads configuration memory: the stored bits are intact.
+        assert!(sys.scrub().is_empty(), "scrub is blind to silicon faults");
+        // The datapath probe is not.
+        assert!(!sys.probe("eth", 2).unwrap());
+        assert_eq!(sys.health("eth"), Health::Suspect);
+        // Reload cannot fix silicon.
+        sys.reload("eth").unwrap();
+        assert!(!sys.probe("eth", 2).unwrap());
+        // Software fallback always can.
+        sys.set_health("eth", Health::Fallback);
+        let data = b"fallback path".to_vec();
+        let (crc, report) = sys.checksum_software("eth", &data).unwrap();
+        assert_eq!(crc, crc_bitwise(CrcSpec::crc32_ethernet(), &data));
+        assert_eq!(report.picoga.total(), 0, "no fabric cycles in fallback");
+        assert!(report.tail_cycles > 0);
+        assert_eq!(sys.resilience_counters().fallback_messages, 1);
+    }
+
+    #[test]
+    fn replace_personality_evicts_and_swaps_the_registration() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        sys.checksum("eth", b"resident now").unwrap();
+        assert_eq!(sys.resident().len(), 2);
+        // Re-synthesized personality under the same name (different M —
+        // stand-in for a different placement).
+        let fresh = personality("eth", CrcSpec::crc32_ethernet(), 64).unwrap();
+        sys.replace_personality(fresh).unwrap();
+        assert!(sys.resident().is_empty(), "old contexts evicted");
+        let (crc, _) = sys.checksum("eth", b"resident now").unwrap();
+        assert_eq!(crc, crc_bitwise(CrcSpec::crc32_ethernet(), b"resident now"));
+        assert_eq!(sys.resilience_counters().replacements, 1);
+        // Unknown names are typed errors.
+        let other = personality("ghost", CrcSpec::crc32_ethernet(), 32).unwrap();
+        assert!(matches!(
+            sys.replace_personality(other),
+            Err(SystemError::UnknownPersonality { .. })
+        ));
+    }
+
+    #[test]
+    fn system_error_sources_are_wired() {
+        use std::error::Error as _;
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        sys.checksum("eth", b"x").unwrap();
+        // Force a SimError through the public API via a bad injection,
+        // then check the SystemError wrapper exposes source().
+        let e = SystemError::Sim(picoga::SimError::EmptySlot { slot: 3 });
+        assert!(e.source().is_some());
+        let e = SystemError::UnknownPersonality { name: "n".into() };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn cache_thrash_five_personalities_on_four_contexts() {
+        // 5 single-op (dense CRC-16/DECT-X has no finalize) + ... easier:
+        // five 2-op personalities on a 4-slot cache: every round-robin
+        // pass must reload, in LRU order, and FL008 warns about it.
+        let mut sys = system_with(&[
+            ("a", "CRC-32/ETHERNET", 32),
+            ("b", "CRC-16/IBM-SDLC", 32),
+            ("c", "CRC-16/XMODEM", 32),
+            ("d", "CRC-32/MPEG-2", 32),
+            ("e", "CRC-16/USB", 32),
+        ]);
+        let params = *sys.params();
+        assert_eq!(sys.context_demand(), 10, "5 Derby personalities, 2 ops");
+        let report = verify::lint_context_demand(sys.context_demand(), &params);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == verify::Code::CacheOverflow),
+            "FL008 must flag a 10-op working set on a 4-context cache"
+        );
+
+        let data = vec![0x3Cu8; 32];
+        let mut expected_loads = 0u64;
+        for name in ["a", "b", "c", "d", "e", "a", "b", "c", "d", "e"] {
+            let before = sys.counters().context_load;
+            let (crc, _) = sys.checksum(name, &data).unwrap();
+            let spec = *CrcSpec::by_name(match name {
+                "a" => "CRC-32/ETHERNET",
+                "b" => "CRC-16/IBM-SDLC",
+                "c" => "CRC-16/XMODEM",
+                "d" => "CRC-32/MPEG-2",
+                _ => "CRC-16/USB",
+            })
+            .unwrap();
+            assert_eq!(crc, crc_bitwise(&spec, &data), "{name} stays bit-exact");
+            let loads = sys.counters().context_load - before;
+            // Thrash: every message must reload both its ops (update +
+            // finalize) — the 4-slot cache can never hold a personality
+            // across a full 5-way round-robin.
+            assert_eq!(
+                loads,
+                2 * params.context_load_cycles,
+                "{name} must miss twice under thrash"
+            );
+            expected_loads += loads;
+        }
+        assert_eq!(sys.counters().context_load, expected_loads);
+        // At most 4 slots occupied, naturally.
+        assert!(sys.resident().len() <= 4);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_least_recently_used() {
+        // 2-op personalities a, b on 4 slots: both resident. Touch a,
+        // then host c: c's two ops must evict b's (the LRU pair), not a's.
+        let mut sys = system_with(&[
+            ("a", "CRC-32/ETHERNET", 32),
+            ("b", "CRC-16/IBM-SDLC", 32),
+            ("c", "CRC-16/XMODEM", 32),
+        ]);
+        let data = vec![1u8; 16];
+        sys.checksum("b", &data).unwrap();
+        sys.checksum("a", &data).unwrap(); // a is now most recent
+        let resident: Vec<String> = sys.resident().into_iter().map(|(n, _)| n).collect();
+        assert!(resident.contains(&"a".to_string()) && resident.contains(&"b".to_string()));
+
+        sys.checksum("c", &data).unwrap();
+        let resident: Vec<String> = sys.resident().into_iter().map(|(n, _)| n).collect();
+        assert!(
+            resident.contains(&"a".to_string()),
+            "recently used a survives"
+        );
+        assert!(
+            resident.contains(&"c".to_string()),
+            "newcomer c is resident"
+        );
+        assert!(
+            !resident.contains(&"b".to_string()),
+            "LRU personality b was evicted"
+        );
     }
 }

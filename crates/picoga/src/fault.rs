@@ -1,0 +1,202 @@
+//! Fault model for the PiCoGA configuration and datapath.
+//!
+//! The fabric's whole value proposition is that configuration is *runtime
+//! data* — four contexts of LUT/routing bits cached on-fabric, reloaded
+//! from off-fabric configuration memory on misses. Mutable runtime data
+//! can be corrupted, and this module models the three physical mechanisms
+//! the resilience subsystem (crate `resilience`) injects and defends
+//! against:
+//!
+//! * **SEU bit-flips in a resident context** — a single-event upset in the
+//!   configuration SRAM redirects one gate fan-in wire or one output tap
+//!   ([`ConfigFault::WireFlip`] / [`ConfigFault::TapFlip`]). The placed
+//!   operation keeps its shape (widths, rows, feedback) but in general no
+//!   longer computes its source matrix.
+//! * **Corruption during an off-fabric context load** — the configuration
+//!   bus delivers a flipped word while a context streams in
+//!   ([`LoadCorruption`], armed on the simulator and applied to the n-th
+//!   subsequent load). Unlike a resident-context SEU, a *reload* of the
+//!   same operation heals it.
+//! * **Stuck-at cell faults** — a physical logic cell is stuck at 0 or 1
+//!   ([`ConfigFault::StuckCell`]). The fault is addressed by *physical*
+//!   row/cell coordinates, not by configuration contents: reloading a
+//!   context does not help, but a re-placed operation may avoid the dead
+//!   cell, and the software fallback always does.
+//!
+//! All faults are injected through [`crate::PicogaSim`]; the seeded
+//! campaign driver that decides *what* to inject lives out of this crate,
+//! keeping mechanism (here) and policy (resilience) separate.
+
+use std::fmt;
+
+/// One injectable fault on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigFault {
+    /// SEU in a resident context: fan-in `pin` of gate `gate` in context
+    /// `slot` is redirected to `new_signal` (which must be an earlier
+    /// signal — wires only reach backwards in the row pipeline).
+    WireFlip {
+        /// Context slot holding the corrupted configuration.
+        slot: usize,
+        /// Gate index within the operation's network.
+        gate: usize,
+        /// Fan-in pin of that gate.
+        pin: usize,
+        /// The signal the wire now reads.
+        new_signal: usize,
+    },
+    /// SEU in a resident context: primary output `output` of context
+    /// `slot` is re-tapped to `new_tap` (`None` = constant 0).
+    TapFlip {
+        /// Context slot holding the corrupted configuration.
+        slot: usize,
+        /// Primary output index.
+        output: usize,
+        /// The signal the output now reads (`None` for constant 0).
+        new_tap: Option<usize>,
+    },
+    /// A physical logic cell stuck at `value`. Addressed by physical
+    /// coordinates; applies to whatever gate the *active* operation
+    /// places on that cell (feed-forward rows only — the single
+    /// companion-feedback row uses the ALU datapath, which this model
+    /// keeps fault-free).
+    StuckCell {
+        /// Physical row of the stuck cell.
+        row: usize,
+        /// Cell index within the row.
+        cell: usize,
+        /// The value the cell is stuck at.
+        value: bool,
+    },
+}
+
+/// The configuration-relative part of a load-time corruption (the slot is
+/// whatever the faulty load targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadFault {
+    /// One fan-in wire arrives flipped.
+    WireFlip {
+        /// Gate index within the loading operation's network.
+        gate: usize,
+        /// Fan-in pin of that gate.
+        pin: usize,
+        /// The signal the wire now reads.
+        new_signal: usize,
+    },
+    /// One output tap arrives flipped.
+    TapFlip {
+        /// Primary output index.
+        output: usize,
+        /// The signal the output now reads (`None` for constant 0).
+        new_tap: Option<usize>,
+    },
+}
+
+/// A corruption armed against a future off-fabric context load: applied
+/// to the operation delivered by load number `load_index` (0-based count
+/// of [`crate::PicogaSim::load_context`] calls since construction), then
+/// discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadCorruption {
+    /// Which future load the corruption strikes.
+    pub load_index: u64,
+    /// What the corrupted bus delivers.
+    pub fault: LoadFault,
+}
+
+/// A batch of faults to strike a simulator with: immediate configuration
+/// faults plus corruptions armed against future context loads. This is
+/// the hook campaign drivers use — build the plan from a seeded RNG,
+/// apply it once, and the run is reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults applied immediately (resident contexts, physical cells).
+    pub config: Vec<ConfigFault>,
+    /// Corruptions armed against future off-fabric loads.
+    pub loads: Vec<LoadCorruption>,
+}
+
+impl FaultPlan {
+    /// A plan with nothing in it.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Total number of faults the plan carries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.config.len() + self.loads.len()
+    }
+
+    /// `true` when the plan carries no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.config.is_empty() && self.loads.is_empty()
+    }
+}
+
+/// Why a fault could not be injected (bad coordinates — the injector is
+/// expected to aim at structures that exist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// Context slot out of range.
+    BadSlot {
+        /// The requested slot.
+        slot: usize,
+        /// Number of contexts.
+        contexts: usize,
+    },
+    /// No configuration resident in the addressed slot.
+    EmptySlot {
+        /// The requested slot.
+        slot: usize,
+    },
+    /// A coordinate does not exist in the target operation or fabric.
+    BadCoordinate {
+        /// Which coordinate was out of range.
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::BadSlot { slot, contexts } => {
+                write!(f, "fault targets slot {slot}, fabric has {contexts}")
+            }
+            InjectError::EmptySlot { slot } => {
+                write!(f, "fault targets empty context slot {slot}")
+            }
+            InjectError::BadCoordinate { what, got, bound } => {
+                write!(f, "fault {what} {got} out of range (bound {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_errors_render() {
+        let e = InjectError::BadSlot {
+            slot: 7,
+            contexts: 4,
+        };
+        assert!(e.to_string().contains("slot 7"));
+        let e = InjectError::BadCoordinate {
+            what: "gate",
+            got: 99,
+            bound: 10,
+        };
+        assert!(e.to_string().contains("gate 99"));
+    }
+}

@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 
 mod arch;
+mod fault;
 mod op;
 mod sim;
 mod wavefront;
 
 pub use arch::PicogaParams;
+pub use fault::{ConfigFault, FaultPlan, InjectError, LoadCorruption, LoadFault};
 pub use op::{CompanionFeedback, MapError, OpStats, PgaOperation, Placement};
 pub use sim::{CycleCounters, PicogaSim, SimError};
 pub use wavefront::{run_crc_wavefront, WavefrontTrace};

@@ -15,6 +15,7 @@
 //!   Derby's method for a *pipelined* gate array.
 
 use crate::arch::PicogaParams;
+use crate::fault::InjectError;
 use gf2::{BitMat, BitVec};
 use std::fmt;
 use xornet::XorNetwork;
@@ -528,6 +529,82 @@ impl PgaOperation {
             OpKind::Scrambler { .. } => "scrambler",
             OpKind::CrcUpdateDense { .. } => "crc-update-dense",
         }
+    }
+
+    /// Fault-injection hook: redirects fan-in `pin` of gate `gate` to
+    /// `new_signal`, modelling an SEU in this configuration's routing
+    /// bits. The operation keeps its placement and statistics — an upset
+    /// does not re-place anything — but in general no longer computes its
+    /// source matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::BadCoordinate`] when the gate, pin, or signal does
+    /// not exist (or the signal is not earlier than the gate).
+    pub fn corrupt_wire(
+        &mut self,
+        gate: usize,
+        pin: usize,
+        new_signal: usize,
+    ) -> Result<(), InjectError> {
+        let gates = self.net.gates();
+        let Some(g) = gates.get(gate) else {
+            return Err(InjectError::BadCoordinate {
+                what: "gate",
+                got: gate,
+                bound: gates.len(),
+            });
+        };
+        if pin >= g.inputs.len() {
+            return Err(InjectError::BadCoordinate {
+                what: "pin",
+                got: pin,
+                bound: g.inputs.len(),
+            });
+        }
+        let own = self.net.n_inputs() + gate;
+        if new_signal >= own {
+            return Err(InjectError::BadCoordinate {
+                what: "wire source signal",
+                got: new_signal,
+                bound: own,
+            });
+        }
+        self.net.set_gate_input(gate, pin, new_signal);
+        Ok(())
+    }
+
+    /// Fault-injection hook: re-taps primary output `output` to
+    /// `new_tap` (`None` = constant 0), modelling an SEU in this
+    /// configuration's output routing bits.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::BadCoordinate`] when the output or signal does not
+    /// exist.
+    pub fn corrupt_output_tap(
+        &mut self,
+        output: usize,
+        new_tap: Option<usize>,
+    ) -> Result<(), InjectError> {
+        if output >= self.net.outputs().len() {
+            return Err(InjectError::BadCoordinate {
+                what: "output",
+                got: output,
+                bound: self.net.outputs().len(),
+            });
+        }
+        if let Some(s) = new_tap {
+            if s >= self.net.n_signals() {
+                return Err(InjectError::BadCoordinate {
+                    what: "tap signal",
+                    got: s,
+                    bound: self.net.n_signals(),
+                });
+            }
+        }
+        self.net.set_output(output, new_tap);
+        Ok(())
     }
 
     /// Resource and timing statistics.

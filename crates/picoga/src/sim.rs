@@ -13,6 +13,7 @@
 //!   [`PicogaParams::context_load_cycles`] and is charged only on misses.
 
 use crate::arch::PicogaParams;
+use crate::fault::{ConfigFault, InjectError, LoadCorruption, LoadFault};
 use crate::op::{PgaOperation, Placement};
 use gf2::BitVec;
 use std::fmt;
@@ -98,13 +99,28 @@ pub struct PicogaSim {
     contexts: Vec<Option<PgaOperation>>,
     active: Option<usize>,
     counters: CycleCounters,
+    /// Physical stuck-at cell faults: `(row, cell, value)`. They outlive
+    /// context loads — reloading a configuration does not repair silicon.
+    stuck: Vec<(usize, usize, bool)>,
+    /// Corruptions armed against future context loads.
+    pending_load_faults: Vec<LoadCorruption>,
+    /// Count of `load_context` calls since construction (the 0-based
+    /// index [`LoadCorruption::load_index`] refers to).
+    loads_seen: u64,
 }
 
 /// Evaluates the gates of `net` row-by-row following `placement`, starting
 /// from primary input values, returning all signal values. Functionally the
 /// row order is immaterial (the placement is topological); it is kept
-/// explicit so the structure mirrors the hardware.
-fn eval_by_rows(net: &XorNetwork, placement: &Placement, inputs: &BitVec) -> Vec<bool> {
+/// explicit so the structure mirrors the hardware — and so physical
+/// stuck-at cell faults (`stuck`: gate index → forced value, resolved
+/// from physical coordinates by the caller) land on the right gate.
+fn eval_by_rows(
+    net: &XorNetwork,
+    placement: &Placement,
+    inputs: &BitVec,
+    stuck: &[(usize, bool)],
+) -> Vec<bool> {
     let mut values = vec![false; net.n_signals()];
     for (i, v) in values.iter_mut().enumerate().take(net.n_inputs()) {
         *v = inputs.get(i);
@@ -112,11 +128,29 @@ fn eval_by_rows(net: &XorNetwork, placement: &Placement, inputs: &BitVec) -> Vec
     for row in placement.rows() {
         for &gi in row {
             let g = &net.gates()[gi];
-            let v = g.inputs.iter().fold(false, |acc, &s| acc ^ values[s]);
+            let mut v = g.inputs.iter().fold(false, |acc, &s| acc ^ values[s]);
+            if let Some(&(_, forced)) = stuck.iter().find(|&&(sg, _)| sg == gi) {
+                v = forced;
+            }
             values[net.n_inputs() + gi] = v;
         }
     }
     values
+}
+
+/// Resolves physical stuck-cell coordinates to gate indices under one
+/// placement (cells holding no gate of this operation are harmless).
+fn stuck_gates(stuck: &[(usize, usize, bool)], placement: &Placement) -> Vec<(usize, bool)> {
+    stuck
+        .iter()
+        .filter_map(|&(row, cell, value)| {
+            placement
+                .rows()
+                .get(row)
+                .and_then(|r| r.get(cell))
+                .map(|&gi| (gi, value))
+        })
+        .collect()
 }
 
 fn outputs_from(net: &XorNetwork, values: &[bool]) -> BitVec {
@@ -144,6 +178,9 @@ impl PicogaSim {
             params,
             active: None,
             counters: CycleCounters::default(),
+            stuck: Vec::new(),
+            pending_load_faults: Vec::new(),
+            loads_seen: 0,
         }
     }
 
@@ -179,12 +216,36 @@ impl PicogaSim {
     /// # Errors
     ///
     /// [`SimError::BadSlot`] if the slot does not exist.
-    pub fn load_context(&mut self, slot: usize, op: PgaOperation) -> Result<(), SimError> {
+    pub fn load_context(&mut self, slot: usize, mut op: PgaOperation) -> Result<(), SimError> {
         if slot >= self.contexts.len() {
             return Err(SimError::BadSlot {
                 slot,
                 contexts: self.contexts.len(),
             });
+        }
+        let idx = self.loads_seen;
+        self.loads_seen += 1;
+        // Deliver any corruption armed against this load. A corruption
+        // whose coordinates miss the incoming operation lands in unused
+        // configuration padding: physically real, semantically harmless.
+        let mut i = 0;
+        while i < self.pending_load_faults.len() {
+            if self.pending_load_faults[i].load_index == idx {
+                match self.pending_load_faults.remove(i).fault {
+                    LoadFault::WireFlip {
+                        gate,
+                        pin,
+                        new_signal,
+                    } => {
+                        let _ = op.corrupt_wire(gate, pin, new_signal);
+                    }
+                    LoadFault::TapFlip { output, new_tap } => {
+                        let _ = op.corrupt_output_tap(output, new_tap);
+                    }
+                }
+            } else {
+                i += 1;
+            }
         }
         self.contexts[slot] = Some(op);
         self.counters.context_load += self.params.context_load_cycles;
@@ -192,6 +253,111 @@ impl PicogaSim {
             self.active = None;
         }
         Ok(())
+    }
+
+    /// Injects one fault into the fabric: an SEU in a resident context
+    /// (wire/tap flip, mutating the stored configuration) or a physical
+    /// stuck-at cell (persisting across context reloads). A second
+    /// stuck-at fault on the same cell replaces the first.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError`] when the fault addresses a slot, gate, pin,
+    /// signal, or cell that does not exist.
+    pub fn inject(&mut self, fault: &ConfigFault) -> Result<(), InjectError> {
+        match *fault {
+            ConfigFault::WireFlip {
+                slot,
+                gate,
+                pin,
+                new_signal,
+            } => self
+                .context_mut_for_fault(slot)?
+                .corrupt_wire(gate, pin, new_signal),
+            ConfigFault::TapFlip {
+                slot,
+                output,
+                new_tap,
+            } => self
+                .context_mut_for_fault(slot)?
+                .corrupt_output_tap(output, new_tap),
+            ConfigFault::StuckCell { row, cell, value } => {
+                if row >= self.params.rows {
+                    return Err(InjectError::BadCoordinate {
+                        what: "row",
+                        got: row,
+                        bound: self.params.rows,
+                    });
+                }
+                if cell >= self.params.cells_per_row {
+                    return Err(InjectError::BadCoordinate {
+                        what: "cell",
+                        got: cell,
+                        bound: self.params.cells_per_row,
+                    });
+                }
+                if let Some(e) = self.stuck.iter_mut().find(|e| e.0 == row && e.1 == cell) {
+                    e.2 = value;
+                } else {
+                    self.stuck.push((row, cell, value));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn context_mut_for_fault(&mut self, slot: usize) -> Result<&mut PgaOperation, InjectError> {
+        if slot >= self.contexts.len() {
+            return Err(InjectError::BadSlot {
+                slot,
+                contexts: self.contexts.len(),
+            });
+        }
+        self.contexts[slot]
+            .as_mut()
+            .ok_or(InjectError::EmptySlot { slot })
+    }
+
+    /// Arms a corruption against a future context load (see
+    /// [`LoadCorruption`]). Several corruptions may target the same load.
+    pub fn arm_load_corruption(&mut self, corruption: LoadCorruption) {
+        self.pending_load_faults.push(corruption);
+    }
+
+    /// Applies a whole [`FaultPlan`]: injects every configuration fault
+    /// and arms every load corruption. Stops at the first invalid
+    /// coordinate (faults before it stay applied).
+    ///
+    /// # Errors
+    ///
+    /// The first [`InjectError`] encountered.
+    pub fn apply_plan(&mut self, plan: &crate::fault::FaultPlan) -> Result<(), InjectError> {
+        for f in &plan.config {
+            self.inject(f)?;
+        }
+        for &c in &plan.loads {
+            self.arm_load_corruption(c);
+        }
+        Ok(())
+    }
+
+    /// Context loads performed since construction — the index space of
+    /// [`LoadCorruption::load_index`].
+    pub fn loads_seen(&self) -> u64 {
+        self.loads_seen
+    }
+
+    /// The physical stuck-at cell faults currently present, as
+    /// `(row, cell, value)` triples.
+    pub fn stuck_cells(&self) -> &[(usize, usize, bool)] {
+        &self.stuck
+    }
+
+    /// Repairs all stuck-at cell faults (test/diagnostic hook; real
+    /// silicon stays broken, which is what the recovery ladder's
+    /// re-placement and software-fallback rungs exist for).
+    pub fn clear_stuck_cells(&mut self) {
+        self.stuck.clear();
     }
 
     /// Makes `slot` the active context, charging the 2-cycle exchange when
@@ -242,7 +408,8 @@ impl PicogaSim {
                 expected: net.n_inputs(),
             });
         }
-        let values = eval_by_rows(net, op.placement(), inputs);
+        let stuck = stuck_gates(&self.stuck, op.placement());
+        let values = eval_by_rows(net, op.placement(), inputs, &stuck);
         let out = outputs_from(net, &values);
         self.counters.compute += (op.stats().latency).max(1);
         Ok(out)
@@ -272,6 +439,7 @@ impl PicogaSim {
         let net = op.network().clone();
         let placement = op.placement().clone();
         let latency = op.stats().latency;
+        let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut state = x_t.clone();
         let mut n: u64 = 0;
@@ -283,7 +451,7 @@ impl PicogaSim {
                 });
             }
             // Feed-forward wavefront, then the single feedback row.
-            let values = eval_by_rows(&net, &placement, block);
+            let values = eval_by_rows(&net, &placement, block, &stuck);
             let p = outputs_from(&net, &values);
             state = fb.apply(&state, &p);
             n += 1;
@@ -319,6 +487,7 @@ impl PicogaSim {
         let placement = op.placement().clone();
         let latency = op.stats().latency.max(1);
         let m = net.n_inputs() - k;
+        let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut st = state.clone();
         for block in blocks {
@@ -329,7 +498,7 @@ impl PicogaSim {
                 });
             }
             let inputs = st.concat(block);
-            let values = eval_by_rows(&net, &placement, &inputs);
+            let values = eval_by_rows(&net, &placement, &inputs, &stuck);
             st = outputs_from(&net, &values);
             self.counters.compute += latency;
         }
@@ -364,6 +533,7 @@ impl PicogaSim {
         let net = op.network().clone();
         let placement = op.placement().clone();
         let latency = op.stats().latency;
+        let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut n: u64 = 0;
         for (lane, block) in items {
@@ -379,7 +549,7 @@ impl PicogaSim {
                     expected: net.n_inputs(),
                 });
             }
-            let values = eval_by_rows(&net, &placement, block);
+            let values = eval_by_rows(&net, &placement, block, &stuck);
             let p = outputs_from(&net, &values);
             states[lane] = fb.apply(&states[lane], &p);
             n += 1;
@@ -415,6 +585,7 @@ impl PicogaSim {
         let net = op.network().clone();
         let placement = op.placement().clone();
         let latency = op.stats().latency;
+        let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut state = x_t.clone();
         let mut out = BitVec::zeros(0);
@@ -428,7 +599,7 @@ impl PicogaSim {
             }
             // Output network reads the pre-update state and the block.
             let inputs = state.concat(block);
-            let values = eval_by_rows(&net, &placement, &inputs);
+            let values = eval_by_rows(&net, &placement, &inputs, &stuck);
             out = out.concat(&outputs_from(&net, &values));
             // Autonomous companion update (no data into the loop).
             let zero = BitVec::zeros(fb.k);
@@ -628,6 +799,172 @@ mod tests {
             }
         }
         assert_eq!(out, expect);
+    }
+
+    /// Find a wire flip that provably changes the operation's matrix, and
+    /// a basis input on which the corrupted matrix disagrees with `t`.
+    fn semantic_wire_flip(op: &PgaOperation) -> (usize, usize, BitVec) {
+        let t = op.network().to_matrix();
+        for gate in (0..op.network().gate_count()).rev() {
+            for new_signal in 0..op.network().n_inputs() {
+                let mut probe = op.clone();
+                if probe.corrupt_wire(gate, 0, new_signal).is_err() {
+                    continue;
+                }
+                let m = probe.network().to_matrix();
+                if m == t {
+                    continue;
+                }
+                for j in 0..t.cols() {
+                    if m.column(j) != t.column(j) {
+                        let mut x = BitVec::zeros(t.cols());
+                        x.set(j, true);
+                        return (gate, new_signal, x);
+                    }
+                }
+            }
+        }
+        panic!("no semantic wire flip found");
+    }
+
+    #[test]
+    fn wire_flip_changes_semantics_and_reload_heals_it() {
+        let g = Gf2Poly::from_crc_notation(0x1021, 16);
+        let t = BitMat::companion(&g).pow(7);
+        let net = synthesize(&t, SynthOptions::default());
+        let op = PgaOperation::linear("T", net, &params()).unwrap();
+        let (gate, new_signal, x) = semantic_wire_flip(&op);
+        let mut sim = PicogaSim::new(params());
+        sim.load_context(0, op.clone()).unwrap();
+        sim.switch_to(0).unwrap();
+        let clean = sim.run_linear(&x).unwrap();
+        assert_eq!(clean, t.mul_vec(&x));
+
+        sim.inject(&ConfigFault::WireFlip {
+            slot: 0,
+            gate,
+            pin: 0,
+            new_signal,
+        })
+        .unwrap();
+        let corrupt = sim.run_linear(&x).unwrap();
+        assert_ne!(corrupt, clean, "SEU must change the computed function");
+
+        // Reloading the pristine configuration heals the SEU.
+        sim.load_context(0, op).unwrap();
+        sim.switch_to(0).unwrap();
+        assert_eq!(sim.run_linear(&x).unwrap(), clean);
+    }
+
+    #[test]
+    fn stuck_cell_survives_reload_and_tap_flip_zeroes_an_output() {
+        let g = Gf2Poly::from_crc_notation(0x1021, 16);
+        let t = BitMat::companion(&g).pow(7);
+        let net = synthesize(&t, SynthOptions::default());
+        let op = PgaOperation::linear("T", net, &params()).unwrap();
+        let mut sim = PicogaSim::new(params());
+        sim.load_context(0, op.clone()).unwrap();
+        sim.switch_to(0).unwrap();
+        let x = BitVec::from_u64(0xFFFF, 16);
+        let clean = sim.run_linear(&x).unwrap();
+
+        // Stick the first placed cell at 1; a reload must NOT repair it.
+        sim.inject(&ConfigFault::StuckCell {
+            row: 0,
+            cell: 0,
+            value: true,
+        })
+        .unwrap();
+        assert_eq!(sim.stuck_cells().len(), 1);
+        let faulty = sim.run_linear(&BitVec::zeros(16)).unwrap();
+        assert!(!faulty.is_zero(), "stuck-at-1 breaks linearity at x = 0");
+        sim.load_context(0, op).unwrap();
+        sim.switch_to(0).unwrap();
+        let still_faulty = sim.run_linear(&BitVec::zeros(16)).unwrap();
+        assert!(!still_faulty.is_zero(), "reload cannot fix silicon");
+        sim.clear_stuck_cells();
+        assert_eq!(sim.run_linear(&x).unwrap(), clean);
+
+        // Tap flip: output 3 re-tapped to constant 0.
+        sim.inject(&ConfigFault::TapFlip {
+            slot: 0,
+            output: 3,
+            new_tap: None,
+        })
+        .unwrap();
+        let tapped = sim.run_linear(&BitVec::ones(16)).unwrap();
+        assert!(!tapped.get(3));
+    }
+
+    #[test]
+    fn load_corruption_strikes_the_armed_load_only() {
+        let g = Gf2Poly::from_crc_notation(0x1021, 16);
+        let t = BitMat::companion(&g).pow(3);
+        let net = synthesize(&t, SynthOptions::default());
+        let op = PgaOperation::linear("T", net, &params()).unwrap();
+        let (gate, new_signal, x) = semantic_wire_flip(&op);
+        let mut sim = PicogaSim::new(params());
+        // Arm against the second load (index 1).
+        sim.arm_load_corruption(LoadCorruption {
+            load_index: 1,
+            fault: LoadFault::WireFlip {
+                gate,
+                pin: 0,
+                new_signal,
+            },
+        });
+        sim.load_context(0, op.clone()).unwrap();
+        sim.switch_to(0).unwrap();
+        assert_eq!(sim.run_linear(&x).unwrap(), t.mul_vec(&x), "load 0 clean");
+
+        sim.load_context(0, op.clone()).unwrap();
+        sim.switch_to(0).unwrap();
+        assert_ne!(sim.run_linear(&x).unwrap(), t.mul_vec(&x), "load 1 hit");
+
+        sim.load_context(0, op).unwrap();
+        sim.switch_to(0).unwrap();
+        assert_eq!(sim.run_linear(&x).unwrap(), t.mul_vec(&x), "load 2 clean");
+        assert_eq!(sim.loads_seen(), 3);
+    }
+
+    #[test]
+    fn inject_rejects_bad_coordinates() {
+        let mut sim = PicogaSim::new(params());
+        assert!(matches!(
+            sim.inject(&ConfigFault::WireFlip {
+                slot: 9,
+                gate: 0,
+                pin: 0,
+                new_signal: 0
+            }),
+            Err(InjectError::BadSlot { slot: 9, .. })
+        ));
+        assert!(matches!(
+            sim.inject(&ConfigFault::TapFlip {
+                slot: 0,
+                output: 0,
+                new_tap: None
+            }),
+            Err(InjectError::EmptySlot { slot: 0 })
+        ));
+        sim.load_context(0, identity_op(8)).unwrap();
+        assert!(matches!(
+            sim.inject(&ConfigFault::WireFlip {
+                slot: 0,
+                gate: 999,
+                pin: 0,
+                new_signal: 0
+            }),
+            Err(InjectError::BadCoordinate { what: "gate", .. })
+        ));
+        assert!(matches!(
+            sim.inject(&ConfigFault::StuckCell {
+                row: 999,
+                cell: 0,
+                value: true
+            }),
+            Err(InjectError::BadCoordinate { what: "row", .. })
+        ));
     }
 
     fn lfsr_fibonacci(s: &Gf2Poly) -> BitMat {

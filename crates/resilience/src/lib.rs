@@ -1,0 +1,37 @@
+//! # resilience — fault injection, self-checking and graceful degradation
+//!
+//! The paper's DREAM/PiCoGA stack answers "how fast can a reconfigurable
+//! fabric run parallel LFSR applications?"; this crate answers the
+//! follow-on question a deployed device faces: **what happens when the
+//! configuration underneath those applications breaks?** SRAM-based
+//! configuration memory is susceptible to single-event upsets, off-fabric
+//! context loads can be corrupted in transit, and cells can fail stuck.
+//!
+//! Three layers (see DESIGN.md §7):
+//!
+//! * [`inject`] — seeded, deterministic generation of valid fabric
+//!   faults, with *exact* ground-truth classification (semantic vs
+//!   benign) computed from the affine behaviour of the corrupted
+//!   network. The mechanisms live in `picoga` ([`picoga::ConfigFault`],
+//!   [`picoga::FaultPlan`]); this layer adds randomness and truth.
+//! * [`policy`] — [`policy::ResilientSystem`] wraps `dream::DreamSystem`
+//!   with a typed recovery ladder (reload → re-synthesize → software
+//!   fallback) and an optional dual-lane DMR mode.
+//! * [`campaign`] — reproducible sweeps over injection rate × M ×
+//!   policy, grading detection coverage, silent-data-corruption rate and
+//!   throughput cost against the fault-free baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod inject;
+pub mod policy;
+pub mod rng;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignRow};
+pub use inject::{classify, classify_load, FaultEffect, FaultInjector};
+pub use policy::{
+    shadow_name, GuardedRun, RecoveryOutcome, RecoveryPolicy, ResilienceError, ResilientSystem,
+};
+pub use rng::SplitMix64;

@@ -1,0 +1,616 @@
+//! Typed recovery policy and the resilient system wrapper.
+//!
+//! [`DreamSystem`] exposes the *mechanisms* (scrub, probe, reload,
+//! replace, software checksum); this module is the *policy* that drives
+//! them as a ladder:
+//!
+//! 1. **Reload** — a bounded number of context reloads from pristine
+//!    off-fabric configuration memory. Heals SEUs in resident contexts
+//!    and load-time corruption; cannot heal physical stuck-at cells.
+//! 2. **Re-synthesis** — rebuild the personality through the full flow
+//!    with perturbed synthesis options, yielding a different network and
+//!    placement that can route around a stuck cell.
+//! 3. **Software fallback** — retire the personality to the control
+//!    processor's Sarwate kernel. Always correct, never fast.
+//!
+//! The optional **DMR mode** hosts a second, independently synthesized
+//! placement of every personality and compares the two lanes on every
+//! message: any disagreement is detected *before* the answer is
+//! delivered, which is what drives the campaign's zero-SDC result.
+//!
+//! Scrambler personalities keep their `DreamSystem`-level mechanisms
+//! (scrub/probe/reload); the wrapper here hosts CRC personalities, the
+//! only kind with a software fallback kernel.
+
+use dream::{ControlModel, DreamSystem, Health, RunReport, SystemError};
+use dream_lfsr::{build_personality, FlowOptions};
+use lfsr::crc::CrcSpec;
+use picoga::PicogaParams;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Suffix appended to a personality name for its DMR shadow lane.
+pub const DMR_SUFFIX: &str = "::dmr";
+
+/// The shadow-lane name for `name` in DMR mode.
+#[must_use]
+pub fn shadow_name(name: &str) -> String {
+    format!("{name}{DMR_SUFFIX}")
+}
+
+/// How far the system may go to keep a personality serviceable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Context reloads attempted before escalating (step 1 of the
+    /// ladder). 0 skips straight to re-synthesis.
+    pub max_reload_retries: u32,
+    /// Permit step 2: re-synthesize with perturbed options and replace
+    /// the registration.
+    pub allow_resynthesis: bool,
+    /// Permit step 3: retire the personality to the software kernel.
+    pub allow_software_fallback: bool,
+    /// Known-answer blocks pushed through the datapath per probe.
+    pub probe_blocks: usize,
+    /// Run a scrub + probe checkpoint every this many messages
+    /// (0 disables periodic checking — detection then rests on DMR).
+    pub scrub_period: u64,
+    /// Host a second placement of every personality and compare lanes
+    /// on every message.
+    pub dmr: bool,
+}
+
+impl RecoveryPolicy {
+    /// The default ladder: 2 reload retries, re-synthesis, software
+    /// fallback, checkpoint every 4 messages, no DMR.
+    #[must_use]
+    pub fn standard() -> Self {
+        RecoveryPolicy {
+            max_reload_retries: 2,
+            allow_resynthesis: true,
+            allow_software_fallback: true,
+            probe_blocks: 2,
+            scrub_period: 4,
+            dmr: false,
+        }
+    }
+
+    /// Detection without repair: checkpoints run, but nothing is
+    /// reloaded, replaced or retired. The campaign's control arm.
+    #[must_use]
+    pub fn detect_only() -> Self {
+        RecoveryPolicy {
+            max_reload_retries: 0,
+            allow_resynthesis: false,
+            allow_software_fallback: false,
+            ..Self::standard()
+        }
+    }
+
+    /// The standard ladder plus dual-lane modular redundancy.
+    #[must_use]
+    pub fn dmr() -> Self {
+        RecoveryPolicy {
+            dmr: true,
+            ..Self::standard()
+        }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// What the recovery ladder achieved for one personality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// A context reload restored correct behaviour.
+    HealedByReload {
+        /// Reload attempts spent (1-based).
+        retries: u32,
+    },
+    /// A re-synthesized replacement placement restored correct
+    /// behaviour (typical for stuck-at cells).
+    HealedByResynthesis,
+    /// The personality now runs on the control processor's software
+    /// kernel.
+    SoftwareFallback,
+    /// Every permitted step failed or was disallowed; the personality
+    /// stays suspect on the fabric.
+    Unrecovered,
+}
+
+/// Errors from hosting or recovering personalities.
+#[derive(Debug)]
+pub enum ResilienceError {
+    /// The synthesis flow failed to (re)build a personality.
+    Build(dream::BuildError),
+    /// The underlying system refused an operation.
+    System(SystemError),
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Build(e) => write!(f, "personality build failed: {e}"),
+            ResilienceError::System(e) => write!(f, "system error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilienceError::Build(e) => Some(e),
+            ResilienceError::System(e) => Some(e),
+        }
+    }
+}
+
+impl From<dream::BuildError> for ResilienceError {
+    fn from(e: dream::BuildError) -> Self {
+        ResilienceError::Build(e)
+    }
+}
+
+impl From<SystemError> for ResilienceError {
+    fn from(e: SystemError) -> Self {
+        ResilienceError::System(e)
+    }
+}
+
+/// One guarded checksum: the answer plus everything it cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardedRun {
+    /// The CRC value delivered to the caller.
+    pub crc: u64,
+    /// Total cycles spent by this call: fabric work (compute, context
+    /// switches, loads, probes, reloads) plus control/tail/stall cycles
+    /// of every kernel invoked.
+    pub cycles: u64,
+    /// The delivered answer came from the software kernel.
+    pub software: bool,
+    /// DMR lanes disagreed on this message (the answer was then taken
+    /// from software, so it is still correct).
+    pub dmr_mismatch: bool,
+    /// Recovery ladders run during this call (checkpoint- or
+    /// DMR-triggered), in execution order.
+    pub outcomes: Vec<RecoveryOutcome>,
+}
+
+/// A [`DreamSystem`] wrapped with a [`RecoveryPolicy`]: hosts CRC
+/// personalities, self-checks them periodically, and walks the recovery
+/// ladder when a check fails.
+#[derive(Debug)]
+pub struct ResilientSystem {
+    sys: DreamSystem,
+    policy: RecoveryPolicy,
+    /// Per-personality flow inputs, kept for re-synthesis.
+    flows: HashMap<String, (CrcSpec, FlowOptions)>,
+    /// Hosting order — used instead of map iteration so checkpoint
+    /// order (and therefore every campaign) is deterministic.
+    order: Vec<String>,
+    messages_seen: u64,
+    dmr_mismatches: u64,
+}
+
+impl ResilientSystem {
+    /// An empty resilient system on the given fabric.
+    #[must_use]
+    pub fn new(params: PicogaParams, control: ControlModel, policy: RecoveryPolicy) -> Self {
+        ResilientSystem {
+            sys: DreamSystem::new(params, control),
+            policy,
+            flows: HashMap::new(),
+            order: Vec::new(),
+            messages_seen: 0,
+            dmr_mismatches: 0,
+        }
+    }
+
+    /// The wrapped system (counters, health, fabric access).
+    pub fn system(&self) -> &DreamSystem {
+        &self.sys
+    }
+
+    /// Mutable access to the wrapped system, e.g. for fault injection.
+    pub fn system_mut(&mut self) -> &mut DreamSystem {
+        &mut self.sys
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Messages on which the two DMR lanes disagreed so far.
+    pub fn dmr_mismatches(&self) -> u64 {
+        self.dmr_mismatches
+    }
+
+    /// Personalities hosted through this wrapper, in hosting order
+    /// (shadow lanes included).
+    pub fn hosted(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Builds `spec` through the flow and registers it under `name`; in
+    /// DMR mode also builds and registers an independently synthesized
+    /// shadow lane.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Build`] if synthesis fails,
+    /// [`ResilienceError::System`] if registration is refused.
+    pub fn host(
+        &mut self,
+        name: &str,
+        spec: &CrcSpec,
+        opts: FlowOptions,
+    ) -> Result<(), ResilienceError> {
+        let p = build_personality(name.to_string(), spec, &opts)?;
+        self.sys.register(p)?;
+        self.flows.insert(name.to_string(), (*spec, opts));
+        self.order.push(name.to_string());
+        if self.policy.dmr {
+            let sh = shadow_name(name);
+            let mut sopts = opts;
+            // A genuinely different placement: toggle pattern sharing so
+            // the shadow network is synthesized down a different path.
+            sopts.synth.share_patterns = !sopts.synth.share_patterns;
+            let p2 = build_personality(sh.clone(), spec, &sopts)?;
+            self.sys.register(p2)?;
+            self.flows.insert(sh.clone(), (*spec, sopts));
+            self.order.push(sh);
+        }
+        Ok(())
+    }
+
+    /// Computes a checksum under the policy: DMR lane comparison when
+    /// enabled, software kernel for retired personalities, and a
+    /// scrub + probe checkpoint every `scrub_period` messages (after the
+    /// answer — detection latency is real).
+    ///
+    /// # Errors
+    ///
+    /// Propagates system and re-synthesis errors; unknown names surface
+    /// as [`SystemError::UnknownPersonality`].
+    pub fn checksum_guarded(
+        &mut self,
+        name: &str,
+        data: &[u8],
+    ) -> Result<GuardedRun, ResilienceError> {
+        let fab0 = self.sys.fabric().counters().total();
+        let mut soft_cycles: u64 = 0;
+        let mut outcomes = Vec::new();
+        let mut dmr_mismatch = false;
+
+        let mut software = self.sys.health(name) == Health::Fallback;
+        let shadow = shadow_name(name);
+        let crc = if software {
+            let (v, rep) = self.sys.checksum_software(name, data)?;
+            soft_cycles += non_fabric(&rep);
+            v
+        } else if self.policy.dmr && self.flows.contains_key(&shadow) {
+            let (a, ra) = self.sys.checksum(name, data)?;
+            soft_cycles += non_fabric(&ra);
+            let (b, rb) = if self.sys.health(&shadow) == Health::Fallback {
+                self.sys.checksum_software(&shadow, data)?
+            } else {
+                self.sys.checksum(&shadow, data)?
+            };
+            soft_cycles += non_fabric(&rb);
+            if a == b {
+                a
+            } else {
+                dmr_mismatch = true;
+                self.dmr_mismatches += 1;
+                self.sys.set_health(name, Health::Suspect);
+                self.sys.set_health(&shadow, Health::Suspect);
+                outcomes.push(self.recover(name)?);
+                outcomes.push(self.recover(&shadow)?);
+                // The lanes disagreed, so neither can be trusted for
+                // this message: answer from the software kernel.
+                let (v, rep) = self.sys.checksum_software(name, data)?;
+                soft_cycles += non_fabric(&rep);
+                software = true;
+                v
+            }
+        } else {
+            let (v, rep) = self.sys.checksum(name, data)?;
+            soft_cycles += non_fabric(&rep);
+            v
+        };
+
+        self.messages_seen += 1;
+        if self.policy.scrub_period > 0
+            && self.messages_seen.is_multiple_of(self.policy.scrub_period)
+        {
+            outcomes.extend(self.self_check()?);
+        }
+
+        let cycles = self.sys.fabric().counters().total() - fab0 + soft_cycles;
+        Ok(GuardedRun {
+            crc,
+            cycles,
+            software,
+            dmr_mismatch,
+            outcomes,
+        })
+    }
+
+    /// One checkpoint: scrub every resident context, probe every hosted
+    /// fabric personality, and run the recovery ladder for whatever was
+    /// flagged. Returns the ladder outcomes (empty when all clean).
+    ///
+    /// # Errors
+    ///
+    /// Propagates system and re-synthesis errors.
+    pub fn self_check(&mut self) -> Result<Vec<RecoveryOutcome>, ResilienceError> {
+        let mut flagged: Vec<String> = self
+            .sys
+            .scrub()
+            .into_iter()
+            .map(|f| f.personality)
+            .collect();
+        let hosted = self.order.clone();
+        for name in hosted {
+            if self.sys.health(&name) == Health::Fallback {
+                continue;
+            }
+            if !self.sys.probe(&name, self.policy.probe_blocks.max(1))? {
+                flagged.push(name);
+            }
+        }
+        flagged.dedup();
+        let mut outcomes = Vec::new();
+        let mut done: Vec<String> = Vec::new();
+        for name in flagged {
+            if done.contains(&name) || self.sys.health(&name) == Health::Fallback {
+                continue;
+            }
+            outcomes.push(self.recover(&name)?);
+            done.push(name);
+        }
+        Ok(outcomes)
+    }
+
+    /// Walks the recovery ladder for `name` until a step restores a
+    /// clean scrub + probe, or the permitted steps run out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system errors (including unknown personalities).
+    pub fn recover(&mut self, name: &str) -> Result<RecoveryOutcome, ResilienceError> {
+        for retry in 1..=self.policy.max_reload_retries {
+            self.sys.reload(name)?;
+            if self.lane_clean(name)? {
+                self.sys.set_health(name, Health::Healthy);
+                return Ok(RecoveryOutcome::HealedByReload { retries: retry });
+            }
+        }
+        if self.policy.allow_resynthesis {
+            if let Some((spec, mut opts)) = self.flows.get(name).copied() {
+                // Perturb along two axes: toggling pattern sharing alone
+                // would make a recovered DMR lane identical to its
+                // partner (same options, same placement), and two
+                // identical placements over the same stuck cell fail
+                // identically — the comparison would go blind. Shrinking
+                // the fan-in as well keeps every replacement distinct
+                // from both the failed placement and the other lane.
+                opts.synth.share_patterns = !opts.synth.share_patterns;
+                opts.synth.max_fanin = (opts.synth.max_fanin - 1).max(2);
+                if let Ok(p) = build_personality(name.to_string(), &spec, &opts) {
+                    self.sys.replace_personality(p)?;
+                    self.flows.insert(name.to_string(), (spec, opts));
+                    if self.lane_clean(name)? {
+                        self.sys.set_health(name, Health::Healthy);
+                        return Ok(RecoveryOutcome::HealedByResynthesis);
+                    }
+                }
+            }
+        }
+        if self.policy.allow_software_fallback {
+            self.sys.set_health(name, Health::Fallback);
+            return Ok(RecoveryOutcome::SoftwareFallback);
+        }
+        self.sys.set_health(name, Health::Suspect);
+        Ok(RecoveryOutcome::Unrecovered)
+    }
+
+    /// Scrub shows no finding for `name` and a fresh probe passes.
+    fn lane_clean(&mut self, name: &str) -> Result<bool, SystemError> {
+        if self.sys.scrub().iter().any(|f| f.personality == name) {
+            return Ok(false);
+        }
+        self.sys.probe(name, self.policy.probe_blocks.max(1))
+    }
+}
+
+/// Non-fabric cycles of a run (fabric cycles are read off the shared
+/// simulator counters instead, so probes and reloads are included).
+fn non_fabric(rep: &RunReport) -> u64 {
+    rep.control_cycles + rep.tail_cycles + rep.memory_stall_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{classify, FaultEffect, FaultInjector};
+    use lfsr::crc::crc_bitwise;
+    use picoga::ConfigFault;
+
+    fn mk(policy: RecoveryPolicy) -> ResilientSystem {
+        ResilientSystem::new(PicogaParams::dream(), ControlModel::default(), policy)
+    }
+
+    fn spec() -> CrcSpec {
+        *CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry")
+    }
+
+    fn message() -> Vec<u8> {
+        (0..64u32).map(|i| (i * 7 + 3) as u8).collect()
+    }
+
+    /// A semantic fault in the resident update context of `name`.
+    fn semantic_fault_in_update(rs: &ResilientSystem, name: &str, seed: u64) -> ConfigFault {
+        let slot = rs.system().slot_of(name, 0).expect("update resident");
+        let pristine = rs.system().fabric().context(slot).expect("context").clone();
+        let mut inj = FaultInjector::new(seed);
+        loop {
+            let f = inj.random_wire_flip(slot, &pristine).expect("fault");
+            if classify(&f, &pristine) == FaultEffect::Semantic {
+                return f;
+            }
+        }
+    }
+
+    #[test]
+    fn seu_is_detected_at_checkpoint_and_healed_by_reload() {
+        let mut rs = mk(RecoveryPolicy {
+            scrub_period: 1,
+            ..RecoveryPolicy::standard()
+        });
+        let spec = spec();
+        rs.host("eth", &spec, FlowOptions::dream_with_m(32))
+            .unwrap();
+        let data = message();
+        let expected = crc_bitwise(&spec, &data);
+
+        let r1 = rs.checksum_guarded("eth", &data).unwrap();
+        assert_eq!(r1.crc, expected);
+        assert!(r1.outcomes.is_empty(), "clean system, no recovery");
+
+        let fault = semantic_fault_in_update(&rs, "eth", 17);
+        rs.system_mut().fabric_mut().inject(&fault).unwrap();
+
+        // The checkpoint after this message must detect and heal.
+        let r2 = rs.checksum_guarded("eth", &data).unwrap();
+        assert!(
+            r2.outcomes
+                .iter()
+                .any(|o| matches!(o, RecoveryOutcome::HealedByReload { .. })),
+            "reload heals an SEU: {:?}",
+            r2.outcomes
+        );
+        assert_eq!(rs.system().health("eth"), Health::Healthy);
+
+        let r3 = rs.checksum_guarded("eth", &data).unwrap();
+        assert_eq!(r3.crc, expected);
+        assert!(!r3.software);
+
+        let c = rs.system().resilience_counters();
+        assert!(c.detections >= 1, "scrub counted the detection");
+        assert!(c.reloads >= 1, "reload was accounted");
+    }
+
+    #[test]
+    fn stuck_cell_evades_scrub_and_retires_to_software() {
+        // Resynthesis disallowed: the ladder must end in fallback.
+        let mut rs = mk(RecoveryPolicy {
+            scrub_period: 1,
+            allow_resynthesis: false,
+            ..RecoveryPolicy::standard()
+        });
+        let spec = spec();
+        rs.host("eth", &spec, FlowOptions::dream_with_m(32))
+            .unwrap();
+        let data = message();
+        let expected = crc_bitwise(&spec, &data);
+        rs.checksum_guarded("eth", &data).unwrap();
+
+        // A semantic stuck-at cell in the resident update placement.
+        let slot = rs.system().slot_of("eth", 0).unwrap();
+        let pristine = rs.system().fabric().context(slot).unwrap().clone();
+        let mut inj = FaultInjector::new(23);
+        let fault = loop {
+            let f = inj.random_stuck_cell(&pristine).unwrap();
+            if classify(&f, &pristine) == FaultEffect::Semantic {
+                break f;
+            }
+        };
+        rs.system_mut().fabric_mut().inject(&fault).unwrap();
+
+        let r2 = rs.checksum_guarded("eth", &data).unwrap();
+        assert!(
+            r2.outcomes.contains(&RecoveryOutcome::SoftwareFallback),
+            "reload cannot heal stuck silicon: {:?}",
+            r2.outcomes
+        );
+        assert_eq!(rs.system().health("eth"), Health::Fallback);
+
+        let r3 = rs.checksum_guarded("eth", &data).unwrap();
+        assert_eq!(r3.crc, expected, "software kernel is exact");
+        assert!(r3.software);
+        assert!(rs.system().resilience_counters().fallback_messages >= 1);
+    }
+
+    #[test]
+    fn dmr_delivers_no_wrong_answer_even_without_checkpoints() {
+        let mut rs = mk(RecoveryPolicy {
+            scrub_period: 0, // no periodic checking: DMR alone
+            ..RecoveryPolicy::dmr()
+        });
+        let spec = spec();
+        rs.host("eth", &spec, FlowOptions::dream_with_m(32))
+            .unwrap();
+        assert_eq!(rs.hosted().len(), 2, "shadow lane hosted");
+        let data = message();
+        let expected = crc_bitwise(&spec, &data);
+
+        let r1 = rs.checksum_guarded("eth", &data).unwrap();
+        assert_eq!(r1.crc, expected);
+        assert!(!r1.dmr_mismatch);
+
+        let fault = semantic_fault_in_update(&rs, "eth", 31);
+        rs.system_mut().fabric_mut().inject(&fault).unwrap();
+
+        let r2 = rs.checksum_guarded("eth", &data).unwrap();
+        assert_eq!(r2.crc, expected, "mismatch answered from software");
+        assert!(r2.dmr_mismatch);
+        assert!(r2.software);
+        assert!(rs.dmr_mismatches() >= 1);
+
+        // The faulted lane healed by reload; the system is whole again.
+        let r3 = rs.checksum_guarded("eth", &data).unwrap();
+        assert_eq!(r3.crc, expected);
+        assert!(!r3.dmr_mismatch);
+        assert!(!r3.software);
+    }
+
+    #[test]
+    fn dmr_stays_correct_under_a_stuck_cell() {
+        // Regression: recovery via re-synthesis must never leave the two
+        // lanes with identical placements — a physical stuck cell would
+        // then corrupt both identically and the comparison would go
+        // blind. Whatever the ladder does, no wrong answer may escape.
+        let mut rs = mk(RecoveryPolicy {
+            scrub_period: 0,
+            ..RecoveryPolicy::dmr()
+        });
+        let spec = spec();
+        rs.host("eth", &spec, FlowOptions::dream_with_m(32))
+            .unwrap();
+        let data = message();
+        let expected = crc_bitwise(&spec, &data);
+        rs.checksum_guarded("eth", &data).unwrap();
+
+        let slot = rs.system().slot_of("eth", 0).unwrap();
+        let pristine = rs.system().fabric().context(slot).unwrap().clone();
+        let mut inj = FaultInjector::new(23);
+        let fault = loop {
+            let f = inj.random_stuck_cell(&pristine).unwrap();
+            if classify(&f, &pristine) == FaultEffect::Semantic {
+                break f;
+            }
+        };
+        rs.system_mut().fabric_mut().inject(&fault).unwrap();
+
+        for _ in 0..8 {
+            let r = rs.checksum_guarded("eth", &data).unwrap();
+            assert_eq!(r.crc, expected, "DMR must never deliver a wrong answer");
+        }
+        assert!(rs.dmr_mismatches() >= 1, "the stuck cell was noticed");
+    }
+}

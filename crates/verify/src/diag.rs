@@ -343,6 +343,29 @@ impl fmt::Display for Report {
     }
 }
 
+/// A failed verification, as an error type: the report behind a strict
+/// mode rejection, so callers can walk `source()` chains down to the
+/// individual findings instead of parsing rendered text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The report that contained at least one `Error`-severity finding.
+    pub report: Report,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.report.render().trim_end())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<Report> for VerifyError {
+    fn from(report: Report) -> Self {
+        VerifyError { report }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,7 +30,7 @@ mod diag;
 mod equiv;
 mod lint;
 
-pub use diag::{Code, Diagnostic, LintConfig, LintLevel, Location, Report, Severity};
+pub use diag::{Code, Diagnostic, LintConfig, LintLevel, Location, Report, Severity, VerifyError};
 pub use equiv::{check_network, EquivError, RowMismatch};
 pub use lint::{
     lint_context_demand, lint_network, lint_operation, lint_placed_network, ROW_SATURATION_WARN_PCT,

@@ -378,6 +378,49 @@ impl XorNetwork {
         support[signal].clone()
     }
 
+    /// Redirects one fan-in wire of gate `gate_idx` to `new_signal`,
+    /// modelling a single-event upset in the routing configuration. The
+    /// new source must still be an *earlier* signal so the DAG invariant
+    /// (and hence the topological gate order) survives the corruption —
+    /// a PiCoGA wire can only ever be driven from a previous row.
+    ///
+    /// This is a **fault-injection hook**: it deliberately bypasses the
+    /// synthesis flow, and the resulting network in general no longer
+    /// computes its source matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate, pin, or signal is out of range, or if
+    /// `new_signal` is not earlier than the gate's own output signal.
+    pub fn set_gate_input(&mut self, gate_idx: usize, pin: usize, new_signal: SignalId) {
+        assert!(gate_idx < self.gates.len(), "gate out of range");
+        let own = self.n_inputs + gate_idx;
+        assert!(
+            new_signal < own,
+            "wire must come from an earlier signal ({new_signal} >= {own})"
+        );
+        let g = &mut self.gates[gate_idx];
+        assert!(pin < g.inputs.len(), "pin out of range");
+        g.inputs[pin] = new_signal;
+    }
+
+    /// Re-taps primary output `out_idx` to `new_signal` (or the constant
+    /// 0), modelling a single-event upset in the output routing.
+    ///
+    /// Like [`set_gate_input`](Self::set_gate_input), this is a
+    /// fault-injection hook, not part of the synthesis flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output index or the signal is out of range.
+    pub fn set_output(&mut self, out_idx: usize, new_signal: Option<SignalId>) {
+        assert!(out_idx < self.outputs.len(), "output out of range");
+        if let Some(s) = new_signal {
+            assert!(s < self.n_signals(), "output references undefined signal");
+        }
+        self.outputs[out_idx] = new_signal;
+    }
+
     /// Renders the network as Graphviz DOT (inputs as boxes, gates as
     /// circles labelled with their level, outputs as double circles) —
     /// the debugging view the mapping flow prints on request.
