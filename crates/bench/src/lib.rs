@@ -56,12 +56,16 @@ fn scrambler_app(m: usize) -> DreamScramblerApp {
 pub fn table1() -> String {
     let mut out = String::new();
     let kernel = CrcKernel::ethernet_sarwate();
-    let risc_bps = kernel.steady_throughput_bps(CLOCK_HZ);
+    // Invariant: the static Ethernet kernel runs bounded loops over a
+    // fixed-size measurement message — the runaway guard cannot fire.
+    let risc_bps = kernel
+        .steady_throughput_bps(CLOCK_HZ)
+        .expect("static kernel measurement");
     let _ = writeln!(
         out,
         "Table 1: Speed-up vs. fast software CRC on RISC @200MHz \
          ({:.1} cycles/byte, {:.0} Mbit/s steady state)",
-        kernel.cycles_per_byte(),
+        kernel.cycles_per_byte().expect("static kernel measurement"),
         risc_bps / 1e6
     );
     let _ = writeln!(
@@ -493,12 +497,15 @@ pub fn ablation() -> String {
         CrcKernel::ethernet_sarwate(),
         CrcKernel::ethernet_slicing4(),
     ] {
+        // Invariant: static kernels, bounded loops — see `table1`.
         let _ = writeln!(
             out,
             "  {:<16} {:>6.1} cycles/byte  ({:>7.1} Mbit/s @200MHz)",
             k.name(),
-            k.cycles_per_byte(),
-            k.steady_throughput_bps(CLOCK_HZ) / 1e6
+            k.cycles_per_byte().expect("static kernel measurement"),
+            k.steady_throughput_bps(CLOCK_HZ)
+                .expect("static kernel measurement")
+                / 1e6
         );
     }
     out

@@ -256,6 +256,42 @@ pub fn build_personality(
     }
 }
 
+/// Builds a [`dream::ScramblerPersonality`] for hosting on a shared
+/// [`dream::DreamSystem`]: the same flow as [`build_scrambler_app`], but
+/// the operation is returned instead of being loaded into a private
+/// fabric.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] from the math or the mapping.
+pub fn build_scrambler_personality(
+    name: impl Into<String>,
+    spec: &ScramblerSpec,
+    opts: &FlowOptions,
+) -> Result<dream::ScramblerPersonality, BuildError> {
+    use picoga::PgaOperation;
+    use xornet::synthesize;
+
+    let serial = StateSpaceLfsr::additive_scrambler(&spec.polynomial()).expect("valid poly");
+    let block = BlockSystem::new(&serial, opts.m)?;
+    let derby = DerbyTransform::new(&block)?;
+    let expected = derby.c_stack_t().hstack(derby.d_stack());
+    let net = synthesize(&expected, opts.synth);
+    let op = PgaOperation::scrambler("scrambler", net, derby.a_mt(), opts.m, &opts.params)
+        .map_err(|source| BuildError::Map {
+            op: "scrambler",
+            source,
+        })?;
+    enforce("scrambler", &op, &expected, opts)?;
+    Ok(dream::ScramblerPersonality {
+        name: name.into(),
+        spec: *spec,
+        m: opts.m,
+        op,
+        derby,
+    })
+}
+
 /// Reproduces the paper's empirical study of the arbitrary vector `f`
 /// (§4: "we also empirically analyzed the impact of the arbitrary vector f
 /// … but we didn't find significant difference in the complexity of T").

@@ -33,7 +33,8 @@ mod flow;
 
 pub use explore::{max_lookahead, sweep_m, MappingPoint};
 pub use flow::{
-    build_crc_app, build_personality, build_scrambler_app, explore_f, FlowOptions, FlowReport,
+    build_crc_app, build_personality, build_scrambler_app, build_scrambler_personality, explore_f,
+    FlowOptions, FlowReport,
 };
 // Re-exported so flow users can configure strict-mode verification
 // without depending on the verify crate directly.

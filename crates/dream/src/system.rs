@@ -68,6 +68,41 @@ pub enum SystemError {
         /// Why the serial LFSR could not be constructed.
         source: lfsr::LfsrError,
     },
+    /// A zero-length message was submitted. The empty CRC/frame is
+    /// well-defined mathematically, but a zero-bit fabric run would
+    /// charge setup cycles for no work — callers must not pay the
+    /// message-level overhead model for nothing, so the API refuses
+    /// instead of silently answering.
+    EmptyInput {
+        /// The personality the message was addressed to.
+        name: String,
+    },
+    /// A scrambler seed has bits beyond the LFSR's state width (the
+    /// excess would previously be truncated silently, scrambling with a
+    /// different seed than the caller asked for).
+    BadSeed {
+        /// The personality the seed was addressed to.
+        name: String,
+        /// The offending seed.
+        seed: u64,
+        /// The scrambler's state width in bits.
+        width: usize,
+    },
+    /// A chunked stream feed was not a whole number of M-bit blocks.
+    BlockMisaligned {
+        /// Bits submitted.
+        len: usize,
+        /// The personality's block size M.
+        m: usize,
+    },
+    /// A stream state vector has the wrong dimension for the
+    /// personality it was submitted to.
+    StateWidthMismatch {
+        /// Bits in the submitted state.
+        got: usize,
+        /// The personality's state dimension.
+        expected: usize,
+    },
     /// Underlying simulator error.
     Sim(SimError),
 }
@@ -89,6 +124,24 @@ impl fmt::Display for SystemError {
             }
             SystemError::BadSpec { name, source } => {
                 write!(f, "personality '{name}' has an invalid spec: {source}")
+            }
+            SystemError::EmptyInput { name } => {
+                write!(f, "zero-length message submitted to '{name}'")
+            }
+            SystemError::BadSeed { name, seed, width } => {
+                write!(
+                    f,
+                    "seed {seed:#x} does not fit the {width}-bit scrambler state of '{name}'"
+                )
+            }
+            SystemError::BlockMisaligned { len, m } => {
+                write!(f, "stream feed of {len} bits is not a multiple of M={m}")
+            }
+            SystemError::StateWidthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "stream state has {got} bits, personality needs {expected}"
+                )
             }
             SystemError::Sim(e) => write!(f, "fabric error: {e}"),
         }
@@ -324,7 +377,11 @@ impl DreamSystem {
     ///
     /// # Errors
     ///
-    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    /// [`SystemError::UnknownPersonality`] for unregistered names,
+    /// [`SystemError::EmptyInput`] for a zero-length frame,
+    /// [`SystemError::BadSeed`] when the seed has bits beyond the
+    /// scrambler's state width (it would otherwise be silently
+    /// truncated), or fabric errors.
     pub fn scramble(
         &mut self,
         name: &str,
@@ -336,6 +393,10 @@ impl DreamSystem {
             .get(name)
             .cloned()
             .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        if data.is_empty() {
+            return Err(SystemError::EmptyInput { name: name.into() });
+        }
+        check_seed(name, seed, p.derby.dim())?;
         let start = self.sim.counters();
         let mut report = RunReport {
             bits: data.len() as u64,
@@ -449,13 +510,18 @@ impl DreamSystem {
     ///
     /// # Errors
     ///
-    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    /// [`SystemError::UnknownPersonality`] for unregistered names,
+    /// [`SystemError::EmptyInput`] for a zero-length message, or fabric
+    /// errors.
     pub fn checksum(&mut self, name: &str, data: &[u8]) -> Result<(u64, RunReport), SystemError> {
         let p = self
             .personalities
             .get(name)
             .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?
             .clone();
+        if data.is_empty() {
+            return Err(SystemError::EmptyInput { name: name.into() });
+        }
         let start = self.sim.counters();
         let mut report = RunReport {
             bits: (data.len() * 8) as u64,
@@ -647,6 +713,56 @@ impl DreamSystem {
         Ok(ok)
     }
 
+    /// Affine-complete physical probe of every context a personality
+    /// owns (update and, when present, finalize for CRC lanes; the
+    /// transducer for scramblers): each context is made resident and
+    /// its physical datapath is swept with the zero vector and the full
+    /// input basis (see `PicogaSim::affine_probe`). Unlike the sampled
+    /// known-answer [`DreamSystem::probe`], this cannot be fooled by a
+    /// stuck-at cell that the probe data happens not to excite — for
+    /// the XOR fault model the sweep is complete.
+    ///
+    /// A failing personality is marked [`Health::Suspect`].
+    ///
+    /// Returns `true` when every context's datapath matches its
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    pub fn datapath_probe(&mut self, name: &str) -> Result<bool, SystemError> {
+        self.res_counters.probe_runs += 1;
+        let mut roles: Vec<u8> = Vec::new();
+        if let Some(p) = self.personalities.get(name) {
+            roles.push(0);
+            if p.finalize.is_some() {
+                roles.push(1);
+            }
+        } else if self.scramblers.contains_key(name) {
+            roles.push(2);
+        } else {
+            return Err(SystemError::UnknownPersonality { name: name.into() });
+        }
+        let mut ok = true;
+        for role in roles {
+            let slot = if role == 2 {
+                self.ensure_scrambler_resident(name)?
+            } else {
+                self.ensure_resident(name, role)?
+            };
+            self.sim.switch_to(slot)?;
+            if !self.sim.affine_probe()? {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            self.res_counters.detections += 1;
+            self.health.insert(name.to_string(), Health::Suspect);
+        }
+        Ok(ok)
+    }
+
     /// Reloads the pristine configuration of every resident context of
     /// `name` from the registry (off-fabric configuration memory). Heals
     /// resident-context upsets; useless against stuck-at cells. The
@@ -733,7 +849,9 @@ impl DreamSystem {
     ///
     /// # Errors
     ///
-    /// [`SystemError::UnknownPersonality`].
+    /// [`SystemError::UnknownPersonality`] / [`SystemError::EmptyInput`]
+    /// (mirroring [`DreamSystem::checksum`], so degradation never
+    /// changes the accepted input domain).
     pub fn checksum_software(
         &mut self,
         name: &str,
@@ -744,6 +862,9 @@ impl DreamSystem {
             .get(name)
             .map(|p| p.spec)
             .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        if data.is_empty() {
+            return Err(SystemError::EmptyInput { name: name.into() });
+        }
         let crc = if let Some(s) = self.soft.get_mut(name) {
             s.reset();
             s.update(data);
@@ -767,8 +888,60 @@ impl DreamSystem {
     }
 }
 
+/// Crate-internal accessors for the chunked stream entry points (see
+/// `stream_ext.rs`).
+impl DreamSystem {
+    /// Looks up a CRC personality by name.
+    pub(crate) fn personality(&self, name: &str) -> Option<&Personality> {
+        self.personalities.get(name)
+    }
+
+    /// Looks up a scrambler personality by name.
+    pub(crate) fn scrambler(&self, name: &str) -> Option<&ScramblerPersonality> {
+        self.scramblers.get(name)
+    }
+
+    /// Makes `(name, role)` resident and active (LRU-evicting on miss).
+    pub(crate) fn make_resident(&mut self, name: &str, role: u8) -> Result<usize, SystemError> {
+        self.ensure_resident(name, role)
+    }
+
+    /// Makes the scrambler op of `name` resident and active.
+    pub(crate) fn make_scrambler_resident(&mut self, name: &str) -> Result<usize, SystemError> {
+        self.ensure_scrambler_resident(name)
+    }
+
+    /// Mutable fabric access for the stream feed paths.
+    pub(crate) fn fabric_mut_internal(&mut self) -> &mut PicogaSim {
+        &mut self.sim
+    }
+
+    /// The control-processor overhead model.
+    pub(crate) fn control_model(&self) -> &ControlModel {
+        &self.control
+    }
+
+    /// The serial tail engine of a registered personality.
+    pub(crate) fn tail_engine(&mut self, name: &str) -> Option<&mut StateSpaceLfsr> {
+        self.tails.get_mut(name)
+    }
+}
+
+/// Rejects seeds with bits beyond the scrambler's state width; the
+/// excess used to be truncated silently by `BitVec::from_u64`.
+pub(crate) fn check_seed(name: &str, seed: u64, width: usize) -> Result<(), SystemError> {
+    if width < 64 && seed >> width != 0 {
+        return Err(SystemError::BadSeed {
+            name: name.into(),
+            seed,
+            width,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::crc_app::BuildError;
     use lfsr::crc::crc_bitwise;
@@ -776,7 +949,11 @@ mod tests {
     use xornet::{synthesize, SynthOptions};
 
     /// Builds a Derby personality directly (mirrors DreamCrcApp::build).
-    fn personality(name: &str, spec: &CrcSpec, m: usize) -> Result<Personality, BuildError> {
+    pub(crate) fn personality(
+        name: &str,
+        spec: &CrcSpec,
+        m: usize,
+    ) -> Result<Personality, BuildError> {
         let params = PicogaParams::dream();
         let serial = StateSpaceLfsr::crc(&spec.generator()).unwrap();
         let block = BlockSystem::new(&serial, m).unwrap();
@@ -908,6 +1085,70 @@ mod tests {
             sys.register(dup),
             Err(SystemError::DuplicatePersonality { .. })
         ));
+    }
+
+    #[test]
+    fn zero_length_checksum_is_a_typed_error() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        assert!(matches!(
+            sys.checksum("eth", b""),
+            Err(SystemError::EmptyInput { name }) if name == "eth"
+        ));
+        // The software fallback refuses identically.
+        assert!(matches!(
+            sys.checksum_software("eth", b""),
+            Err(SystemError::EmptyInput { .. })
+        ));
+        // Nothing was loaded onto the fabric for the refused message.
+        assert!(sys.resident().is_empty());
+    }
+
+    /// Builds the 802.11 scrambler personality (mirrors the flow).
+    fn wifi_scrambler(m: usize) -> ScramblerPersonality {
+        use lfsr::scramble::ScramblerSpec;
+        let sspec = ScramblerSpec::ieee80211();
+        let serial = StateSpaceLfsr::additive_scrambler(&sspec.polynomial()).unwrap();
+        let block = BlockSystem::new(&serial, m).unwrap();
+        let derby = DerbyTransform::new(&block).unwrap();
+        let net_matrix = derby.c_stack_t().hstack(derby.d_stack());
+        let net = synthesize(&net_matrix, SynthOptions::default());
+        let op =
+            PgaOperation::scrambler("scr", net, derby.a_mt(), m, &PicogaParams::dream()).unwrap();
+        ScramblerPersonality {
+            name: "wifi".into(),
+            spec: *sspec,
+            m,
+            op,
+            derby,
+        }
+    }
+
+    #[test]
+    fn zero_length_and_oversized_seed_scramble_are_typed_errors() {
+        let mut sys = DreamSystem::new(PicogaParams::dream(), ControlModel::default());
+        sys.register_scrambler(wifi_scrambler(32)).unwrap();
+        let empty = BitVec::zeros(0);
+        assert!(matches!(
+            sys.scramble("wifi", 0x5D, &empty),
+            Err(SystemError::EmptyInput { name }) if name == "wifi"
+        ));
+        // The 802.11 scrambler state is 7 bits: bit 7 and above of the
+        // seed used to be truncated silently.
+        let frame = BitVec::from_u64(0xAA55, 16);
+        assert!(matches!(
+            sys.scramble("wifi", 0x180, &frame),
+            Err(SystemError::BadSeed {
+                width: 7,
+                seed: 0x180,
+                ..
+            })
+        ));
+        // Every in-range seed still scrambles exactly.
+        use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+        let sspec = ScramblerSpec::ieee80211();
+        let (got, _) = sys.scramble("wifi", 0x7F, &frame).unwrap();
+        let mut reference = AdditiveScrambler::with_seed(sspec, 0x7F).unwrap();
+        assert_eq!(got, reference.scramble(&frame));
     }
 
     #[test]

@@ -287,6 +287,32 @@ impl BitVec {
         &self.words
     }
 
+    /// Packs the bits into `ceil(len/8)` little-endian bytes: byte `i`
+    /// holds bits `8i..8i+8`, LSB first. Unused high bits of the last
+    /// byte are zero. The length itself is *not* encoded — callers that
+    /// serialize a `BitVec` must store it alongside (see
+    /// [`BitVec::from_le_bytes`]).
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in self.iter_ones() {
+            out[i / 8] |= 1 << (i % 8);
+        }
+        out
+    }
+
+    /// Rebuilds a `len`-bit vector from its [`BitVec::to_le_bytes`]
+    /// encoding. Bytes beyond `ceil(len/8)` and bits beyond `len` are
+    /// ignored, so a truncated-then-padded buffer round-trips exactly.
+    pub fn from_le_bytes(bytes: &[u8], len: usize) -> Self {
+        let mut out = BitVec::zeros(len);
+        for i in 0..len {
+            if bytes.get(i / 8).is_some_and(|b| (b >> (i % 8)) & 1 == 1) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
         if tail != 0 {
@@ -466,5 +492,29 @@ mod tests {
     fn get_out_of_range_panics() {
         let v = BitVec::zeros(4);
         v.get(4);
+    }
+
+    #[test]
+    fn le_bytes_round_trip() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 100] {
+            let mut v = BitVec::zeros(len);
+            for i in (0..len).step_by(3) {
+                v.set(i, true);
+            }
+            let bytes = v.to_le_bytes();
+            assert_eq!(bytes.len(), len.div_ceil(8), "len={len}");
+            assert_eq!(BitVec::from_le_bytes(&bytes, len), v, "len={len}");
+        }
+    }
+
+    #[test]
+    fn le_bytes_layout_is_lsb_first() {
+        let v = BitVec::from_u64(0x1A3, 9);
+        assert_eq!(v.to_le_bytes(), vec![0xA3, 0x01]);
+        // Extra bytes and bits beyond `len` are ignored on decode.
+        assert_eq!(
+            BitVec::from_le_bytes(&[0xA3, 0xFF, 0xEE], 9).to_u64(),
+            0x1A3
+        );
     }
 }

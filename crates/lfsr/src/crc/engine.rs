@@ -9,7 +9,7 @@
 //! XOR — so that every core can be validated against the published check
 //! values and against each other.
 
-use super::software::reflect;
+use super::software::finalize_raw;
 use super::spec::CrcSpec;
 use crate::statespace::StateSpaceLfsr;
 use gf2::BitVec;
@@ -136,11 +136,7 @@ impl<C: RawCrcCore> CrcEngine<C> {
         let bits = message_bits(&self.spec, data);
         let init = BitVec::from_u64(self.spec.init & self.spec.mask(), self.spec.width);
         let fin = self.core.process(&init, &bits);
-        let mut out = fin.to_u64();
-        if self.spec.refout {
-            out = reflect(out, self.spec.width);
-        }
-        (out ^ self.spec.xorout) & self.spec.mask()
+        finalize_raw(&self.spec, fin.to_u64())
     }
 }
 

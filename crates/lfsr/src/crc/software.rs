@@ -59,6 +59,21 @@ pub fn reflect(value: u64, width: usize) -> u64 {
     value.reverse_bits() >> (64 - width)
 }
 
+/// Applies the spec's output conventions (reflection and xor-out) to a
+/// raw LFSR register value. This is the single place where a raw
+/// state-space register becomes a delivered checksum; every engine,
+/// stream and system-level path funnels through it, so a resumable
+/// stream checkpointed as a raw register finalizes identically
+/// everywhere.
+pub fn finalize_raw(spec: &CrcSpec, raw: u64) -> u64 {
+    let out = if spec.refout {
+        reflect(raw, spec.width)
+    } else {
+        raw
+    };
+    (out ^ spec.xorout) & spec.mask()
+}
+
 /// Bit-serial reference CRC over `data` for any catalogue spec.
 ///
 /// Processes one message bit per loop iteration exactly as the serial LFSR

@@ -7,7 +7,7 @@
 //! chunk tails exactly, so chunk boundaries never change the result).
 
 use super::engine::{message_bits, RawCrcCore};
-use super::software::reflect;
+use super::software::finalize_raw;
 use super::spec::CrcSpec;
 use gf2::BitVec;
 
@@ -79,11 +79,26 @@ impl<C: RawCrcCore> CrcStream<C> {
     /// Returns the checksum of everything absorbed so far (the stream can
     /// keep absorbing afterwards).
     pub fn finalize(&self) -> u64 {
-        let mut out = self.state.to_u64();
-        if self.spec.refout {
-            out = reflect(out, self.spec.width);
-        }
-        (out ^ self.spec.xorout) & self.spec.mask()
+        finalize_raw(&self.spec, self.state.to_u64())
+    }
+
+    /// The raw LFSR register (pre-reflection, pre-xorout) — the part of
+    /// the computation that must survive a checkpoint.
+    pub fn raw_state(&self) -> &BitVec {
+        &self.state
+    }
+
+    /// Resumes a computation from a checkpointed raw register and byte
+    /// count (the inverse of [`CrcStream::raw_state`] /
+    /// [`CrcStream::bytes_processed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != spec.width`.
+    pub fn restore(&mut self, state: BitVec, bytes: u64) {
+        assert_eq!(state.len(), self.spec.width, "state/spec width mismatch");
+        self.state = state;
+        self.bytes = bytes;
     }
 }
 
@@ -131,6 +146,24 @@ mod tests {
         s.reset();
         s.update(b"123456789");
         assert_eq!(s.finalize(), 0xCBF43926);
+    }
+
+    #[test]
+    fn checkpointed_stream_resumes_bit_exactly() {
+        let spec = CrcSpec::crc32_ethernet();
+        let msg = data(97);
+        let mut whole = CrcStream::new(*spec, SerialCore::new(spec));
+        whole.update(&msg);
+
+        let mut first = CrcStream::new(*spec, SerialCore::new(spec));
+        first.update(&msg[..41]);
+        let (state, bytes) = (first.raw_state().clone(), first.bytes_processed());
+        // A fresh stream restored from the snapshot continues exactly.
+        let mut second = CrcStream::new(*spec, SerialCore::new(spec));
+        second.restore(state, bytes);
+        second.update(&msg[41..]);
+        assert_eq!(second.finalize(), whole.finalize());
+        assert_eq!(second.bytes_processed(), 97);
     }
 
     #[test]

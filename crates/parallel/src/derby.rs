@@ -181,6 +181,48 @@ impl DerbyTransform {
         }
     }
 
+    /// A deterministic fingerprint of the transform: FNV-1a over `M`,
+    /// the state dimension and the rows of `T`. Two transforms with the
+    /// same digest interpret a transformed state identically, so a
+    /// checkpoint stamped with this digest can be restored onto any lane
+    /// whose transform matches — including a re-synthesized replacement
+    /// placement, which changes the XOR network but not `T`.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.m as u64);
+        mix(self.dim() as u64);
+        for r in 0..self.t.rows() {
+            for &w in self.t.row(r).words() {
+                mix(w);
+            }
+        }
+        h
+    }
+
+    /// Marshals a transformed state from this transform's domain into
+    /// `other`'s: anti-transform through this `T`, re-transform through
+    /// the other `T⁻¹`. This is the migration path a checkpointed stream
+    /// takes when it resumes on a lane built with a different transform
+    /// (e.g. a replacement personality at a different look-ahead factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state dimensions disagree.
+    pub fn marshal_state_to(&self, other: &DerbyTransform, x_t: &BitVec) -> BitVec {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "cannot marshal between transforms of different dimension"
+        );
+        other.transform_state(&self.anti_transform_state(x_t))
+    }
+
     /// Maps a plain state into the transformed domain.
     pub fn transform_state(&self, x: &BitVec) -> BitVec {
         self.t_inv.mul_vec(x)
@@ -336,6 +378,30 @@ mod tests {
         let d = core.transform();
         let x = BitVec::from_u64(0xDEADBEEF, 32);
         assert_eq!(d.anti_transform_state(&d.transform_state(&x)), x);
+    }
+
+    #[test]
+    fn digest_distinguishes_transforms_and_survives_resynthesis() {
+        let spec = CrcSpec::crc32_ethernet();
+        let a = DerbyCore::new(spec, 32).unwrap();
+        let b = DerbyCore::new(spec, 32).unwrap();
+        let c = DerbyCore::new(spec, 64).unwrap();
+        // Same spec + M ⇒ same T ⇒ same digest (re-synthesis changes the
+        // XOR mapping, never the transform).
+        assert_eq!(a.transform().digest(), b.transform().digest());
+        assert_ne!(a.transform().digest(), c.transform().digest());
+    }
+
+    #[test]
+    fn marshal_state_crosses_transform_boundaries() {
+        let spec = CrcSpec::crc32_ethernet();
+        let a = DerbyCore::new(spec, 32).unwrap();
+        let b = DerbyCore::new(spec, 64).unwrap();
+        let plain = BitVec::from_u64(0xFEED_BEEF, 32);
+        let x_ta = a.transform().transform_state(&plain);
+        let x_tb = a.transform().marshal_state_to(b.transform(), &x_ta);
+        // The marshalled state means the same plain state under b's T.
+        assert_eq!(b.transform().anti_transform_state(&x_tb), plain);
     }
 
     #[test]

@@ -415,6 +415,52 @@ impl PicogaSim {
         Ok(out)
     }
 
+    /// Physical self-test of the active operation: evaluates the zero
+    /// vector and every input basis vector through the physical
+    /// datapath (stuck-at effects included) and compares each response
+    /// against the resident configuration's matrix.
+    ///
+    /// This is *complete* for the fabric's fault model: the networks
+    /// are XOR-only, so any combination of stuck-at cells leaves the
+    /// physical function affine, and an affine map equals the
+    /// configured linear map iff the two agree on the zero vector and
+    /// the full input basis. (Configuration corruption — wire or tap
+    /// flips — moves the matrix itself and is the scrub's job; this
+    /// probe catches what the scrub structurally cannot.)
+    ///
+    /// Charges one latency per evaluation: self-checking is not free.
+    ///
+    /// Returns `true` when the datapath matches the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoActiveContext`] / [`SimError::EmptySlot`].
+    pub fn affine_probe(&mut self) -> Result<bool, SimError> {
+        let op = self.active_op()?;
+        let net = op.network().clone();
+        let placement = op.placement().clone();
+        let latency = (op.stats().latency).max(1);
+        let stuck = stuck_gates(&self.stuck, &placement);
+        let n = net.n_inputs();
+        let expected = net.to_matrix();
+        self.counters.compute += latency * (n as u64 + 1);
+
+        let zero = BitVec::zeros(n);
+        let values = eval_by_rows(&net, &placement, &zero, &stuck);
+        if outputs_from(&net, &values) != BitVec::zeros(net.outputs().len()) {
+            return Ok(false);
+        }
+        for i in 0..n {
+            let mut e = BitVec::zeros(n);
+            e.set(i, true);
+            let values = eval_by_rows(&net, &placement, &e, &stuck);
+            if outputs_from(&net, &values) != expected.column(i) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     /// Streams `blocks` through the active **CRC update** operation,
     /// starting from transformed state `x_t`; returns the final transformed
     /// state.
@@ -894,6 +940,56 @@ mod tests {
         .unwrap();
         let tapped = sim.run_linear(&BitVec::ones(16)).unwrap();
         assert!(!tapped.get(3));
+    }
+
+    #[test]
+    fn affine_probe_is_complete_for_stuck_cells() {
+        let g = Gf2Poly::from_crc_notation(0x1021, 16);
+        let t = BitMat::companion(&g).pow(7);
+        let net = synthesize(&t, SynthOptions::default());
+        let op = PgaOperation::linear("T", net, &params()).unwrap();
+        let mut sim = PicogaSim::new(params());
+        sim.load_context(0, op.clone()).unwrap();
+        sim.switch_to(0).unwrap();
+        assert!(sim.affine_probe().unwrap(), "clean datapath passes");
+
+        // Soundness of a passing verdict: for every stuck-at fault
+        // under a placed gate, if the probe passes then the physical
+        // function is exact at arbitrary (non-basis) inputs too — the
+        // property a sampled known-answer probe cannot promise.
+        let placement = op.placement().clone();
+        let witnesses: Vec<BitVec> = (1..=32u64)
+            .map(|k| BitVec::from_u64(k.wrapping_mul(0x9E37_79B9) & 0xFFFF, 16))
+            .collect();
+        let mut detections = 0;
+        for (ri, row) in placement.rows().iter().enumerate() {
+            for ci in 0..row.len() {
+                for value in [false, true] {
+                    sim.clear_stuck_cells();
+                    sim.inject(&ConfigFault::StuckCell {
+                        row: ri,
+                        cell: ci,
+                        value,
+                    })
+                    .unwrap();
+                    let probe_ok = sim.affine_probe().unwrap();
+                    if !probe_ok {
+                        detections += 1;
+                        continue;
+                    }
+                    for x in &witnesses {
+                        assert_eq!(
+                            sim.run_linear(x).unwrap(),
+                            t.mul_vec(x),
+                            "probe passed but stuck ({ri},{ci})={value} corrupts {x:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(detections > 0, "the sweep was actually exercised");
+        sim.clear_stuck_cells();
+        assert!(sim.affine_probe().unwrap());
     }
 
     #[test]

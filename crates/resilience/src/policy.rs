@@ -57,6 +57,14 @@ pub struct RecoveryPolicy {
     /// Host a second placement of every personality and compare lanes
     /// on every message.
     pub dmr: bool,
+    /// The checkpoint-migrate rung: when every permitted repair step
+    /// fails (or software fallback is disallowed), report
+    /// [`RecoveryOutcome::CheckpointPark`] instead of
+    /// [`RecoveryOutcome::Unrecovered`]. The personality still serves
+    /// nothing, but a stream-serving layer is told to checkpoint its
+    /// live sessions and park them for later resumption rather than
+    /// dropping them (see [`RecoveryOutcome::migration_advice`]).
+    pub park_streams: bool,
 }
 
 impl RecoveryPolicy {
@@ -71,6 +79,7 @@ impl RecoveryPolicy {
             probe_blocks: 2,
             scrub_period: 4,
             dmr: false,
+            park_streams: false,
         }
     }
 
@@ -91,6 +100,17 @@ impl RecoveryPolicy {
     pub fn dmr() -> Self {
         RecoveryPolicy {
             dmr: true,
+            ..Self::standard()
+        }
+    }
+
+    /// The ladder tuned for a stream-serving layer: the full repair
+    /// sequence, plus the checkpoint-migrate rung so live sessions are
+    /// parked (never dropped) when a lane cannot be repaired in place.
+    #[must_use]
+    pub fn stream_serving() -> Self {
+        RecoveryPolicy {
+            park_streams: true,
             ..Self::standard()
         }
     }
@@ -116,9 +136,45 @@ pub enum RecoveryOutcome {
     /// The personality now runs on the control processor's software
     /// kernel.
     SoftwareFallback,
+    /// The checkpoint-migrate rung ([`RecoveryPolicy::park_streams`]):
+    /// no repair step succeeded, so a serving layer should checkpoint
+    /// the personality's live streams and park them until the lane is
+    /// replaced.
+    CheckpointPark,
     /// Every permitted step failed or was disallowed; the personality
     /// stays suspect on the fabric.
     Unrecovered,
+}
+
+/// What a stream-serving layer should do with the live sessions of a
+/// personality after the recovery ladder ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationAdvice {
+    /// The lane is healthy again (reload or re-synthesis); transformed
+    /// stream states remain valid because re-synthesis preserves the
+    /// Derby transform for a given spec and M — keep feeding the fabric.
+    StayFabric,
+    /// The personality retired to the software kernel: marshal each
+    /// session's state out of the transformed space (T · x_t) and
+    /// continue on the Sarwate path.
+    MarshalToSoftware,
+    /// Nothing can serve this personality right now: checkpoint each
+    /// session and park it for later restoration.
+    Park,
+}
+
+impl RecoveryOutcome {
+    /// The stream-migration consequence of this outcome.
+    #[must_use]
+    pub fn migration_advice(&self) -> MigrationAdvice {
+        match self {
+            RecoveryOutcome::HealedByReload { .. } | RecoveryOutcome::HealedByResynthesis => {
+                MigrationAdvice::StayFabric
+            }
+            RecoveryOutcome::SoftwareFallback => MigrationAdvice::MarshalToSoftware,
+            RecoveryOutcome::CheckpointPark | RecoveryOutcome::Unrecovered => MigrationAdvice::Park,
+        }
+    }
 }
 
 /// Errors from hosting or recovering personalities.
@@ -416,12 +472,24 @@ impl ResilientSystem {
             return Ok(RecoveryOutcome::SoftwareFallback);
         }
         self.sys.set_health(name, Health::Suspect);
+        if self.policy.park_streams {
+            return Ok(RecoveryOutcome::CheckpointPark);
+        }
         Ok(RecoveryOutcome::Unrecovered)
     }
 
-    /// Scrub shows no finding for `name` and a fresh probe passes.
+    /// Scrub shows no finding for `name`, the affine-complete datapath
+    /// sweep passes, and a fresh known-answer probe passes.
+    ///
+    /// The datapath sweep is what makes a rung's "healed" verdict
+    /// trustworthy: a reload fixes configuration upsets but not
+    /// stuck-at cells, and a sampled probe can miss a stuck cell that
+    /// live traffic would excite — the sweep cannot.
     fn lane_clean(&mut self, name: &str) -> Result<bool, SystemError> {
         if self.sys.scrub().iter().any(|f| f.personality == name) {
+            return Ok(false);
+        }
+        if !self.sys.datapath_probe(name)? {
             return Ok(false);
         }
         self.sys.probe(name, self.policy.probe_blocks.max(1))
@@ -577,6 +645,37 @@ mod tests {
         assert_eq!(r3.crc, expected);
         assert!(!r3.dmr_mismatch);
         assert!(!r3.software);
+    }
+
+    #[test]
+    fn exhausted_ladder_parks_streams_when_the_policy_says_so() {
+        // Stream-serving policy with every repair step disabled: the
+        // ladder must end on the checkpoint-migrate rung, not in a
+        // silent Unrecovered, and the advice must be Park.
+        let mut rs = mk(RecoveryPolicy {
+            max_reload_retries: 0,
+            allow_resynthesis: false,
+            allow_software_fallback: false,
+            ..RecoveryPolicy::stream_serving()
+        });
+        let spec = spec();
+        rs.host("eth", &spec, FlowOptions::dream_with_m(32))
+            .unwrap();
+
+        let outcome = rs.recover("eth").unwrap();
+        assert_eq!(outcome, RecoveryOutcome::CheckpointPark);
+        assert_eq!(outcome.migration_advice(), MigrationAdvice::Park);
+        assert_eq!(rs.system().health("eth"), Health::Suspect);
+
+        // The full ladder maps to the expected migration advice.
+        assert_eq!(
+            RecoveryOutcome::HealedByReload { retries: 1 }.migration_advice(),
+            MigrationAdvice::StayFabric
+        );
+        assert_eq!(
+            RecoveryOutcome::SoftwareFallback.migration_advice(),
+            MigrationAdvice::MarshalToSoftware
+        );
     }
 
     #[test]

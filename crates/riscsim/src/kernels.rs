@@ -102,6 +102,9 @@ pub fn crc32_sarwate(poly: u32, init: u32, xorout: u32) -> CrcKernel {
     a.halt();
     CrcKernel {
         name: "crc32-sarwate",
+        // Invariant, not an input failure: the program text is a
+        // compile-time constant with matched label/branch pairs, so
+        // assembly cannot fail for any caller-supplied argument.
         program: a.assemble().expect("static kernel assembles"),
         table: Some(build_table(poly)),
         init,
@@ -133,6 +136,7 @@ pub fn crc32_bitwise(poly: u32, init: u32, xorout: u32) -> CrcKernel {
     a.halt();
     CrcKernel {
         name: "crc32-bitwise",
+        // Invariant: static program text, see `crc32_sarwate`.
         program: a.assemble().expect("static kernel assembles"),
         table: None,
         init,
@@ -221,6 +225,7 @@ pub fn crc32_slicing4(poly: u32, init: u32, xorout: u32) -> CrcKernel {
 
     CrcKernel {
         name: "crc32-slicing4",
+        // Invariant: static program text, see `crc32_sarwate`.
         program: a.assemble().expect("static kernel assembles"),
         table: Some(tables),
         init,
@@ -293,23 +298,37 @@ impl CrcKernel {
 
     /// Average cycles per byte, measured over a 1 KiB message (steady
     /// state; setup amortised away).
-    pub fn cycles_per_byte(&self) -> f64 {
-        let a = self.run(&[0xA5u8; 1024]).expect("measurement run");
-        let b = self.run(&[0xA5u8; 2048]).expect("measurement run");
-        (b.cycles - a.cycles) as f64 / 1024.0
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] from the two measurement runs (memory
+    /// sizing, runaway guard) — reachable from the experiment drivers,
+    /// so the refusal is typed rather than a panic.
+    pub fn cycles_per_byte(&self) -> Result<f64, CpuError> {
+        let a = self.run(&[0xA5u8; 1024])?;
+        let b = self.run(&[0xA5u8; 2048])?;
+        Ok((b.cycles - a.cycles) as f64 / 1024.0)
     }
 
     /// Steady-state software throughput at `clock_hz` in bits/s.
-    pub fn steady_throughput_bps(&self, clock_hz: f64) -> f64 {
-        8.0 * clock_hz / self.cycles_per_byte()
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] from the underlying measurement runs.
+    pub fn steady_throughput_bps(&self, clock_hz: f64) -> Result<f64, CpuError> {
+        Ok(8.0 * clock_hz / self.cycles_per_byte()?)
     }
 
     /// Per-bit energy of this kernel on a core that burns
     /// `core_pj_per_cycle`: the paper's flat "≈400 pJ/bit, independently
     /// from the message length" corresponds to ≈ 246 pJ/cycle at
     /// 13 cycles/byte.
-    pub fn pj_per_bit(&self, core_pj_per_cycle: f64) -> f64 {
-        self.cycles_per_byte() * core_pj_per_cycle / 8.0
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] from the underlying measurement runs.
+    pub fn pj_per_bit(&self, core_pj_per_cycle: f64) -> Result<f64, CpuError> {
+        Ok(self.cycles_per_byte()? * core_pj_per_cycle / 8.0)
     }
 }
 
@@ -353,21 +372,23 @@ mod tests {
 
     #[test]
     fn sarwate_is_about_13_cycles_per_byte() {
-        let cpb = CrcKernel::ethernet_sarwate().cycles_per_byte();
+        let cpb = CrcKernel::ethernet_sarwate().cycles_per_byte().unwrap();
         assert!((11.0..16.0).contains(&cpb), "got {cpb}");
     }
 
     #[test]
     fn bitwise_is_much_slower_than_sarwate() {
-        let fast = CrcKernel::ethernet_sarwate().cycles_per_byte();
-        let slow = CrcKernel::ethernet_bitwise().cycles_per_byte();
+        let fast = CrcKernel::ethernet_sarwate().cycles_per_byte().unwrap();
+        let slow = CrcKernel::ethernet_bitwise().cycles_per_byte().unwrap();
         assert!(slow > 4.0 * fast, "bitwise {slow} vs sarwate {fast}");
     }
 
     #[test]
     fn steady_throughput_is_sub_gigabit_at_200mhz() {
         // The paper's point: a 200 MHz RISC cannot approach Gbit/s CRC.
-        let bps = CrcKernel::ethernet_sarwate().steady_throughput_bps(200e6);
+        let bps = CrcKernel::ethernet_sarwate()
+            .steady_throughput_bps(200e6)
+            .unwrap();
         assert!(bps < 0.5e9, "got {bps}");
         assert!(bps > 0.02e9, "implausibly slow: {bps}");
     }
@@ -376,7 +397,7 @@ mod tests {
     fn energy_reference_matches_paper_order() {
         // With a ~250 pJ/cycle embedded core the table CRC lands near the
         // paper's 400 pJ/bit reference.
-        let pj = CrcKernel::ethernet_sarwate().pj_per_bit(246.0);
+        let pj = CrcKernel::ethernet_sarwate().pj_per_bit(246.0).unwrap();
         assert!((300.0..500.0).contains(&pj), "got {pj}");
     }
 
@@ -394,8 +415,8 @@ mod tests {
 
     #[test]
     fn slicing4_beats_sarwate() {
-        let s4 = CrcKernel::ethernet_slicing4().cycles_per_byte();
-        let s1 = CrcKernel::ethernet_sarwate().cycles_per_byte();
+        let s4 = CrcKernel::ethernet_slicing4().cycles_per_byte().unwrap();
+        let s1 = CrcKernel::ethernet_sarwate().cycles_per_byte().unwrap();
         assert!(s4 < 0.8 * s1, "slicing {s4} vs sarwate {s1}");
         assert!((5.0..11.0).contains(&s4), "slicing {s4} cy/B");
     }

@@ -1,0 +1,1118 @@
+//! The stream service: deadline-aware pumping, transactional fault
+//! handling, checkpoint/park/resume, and the overload ladder's actions.
+//!
+//! ## Why batches are transactions
+//!
+//! The fabric can break *between* any two blocks of a stream, and a
+//! scrub only detects it after the fact. The pump therefore treats
+//! every batch of chunks as a transaction:
+//!
+//! 1. snapshot the pre-batch state of every involved session — the
+//!    previous batch's guard proved those states clean;
+//! 2. run the batch;
+//! 3. guard: scrub the configuration memory and probe the personality
+//!    with a known-answer message;
+//! 4. on detection, roll every session back to its pre-batch state, run
+//!    the recovery ladder, and re-run the batch wherever
+//!    [`MigrationAdvice`] points — the repaired lane, the software
+//!    kernel (after marshalling the states out of the transformed
+//!    domain), or nowhere (checkpoint and park, losing no bytes).
+//!
+//! No state that was ever exposed to a detected fault survives, which
+//! is what makes the storm campaign's digest-mismatch count stay zero.
+
+use crate::admission::{AdmissionConfig, OverloadLevel, ServiceCounters, TokenBucket};
+use crate::checkpoint::{CheckpointError, StreamCheckpoint, NO_TRANSFORM};
+use crate::session::{Domain, Priority, StreamKind, StreamSession};
+use dream::{Health, SystemError};
+use dream_lfsr::{build_scrambler_personality, FlowOptions};
+use gf2::BitVec;
+use lfsr::crc::{finalize_raw, message_bits, CrcSpec};
+use lfsr::scramble::ScramblerSpec;
+use lfsr::StateSpaceLfsr;
+use lfsr_parallel::DerbyTransform;
+use resilience::{MigrationAdvice, ResilienceError, ResilientSystem};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Fabric re-run attempts per batch before the service stops trusting
+/// the lane and finishes the batch on the software kernel.
+const MAX_FABRIC_ATTEMPTS: usize = 3;
+
+/// One pump batch: `(stream id, chunk)` in service order.
+type BatchItems = Vec<(u64, Vec<u8>)>;
+
+/// What a finished stream delivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamOutput {
+    /// The final checksum of a CRC stream.
+    Crc(u64),
+    /// The remaining scrambled bits of a scrambler stream (output
+    /// already taken via [`StreamService::collect`] is not repeated).
+    Scrambled(BitVec),
+}
+
+/// Typed refusals and failures of the serving layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No live session with this id.
+    UnknownStream(
+        /// The id requested.
+        u64,
+    ),
+    /// No parked snapshot with this id.
+    UnknownParked(
+        /// The id requested.
+        u64,
+    ),
+    /// No hosted personality with this name (or wrong kind for the
+    /// requested stream).
+    UnknownPersonality(
+        /// The name requested.
+        String,
+    ),
+    /// Open refused: the admission token bucket is empty.
+    RejectedByBucket,
+    /// Open refused: the overload ladder is at
+    /// [`OverloadLevel::RejectNew`] or above.
+    RejectedByOverload,
+    /// Open (or resume) refused: `max_streams` sessions are live.
+    RejectedByCapacity,
+    /// Feed refused: this stream's own queue is full.
+    StreamQueueFull {
+        /// The stream whose queue is full.
+        id: u64,
+        /// Chunks already queued.
+        depth: usize,
+    },
+    /// Feed refused: the global queued-byte budget is exhausted.
+    GlobalQueueFull {
+        /// Bytes currently queued service-wide.
+        queued: usize,
+        /// The configured budget.
+        capacity: usize,
+    },
+    /// The stream was checkpointed and parked mid-operation (recovery
+    /// advised [`MigrationAdvice::Park`]); resume it later.
+    StreamParked(
+        /// The parked stream's id.
+        u64,
+    ),
+    /// The underlying system refused an operation.
+    System(SystemError),
+    /// Hosting or recovery failed.
+    Resilience(ResilienceError),
+    /// A snapshot failed to decode or rehydrate.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownStream(id) => write!(f, "unknown stream {id}"),
+            ServiceError::UnknownParked(id) => write!(f, "no parked stream {id}"),
+            ServiceError::UnknownPersonality(name) => {
+                write!(f, "no hosted personality {name:?} for this stream kind")
+            }
+            ServiceError::RejectedByBucket => write!(f, "open rejected: admission bucket empty"),
+            ServiceError::RejectedByOverload => {
+                write!(f, "open rejected: service is shedding new work")
+            }
+            ServiceError::RejectedByCapacity => {
+                write!(f, "open rejected: session capacity reached")
+            }
+            ServiceError::StreamQueueFull { id, depth } => {
+                write!(f, "stream {id} queue full ({depth} chunks)")
+            }
+            ServiceError::GlobalQueueFull { queued, capacity } => {
+                write!(f, "global queue full ({queued}/{capacity} bytes)")
+            }
+            ServiceError::StreamParked(id) => {
+                write!(f, "stream {id} was checkpointed and parked by recovery")
+            }
+            ServiceError::System(e) => write!(f, "system error: {e}"),
+            ServiceError::Resilience(e) => write!(f, "resilience error: {e}"),
+            ServiceError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::System(e) => Some(e),
+            ServiceError::Resilience(e) => Some(e),
+            ServiceError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SystemError> for ServiceError {
+    fn from(e: SystemError) -> Self {
+        ServiceError::System(e)
+    }
+}
+
+impl From<ResilienceError> for ServiceError {
+    fn from(e: ResilienceError) -> Self {
+        ServiceError::Resilience(e)
+    }
+}
+
+impl From<CheckpointError> for ServiceError {
+    fn from(e: CheckpointError) -> Self {
+        ServiceError::Checkpoint(e)
+    }
+}
+
+/// Cached facts about a hosted personality the hot path needs without
+/// re-asking the system.
+#[derive(Debug, Clone)]
+struct Hosted {
+    kind: StreamKind,
+    m: usize,
+    state_bits: usize,
+    crc_spec: Option<CrcSpec>,
+    t_digest: u64,
+}
+
+/// Pre-batch image of one session, for transactional rollback.
+struct SessionSnap {
+    id: u64,
+    domain: Domain,
+    state: BitVec,
+    staged: BitVec,
+    out_pending_len: usize,
+    bytes_fed: u64,
+}
+
+/// The reason a stream is being parked (drives distinct counters).
+enum ParkReason {
+    Idle,
+    Fault,
+    Explicit,
+}
+
+/// A session-oriented, fault-tolerant streaming front-end over a
+/// [`ResilientSystem`].
+#[derive(Debug)]
+pub struct StreamService {
+    rs: ResilientSystem,
+    cfg: AdmissionConfig,
+    bucket: TokenBucket,
+    level: OverloadLevel,
+    /// Live sessions. A `BTreeMap` so every iteration order — and
+    /// therefore every campaign — is deterministic.
+    sessions: BTreeMap<u64, StreamSession>,
+    /// Parked snapshots, by the id the stream had when parked.
+    parked: BTreeMap<u64, Vec<u8>>,
+    hosted: HashMap<String, Hosted>,
+    /// Software kernels per personality (serial state-space engines).
+    soft: HashMap<String, StateSpaceLfsr>,
+    next_id: u64,
+    now: u64,
+    global_queued_bytes: usize,
+    counters: ServiceCounters,
+}
+
+impl StreamService {
+    /// A service over `rs` with the given admission configuration.
+    #[must_use]
+    pub fn new(rs: ResilientSystem, cfg: AdmissionConfig) -> Self {
+        let bucket = TokenBucket::new(cfg.bucket_capacity, cfg.bucket_refill);
+        StreamService {
+            rs,
+            cfg,
+            bucket,
+            level: OverloadLevel::Normal,
+            sessions: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            hosted: HashMap::new(),
+            soft: HashMap::new(),
+            next_id: 1,
+            now: 0,
+            global_queued_bytes: 0,
+            counters: ServiceCounters::default(),
+        }
+    }
+
+    /// The wrapped resilient system.
+    pub fn system(&self) -> &ResilientSystem {
+        &self.rs
+    }
+
+    /// Mutable access to the wrapped system (fault injection).
+    pub fn system_mut(&mut self) -> &mut ResilientSystem {
+        &mut self.rs
+    }
+
+    /// Cumulative decision counters.
+    pub fn counters(&self) -> ServiceCounters {
+        self.counters
+    }
+
+    /// The ladder's current level.
+    pub fn level(&self) -> OverloadLevel {
+        self.level
+    }
+
+    /// Live (non-parked) sessions.
+    pub fn live_streams(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Ids of parked streams, ascending.
+    pub fn parked_ids(&self) -> Vec<u64> {
+        self.parked.keys().copied().collect()
+    }
+
+    /// Total queued chunks across all live sessions.
+    pub fn queue_depth_total(&self) -> usize {
+        self.sessions.values().map(StreamSession::queue_depth).sum()
+    }
+
+    /// Total queued payload bytes across all live sessions.
+    pub fn queued_bytes(&self) -> usize {
+        self.global_queued_bytes
+    }
+
+    /// Hosts a CRC personality (built through the full flow) for
+    /// streaming, and prepares its software kernel.
+    ///
+    /// # Errors
+    ///
+    /// Build or registration failures as [`ServiceError::Resilience`].
+    pub fn host_crc(
+        &mut self,
+        name: &str,
+        spec: &CrcSpec,
+        opts: FlowOptions,
+    ) -> Result<(), ServiceError> {
+        self.rs.host(name, spec, opts)?;
+        let t_digest = self
+            .rs
+            .system()
+            .crc_derby(name)
+            .map_or(NO_TRANSFORM, DerbyTransform::digest);
+        let m = self
+            .rs
+            .system()
+            .stream_block_bits(name)
+            .expect("just hosted");
+        self.hosted.insert(
+            name.to_string(),
+            Hosted {
+                kind: StreamKind::Crc,
+                m,
+                state_bits: spec.width,
+                crc_spec: Some(*spec),
+                t_digest,
+            },
+        );
+        let serial = StateSpaceLfsr::crc(&spec.generator()).map_err(|source| {
+            ServiceError::System(SystemError::BadSpec {
+                name: name.to_string(),
+                source,
+            })
+        })?;
+        self.soft.insert(name.to_string(), serial);
+        Ok(())
+    }
+
+    /// Hosts a scrambler personality for streaming, and prepares its
+    /// software kernel.
+    ///
+    /// # Errors
+    ///
+    /// Build or registration failures.
+    pub fn host_scrambler(
+        &mut self,
+        name: &str,
+        spec: &ScramblerSpec,
+        opts: &FlowOptions,
+    ) -> Result<(), ServiceError> {
+        let p = build_scrambler_personality(name.to_string(), spec, opts)
+            .map_err(ResilienceError::from)?;
+        self.rs.system_mut().register_scrambler(p)?;
+        let t_digest = self
+            .rs
+            .system()
+            .scrambler_derby(name)
+            .map_or(NO_TRANSFORM, DerbyTransform::digest);
+        self.hosted.insert(
+            name.to_string(),
+            Hosted {
+                kind: StreamKind::Scrambler,
+                m: opts.m,
+                state_bits: spec.width,
+                crc_spec: None,
+                t_digest,
+            },
+        );
+        let serial = StateSpaceLfsr::additive_scrambler(&spec.polynomial()).map_err(|source| {
+            ServiceError::System(SystemError::BadSpec {
+                name: name.to_string(),
+                source,
+            })
+        })?;
+        self.soft.insert(name.to_string(), serial);
+        Ok(())
+    }
+
+    fn admit(&mut self) -> Result<(), ServiceError> {
+        if self.level >= OverloadLevel::RejectNew {
+            self.counters.rejected_overload += 1;
+            return Err(ServiceError::RejectedByOverload);
+        }
+        if self.sessions.len() >= self.cfg.max_streams {
+            self.counters.rejected_capacity += 1;
+            return Err(ServiceError::RejectedByCapacity);
+        }
+        if !self.bucket.try_take() {
+            self.counters.rejected_admission += 1;
+            return Err(ServiceError::RejectedByBucket);
+        }
+        Ok(())
+    }
+
+    fn insert_session(&mut self, s: StreamSession) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(id, s);
+        self.counters.opened += 1;
+        id
+    }
+
+    /// Opens a CRC stream on `name`, due `deadline_in` ticks from now.
+    ///
+    /// # Errors
+    ///
+    /// Admission refusals ([`ServiceError::RejectedByBucket`] /
+    /// [`ServiceError::RejectedByOverload`] /
+    /// [`ServiceError::RejectedByCapacity`]) or an unknown personality.
+    pub fn open_crc(
+        &mut self,
+        name: &str,
+        priority: Priority,
+        deadline_in: u64,
+    ) -> Result<u64, ServiceError> {
+        let hosted = self
+            .hosted
+            .get(name)
+            .filter(|h| h.kind == StreamKind::Crc)
+            .ok_or_else(|| ServiceError::UnknownPersonality(name.to_string()))?
+            .clone();
+        self.admit()?;
+        let state = self.rs.system().crc_stream_begin(name)?;
+        debug_assert_eq!(state.len(), hosted.state_bits);
+        Ok(self.insert_session(StreamSession {
+            name: name.to_string(),
+            kind: StreamKind::Crc,
+            priority,
+            deadline: self.now + deadline_in,
+            domain: Domain::Fabric,
+            state,
+            staged: BitVec::zeros(0),
+            out_pending: BitVec::zeros(0),
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            bytes_fed: 0,
+            last_active: self.now,
+        }))
+    }
+
+    /// Opens a scrambler stream on `name` seeded with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamService::open_crc`], plus
+    /// [`SystemError::BadSeed`] for seeds wider than the register.
+    pub fn open_scrambler(
+        &mut self,
+        name: &str,
+        seed: u64,
+        priority: Priority,
+        deadline_in: u64,
+    ) -> Result<u64, ServiceError> {
+        self.hosted
+            .get(name)
+            .filter(|h| h.kind == StreamKind::Scrambler)
+            .ok_or_else(|| ServiceError::UnknownPersonality(name.to_string()))?;
+        self.admit()?;
+        let state = self.rs.system().scramble_stream_begin(name, seed)?;
+        Ok(self.insert_session(StreamSession {
+            name: name.to_string(),
+            kind: StreamKind::Scrambler,
+            priority,
+            deadline: self.now + deadline_in,
+            domain: Domain::Fabric,
+            state,
+            staged: BitVec::zeros(0),
+            out_pending: BitVec::zeros(0),
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            bytes_fed: 0,
+            last_active: self.now,
+        }))
+    }
+
+    /// Queues a chunk on a stream. The chunk is not processed until a
+    /// [`StreamService::tick`] pumps it (or [`StreamService::finish`]
+    /// drains it).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::StreamQueueFull`] /
+    /// [`ServiceError::GlobalQueueFull`] when a bound is hit — the
+    /// caller owns retry policy.
+    pub fn feed(&mut self, id: u64, chunk: &[u8]) -> Result<(), ServiceError> {
+        let now = self.now;
+        let per_stream = self.cfg.per_stream_queue_chunks;
+        let global_cap = self.cfg.global_queue_bytes;
+        let global = self.global_queued_bytes;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        if session.queue.len() >= per_stream {
+            self.counters.rejected_queue_full += 1;
+            return Err(ServiceError::StreamQueueFull {
+                id,
+                depth: session.queue.len(),
+            });
+        }
+        if global + chunk.len() > global_cap {
+            self.counters.rejected_global_full += 1;
+            return Err(ServiceError::GlobalQueueFull {
+                queued: global,
+                capacity: global_cap,
+            });
+        }
+        session.queue.push_back(chunk.to_vec());
+        session.queued_bytes += chunk.len();
+        session.last_active = now;
+        self.global_queued_bytes += chunk.len();
+        Ok(())
+    }
+
+    /// Takes the scrambled output produced so far for a stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`].
+    pub fn collect(&mut self, id: u64) -> Result<BitVec, ServiceError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        Ok(std::mem::replace(
+            &mut session.out_pending,
+            BitVec::zeros(0),
+        ))
+    }
+
+    /// One service tick: refill the admission bucket, move the overload
+    /// ladder, apply its rungs (degrade / park), and pump queued chunks
+    /// in deadline order under the configured budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system and recovery errors (typed refusals never come
+    /// from `tick`).
+    pub fn tick(&mut self) -> Result<(), ServiceError> {
+        self.now += 1;
+        self.bucket.tick();
+        let occupancy_pct = u32::try_from(
+            (self.global_queued_bytes as u64) * 100 / (self.cfg.global_queue_bytes as u64).max(1),
+        )
+        .unwrap_or(u32::MAX);
+        let next = self.cfg.next_level(self.level, occupancy_pct);
+        if next != self.level {
+            self.counters.level_transitions += 1;
+            self.level = next;
+        }
+        if self.level >= OverloadLevel::DegradeLowPriority {
+            let victims: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| s.priority == Priority::Low && s.domain == Domain::Fabric)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in victims {
+                self.degrade(id)?;
+                self.counters.degraded_low_priority += 1;
+            }
+        }
+        if self.level >= OverloadLevel::ParkIdle {
+            let idle: Vec<u64> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| {
+                    s.queue.is_empty() && s.last_active + self.cfg.idle_grace_ticks < self.now
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in idle {
+                self.park_internal(id, &ParkReason::Idle)?;
+            }
+        }
+        self.pump(self.cfg.pump_budget_chunks)
+    }
+
+    /// Migrates a stream to the software kernel: the state is
+    /// marshalled out of the transformed domain (`x = T·x_t`), staged
+    /// residual bits are absorbed bit-serially, and all further feeds
+    /// run on the control processor. A no-op for streams already in
+    /// software.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`] / marshalling errors.
+    pub fn degrade(&mut self, id: u64) -> Result<(), ServiceError> {
+        let session = self
+            .sessions
+            .get(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        if session.domain == Domain::Software {
+            return Ok(());
+        }
+        let (name, kind, state, staged) = (
+            session.name.clone(),
+            session.kind,
+            session.state.clone(),
+            session.staged.clone(),
+        );
+        let plain = self.rs.system().export_stream_state(&name, &state)?;
+        let engine = self.soft.get_mut(&name).expect("hosted implies kernel");
+        engine.set_state(plain);
+        let emitted = match kind {
+            StreamKind::Crc => {
+                engine.absorb(&staged);
+                BitVec::zeros(0)
+            }
+            StreamKind::Scrambler => engine.transduce(&staged),
+        };
+        let new_state = engine.state().clone();
+        let session = self.sessions.get_mut(&id).expect("checked above");
+        session.state = new_state;
+        session.staged = BitVec::zeros(0);
+        session.out_pending = session.out_pending.concat(&emitted);
+        session.domain = Domain::Software;
+        Ok(())
+    }
+
+    /// Finishes a stream: drains its queue (transactionally, like the
+    /// pump), finalizes per domain, and removes the session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::StreamParked`] if recovery parked the stream
+    /// while draining — resume it and call `finish` again.
+    pub fn finish(&mut self, id: u64) -> Result<StreamOutput, ServiceError> {
+        // Drain everything still queued, in order, as one batch.
+        let (name, items) = {
+            let session = self
+                .sessions
+                .get_mut(&id)
+                .ok_or(ServiceError::UnknownStream(id))?;
+            let mut items = Vec::new();
+            while let Some(chunk) = session.queue.pop_front() {
+                session.queued_bytes -= chunk.len();
+                items.push((id, chunk));
+            }
+            (session.name.clone(), items)
+        };
+        for (_, chunk) in &items {
+            self.global_queued_bytes -= chunk.len();
+        }
+        if !items.is_empty() {
+            self.transact(&name, &items)?;
+        }
+        if !self.sessions.contains_key(&id) {
+            // Recovery parked the stream while draining; nothing lost.
+            return Err(ServiceError::StreamParked(id));
+        }
+
+        let session = self.sessions.get(&id).expect("checked above");
+        let (kind, domain, state, staged) = (
+            session.kind,
+            session.domain,
+            session.state.clone(),
+            session.staged.clone(),
+        );
+        let out = match (kind, domain) {
+            (StreamKind::Crc, Domain::Fabric) => {
+                let (crc, _) = self
+                    .rs
+                    .system_mut()
+                    .crc_stream_finish(&name, &state, &staged)?;
+                // The finalize step ran the anti-transform network on
+                // the fabric — guard it like any other fabric work.
+                if self.lane_suspect(&name)? {
+                    self.counters.fault_rollbacks += 1;
+                    self.rs.recover(&name)?;
+                    StreamOutput::Crc(self.software_crc_finish(&name, &state, &staged)?)
+                } else {
+                    StreamOutput::Crc(crc)
+                }
+            }
+            (StreamKind::Crc, Domain::Software) => {
+                let spec = self.crc_spec_of(&name)?;
+                StreamOutput::Crc(finalize_raw(&spec, state.to_u64()))
+            }
+            (StreamKind::Scrambler, Domain::Fabric) => {
+                // Anti-transform and tail transduction are host-side
+                // matrix math — no fabric exposure, no guard needed.
+                let (tail, _) = self
+                    .rs
+                    .system_mut()
+                    .scramble_stream_finish(&name, &state, &staged)?;
+                let session = self.sessions.get(&id).expect("checked above");
+                StreamOutput::Scrambled(session.out_pending.concat(&tail))
+            }
+            (StreamKind::Scrambler, Domain::Software) => {
+                let session = self.sessions.get(&id).expect("checked above");
+                StreamOutput::Scrambled(session.out_pending.clone())
+            }
+        };
+        self.sessions.remove(&id);
+        self.counters.completed += 1;
+        Ok(out)
+    }
+
+    /// The authoritative software path for a CRC finalize: marshal the
+    /// transformed state out, absorb the residue serially, apply the
+    /// output conventions.
+    fn software_crc_finish(
+        &mut self,
+        name: &str,
+        x_t: &BitVec,
+        staged: &BitVec,
+    ) -> Result<u64, ServiceError> {
+        let spec = self.crc_spec_of(name)?;
+        let plain = self.rs.system().export_stream_state(name, x_t)?;
+        let engine = self.soft.get_mut(name).expect("hosted implies kernel");
+        engine.set_state(plain);
+        engine.absorb(staged);
+        Ok(finalize_raw(&spec, engine.state().to_u64()))
+    }
+
+    fn crc_spec_of(&self, name: &str) -> Result<CrcSpec, ServiceError> {
+        self.hosted
+            .get(name)
+            .and_then(|h| h.crc_spec)
+            .ok_or_else(|| ServiceError::UnknownPersonality(name.to_string()))
+    }
+
+    /// Serializes a snapshot of a live stream (the stream keeps
+    /// running).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`].
+    pub fn checkpoint(&mut self, id: u64) -> Result<Vec<u8>, ServiceError> {
+        let session = self
+            .sessions
+            .get(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        let hosted = self.hosted.get(&session.name).expect("session is hosted");
+        let plain_domain = session.domain == Domain::Software;
+        let cp = StreamCheckpoint {
+            name: session.name.clone(),
+            kind: session.kind,
+            priority: session.priority,
+            deadline: session.deadline,
+            plain_domain,
+            t_digest: if plain_domain {
+                NO_TRANSFORM
+            } else {
+                hosted.t_digest
+            },
+            state: session.state.clone(),
+            staged: session.staged.clone(),
+            out_pending: session.out_pending.clone(),
+            queued: session.queue.iter().cloned().collect(),
+            bytes_fed: session.bytes_fed,
+        };
+        self.counters.checkpoints += 1;
+        Ok(cp.encode())
+    }
+
+    /// Checkpoints a stream and parks it: the session leaves the live
+    /// set (freeing capacity) and its snapshot is retained for
+    /// [`StreamService::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`].
+    pub fn park(&mut self, id: u64) -> Result<(), ServiceError> {
+        self.park_internal(id, &ParkReason::Explicit)
+    }
+
+    fn park_internal(&mut self, id: u64, reason: &ParkReason) -> Result<(), ServiceError> {
+        let bytes = self.checkpoint(id)?;
+        let session = self.sessions.remove(&id).expect("checkpoint proved it");
+        self.global_queued_bytes -= session.queued_bytes;
+        self.parked.insert(id, bytes);
+        match reason {
+            ParkReason::Idle => self.counters.parked_idle += 1,
+            ParkReason::Fault => self.counters.parked_fault += 1,
+            ParkReason::Explicit => {}
+        }
+        Ok(())
+    }
+
+    /// Rehydrates a parked stream under its original id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownParked`], capacity refusals, or snapshot
+    /// validation failures.
+    pub fn resume(&mut self, id: u64) -> Result<(), ServiceError> {
+        let bytes = self
+            .parked
+            .get(&id)
+            .cloned()
+            .ok_or(ServiceError::UnknownParked(id))?;
+        let cp = StreamCheckpoint::decode(&bytes)?;
+        self.rehydrate(cp, id)?;
+        self.parked.remove(&id);
+        self.counters.resumed += 1;
+        Ok(())
+    }
+
+    /// Rehydrates an external snapshot as a new stream, returning its
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot validation failures — including
+    /// [`CheckpointError::TransformMismatch`] when the snapshot's
+    /// transformed state does not belong to the hosted lane's
+    /// transform.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<u64, ServiceError> {
+        let cp = StreamCheckpoint::decode(bytes)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.rehydrate(cp, id)?;
+        Ok(id)
+    }
+
+    fn rehydrate(&mut self, cp: StreamCheckpoint, id: u64) -> Result<(), ServiceError> {
+        let hosted = self
+            .hosted
+            .get(&cp.name)
+            .filter(|h| h.kind == cp.kind)
+            .ok_or_else(|| ServiceError::UnknownPersonality(cp.name.clone()))?
+            .clone();
+        if self.sessions.len() >= self.cfg.max_streams {
+            self.counters.rejected_capacity += 1;
+            return Err(ServiceError::RejectedByCapacity);
+        }
+        if !cp.plain_domain && cp.t_digest != hosted.t_digest {
+            return Err(CheckpointError::TransformMismatch {
+                snapshot: cp.t_digest,
+                lane: hosted.t_digest,
+            }
+            .into());
+        }
+        if cp.state.len() != hosted.state_bits {
+            return Err(CheckpointError::Malformed("state width").into());
+        }
+        if !cp.plain_domain && cp.staged.len() >= hosted.m {
+            return Err(CheckpointError::Malformed("staged residue too wide").into());
+        }
+        if cp.plain_domain && !cp.staged.is_empty() {
+            return Err(CheckpointError::Malformed("software snapshot with staged bits").into());
+        }
+        let queued_bytes: usize = cp.queued.iter().map(Vec::len).sum();
+        let session = StreamSession {
+            name: cp.name,
+            kind: cp.kind,
+            priority: cp.priority,
+            deadline: cp.deadline.max(self.now),
+            domain: if cp.plain_domain {
+                Domain::Software
+            } else {
+                Domain::Fabric
+            },
+            state: cp.state,
+            staged: cp.staged,
+            out_pending: cp.out_pending,
+            queue: cp.queued.into(),
+            queued_bytes,
+            bytes_fed: cp.bytes_fed,
+            last_active: self.now,
+        };
+        self.global_queued_bytes += queued_bytes;
+        self.sessions.insert(id, session);
+        self.counters.restores += 1;
+        Ok(())
+    }
+
+    /// Pumps up to `budget` chunks, earliest deadline first, one chunk
+    /// per stream per round, grouped into per-personality transactional
+    /// batches.
+    fn pump(&mut self, budget: usize) -> Result<(), ServiceError> {
+        let mut remaining = budget;
+        let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
+        while remaining > 0 {
+            let mut order: Vec<(u64, u64)> = self
+                .sessions
+                .iter()
+                .filter(|(_, s)| !s.queue.is_empty())
+                .map(|(id, s)| (s.deadline, *id))
+                .collect();
+            if order.is_empty() {
+                break;
+            }
+            order.sort_unstable();
+            let mut popped = false;
+            for (_, id) in order {
+                if remaining == 0 {
+                    break;
+                }
+                let session = self.sessions.get_mut(&id).expect("listed above");
+                if let Some(chunk) = session.queue.pop_front() {
+                    session.queued_bytes -= chunk.len();
+                    self.global_queued_bytes -= chunk.len();
+                    batch.push((id, chunk));
+                    remaining -= 1;
+                    popped = true;
+                }
+            }
+            if !popped {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Group by personality, preserving first-appearance order.
+        let mut groups: Vec<(String, BatchItems)> = Vec::new();
+        for (id, chunk) in batch {
+            let name = self.sessions.get(&id).expect("still live").name.clone();
+            match groups.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, items)) => items.push((id, chunk)),
+                None => groups.push((name, vec![(id, chunk)])),
+            }
+        }
+        for (name, items) in groups {
+            self.transact(&name, &items)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one per-personality batch as a transaction (see the module
+    /// docs). On a guard detection: rollback, recover, and follow the
+    /// migration advice.
+    fn transact(&mut self, name: &str, items: &[(u64, Vec<u8>)]) -> Result<(), ServiceError> {
+        let mut involved: Vec<u64> = items.iter().map(|(id, _)| *id).collect();
+        involved.dedup();
+        let pre: Vec<SessionSnap> = involved
+            .iter()
+            .map(|id| {
+                let s = self.sessions.get(id).expect("batch built from live set");
+                SessionSnap {
+                    id: *id,
+                    domain: s.domain,
+                    state: s.state.clone(),
+                    staged: s.staged.clone(),
+                    out_pending_len: s.out_pending.len(),
+                    bytes_fed: s.bytes_fed,
+                }
+            })
+            .collect();
+
+        for attempt in 0..MAX_FABRIC_ATTEMPTS {
+            let mut used_fabric = false;
+            for (id, chunk) in items {
+                used_fabric |= self.process_chunk(*id, chunk)?;
+            }
+            if !used_fabric || !self.lane_suspect(name)? {
+                self.counters.chunks_processed += items.len() as u64;
+                let now = self.now;
+                for id in &involved {
+                    if let Some(s) = self.sessions.get_mut(id) {
+                        s.last_active = now;
+                    }
+                }
+                return Ok(());
+            }
+
+            // Detection: nothing this batch produced can be trusted.
+            self.counters.fault_rollbacks += 1;
+            self.rollback(&pre);
+            let outcome = self.rs.recover(name)?;
+            match outcome.migration_advice() {
+                MigrationAdvice::StayFabric => {
+                    // The lane is repaired; re-run from the clean
+                    // pre-batch states. If repairs keep failing, the
+                    // loop bottoms out in a software migration below.
+                    self.counters.batch_reruns += 1;
+                    if attempt + 1 == MAX_FABRIC_ATTEMPTS {
+                        self.migrate_involved(&involved)?;
+                    }
+                }
+                MigrationAdvice::MarshalToSoftware => {
+                    self.counters.batch_reruns += 1;
+                    self.migrate_involved(&involved)?;
+                }
+                MigrationAdvice::Park => {
+                    // Give the bytes back to the queues (front, in
+                    // order) and park every involved stream.
+                    for (id, chunk) in items.iter().rev() {
+                        let s = self.sessions.get_mut(id).expect("rolled back");
+                        s.queued_bytes += chunk.len();
+                        self.global_queued_bytes += chunk.len();
+                        s.queue.push_front(chunk.clone());
+                    }
+                    for id in &involved {
+                        self.park_internal(*id, &ParkReason::Fault)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        // Final attempt after forced software migration cannot touch
+        // the fabric, so it cannot fail the guard.
+        for (id, chunk) in items {
+            self.process_chunk(*id, chunk)?;
+        }
+        self.counters.chunks_processed += items.len() as u64;
+        Ok(())
+    }
+
+    fn migrate_involved(&mut self, involved: &[u64]) -> Result<(), ServiceError> {
+        for id in involved {
+            let fabric = self
+                .sessions
+                .get(id)
+                .is_some_and(|s| s.domain == Domain::Fabric);
+            if fabric {
+                self.degrade(*id)?;
+                self.counters.migrated_to_software += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn rollback(&mut self, pre: &[SessionSnap]) {
+        for snap in pre {
+            let s = self
+                .sessions
+                .get_mut(&snap.id)
+                .expect("involved stays live");
+            s.domain = snap.domain;
+            s.state = snap.state.clone();
+            s.staged = snap.staged.clone();
+            s.out_pending = s.out_pending.slice(0, snap.out_pending_len);
+            s.bytes_fed = snap.bytes_fed;
+        }
+    }
+
+    /// Guard verdict for one personality after a fabric batch: the
+    /// scrub re-proves every resident configuration against its
+    /// pristine registration (complete for configuration upsets), and
+    /// the affine datapath sweep re-proves the physical array against
+    /// the resident configuration (complete for stuck-at cells in the
+    /// XOR fault model). Together they leave no silent corruption
+    /// channel — a sampled known-answer probe alone can be fooled by a
+    /// stuck cell its probe data happens not to excite.
+    fn lane_suspect(&mut self, name: &str) -> Result<bool, ServiceError> {
+        let flagged = self
+            .rs
+            .system_mut()
+            .scrub()
+            .iter()
+            .any(|f| f.personality == name);
+        if flagged {
+            return Ok(true);
+        }
+        Ok(!self.rs.system_mut().datapath_probe(name)?)
+    }
+
+    /// Advances one session by one chunk. Returns whether the fabric
+    /// was used (and therefore whether the batch needs a guard).
+    fn process_chunk(&mut self, id: u64, chunk: &[u8]) -> Result<bool, ServiceError> {
+        let (name, kind, mut domain) = {
+            let s = self
+                .sessions
+                .get(&id)
+                .ok_or(ServiceError::UnknownStream(id))?;
+            (s.name.clone(), s.kind, s.domain)
+        };
+        // A lane retired to software fallback must not be fed on the
+        // fabric; late sessions migrate the moment they are pumped.
+        if domain == Domain::Fabric && self.rs.system().health(&name) == Health::Fallback {
+            self.degrade(id)?;
+            self.counters.migrated_to_software += 1;
+            domain = Domain::Software;
+        }
+        let m = self.hosted.get(&name).expect("session is hosted").m;
+        let (state, staged) = {
+            let s = self.sessions.get(&id).expect("checked above");
+            (s.state.clone(), s.staged.clone())
+        };
+        let incoming = match kind {
+            StreamKind::Crc => {
+                let spec = self.crc_spec_of(&name)?;
+                message_bits(&spec, chunk)
+            }
+            StreamKind::Scrambler => BitVec::from_le_bytes(chunk, chunk.len() * 8),
+        };
+
+        let (new_state, new_staged, emitted, used_fabric) = match domain {
+            Domain::Fabric => {
+                let all = staged.concat(&incoming);
+                let full = all.len() / m * m;
+                let blocks = all.slice(0, full);
+                let rest = all.slice(full, all.len() - full);
+                match kind {
+                    StreamKind::Crc => {
+                        let ns = if full > 0 {
+                            self.rs
+                                .system_mut()
+                                .crc_stream_feed(&name, &state, &blocks)?
+                        } else {
+                            state
+                        };
+                        (ns, rest, BitVec::zeros(0), full > 0)
+                    }
+                    StreamKind::Scrambler => {
+                        let (out, ns) = if full > 0 {
+                            self.rs
+                                .system_mut()
+                                .scramble_stream_feed(&name, &state, &blocks)?
+                        } else {
+                            (BitVec::zeros(0), state)
+                        };
+                        (ns, rest, out, full > 0)
+                    }
+                }
+            }
+            Domain::Software => {
+                let engine = self.soft.get_mut(&name).expect("hosted implies kernel");
+                engine.set_state(state);
+                let out = match kind {
+                    StreamKind::Crc => {
+                        engine.absorb(&incoming);
+                        BitVec::zeros(0)
+                    }
+                    StreamKind::Scrambler => engine.transduce(&incoming),
+                };
+                (engine.state().clone(), BitVec::zeros(0), out, false)
+            }
+        };
+        let s = self.sessions.get_mut(&id).expect("checked above");
+        s.state = new_state;
+        s.staged = new_staged;
+        s.out_pending = s.out_pending.concat(&emitted);
+        s.bytes_fed += chunk.len() as u64;
+        Ok(used_fabric)
+    }
+}

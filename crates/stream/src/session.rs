@@ -1,0 +1,79 @@
+//! Per-stream session state.
+//!
+//! A session is the unit the service schedules, checkpoints and
+//! migrates. Its LFSR state lives in exactly one of two domains:
+//!
+//! * **Fabric** — the transformed (`T`-domain) state the PiCoGA
+//!   computes in. Feeds advance it in whole M-bit blocks; bits that do
+//!   not yet fill a block wait in `staged`.
+//! * **Software** — the plain state the serial kernels understand.
+//!   Feeds are absorbed immediately, bit by bit, so `staged` is always
+//!   empty in this domain.
+//!
+//! The invariants keep migration trivial: fabric → software absorbs the
+//! staged residue and anti-transforms; software → fabric re-transforms
+//! and starts staging again.
+
+use gf2::BitVec;
+use std::collections::VecDeque;
+
+/// What a stream computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// A running CRC; [`crate::service::StreamService::finish`] delivers
+    /// the checksum.
+    Crc,
+    /// An additive scrambler; output bits are delivered incrementally.
+    Scrambler,
+}
+
+/// Scheduling class of a stream. Low-priority streams are the first to
+/// be degraded to the software kernel under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Degraded first under overload.
+    Low,
+    /// Kept on the fabric as long as possible.
+    High,
+}
+
+/// Which engine currently advances a session's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Domain {
+    /// Transformed state, advanced in M-bit blocks on the PiCoGA.
+    Fabric,
+    /// Plain state, advanced bit-serially on the control processor.
+    Software,
+}
+
+/// One live logical stream.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamSession {
+    pub(crate) name: String,
+    pub(crate) kind: StreamKind,
+    pub(crate) priority: Priority,
+    /// Absolute tick by which queued chunks should be drained — the
+    /// EDF scheduling key.
+    pub(crate) deadline: u64,
+    pub(crate) domain: Domain,
+    /// Transformed state when `domain == Fabric`, plain state otherwise.
+    pub(crate) state: BitVec,
+    /// Refin-adjusted message bits (CRC) or raw frame bits (scrambler)
+    /// waiting for a full M-bit block. Empty in the software domain.
+    pub(crate) staged: BitVec,
+    /// Scrambler output not yet collected by the client.
+    pub(crate) out_pending: BitVec,
+    /// Chunks accepted by `feed` but not yet pumped.
+    pub(crate) queue: VecDeque<Vec<u8>>,
+    pub(crate) queued_bytes: usize,
+    pub(crate) bytes_fed: u64,
+    /// Tick of the last feed or pump touching this session — the
+    /// idleness signal for the park rung of the overload ladder.
+    pub(crate) last_active: u64,
+}
+
+impl StreamSession {
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the checkpoint/restore path: for random data and
+//! random cut points, checkpoint → serialize → deserialize → restore
+//! round-trips bit-exactly at every supported block width — including
+//! a mid-stream fabric→software migration of the restored replica —
+//! and corrupted snapshot bytes are always rejected by the envelope.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use dream::ControlModel;
+use dream_lfsr::FlowOptions;
+use lfsr::crc::{crc_bitwise, CrcSpec};
+use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+use picoga::PicogaParams;
+use proptest::collection;
+use proptest::prelude::*;
+use resilience::{RecoveryPolicy, ResilientSystem};
+use stream::{AdmissionConfig, Priority, StreamCheckpoint, StreamOutput, StreamService};
+
+/// One cached service per block width: personality synthesis dominates
+/// the cost of a case, so every case of a property reuses the same
+/// fabric (each case finishes the streams it opens).
+fn with_service<R>(m: usize, f: impl FnOnce(&mut StreamService) -> R) -> R {
+    thread_local! {
+        static CACHE: RefCell<HashMap<usize, StreamService>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        let svc = map.entry(m).or_insert_with(|| {
+            let rs = ResilientSystem::new(
+                PicogaParams::dream(),
+                ControlModel::default(),
+                RecoveryPolicy::stream_serving(),
+            );
+            let mut svc = StreamService::new(rs, AdmissionConfig::default());
+            let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+            svc.host_crc("eth", spec, FlowOptions::dream_with_m(m))
+                .unwrap();
+            svc
+        });
+        f(svc)
+    })
+}
+
+/// Feed a prefix, checkpoint, restore the snapshot as a replica stream
+/// (optionally migrating it to software mid-stream), feed the remainder
+/// to both, and require both digests to equal the software oracle.
+fn crc_round_trip(
+    m: usize,
+    data: &[u8],
+    cut_pct: usize,
+    migrate: bool,
+) -> Result<(), TestCaseError> {
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    let oracle = crc_bitwise(spec, data);
+    let cut = data.len() * cut_pct / 100;
+    with_service(m, |svc| {
+        let a = svc.open_crc("eth", Priority::High, 8).unwrap();
+        if cut > 0 {
+            svc.feed(a, &data[..cut]).unwrap();
+            svc.tick().unwrap();
+        }
+        let bytes = svc.checkpoint(a).unwrap();
+
+        // The wire format itself round-trips byte-for-byte.
+        let cp = StreamCheckpoint::decode(&bytes).expect("own snapshot decodes");
+        prop_assert_eq!(cp.encode(), bytes.clone());
+
+        let b = svc.restore(&bytes).unwrap();
+        if migrate {
+            svc.degrade(b).unwrap();
+        }
+        if cut < data.len() {
+            svc.feed(a, &data[cut..]).unwrap();
+            svc.feed(b, &data[cut..]).unwrap();
+            svc.tick().unwrap();
+        }
+        for id in [a, b] {
+            match svc.finish(id).unwrap() {
+                StreamOutput::Crc(got) => prop_assert_eq!(got, oracle),
+                other => panic!("CRC stream delivered {other:?}"),
+            }
+        }
+        Ok(())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn checkpoint_round_trips_at_m8(
+        data in collection::vec(any::<u8>(), 1..96),
+        cut_pct in 0usize..100,
+        migrate in any::<bool>(),
+    ) {
+        crc_round_trip(8, &data, cut_pct, migrate)?;
+    }
+
+    #[test]
+    fn checkpoint_round_trips_at_m32(
+        data in collection::vec(any::<u8>(), 1..96),
+        cut_pct in 0usize..100,
+        migrate in any::<bool>(),
+    ) {
+        crc_round_trip(32, &data, cut_pct, migrate)?;
+    }
+
+    #[test]
+    fn checkpoint_round_trips_at_m128(
+        data in collection::vec(any::<u8>(), 1..96),
+        cut_pct in 0usize..100,
+        migrate in any::<bool>(),
+    ) {
+        crc_round_trip(128, &data, cut_pct, migrate)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn scrambler_checkpoint_round_trips(
+        data in collection::vec(any::<u8>(), 1..64),
+        cut_pct in 0usize..100,
+        raw_seed in any::<u64>(),
+    ) {
+        let spec = ScramblerSpec::ieee80211();
+        let seed = raw_seed & 0x7F; // keep within the 7-bit state
+        let cut = data.len() * cut_pct / 100;
+        let mut oracle = AdditiveScrambler::with_seed(spec, seed).unwrap();
+        let frame = gf2::BitVec::from_le_bytes(&data, data.len() * 8);
+        let want = oracle.scramble(&frame);
+
+        let rs = ResilientSystem::new(
+            PicogaParams::dream(),
+            ControlModel::default(),
+            RecoveryPolicy::stream_serving(),
+        );
+        let mut svc = StreamService::new(rs, AdmissionConfig::default());
+        svc.host_scrambler("wifi", spec, &FlowOptions::dream_with_m(16))
+            .unwrap();
+
+        let a = svc.open_scrambler("wifi", seed, Priority::High, 8).unwrap();
+        if cut > 0 {
+            svc.feed(a, &data[..cut]).unwrap();
+            svc.tick().unwrap();
+        }
+        let bytes = svc.checkpoint(a).unwrap();
+        let b = svc.restore(&bytes).unwrap();
+        if cut < data.len() {
+            svc.feed(a, &data[cut..]).unwrap();
+            svc.feed(b, &data[cut..]).unwrap();
+            svc.tick().unwrap();
+        }
+        for id in [a, b] {
+            match svc.finish(id).unwrap() {
+                StreamOutput::Scrambled(got) => prop_assert_eq!(got.clone(), want.clone()),
+                other => panic!("scrambler delivered {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn corrupted_snapshots_are_always_rejected(
+        data in collection::vec(any::<u8>(), 1..64),
+        pos_pct in 0usize..100,
+        bit in 0u32..8,
+    ) {
+        let snapshot = with_service(32, |svc| {
+            let id = svc.open_crc("eth", Priority::Low, 8).unwrap();
+            svc.feed(id, &data).unwrap();
+            svc.tick().unwrap();
+            let bytes = svc.checkpoint(id).unwrap();
+            svc.finish(id).unwrap();
+            bytes
+        });
+
+        let pos = snapshot.len() * pos_pct / 100;
+        let pos = pos.min(snapshot.len() - 1);
+        let mut corrupt = snapshot.clone();
+        corrupt[pos] ^= 1u8 << bit;
+        prop_assert!(
+            StreamCheckpoint::decode(&corrupt).is_err(),
+            "bit {} of byte {} flipped undetected",
+            bit,
+            pos
+        );
+        with_service(32, |svc| {
+            prop_assert!(svc.restore(&corrupt).is_err(), "service accepted a corrupt snapshot");
+            Ok(())
+        })?;
+    }
+}

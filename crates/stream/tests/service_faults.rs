@@ -1,0 +1,304 @@
+//! Targeted fault-path tests: each rung of the migration story in
+//! isolation, with the delivered digest checked against the software
+//! oracle every time.
+
+use dream::{ControlModel, Health};
+use dream_lfsr::FlowOptions;
+use gf2::BitVec;
+use lfsr::crc::{crc_bitwise, CrcSpec};
+use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+use picoga::{ConfigFault, PicogaParams};
+use resilience::{classify, FaultEffect, FaultInjector, RecoveryPolicy, ResilientSystem};
+use stream::{AdmissionConfig, Priority, ServiceError, StreamOutput, StreamService};
+
+fn service(policy: RecoveryPolicy) -> StreamService {
+    let rs = ResilientSystem::new(PicogaParams::dream(), ControlModel::default(), policy);
+    let mut svc = StreamService::new(rs, AdmissionConfig::default());
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    svc.host_crc("eth", spec, FlowOptions::dream_with_m(32))
+        .unwrap();
+    svc
+}
+
+fn message(n: u32) -> Vec<u8> {
+    (0..n).map(|i| (i * 11 + 7) as u8).collect()
+}
+
+fn eth_crc(data: &[u8]) -> u64 {
+    crc_bitwise(CrcSpec::by_name("CRC-32/ETHERNET").unwrap(), data)
+}
+
+/// A semantic wire-flip in the resident update context of `name`.
+fn semantic_seu(svc: &StreamService, name: &str, seed: u64) -> ConfigFault {
+    let slot = svc
+        .system()
+        .system()
+        .slot_of(name, 0)
+        .expect("update resident");
+    let pristine = svc
+        .system()
+        .system()
+        .fabric()
+        .context(slot)
+        .expect("context")
+        .clone();
+    let mut inj = FaultInjector::new(seed);
+    loop {
+        let f = inj.random_wire_flip(slot, &pristine).expect("fault");
+        if classify(&f, &pristine) == FaultEffect::Semantic {
+            return f;
+        }
+    }
+}
+
+/// A semantic stuck-at cell under the resident update context.
+fn semantic_stuck(svc: &StreamService, name: &str, seed: u64) -> ConfigFault {
+    let slot = svc
+        .system()
+        .system()
+        .slot_of(name, 0)
+        .expect("update resident");
+    let pristine = svc
+        .system()
+        .system()
+        .fabric()
+        .context(slot)
+        .expect("context")
+        .clone();
+    let mut inj = FaultInjector::new(seed);
+    loop {
+        let f = inj.random_stuck_cell(&pristine).expect("fault");
+        if classify(&f, &pristine) == FaultEffect::Semantic {
+            return f;
+        }
+    }
+}
+
+#[test]
+fn seu_mid_stream_rolls_back_and_delivers_the_exact_digest() {
+    let mut svc = service(RecoveryPolicy::stream_serving());
+    let data = message(96);
+    let id = svc.open_crc("eth", Priority::High, 8).unwrap();
+    svc.feed(id, &data[..32]).unwrap();
+    svc.tick().unwrap(); // first chunk pumps clean; update now resident
+
+    let fault = semantic_seu(&svc, "eth", 17);
+    svc.system_mut()
+        .system_mut()
+        .fabric_mut()
+        .inject(&fault)
+        .unwrap();
+
+    svc.feed(id, &data[32..]).unwrap();
+    svc.tick().unwrap(); // guard must detect, roll back, heal, re-run
+
+    let c = svc.counters();
+    assert!(c.fault_rollbacks >= 1, "the guard saw the SEU: {c:?}");
+    assert!(c.batch_reruns >= 1, "the batch re-ran after repair: {c:?}");
+    assert_eq!(svc.system().system().health("eth"), Health::Healthy);
+    match svc.finish(id).unwrap() {
+        StreamOutput::Crc(crc) => assert_eq!(crc, eth_crc(&data)),
+        other => panic!("CRC stream delivered {other:?}"),
+    }
+}
+
+#[test]
+fn stuck_cell_marshals_the_stream_to_software_mid_flight() {
+    // Re-synthesis disallowed: a stuck cell forces software fallback,
+    // and the live stream must follow it without losing a bit.
+    let mut svc = service(RecoveryPolicy {
+        allow_resynthesis: false,
+        ..RecoveryPolicy::stream_serving()
+    });
+    let data = message(120);
+    let id = svc.open_crc("eth", Priority::High, 8).unwrap();
+    svc.feed(id, &data[..40]).unwrap();
+    svc.tick().unwrap();
+
+    let fault = semantic_stuck(&svc, "eth", 23);
+    svc.system_mut()
+        .system_mut()
+        .fabric_mut()
+        .inject(&fault)
+        .unwrap();
+
+    svc.feed(id, &data[40..]).unwrap();
+    svc.tick().unwrap();
+
+    let c = svc.counters();
+    assert!(c.fault_rollbacks >= 1, "stuck cell detected: {c:?}");
+    assert!(
+        c.migrated_to_software >= 1,
+        "stream marshalled out of the transformed domain: {c:?}"
+    );
+    assert_eq!(svc.system().system().health("eth"), Health::Fallback);
+    match svc.finish(id).unwrap() {
+        StreamOutput::Crc(crc) => assert_eq!(crc, eth_crc(&data)),
+        other => panic!("CRC stream delivered {other:?}"),
+    }
+
+    // A stream opened after the retirement lazily degrades on its
+    // first pump and is still exact.
+    let late = svc.open_crc("eth", Priority::Low, 8).unwrap();
+    svc.feed(late, &data).unwrap();
+    svc.tick().unwrap();
+    match svc.finish(late).unwrap() {
+        StreamOutput::Crc(crc) => assert_eq!(crc, eth_crc(&data)),
+        other => panic!("CRC stream delivered {other:?}"),
+    }
+}
+
+#[test]
+fn exhausted_ladder_parks_the_stream_and_loses_no_bytes() {
+    // Nothing is allowed to repair or retire the lane; the
+    // checkpoint-migrate rung must park the stream with its unprocessed
+    // bytes intact.
+    let mut svc = service(RecoveryPolicy {
+        max_reload_retries: 0,
+        allow_resynthesis: false,
+        allow_software_fallback: false,
+        ..RecoveryPolicy::stream_serving()
+    });
+    let data = message(96);
+    let id = svc.open_crc("eth", Priority::High, 8).unwrap();
+    svc.feed(id, &data[..32]).unwrap();
+    svc.tick().unwrap();
+
+    let fault = semantic_seu(&svc, "eth", 31);
+    svc.system_mut()
+        .system_mut()
+        .fabric_mut()
+        .inject(&fault)
+        .unwrap();
+
+    svc.feed(id, &data[32..]).unwrap();
+    svc.tick().unwrap();
+
+    let c = svc.counters();
+    assert!(
+        c.parked_fault >= 1,
+        "recovery advice parked the stream: {c:?}"
+    );
+    assert_eq!(svc.parked_ids(), vec![id]);
+
+    // Operator intervention: resume, migrate to software by hand, and
+    // the digest is still exact — the parked snapshot lost nothing.
+    svc.resume(id).unwrap();
+    svc.degrade(id).unwrap();
+    svc.tick().unwrap();
+    match svc.finish(id).unwrap() {
+        StreamOutput::Crc(crc) => assert_eq!(crc, eth_crc(&data)),
+        other => panic!("CRC stream delivered {other:?}"),
+    }
+}
+
+#[test]
+fn scrambler_stream_survives_an_seu_with_exact_output() {
+    let rs = ResilientSystem::new(
+        PicogaParams::dream(),
+        ControlModel::default(),
+        RecoveryPolicy::stream_serving(),
+    );
+    let mut svc = StreamService::new(rs, AdmissionConfig::default());
+    let spec = ScramblerSpec::ieee80211();
+    svc.host_scrambler("wifi", spec, &FlowOptions::dream_with_m(16))
+        .unwrap();
+
+    let data = message(60);
+    let seed = 0x55;
+    let id = svc.open_scrambler("wifi", seed, Priority::High, 8).unwrap();
+    svc.feed(id, &data[..20]).unwrap();
+    svc.tick().unwrap();
+    let mut got = svc.collect(id).unwrap();
+
+    let fault = {
+        let slot = svc.system().system().slot_of("wifi", 2).expect("resident");
+        let pristine = svc
+            .system()
+            .system()
+            .fabric()
+            .context(slot)
+            .unwrap()
+            .clone();
+        let mut inj = FaultInjector::new(47);
+        loop {
+            let f = inj.random_wire_flip(slot, &pristine).expect("fault");
+            if classify(&f, &pristine) == FaultEffect::Semantic {
+                break f;
+            }
+        }
+    };
+    svc.system_mut()
+        .system_mut()
+        .fabric_mut()
+        .inject(&fault)
+        .unwrap();
+
+    svc.feed(id, &data[20..]).unwrap();
+    svc.tick().unwrap();
+    got = got.concat(&svc.collect(id).unwrap());
+    assert!(svc.counters().fault_rollbacks >= 1, "SEU detected");
+
+    match svc.finish(id).unwrap() {
+        StreamOutput::Scrambled(tail) => {
+            let got = got.concat(&tail);
+            let mut oracle = AdditiveScrambler::with_seed(spec, seed).unwrap();
+            let frame = BitVec::from_le_bytes(&data, data.len() * 8);
+            assert_eq!(got, oracle.scramble(&frame), "scrambled output exact");
+        }
+        other => panic!("scrambler delivered {other:?}"),
+    }
+}
+
+#[test]
+fn typed_refusals_surface_and_are_counted() {
+    let rs = ResilientSystem::new(
+        PicogaParams::dream(),
+        ControlModel::default(),
+        RecoveryPolicy::stream_serving(),
+    );
+    let mut svc = StreamService::new(
+        rs,
+        AdmissionConfig {
+            max_streams: 2,
+            per_stream_queue_chunks: 1,
+            global_queue_bytes: 64,
+            bucket_capacity: 8,
+            bucket_refill: 1,
+            ..AdmissionConfig::default()
+        },
+    );
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    svc.host_crc("eth", spec, FlowOptions::dream_with_m(32))
+        .unwrap();
+
+    let a = svc.open_crc("eth", Priority::High, 4).unwrap();
+    let b = svc.open_crc("eth", Priority::Low, 4).unwrap();
+    assert!(matches!(
+        svc.open_crc("eth", Priority::Low, 4),
+        Err(ServiceError::RejectedByCapacity)
+    ));
+
+    svc.feed(a, &[1, 2, 3]).unwrap();
+    assert!(matches!(
+        svc.feed(a, &[4, 5, 6]),
+        Err(ServiceError::StreamQueueFull { .. })
+    ));
+    assert!(matches!(
+        svc.feed(b, &[0; 100]),
+        Err(ServiceError::GlobalQueueFull { .. })
+    ));
+    assert!(matches!(
+        svc.open_crc("ghost", Priority::High, 4),
+        Err(ServiceError::UnknownPersonality(_))
+    ));
+    assert!(matches!(
+        svc.feed(999, &[1]),
+        Err(ServiceError::UnknownStream(999))
+    ));
+
+    let c = svc.counters();
+    assert_eq!(c.rejected_capacity, 1);
+    assert_eq!(c.rejected_queue_full, 1);
+    assert_eq!(c.rejected_global_full, 1);
+}

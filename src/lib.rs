@@ -21,7 +21,12 @@
 //! * [`asic`] — the UCRC synthesis comparison model and Fig. 6 theory
 //!   curves;
 //! * [`flow`] — the end-to-end mapping flow and design-space explorer
-//!   (the paper's core contribution).
+//!   (the paper's core contribution);
+//! * [`resilience`] — fault injection, runtime self-checking and the
+//!   recovery ladder (reload → re-synthesis → software fallback);
+//! * [`stream`] — fault-tolerant multi-stream serving: sessions with
+//!   checkpoint/restore, token-bucket admission, the overload shedding
+//!   ladder, and the seeded `stream_storm` stress harness.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +52,8 @@ pub use gf2;
 pub use lfsr;
 pub use lfsr_parallel as parallel;
 pub use picoga;
+pub use resilience;
 pub use riscsim;
+pub use stream;
 pub use verify;
 pub use xornet;

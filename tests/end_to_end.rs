@@ -70,7 +70,9 @@ fn dream_beats_risc_and_respects_kernel_bound() {
     let (_, run) = app.checksum(&data);
     let dream_bps = run.throughput_bps(200e6);
 
-    let risc_bps = CrcKernel::ethernet_sarwate().steady_throughput_bps(200e6);
+    let risc_bps = CrcKernel::ethernet_sarwate()
+        .steady_throughput_bps(200e6)
+        .unwrap();
     assert!(
         dream_bps > 50.0 * risc_bps,
         "dream {dream_bps}, risc {risc_bps}"
