@@ -1,0 +1,72 @@
+//! Review repro: interleaved batch + Park advice hits duplicate ids in
+//! `involved` (Vec::dedup without sort), so park_internal runs twice for
+//! the same stream and errors.
+
+use dream::ControlModel;
+use dream_lfsr::FlowOptions;
+use lfsr::crc::CrcSpec;
+use picoga::{ConfigFault, PicogaParams};
+use resilience::{classify, FaultEffect, FaultInjector, RecoveryPolicy, ResilientSystem};
+use stream::{AdmissionConfig, Priority, StreamService};
+
+fn semantic_seu(svc: &StreamService, name: &str, seed: u64) -> ConfigFault {
+    let slot = svc.system().system().slot_of(name, 0).expect("resident");
+    let pristine = svc
+        .system()
+        .system()
+        .fabric()
+        .context(slot)
+        .expect("context")
+        .clone();
+    let mut inj = FaultInjector::new(seed);
+    loop {
+        let f = inj.random_wire_flip(slot, &pristine).expect("fault");
+        if classify(&f, &pristine) == FaultEffect::Semantic {
+            return f;
+        }
+    }
+}
+
+#[test]
+fn park_advice_with_interleaved_batch_parks_both_streams() {
+    let rs = ResilientSystem::new(
+        PicogaParams::dream(),
+        ControlModel::default(),
+        RecoveryPolicy {
+            max_reload_retries: 0,
+            allow_resynthesis: false,
+            allow_software_fallback: false,
+            ..RecoveryPolicy::stream_serving()
+        },
+    );
+    let mut svc = StreamService::new(rs, AdmissionConfig::default());
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    svc.host_crc("eth", spec, FlowOptions::dream_with_m(32))
+        .unwrap();
+
+    let data: Vec<u8> = (0..128u32).map(|i| (i * 11 + 7) as u8).collect();
+    let a = svc.open_crc("eth", Priority::High, 8).unwrap();
+    let b = svc.open_crc("eth", Priority::High, 8).unwrap();
+    // Warm the lane so the update context is resident for fault aim.
+    svc.feed(a, &data[..32]).unwrap();
+    svc.tick().unwrap();
+
+    let fault = semantic_seu(&svc, "eth", 31);
+    svc.system_mut()
+        .system_mut()
+        .fabric_mut()
+        .inject(&fault)
+        .unwrap();
+
+    // Two chunks queued on each stream -> the pump batch interleaves
+    // [a, b, a, b] for the single "eth" personality group.
+    svc.feed(a, &data[32..64]).unwrap();
+    svc.feed(a, &data[64..96]).unwrap();
+    svc.feed(b, &data[..32]).unwrap();
+    svc.feed(b, &data[32..64]).unwrap();
+
+    // The guard must detect, the ladder must advise Park, and both
+    // streams must be parked cleanly.
+    svc.tick().expect("tick must not error while parking");
+    assert_eq!(svc.parked_ids(), vec![a, b]);
+}
