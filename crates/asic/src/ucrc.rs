@@ -34,6 +34,54 @@ pub struct UcrcStats {
     pub throughput_bps: f64,
 }
 
+impl UcrcStats {
+    /// Publishes the stats as gauges `{prefix}.m`, `{prefix}.xor2_gates`,
+    /// `{prefix}.literals`, `{prefix}.depth`, `{prefix}.clock_hz` and
+    /// `{prefix}.throughput_bps` on the unified registry. The two rates
+    /// are rounded to whole Hz / bit-per-second so the registry stays
+    /// integer-only (and its exports byte-stable).
+    pub fn publish(&self, reg: &mut obs::MetricsRegistry, prefix: &str) {
+        let set = |reg: &mut obs::MetricsRegistry, field: &str, v: i64| {
+            let id = reg.gauge(&format!("{prefix}.{field}"));
+            reg.set_gauge(id, v);
+        };
+        set(reg, "m", i64::try_from(self.m).expect("m fits"));
+        set(
+            reg,
+            "xor2_gates",
+            i64::try_from(self.xor2_gates).expect("gates fit"),
+        );
+        set(
+            reg,
+            "literals",
+            i64::try_from(self.literals).expect("literals fit"),
+        );
+        set(reg, "depth", i64::try_from(self.depth).expect("depth fits"));
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            set(reg, "clock_hz", self.clock_hz.round() as i64);
+            set(reg, "throughput_bps", self.throughput_bps.round() as i64);
+        }
+    }
+
+    /// Reconstructs stats previously [`UcrcStats::publish`]ed under
+    /// `prefix`, or `None` when any gauge is missing. The rates come
+    /// back rounded to whole units.
+    #[must_use]
+    pub fn from_registry(reg: &obs::MetricsRegistry, prefix: &str) -> Option<UcrcStats> {
+        let get = |field: &str| reg.gauge_by_name(&format!("{prefix}.{field}"));
+        #[allow(clippy::cast_precision_loss)]
+        Some(UcrcStats {
+            m: usize::try_from(get("m")?).ok()?,
+            xor2_gates: usize::try_from(get("xor2_gates")?).ok()?,
+            literals: usize::try_from(get("literals")?).ok()?,
+            depth: usize::try_from(get("depth")?).ok()?,
+            clock_hz: get("clock_hz")? as f64,
+            throughput_bps: get("throughput_bps")? as f64,
+        })
+    }
+}
+
 /// The flat (loop-unpipelined) parallel CRC block.
 #[derive(Debug, Clone)]
 pub struct UcrcModel {
@@ -292,5 +340,25 @@ mod verilog_roundtrip_tests {
                 assert_eq!(v, expect.get(i), "bit {i}");
             }
         }
+    }
+
+    #[test]
+    fn stats_round_trip_through_registry() {
+        let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+        let model = UcrcModel::new(spec, 32, TechNode::st65lp()).unwrap();
+        let stats = model.stats();
+        let mut reg = obs::MetricsRegistry::new();
+        stats.publish(&mut reg, "ucrc.eth.32");
+        let back = UcrcStats::from_registry(&reg, "ucrc.eth.32").expect("all gauges present");
+        assert_eq!(back.m, stats.m);
+        assert_eq!(back.xor2_gates, stats.xor2_gates);
+        assert_eq!(back.literals, stats.literals);
+        assert_eq!(back.depth, stats.depth);
+        assert_eq!(back.clock_hz, stats.clock_hz.round());
+        assert_eq!(back.throughput_bps, stats.throughput_bps.round());
+        assert!(
+            UcrcStats::from_registry(&reg, "ucrc.missing").is_none(),
+            "absent prefixes come back as None"
+        );
     }
 }

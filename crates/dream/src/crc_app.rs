@@ -231,6 +231,12 @@ impl DreamCrcApp {
         })
     }
 
+    /// The fabric simulator this application runs on — read access for
+    /// observability (cycle counters, profiler, tracer).
+    pub fn fabric(&self) -> &PicogaSim {
+        &self.sim
+    }
+
     /// The CRC spec in use.
     pub fn spec(&self) -> &CrcSpec {
         &self.spec
@@ -343,7 +349,7 @@ impl DreamCrcApp {
         // Phase 1: one configuration, one continuous interleaved stream
         // (Derby), or per-message dense bursts (fallback: no fill to
         // share since II already equals the latency).
-        self.sim.switch_to(UPDATE_SLOT).expect("loaded");
+        self.switch_profiled(UPDATE_SLOT);
         let plain_states: Vec<BitVec> = match &self.datapath {
             Datapath::Derby(derby) => {
                 let x_t0 = derby.transform_state(&init);
@@ -357,7 +363,7 @@ impl DreamCrcApp {
                     .run_crc_interleaved(&mut states, items)
                     .expect("shape checked at build time");
                 // Phase 2: anti-transforms, the other configuration.
-                self.sim.switch_to(FINALIZE_SLOT).expect("loaded");
+                self.switch_profiled(FINALIZE_SLOT);
                 states
                     .into_iter()
                     .map(|x_t| self.sim.run_linear(&x_t).expect("shape checked"))
@@ -397,7 +403,7 @@ impl DreamCrcApp {
         let full = bits.len() / self.m;
         let blocks: Vec<BitVec> = (0..full).map(|c| bits.slice(c * self.m, self.m)).collect();
 
-        self.sim.switch_to(UPDATE_SLOT).expect("loaded");
+        self.switch_profiled(UPDATE_SLOT);
         let mut x = match &self.datapath {
             Datapath::Derby(derby) => {
                 let x_t0 = derby.transform_state(init);
@@ -405,7 +411,7 @@ impl DreamCrcApp {
                     .sim
                     .run_crc_stream(&x_t0, blocks.iter())
                     .expect("shape checked at build time");
-                self.sim.switch_to(FINALIZE_SLOT).expect("loaded");
+                self.switch_profiled(FINALIZE_SLOT);
                 self.sim.run_linear(&x_t).expect("shape checked")
             }
             Datapath::Dense(_) => self
@@ -422,6 +428,19 @@ impl DreamCrcApp {
             x = self.serial.state().clone();
         }
         x
+    }
+
+    /// Switches the fabric to `slot` and points the profiler lane at the
+    /// incoming operation, so standalone apps (no DREAM cache layer above
+    /// them) still attribute fabric busy-cycles per personality.
+    fn switch_profiled(&mut self, slot: usize) {
+        let name = self
+            .sim
+            .context(slot)
+            .map(|op| op.name().to_string())
+            .expect("loaded at build");
+        self.sim.obs_mut().profiler.set_lane(&name);
+        self.sim.switch_to(slot).expect("loaded");
     }
 
     fn apply_out_conventions(&self, raw: &BitVec) -> u64 {
@@ -687,7 +706,7 @@ impl DreamCrcApp {
         };
 
         let init = BitVec::from_u64(self.spec.init & self.spec.mask(), self.spec.width);
-        self.sim.switch_to(UPDATE_SLOT).expect("loaded");
+        self.switch_profiled(UPDATE_SLOT);
         let x = match &self.datapath {
             Datapath::Derby(derby) => {
                 let x_t0 = derby.transform_state(&init);
@@ -695,7 +714,7 @@ impl DreamCrcApp {
                     .sim
                     .run_crc_stream(&x_t0, blocks.iter())
                     .expect("shape checked at build time");
-                self.sim.switch_to(FINALIZE_SLOT).expect("loaded");
+                self.switch_profiled(FINALIZE_SLOT);
                 self.sim.run_linear(&x_t).expect("shape checked")
             }
             Datapath::Dense(_) => self

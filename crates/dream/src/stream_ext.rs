@@ -120,6 +120,7 @@ impl DreamSystem {
         }
         let blocks: Vec<BitVec> = (0..bits.len() / m).map(|c| bits.slice(c * m, m)).collect();
         self.make_resident(name, 0)?;
+        self.note_feed_blocks(blocks.len() as u64);
         if dense {
             Ok(self
                 .fabric_mut_internal()
@@ -221,6 +222,7 @@ impl DreamSystem {
         }
         let blocks: Vec<BitVec> = (0..bits.len() / m).map(|c| bits.slice(c * m, m)).collect();
         self.make_scrambler_resident(name)?;
+        self.note_feed_blocks(blocks.len() as u64);
         Ok(self
             .fabric_mut_internal()
             .run_scrambler_stream(x_t, blocks.iter())?)

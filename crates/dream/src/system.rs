@@ -19,6 +19,7 @@ use lfsr::crc::{crc_bitwise, message_bits, reflect, CrcSpec, SarwateCrc};
 use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
 use lfsr::StateSpaceLfsr;
 use lfsr_parallel::DerbyTransform;
+use obs::EventKind;
 use picoga::{PgaOperation, PicogaParams, PicogaSim, SimError};
 use std::collections::HashMap;
 use std::fmt;
@@ -215,6 +216,10 @@ impl fmt::Display for Health {
 }
 
 /// Counters of the detection/recovery machinery (one set per system).
+///
+/// A thin view: the values live in the fabric's unified metrics registry
+/// under `dream.resilience.*` and are assembled on demand by
+/// [`DreamSystem::resilience_counters`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResilienceCounters {
     /// Configuration scrub passes executed.
@@ -259,18 +264,52 @@ pub struct DreamSystem {
     tails: HashMap<String, StateSpaceLfsr>,
     /// Per-personality health, as judged by scrubs/probes.
     health: HashMap<String, Health>,
-    /// Detection/recovery counters.
-    res_counters: ResilienceCounters,
+    /// Handles into the fabric's unified metrics registry.
+    ids: DreamIds,
     /// Lazily built software fallback kernels (Sarwate byte tables).
     soft: HashMap<String, SarwateCrc>,
+}
+
+/// Registry handles for the DREAM layer's counters.
+#[derive(Debug, Clone, Copy)]
+struct DreamIds {
+    scrub_runs: obs::CounterId,
+    probe_runs: obs::CounterId,
+    detections: obs::CounterId,
+    reloads: obs::CounterId,
+    replacements: obs::CounterId,
+    fallback_messages: obs::CounterId,
+    cache_hits: obs::CounterId,
+    cache_misses: obs::CounterId,
+    cache_evictions: obs::CounterId,
+    feed_blocks: obs::CounterId,
+}
+
+impl DreamIds {
+    fn register(reg: &mut obs::MetricsRegistry) -> Self {
+        DreamIds {
+            scrub_runs: reg.counter("dream.resilience.scrub_runs"),
+            probe_runs: reg.counter("dream.resilience.probe_runs"),
+            detections: reg.counter("dream.resilience.detections"),
+            reloads: reg.counter("dream.resilience.reloads"),
+            replacements: reg.counter("dream.resilience.replacements"),
+            fallback_messages: reg.counter("dream.resilience.fallback_messages"),
+            cache_hits: reg.counter("dream.cache.hits"),
+            cache_misses: reg.counter("dream.cache.misses"),
+            cache_evictions: reg.counter("dream.cache.evictions"),
+            feed_blocks: reg.counter("dream.stream.feed_blocks"),
+        }
+    }
 }
 
 impl DreamSystem {
     /// Creates an empty system on the given fabric.
     pub fn new(params: PicogaParams, control: ControlModel) -> Self {
         let contexts = params.contexts;
+        let mut sim = PicogaSim::new(params);
+        let ids = DreamIds::register(&mut sim.obs_mut().registry);
         DreamSystem {
-            sim: PicogaSim::new(params),
+            sim,
             control,
             personalities: HashMap::new(),
             scramblers: HashMap::new(),
@@ -278,7 +317,7 @@ impl DreamSystem {
             use_clock: 0,
             tails: HashMap::new(),
             health: HashMap::new(),
-            res_counters: ResilienceCounters::default(),
+            ids,
             soft: HashMap::new(),
         }
     }
@@ -437,6 +476,7 @@ impl DreamSystem {
                 .is_some_and(|s| s.personality == name && s.role == 2)
         }) {
             self.slots[idx].as_mut().expect("hit").last_use = self.use_clock;
+            self.note_cache_hit(name, idx);
             self.sim.switch_to(idx)?;
             return Ok(idx);
         }
@@ -446,7 +486,13 @@ impl DreamSystem {
             .get(name)
             .map(|p| p.op.clone())
             .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?;
+        let stats = op.stats();
+        self.note_cache_miss(name, idx);
         self.sim.load_context(idx, op)?;
+        stats.publish(
+            &mut self.sim.obs_mut().registry,
+            &format!("op.{name}.scrambler"),
+        );
         self.slots[idx] = Some(SlotState {
             personality: name.to_string(),
             role: 2,
@@ -454,6 +500,29 @@ impl DreamSystem {
         });
         self.sim.switch_to(idx)?;
         Ok(idx)
+    }
+
+    /// Records a configuration-cache hit: counter, correlated event, and
+    /// profiler attribution to the personality about to run.
+    fn note_cache_hit(&mut self, name: &str, slot: usize) {
+        let hub = self.sim.obs_mut();
+        hub.registry.inc(self.ids.cache_hits);
+        hub.event_for(None, Some(name), EventKind::ContextHit { slot });
+        hub.profiler.set_lane(name);
+    }
+
+    /// Records a configuration-cache miss (and the eviction, when the
+    /// victim slot was occupied), and attributes subsequent fabric runs
+    /// to the incoming personality.
+    fn note_cache_miss(&mut self, name: &str, slot: usize) {
+        let evicted = self.slots[slot].as_ref().map(|s| s.personality.clone());
+        let hub = self.sim.obs_mut();
+        hub.registry.inc(self.ids.cache_misses);
+        if let Some(victim) = evicted {
+            hub.registry.inc(self.ids.cache_evictions);
+            hub.event_for(None, Some(&victim), EventKind::ContextEvict { slot });
+        }
+        hub.profiler.set_lane(name);
     }
 
     fn pick_victim_slot(&self) -> usize {
@@ -480,6 +549,7 @@ impl DreamSystem {
                 .is_some_and(|s| s.personality == name && s.role == role)
         }) {
             self.slots[idx].as_mut().expect("hit").last_use = self.use_clock;
+            self.note_cache_hit(name, idx);
             self.sim.switch_to(idx)?;
             return Ok(idx);
         }
@@ -496,7 +566,14 @@ impl DreamSystem {
                 .clone()
                 .ok_or_else(|| SystemError::UnknownPersonality { name: name.into() })?,
         };
+        let stats = op.stats();
+        self.note_cache_miss(name, idx);
         self.sim.load_context(idx, op)?;
+        let role_name = if role == 0 { "update" } else { "finalize" };
+        stats.publish(
+            &mut self.sim.obs_mut().registry,
+            &format!("op.{name}.{role_name}"),
+        );
         self.slots[idx] = Some(SlotState {
             personality: name.to_string(),
             role,
@@ -593,6 +670,16 @@ impl DreamSystem {
         &mut self.sim
     }
 
+    /// The observability hub (delegates to the fabric simulator).
+    pub fn obs(&self) -> &obs::ObsHub {
+        self.sim.obs()
+    }
+
+    /// Mutable observability hub access, for layers stacked on top.
+    pub fn obs_mut(&mut self) -> &mut obs::ObsHub {
+        self.sim.obs_mut()
+    }
+
     /// The context slot currently holding `(personality, role)`, if
     /// resident.
     pub fn slot_of(&self, name: &str, role: u8) -> Option<usize> {
@@ -614,9 +701,18 @@ impl DreamSystem {
         self.health.insert(name.to_string(), health);
     }
 
-    /// Detection/recovery counters accumulated so far.
+    /// Detection/recovery counters accumulated so far (a view assembled
+    /// from the fabric's unified registry).
     pub fn resilience_counters(&self) -> ResilienceCounters {
-        self.res_counters
+        let reg = &self.sim.obs().registry;
+        ResilienceCounters {
+            scrub_runs: reg.counter_value(self.ids.scrub_runs),
+            probe_runs: reg.counter_value(self.ids.probe_runs),
+            detections: reg.counter_value(self.ids.detections),
+            reloads: reg.counter_value(self.ids.reloads),
+            replacements: reg.counter_value(self.ids.replacements),
+            fallback_messages: reg.counter_value(self.ids.fallback_messages),
+        }
     }
 
     /// Configuration scrub: re-proves every resident context equivalent
@@ -624,7 +720,7 @@ impl DreamSystem {
     /// proof — complete for linear networks). Personalities with
     /// findings are marked [`Health::Suspect`].
     pub fn scrub(&mut self) -> Vec<ScrubFinding> {
-        self.res_counters.scrub_runs += 1;
+        self.sim.obs_mut().registry.inc(self.ids.scrub_runs);
         let mut findings = Vec::new();
         for (slot, state) in self.slots.iter().enumerate() {
             let Some(state) = state else { continue };
@@ -656,7 +752,17 @@ impl DreamSystem {
         for f in &findings {
             self.health.insert(f.personality.clone(), Health::Suspect);
         }
-        self.res_counters.detections += findings.len() as u64;
+        let hub = self.sim.obs_mut();
+        hub.registry.add(self.ids.detections, findings.len() as u64);
+        hub.event(EventKind::ScrubRun {
+            findings: findings.len() as u64,
+        });
+        for f in &findings {
+            let lane = f.personality.clone();
+            self.sim
+                .obs_mut()
+                .event_for(None, Some(&lane), EventKind::Detection);
+        }
         findings
     }
 
@@ -673,8 +779,8 @@ impl DreamSystem {
     ///
     /// [`SystemError::UnknownPersonality`] or fabric errors.
     pub fn probe(&mut self, name: &str, blocks: usize) -> Result<bool, SystemError> {
-        self.res_counters.probe_runs += 1;
-        let salt = self.res_counters.probe_runs;
+        self.sim.obs_mut().registry.inc(self.ids.probe_runs);
+        let salt = self.sim.obs().registry.counter_value(self.ids.probe_runs);
         let crc_info = self.personalities.get(name).map(|p| (p.spec, p.m));
         let scr_info = self.scramblers.get(name).map(|p| (p.spec, p.m));
         let ok = if let Some((spec, m)) = crc_info {
@@ -707,9 +813,12 @@ impl DreamSystem {
             return Err(SystemError::UnknownPersonality { name: name.into() });
         };
         if !ok {
-            self.res_counters.detections += 1;
+            self.sim.obs_mut().registry.inc(self.ids.detections);
             self.health.insert(name.to_string(), Health::Suspect);
         }
+        self.sim
+            .obs_mut()
+            .event_for(None, Some(name), EventKind::ProbeRun { ok });
         Ok(ok)
     }
 
@@ -731,7 +840,7 @@ impl DreamSystem {
     ///
     /// [`SystemError::UnknownPersonality`] or fabric errors.
     pub fn datapath_probe(&mut self, name: &str) -> Result<bool, SystemError> {
-        self.res_counters.probe_runs += 1;
+        self.sim.obs_mut().registry.inc(self.ids.probe_runs);
         let mut roles: Vec<u8> = Vec::new();
         if let Some(p) = self.personalities.get(name) {
             roles.push(0);
@@ -757,9 +866,12 @@ impl DreamSystem {
             }
         }
         if !ok {
-            self.res_counters.detections += 1;
+            self.sim.obs_mut().registry.inc(self.ids.detections);
             self.health.insert(name.to_string(), Health::Suspect);
         }
+        self.sim
+            .obs_mut()
+            .event_for(None, Some(name), EventKind::ProbeRun { ok });
         Ok(ok)
     }
 
@@ -798,7 +910,7 @@ impl DreamSystem {
             };
             let Some(op) = op else { continue };
             self.sim.load_context(slot, op)?;
-            self.res_counters.reloads += 1;
+            self.sim.obs_mut().registry.inc(self.ids.reloads);
         }
         Ok(targets.len())
     }
@@ -838,7 +950,7 @@ impl DreamSystem {
         self.tails.insert(p.name.clone(), tail);
         self.soft.remove(&p.name);
         self.personalities.insert(p.name.clone(), p);
-        self.res_counters.replacements += 1;
+        self.sim.obs_mut().registry.inc(self.ids.replacements);
         Ok(())
     }
 
@@ -877,7 +989,7 @@ impl DreamSystem {
         } else {
             crc_bitwise(&spec, data)
         };
-        self.res_counters.fallback_messages += 1;
+        self.sim.obs_mut().registry.inc(self.ids.fallback_messages);
         let report = RunReport {
             bits: (data.len() * 8) as u64,
             control_cycles: self.control.msg_setup_cycles + self.control.msg_finalize_cycles,
@@ -914,6 +1026,11 @@ impl DreamSystem {
     /// Mutable fabric access for the stream feed paths.
     pub(crate) fn fabric_mut_internal(&mut self) -> &mut PicogaSim {
         &mut self.sim
+    }
+
+    /// Accounts `n` blocks pushed through the chunked stream feed paths.
+    pub(crate) fn note_feed_blocks(&mut self, n: u64) {
+        self.sim.obs_mut().registry.add(self.ids.feed_blocks, n);
     }
 
     /// The control-processor overhead model.

@@ -1,0 +1,220 @@
+//! Fixed-bucket histograms with deterministic, integer-only quantiles.
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Bucket boundaries are chosen at construction and never change; an
+/// implicit overflow bucket catches everything above the last bound.
+/// Count, sum, min and max are exact; quantiles are approximated by the
+/// upper bound of the bucket in which the target rank falls (clamped to
+/// the observed max, so a reported p99 never exceeds the true maximum).
+/// All arithmetic is saturating and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// A summary of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Approximate 50th percentile (bucket upper bound, clamped to max).
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    /// Duplicates and out-of-order bounds are sorted and deduplicated.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, …, 2^max_exp` — a good default for
+    /// cycle latencies and queue depths whose scale is unknown a priori.
+    #[must_use]
+    pub fn pow2_bounds(max_exp: u32) -> Vec<u64> {
+        (0..=max_exp.min(63)).map(|e| 1u64 << e).collect()
+    }
+
+    /// A histogram with [`Histogram::pow2_bounds`] buckets.
+    #[must_use]
+    pub fn powers_of_two(max_exp: u32) -> Self {
+        Histogram::new(&Histogram::pow2_bounds(max_exp))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] = self.counts[idx].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (`pct` in 0..=100): the upper bound of the
+    /// bucket containing the sample of rank `ceil(count·pct/100)`,
+    /// clamped to the observed maximum. Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, pct: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = u64::from(pct.min(100));
+        let target = self
+            .count
+            .saturating_mul(pct)
+            .saturating_add(99)
+            .saturating_div(100)
+            .max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                let bound = self.bounds.get(i).copied().unwrap_or(self.max);
+                return bound.min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket upper bounds (the overflow bucket has no bound).
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Clears all recorded samples, keeping the bucket layout.
+    pub fn reset(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Summarises the histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            p50: self.percentile(50),
+            p90: self.percentile(90),
+            p99: self.percentile(99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Histogram;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::powers_of_two(10);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn percentiles_track_bucket_bounds_clamped_to_max() {
+        let mut h = Histogram::new(&[1, 2, 4, 8, 16, 32]);
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        // rank ceil(10*0.5)=5 → value 5 lives in bucket ≤8.
+        assert_eq!(h.percentile(50), 8);
+        // p99 rank 10 → bucket ≤16, clamped to observed max 10.
+        assert_eq!(h.percentile(99), 10);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_large_samples() {
+        let mut h = Histogram::new(&[4]);
+        h.record(100);
+        assert_eq!(h.bucket_counts(), &[0, 1]);
+        assert_eq!(h.percentile(99), 100);
+    }
+
+    #[test]
+    fn reset_clears_samples_but_keeps_layout() {
+        let mut h = Histogram::new(&[2, 4]);
+        h.record(3);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bounds(), &[2, 4]);
+    }
+}

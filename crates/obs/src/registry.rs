@@ -1,0 +1,414 @@
+//! The unified metrics registry: named counters, gauges and histograms
+//! behind cheap copyable handles, with snapshot/diff and deterministic
+//! JSON-lines + human-text exporters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json_escape;
+
+/// Handle to a registered counter. Cheap to copy and store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// The registry. Registration is idempotent by name: registering an
+/// existing name of the same kind returns the original handle, so layers
+/// constructed repeatedly (clones, rebuilt wrappers) share one slot.
+/// Registering an existing name as a *different* kind panics — that is a
+/// programming error, not a runtime condition.
+///
+/// The registry is `Clone`; a clone's metrics diverge from the original's
+/// from that point on, matching the semantics of the plain counter structs
+/// it replaces.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    hists: Vec<(String, Histogram)>,
+    names: BTreeMap<String, (Kind, usize)>,
+}
+
+/// The value of one metric inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic (saturating) counter.
+    Counter(u64),
+    /// Point-in-time signed value.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// An immutable, name-ordered capture of every registered metric.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or finds) a counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&(kind, idx)) = self.names.get(name) {
+            assert!(kind == Kind::Counter, "metric {name} is not a counter");
+            return CounterId(idx);
+        }
+        let idx = self.counters.len();
+        self.counters.push((name.to_owned(), 0));
+        self.names.insert(name.to_owned(), (Kind::Counter, idx));
+        CounterId(idx)
+    }
+
+    /// Registers (or finds) a gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&(kind, idx)) = self.names.get(name) {
+            assert!(kind == Kind::Gauge, "metric {name} is not a gauge");
+            return GaugeId(idx);
+        }
+        let idx = self.gauges.len();
+        self.gauges.push((name.to_owned(), 0));
+        self.names.insert(name.to_owned(), (Kind::Gauge, idx));
+        GaugeId(idx)
+    }
+
+    /// Registers (or finds) a histogram named `name` with the given bucket
+    /// upper bounds (ignored if the name already exists).
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        if let Some(&(kind, idx)) = self.names.get(name) {
+            assert!(kind == Kind::Histogram, "metric {name} is not a histogram");
+            return HistogramId(idx);
+        }
+        let idx = self.hists.len();
+        self.hists.push((name.to_owned(), Histogram::new(bounds)));
+        self.names.insert(name.to_owned(), (Kind::Histogram, idx));
+        HistogramId(idx)
+    }
+
+    /// Adds `n` to a counter, saturating at `u64::MAX`.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        let slot = &mut self.counters[id.0].1;
+        *slot = slot.saturating_add(n);
+    }
+
+    /// Increments a counter by one (saturating).
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Overwrites a counter (used by `reset`-style APIs of the legacy
+    /// counter structs).
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0].1 = v;
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, id: GaugeId, v: i64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].1
+    }
+
+    /// Records one sample into a histogram.
+    pub fn observe(&mut self, id: HistogramId, v: u64) {
+        self.hists[id.0].1.record(v);
+    }
+
+    /// Borrows a histogram for reading.
+    #[must_use]
+    pub fn histogram_ref(&self, id: HistogramId) -> &Histogram {
+        &self.hists[id.0].1
+    }
+
+    /// Looks a counter value up by name.
+    #[must_use]
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        match self.names.get(name) {
+            Some(&(Kind::Counter, idx)) => Some(self.counters[idx].1),
+            _ => None,
+        }
+    }
+
+    /// Looks a gauge value up by name.
+    #[must_use]
+    pub fn gauge_by_name(&self, name: &str) -> Option<i64> {
+        match self.names.get(name) {
+            Some(&(Kind::Gauge, idx)) => Some(self.gauges[idx].1),
+            _ => None,
+        }
+    }
+
+    /// Looks a histogram up by name.
+    #[must_use]
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        match self.names.get(name) {
+            Some(&(Kind::Histogram, idx)) => Some(&self.hists[idx].1),
+            _ => None,
+        }
+    }
+
+    /// All registered metric names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.names.keys().cloned().collect()
+    }
+
+    /// Number of registered metrics across all kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Captures every metric into an immutable, name-ordered snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = BTreeMap::new();
+        for (name, v) in &self.counters {
+            entries.insert(name.clone(), MetricValue::Counter(*v));
+        }
+        for (name, v) in &self.gauges {
+            entries.insert(name.clone(), MetricValue::Gauge(*v));
+        }
+        for (name, h) in &self.hists {
+            entries.insert(name.clone(), MetricValue::Histogram(h.snapshot()));
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The value recorded under `name`, if any.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Sorted `(name, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of metrics captured.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metrics were captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Difference since `earlier`: counters and histogram count/sum are
+    /// subtracted (saturating); gauges and histogram min/max/percentiles
+    /// are taken from `self` (the later snapshot). Metrics absent from
+    /// `earlier` pass through unchanged.
+    #[must_use]
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut entries = BTreeMap::new();
+        for (name, v) in &self.entries {
+            let d = match (v, earlier.entries.get(name)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: now.count.saturating_sub(then.count),
+                        sum: now.sum.saturating_sub(then.sum),
+                        ..*now
+                    })
+                }
+                (v, _) => *v,
+            };
+            entries.insert(name.clone(), d);
+        }
+        MetricsSnapshot { entries }
+    }
+
+    /// JSON-lines export: one object per metric, sorted by name. Integer
+    /// values only — deterministic across runs and platforms.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            let name = json_escape(name);
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{c}}}"
+                    );
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{g}}}"
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable text export, sorted by name.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let width = self.entries.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, v) in &self.entries {
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{name:width$}  counter    {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{name:width$}  gauge      {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:width$}  histogram  count={} sum={} min={} max={} p50={} p90={} p99={}",
+                        h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{MetricValue, MetricsRegistry};
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        assert_eq!(a, b);
+        r.add(a, 3);
+        r.inc(b);
+        assert_eq!(r.counter_value(a), 4);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_collision_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        r.add(c, u64::MAX - 1);
+        r.add(c, 5);
+        assert_eq!(r.counter_value(c), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_keeps_gauges() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        r.add(c, 10);
+        r.set_gauge(g, 7);
+        let before = r.snapshot();
+        r.add(c, 5);
+        r.set_gauge(g, 9);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.get("c"), Some(&MetricValue::Counter(5)));
+        assert_eq!(d.get("g"), Some(&MetricValue::Gauge(9)));
+    }
+
+    #[test]
+    fn exports_are_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        let b = r.counter("b.second");
+        let a = r.counter("a.first");
+        let h = r.histogram("c.third", &[1, 2, 4]);
+        r.add(a, 1);
+        r.add(b, 2);
+        r.observe(h, 3);
+        let s = r.snapshot();
+        let json = s.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("a.first"));
+        assert!(lines[1].contains("b.second"));
+        assert!(lines[2].contains("\"type\":\"histogram\""));
+        assert_eq!(json, r.snapshot().to_json_lines());
+        assert!(s.render().contains("a.first"));
+    }
+
+    #[test]
+    fn clones_diverge_like_plain_counters() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        r.add(c, 1);
+        let mut r2 = r.clone();
+        r2.add(c, 10);
+        assert_eq!(r.counter_value(c), 1);
+        assert_eq!(r2.counter_value(c), 11);
+    }
+}

@@ -1,0 +1,341 @@
+//! Cycle-stamped structured event tracing over a bounded ring buffer.
+//!
+//! Events carry the fabric's *simulated* cycle count as their timestamp —
+//! never a wall clock — so two runs with the same seed produce
+//! byte-identical traces. A monotonically increasing sequence number keeps
+//! global ordering even after the ring drops old events.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::json_escape;
+
+/// What happened. Variants mirror the decision points of the simulated
+/// stack: fabric reconfiguration, configuration-cache behaviour, the
+/// scrub/probe/recovery ladder, and stream-service admission control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A configuration bitstream was written into a context slot.
+    ContextLoad {
+        /// Destination context slot.
+        slot: usize,
+    },
+    /// The active context changed (pipeline break, 2-cycle switch).
+    ContextSwitch {
+        /// Newly active context slot.
+        slot: usize,
+    },
+    /// A personality was already resident — configuration-cache hit.
+    ContextHit {
+        /// Slot that was reused.
+        slot: usize,
+    },
+    /// A resident personality was evicted to make room.
+    ContextEvict {
+        /// Slot whose occupant was displaced.
+        slot: usize,
+    },
+    /// A configuration scrub pass completed.
+    ScrubRun {
+        /// Corrupted contexts found by this pass.
+        findings: u64,
+    },
+    /// A self-check probe (checksum or datapath) completed.
+    ProbeRun {
+        /// Whether the probe passed.
+        ok: bool,
+    },
+    /// A fault was detected (scrub finding or failed probe).
+    Detection,
+    /// The recovery ladder started for a lane.
+    RecoveryStart,
+    /// The recovery ladder finished.
+    RecoveryOutcome {
+        /// Ladder rung that resolved it: `healed_reload`,
+        /// `healed_resynthesis`, `software_fallback`, `checkpoint_park`
+        /// or `unrecovered`.
+        outcome: &'static str,
+    },
+    /// A stream was admitted and a session opened.
+    StreamAdmit,
+    /// A stream or chunk was shed by admission control.
+    StreamShed {
+        /// Which gate rejected it (e.g. `overload`, `capacity`,
+        /// `admission`, `queue_full`, `global_full`).
+        reason: &'static str,
+    },
+    /// A session was parked (checkpointed out of the active set).
+    StreamPark {
+        /// Why: `idle`, `fault` or `explicit`.
+        reason: &'static str,
+    },
+    /// A parked session was resumed.
+    StreamResume,
+    /// A session finished and delivered its digest.
+    StreamComplete,
+    /// A session was migrated to the software CRC path.
+    Degrade,
+    /// The overload ladder moved.
+    LevelTransition {
+        /// Level before the move.
+        from: &'static str,
+        /// Level after the move.
+        to: &'static str,
+    },
+    /// A batch was rolled back and re-run after a mid-batch fault.
+    BatchRollback {
+        /// Streams whose chunks were re-queued.
+        streams: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable, machine-friendly label for the event type.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::ContextLoad { .. } => "context_load",
+            EventKind::ContextSwitch { .. } => "context_switch",
+            EventKind::ContextHit { .. } => "context_hit",
+            EventKind::ContextEvict { .. } => "context_evict",
+            EventKind::ScrubRun { .. } => "scrub_run",
+            EventKind::ProbeRun { .. } => "probe_run",
+            EventKind::Detection => "detection",
+            EventKind::RecoveryStart => "recovery_start",
+            EventKind::RecoveryOutcome { .. } => "recovery_outcome",
+            EventKind::StreamAdmit => "stream_admit",
+            EventKind::StreamShed { .. } => "stream_shed",
+            EventKind::StreamPark { .. } => "stream_park",
+            EventKind::StreamResume => "stream_resume",
+            EventKind::StreamComplete => "stream_complete",
+            EventKind::Degrade => "degrade",
+            EventKind::LevelTransition { .. } => "level_transition",
+            EventKind::BatchRollback { .. } => "batch_rollback",
+        }
+    }
+
+    /// The variant's payload as deterministic `(key, value)` pairs.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, String)> {
+        match self {
+            EventKind::ContextLoad { slot }
+            | EventKind::ContextSwitch { slot }
+            | EventKind::ContextHit { slot }
+            | EventKind::ContextEvict { slot } => vec![("slot", slot.to_string())],
+            EventKind::ScrubRun { findings } => vec![("findings", findings.to_string())],
+            EventKind::ProbeRun { ok } => vec![("ok", ok.to_string())],
+            EventKind::RecoveryOutcome { outcome } => vec![("outcome", (*outcome).to_string())],
+            EventKind::StreamShed { reason } | EventKind::StreamPark { reason } => {
+                vec![("reason", (*reason).to_string())]
+            }
+            EventKind::LevelTransition { from, to } => {
+                vec![("from", (*from).to_string()), ("to", (*to).to_string())]
+            }
+            EventKind::BatchRollback { streams } => vec![("streams", streams.to_string())],
+            EventKind::Detection
+            | EventKind::RecoveryStart
+            | EventKind::StreamAdmit
+            | EventKind::StreamResume
+            | EventKind::StreamComplete
+            | EventKind::Degrade => Vec::new(),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotonic, survives ring-buffer drops).
+    pub seq: u64,
+    /// Simulated fabric cycle at record time.
+    pub cycle: u64,
+    /// Correlated stream id, when the event belongs to a session.
+    pub stream: Option<u64>,
+    /// Correlated personality/lane name, when known.
+    pub lane: Option<String>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tracer {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a tracer holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Records an event stamped with simulated `cycle`, with optional
+    /// stream/personality correlation ids. Drops the oldest event when
+    /// full.
+    pub fn record(&mut self, cycle: u64, stream: Option<u64>, lane: Option<&str>, kind: EventKind) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        self.buf.push_back(TraceEvent {
+            seq: self.next_seq,
+            cycle,
+            stream,
+            lane: lane.map(str::to_owned),
+            kind,
+        });
+        self.next_seq = self.next_seq.saturating_add(1);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all retained events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Deterministic one-line-per-event text rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            let _ = write!(
+                out,
+                "seq={} cycle={} kind={}",
+                e.seq,
+                e.cycle,
+                e.kind.label()
+            );
+            if let Some(s) = e.stream {
+                let _ = write!(out, " stream={s}");
+            }
+            if let Some(lane) = &e.lane {
+                let _ = write!(out, " lane={lane}");
+            }
+            for (k, v) in e.kind.fields() {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON-lines export, one event object per line, oldest first.
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.buf {
+            let _ = write!(
+                out,
+                "{{\"seq\":{},\"cycle\":{},\"kind\":\"{}\"",
+                e.seq,
+                e.cycle,
+                e.kind.label()
+            );
+            if let Some(s) = e.stream {
+                let _ = write!(out, ",\"stream\":{s}");
+            }
+            if let Some(lane) = &e.lane {
+                let _ = write!(out, ",\"lane\":\"{}\"", json_escape(lane));
+            }
+            for (k, v) in e.kind.fields() {
+                // Numeric payloads stay numeric; everything else is quoted.
+                if v.chars().all(|c| c.is_ascii_digit()) {
+                    let _ = write!(out, ",\"{k}\":{v}");
+                } else {
+                    let _ = write!(out, ",\"{k}\":\"{}\"", json_escape(&v));
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{EventKind, Tracer};
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_sequence() {
+        let mut t = Tracer::new(2);
+        t.record(1, None, None, EventKind::Detection);
+        t.record(2, None, None, EventKind::StreamAdmit);
+        t.record(3, Some(7), Some("eth32"), EventKind::StreamComplete);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.recorded(), 3);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_structured() {
+        let mut t = Tracer::new(8);
+        t.record(
+            10,
+            Some(1),
+            Some("eth32"),
+            EventKind::StreamShed { reason: "overload" },
+        );
+        t.record(
+            12,
+            None,
+            None,
+            EventKind::LevelTransition {
+                from: "Normal",
+                to: "RejectNew",
+            },
+        );
+        let r = t.render();
+        assert!(r.contains("seq=0 cycle=10 kind=stream_shed stream=1 lane=eth32 reason=overload"));
+        assert!(r.contains("from=Normal to=RejectNew"));
+        assert_eq!(r, t.clone().render());
+        let j = t.to_json_lines();
+        assert!(j.contains("\"kind\":\"stream_shed\""));
+        assert!(j.contains("\"stream\":1"));
+        assert!(j.contains("\"reason\":\"overload\""));
+    }
+}

@@ -235,6 +235,57 @@ pub struct OpStats {
     pub latency: u64,
 }
 
+impl OpStats {
+    /// Publishes the stats as gauges `{prefix}.rows`, `{prefix}.cells`,
+    /// `{prefix}.input_bits`, `{prefix}.output_bits`, `{prefix}.ii`,
+    /// `{prefix}.latency` into the unified registry, making the legacy
+    /// struct a thin view over it (see [`OpStats::from_registry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds `i64::MAX` (impossible for any real
+    /// fabric) or if a name is already registered as a non-gauge.
+    pub fn publish(&self, reg: &mut obs::MetricsRegistry, prefix: &str) {
+        let mut set = |suffix: &str, v: i64| {
+            let id = reg.gauge(&format!("{prefix}.{suffix}"));
+            reg.set_gauge(id, v);
+        };
+        set("rows", i64::try_from(self.rows).expect("rows fits i64"));
+        set("cells", i64::try_from(self.cells).expect("cells fits i64"));
+        set(
+            "input_bits",
+            i64::try_from(self.input_bits).expect("input_bits fits i64"),
+        );
+        set(
+            "output_bits",
+            i64::try_from(self.output_bits).expect("output_bits fits i64"),
+        );
+        set(
+            "ii",
+            i64::try_from(self.initiation_interval).expect("ii fits i64"),
+        );
+        set(
+            "latency",
+            i64::try_from(self.latency).expect("latency fits i64"),
+        );
+    }
+
+    /// Reassembles stats published under `prefix` by [`OpStats::publish`].
+    /// Returns `None` when any of the six gauges is missing.
+    #[must_use]
+    pub fn from_registry(reg: &obs::MetricsRegistry, prefix: &str) -> Option<OpStats> {
+        let get = |suffix: &str| reg.gauge_by_name(&format!("{prefix}.{suffix}"));
+        Some(OpStats {
+            rows: usize::try_from(get("rows")?).ok()?,
+            cells: usize::try_from(get("cells")?).ok()?,
+            input_bits: usize::try_from(get("input_bits")?).ok()?,
+            output_bits: usize::try_from(get("output_bits")?).ok()?,
+            initiation_interval: u64::try_from(get("ii")?).ok()?,
+            latency: u64::try_from(get("latency")?).ok()?,
+        })
+    }
+}
+
 impl PgaOperation {
     /// Maps a pure feed-forward network.
     ///
@@ -797,6 +848,22 @@ mod tests {
         assert!(s.rows >= 2, "ff depth + feedback row");
         assert_eq!(s.latency, s.rows as u64);
         assert_eq!(s.output_bits, 16);
+    }
+
+    #[test]
+    fn op_stats_round_trip_through_registry() {
+        let stats = OpStats {
+            rows: 7,
+            cells: 42,
+            input_bits: 128,
+            output_bits: 33,
+            initiation_interval: 1,
+            latency: 7,
+        };
+        let mut reg = obs::MetricsRegistry::new();
+        stats.publish(&mut reg, "op.eth32.update");
+        assert_eq!(OpStats::from_registry(&reg, "op.eth32.update"), Some(stats));
+        assert_eq!(OpStats::from_registry(&reg, "op.missing"), None);
     }
 
     // Builds a B_M-like 16x16 matrix from companion powers.

@@ -16,6 +16,7 @@ use crate::arch::PicogaParams;
 use crate::fault::{ConfigFault, InjectError, LoadCorruption, LoadFault};
 use crate::op::{PgaOperation, Placement};
 use gf2::BitVec;
+use obs::{EventKind, ObsHub};
 use std::fmt;
 use xornet::XorNetwork;
 
@@ -74,6 +75,12 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Cycle breakdown maintained by the simulator.
+///
+/// Since the observability migration this is a thin *view*: the values
+/// live in the simulator's [`obs::MetricsRegistry`] under
+/// `picoga.cycles.*` and are assembled on demand by
+/// [`PicogaSim::counters`]. The struct itself is unchanged so existing
+/// callers keep working.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleCounters {
     /// Cycles spent streaming data through an operation (incl. pipeline
@@ -98,7 +105,10 @@ pub struct PicogaSim {
     params: PicogaParams,
     contexts: Vec<Option<PgaOperation>>,
     active: Option<usize>,
-    counters: CycleCounters,
+    /// The observability spine: metrics registry (including the cycle
+    /// counters), cycle-stamped event tracer, and fabric profiler. The
+    /// layers above reach it through [`PicogaSim::obs_mut`].
+    obs: ObsHub,
     /// Physical stuck-at cell faults: `(row, cell, value)`. They outlive
     /// context loads — reloading a configuration does not repair silicon.
     stuck: Vec<(usize, usize, bool)>,
@@ -175,9 +185,9 @@ impl PicogaSim {
         params.validate().expect("invalid fabric parameters");
         PicogaSim {
             contexts: vec![None; params.contexts],
+            obs: ObsHub::new(params.rows),
             params,
             active: None,
-            counters: CycleCounters::default(),
             stuck: Vec::new(),
             pending_load_faults: Vec::new(),
             loads_seen: 0,
@@ -189,14 +199,42 @@ impl PicogaSim {
         &self.params
     }
 
-    /// Cycle counters so far.
+    /// Cycle counters so far (a view assembled from the registry).
     pub fn counters(&self) -> CycleCounters {
-        self.counters
+        CycleCounters {
+            compute: self.obs.registry.counter_value(self.obs.cycles.compute),
+            context_switch: self
+                .obs
+                .registry
+                .counter_value(self.obs.cycles.context_switch),
+            context_load: self
+                .obs
+                .registry
+                .counter_value(self.obs.cycles.context_load),
+        }
     }
 
-    /// Resets the cycle counters (configurations stay loaded).
+    /// Resets the cycle counters (configurations stay loaded; the tracer
+    /// and profiler are untouched).
     pub fn reset_counters(&mut self) {
-        self.counters = CycleCounters::default();
+        self.obs.registry.set_counter(self.obs.cycles.compute, 0);
+        self.obs
+            .registry
+            .set_counter(self.obs.cycles.context_switch, 0);
+        self.obs
+            .registry
+            .set_counter(self.obs.cycles.context_load, 0);
+    }
+
+    /// The observability hub (metrics registry, tracer, profiler).
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Mutable access to the observability hub, used by the layers above
+    /// to register their own metrics and record correlated events.
+    pub fn obs_mut(&mut self) -> &mut ObsHub {
+        &mut self.obs
     }
 
     /// Currently active slot.
@@ -248,7 +286,11 @@ impl PicogaSim {
             }
         }
         self.contexts[slot] = Some(op);
-        self.counters.context_load += self.params.context_load_cycles;
+        self.obs.registry.add(
+            self.obs.cycles.context_load,
+            self.params.context_load_cycles,
+        );
+        self.obs.event(EventKind::ContextLoad { slot });
         if self.active == Some(slot) {
             self.active = None;
         }
@@ -377,7 +419,11 @@ impl PicogaSim {
             return Err(SimError::EmptySlot { slot });
         }
         if self.active != Some(slot) {
-            self.counters.context_switch += self.params.context_switch_cycles;
+            self.obs.registry.add(
+                self.obs.cycles.context_switch,
+                self.params.context_switch_cycles,
+            );
+            self.obs.event(EventKind::ContextSwitch { slot });
             self.active = Some(slot);
         }
         Ok(())
@@ -408,10 +454,13 @@ impl PicogaSim {
                 expected: net.n_inputs(),
             });
         }
+        let stats = op.stats();
         let stuck = stuck_gates(&self.stuck, op.placement());
         let values = eval_by_rows(net, op.placement(), inputs, &stuck);
         let out = outputs_from(net, &values);
-        self.counters.compute += (op.stats().latency).max(1);
+        let latency = stats.latency.max(1);
+        self.obs.registry.add(self.obs.cycles.compute, latency);
+        self.obs.profiler.record_stream(stats.rows, latency, 1);
         Ok(out)
     }
 
@@ -439,11 +488,17 @@ impl PicogaSim {
         let op = self.active_op()?;
         let net = op.network().clone();
         let placement = op.placement().clone();
-        let latency = (op.stats().latency).max(1);
+        let stats = op.stats();
+        let latency = stats.latency.max(1);
         let stuck = stuck_gates(&self.stuck, &placement);
         let n = net.n_inputs();
         let expected = net.to_matrix();
-        self.counters.compute += latency * (n as u64 + 1);
+        self.obs
+            .registry
+            .add(self.obs.cycles.compute, latency * (n as u64 + 1));
+        self.obs
+            .profiler
+            .record_iterative(stats.rows, latency, n as u64 + 1);
 
         let zero = BitVec::zeros(n);
         let values = eval_by_rows(&net, &placement, &zero, &stuck);
@@ -484,7 +539,8 @@ impl PicogaSim {
         let fb = op.feedback().expect("crc update has feedback").clone();
         let net = op.network().clone();
         let placement = op.placement().clone();
-        let latency = op.stats().latency;
+        let stats = op.stats();
+        let latency = stats.latency;
         let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut state = x_t.clone();
@@ -503,7 +559,10 @@ impl PicogaSim {
             n += 1;
         }
         if n > 0 {
-            self.counters.compute += latency + (n - 1);
+            self.obs
+                .registry
+                .add(self.obs.cycles.compute, latency + (n - 1));
+            self.obs.profiler.record_stream(stats.rows, latency, n);
         }
         Ok(state)
     }
@@ -531,11 +590,13 @@ impl PicogaSim {
         };
         let net = op.network().clone();
         let placement = op.placement().clone();
-        let latency = op.stats().latency.max(1);
+        let stats = op.stats();
+        let latency = stats.latency.max(1);
         let m = net.n_inputs() - k;
         let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut st = state.clone();
+        let mut n: u64 = 0;
         for block in blocks {
             if block.len() != m {
                 return Err(SimError::InputWidthMismatch {
@@ -546,8 +607,10 @@ impl PicogaSim {
             let inputs = st.concat(block);
             let values = eval_by_rows(&net, &placement, &inputs, &stuck);
             st = outputs_from(&net, &values);
-            self.counters.compute += latency;
+            self.obs.registry.add(self.obs.cycles.compute, latency);
+            n += 1;
         }
+        self.obs.profiler.record_iterative(stats.rows, latency, n);
         Ok(st)
     }
 
@@ -578,7 +641,8 @@ impl PicogaSim {
         let fb = op.feedback().expect("crc update has feedback").clone();
         let net = op.network().clone();
         let placement = op.placement().clone();
-        let latency = op.stats().latency;
+        let stats = op.stats();
+        let latency = stats.latency;
         let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut n: u64 = 0;
@@ -601,7 +665,10 @@ impl PicogaSim {
             n += 1;
         }
         if n > 0 {
-            self.counters.compute += latency + (n - 1);
+            self.obs
+                .registry
+                .add(self.obs.cycles.compute, latency + (n - 1));
+            self.obs.profiler.record_stream(stats.rows, latency, n);
         }
         Ok(())
     }
@@ -630,7 +697,8 @@ impl PicogaSim {
         let fb = op.feedback().expect("scrambler has feedback").clone();
         let net = op.network().clone();
         let placement = op.placement().clone();
-        let latency = op.stats().latency;
+        let stats = op.stats();
+        let latency = stats.latency;
         let stuck = stuck_gates(&self.stuck, &placement);
 
         let mut state = x_t.clone();
@@ -653,7 +721,10 @@ impl PicogaSim {
             n += 1;
         }
         if n > 0 {
-            self.counters.compute += latency + (n - 1);
+            self.obs
+                .registry
+                .add(self.obs.cycles.compute, latency + (n - 1));
+            self.obs.profiler.record_stream(stats.rows, latency, n);
         }
         Ok((out, state))
     }

@@ -25,6 +25,7 @@
 use dream::{ControlModel, DreamSystem, Health, RunReport, SystemError};
 use dream_lfsr::{build_personality, FlowOptions};
 use lfsr::crc::CrcSpec;
+use obs::EventKind;
 use picoga::PicogaParams;
 use std::collections::HashMap;
 use std::fmt;
@@ -249,19 +250,53 @@ pub struct ResilientSystem {
     order: Vec<String>,
     messages_seen: u64,
     dmr_mismatches: u64,
+    /// Handles into the fabric's unified metrics registry.
+    ids: ResIds,
+}
+
+/// Registry handles for the recovery ladder's metrics.
+#[derive(Debug, Clone, Copy)]
+struct ResIds {
+    recoveries: obs::CounterId,
+    healed_reload: obs::CounterId,
+    healed_resynthesis: obs::CounterId,
+    software_fallbacks: obs::CounterId,
+    parked: obs::CounterId,
+    unrecovered: obs::CounterId,
+    recovery_cycles: obs::HistogramId,
+}
+
+impl ResIds {
+    fn register(reg: &mut obs::MetricsRegistry) -> Self {
+        ResIds {
+            recoveries: reg.counter("resilience.recoveries"),
+            healed_reload: reg.counter("resilience.healed_reload"),
+            healed_resynthesis: reg.counter("resilience.healed_resynthesis"),
+            software_fallbacks: reg.counter("resilience.software_fallbacks"),
+            parked: reg.counter("resilience.parked"),
+            unrecovered: reg.counter("resilience.unrecovered"),
+            recovery_cycles: reg.histogram(
+                "resilience.recovery_cycles",
+                &obs::Histogram::pow2_bounds(24),
+            ),
+        }
+    }
 }
 
 impl ResilientSystem {
     /// An empty resilient system on the given fabric.
     #[must_use]
     pub fn new(params: PicogaParams, control: ControlModel, policy: RecoveryPolicy) -> Self {
+        let mut sys = DreamSystem::new(params, control);
+        let ids = ResIds::register(&mut sys.obs_mut().registry);
         ResilientSystem {
-            sys: DreamSystem::new(params, control),
+            sys,
             policy,
             flows: HashMap::new(),
             order: Vec::new(),
             messages_seen: 0,
             dmr_mismatches: 0,
+            ids,
         }
     }
 
@@ -273,6 +308,16 @@ impl ResilientSystem {
     /// Mutable access to the wrapped system, e.g. for fault injection.
     pub fn system_mut(&mut self) -> &mut DreamSystem {
         &mut self.sys
+    }
+
+    /// The observability hub (delegates through the wrapped system).
+    pub fn obs(&self) -> &obs::ObsHub {
+        self.sys.obs()
+    }
+
+    /// Mutable observability hub access, for layers stacked on top.
+    pub fn obs_mut(&mut self) -> &mut obs::ObsHub {
+        self.sys.obs_mut()
     }
 
     /// The active policy.
@@ -439,6 +484,34 @@ impl ResilientSystem {
     ///
     /// Propagates system errors (including unknown personalities).
     pub fn recover(&mut self, name: &str) -> Result<RecoveryOutcome, ResilienceError> {
+        let hub = self.sys.obs_mut();
+        let t0 = hub.now_cycles();
+        hub.event_for(None, Some(name), EventKind::RecoveryStart);
+        let outcome = self.recover_ladder(name)?;
+        let ids = self.ids;
+        let hub = self.sys.obs_mut();
+        let latency = hub.now_cycles().saturating_sub(t0);
+        hub.registry.inc(ids.recoveries);
+        hub.registry.observe(ids.recovery_cycles, latency);
+        let (label, counter) = match outcome {
+            RecoveryOutcome::HealedByReload { .. } => ("healed_reload", ids.healed_reload),
+            RecoveryOutcome::HealedByResynthesis => ("healed_resynthesis", ids.healed_resynthesis),
+            RecoveryOutcome::SoftwareFallback => ("software_fallback", ids.software_fallbacks),
+            RecoveryOutcome::CheckpointPark => ("checkpoint_park", ids.parked),
+            RecoveryOutcome::Unrecovered => ("unrecovered", ids.unrecovered),
+        };
+        hub.registry.inc(counter);
+        hub.event_for(
+            None,
+            Some(name),
+            EventKind::RecoveryOutcome { outcome: label },
+        );
+        Ok(outcome)
+    }
+
+    /// The ladder itself: reload retries, then re-synthesis, then the
+    /// policy's terminal rung.
+    fn recover_ladder(&mut self, name: &str) -> Result<RecoveryOutcome, ResilienceError> {
         for retry in 1..=self.policy.max_reload_retries {
             self.sys.reload(name)?;
             if self.lane_clean(name)? {

@@ -66,6 +66,17 @@ pub enum OverloadLevel {
 }
 
 impl OverloadLevel {
+    /// Stable level name for traces and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OverloadLevel::Normal => "Normal",
+            OverloadLevel::RejectNew => "RejectNew",
+            OverloadLevel::DegradeLowPriority => "DegradeLowPriority",
+            OverloadLevel::ParkIdle => "ParkIdle",
+        }
+    }
+
     fn rank(self) -> u8 {
         match self {
             OverloadLevel::Normal => 0,

@@ -31,6 +31,7 @@ use lfsr::crc::{finalize_raw, message_bits, CrcSpec};
 use lfsr::scramble::ScramblerSpec;
 use lfsr::StateSpaceLfsr;
 use lfsr_parallel::DerbyTransform;
+use obs::{CounterId, EventKind, HistogramId};
 use resilience::{MigrationAdvice, ResilienceError, ResilientSystem};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
@@ -194,6 +195,58 @@ enum ParkReason {
     Explicit,
 }
 
+/// Registry handles for every service decision counter plus the
+/// queue-depth histogram. All `service.*` metrics live in the unified
+/// registry owned by the fabric simulator underneath.
+#[derive(Debug, Clone, Copy)]
+struct SvcIds {
+    opened: CounterId,
+    completed: CounterId,
+    rejected_admission: CounterId,
+    rejected_overload: CounterId,
+    rejected_capacity: CounterId,
+    rejected_queue_full: CounterId,
+    rejected_global_full: CounterId,
+    degraded_low_priority: CounterId,
+    parked_idle: CounterId,
+    parked_fault: CounterId,
+    resumed: CounterId,
+    checkpoints: CounterId,
+    restores: CounterId,
+    fault_rollbacks: CounterId,
+    batch_reruns: CounterId,
+    migrated_to_software: CounterId,
+    chunks_processed: CounterId,
+    level_transitions: CounterId,
+    queue_depth: HistogramId,
+}
+
+impl SvcIds {
+    fn register(reg: &mut obs::MetricsRegistry) -> Self {
+        SvcIds {
+            opened: reg.counter("service.opened"),
+            completed: reg.counter("service.completed"),
+            rejected_admission: reg.counter("service.rejected_admission"),
+            rejected_overload: reg.counter("service.rejected_overload"),
+            rejected_capacity: reg.counter("service.rejected_capacity"),
+            rejected_queue_full: reg.counter("service.rejected_queue_full"),
+            rejected_global_full: reg.counter("service.rejected_global_full"),
+            degraded_low_priority: reg.counter("service.degraded_low_priority"),
+            parked_idle: reg.counter("service.parked_idle"),
+            parked_fault: reg.counter("service.parked_fault"),
+            resumed: reg.counter("service.resumed"),
+            checkpoints: reg.counter("service.checkpoints"),
+            restores: reg.counter("service.restores"),
+            fault_rollbacks: reg.counter("service.fault_rollbacks"),
+            batch_reruns: reg.counter("service.batch_reruns"),
+            migrated_to_software: reg.counter("service.migrated_to_software"),
+            chunks_processed: reg.counter("service.chunks_processed"),
+            level_transitions: reg.counter("service.level_transitions"),
+            queue_depth: reg.histogram("service.queue_depth", &obs::Histogram::pow2_bounds(16)),
+        }
+    }
+}
+
 /// A session-oriented, fault-tolerant streaming front-end over a
 /// [`ResilientSystem`].
 #[derive(Debug)]
@@ -213,14 +266,15 @@ pub struct StreamService {
     next_id: u64,
     now: u64,
     global_queued_bytes: usize,
-    counters: ServiceCounters,
+    ids: SvcIds,
 }
 
 impl StreamService {
     /// A service over `rs` with the given admission configuration.
     #[must_use]
-    pub fn new(rs: ResilientSystem, cfg: AdmissionConfig) -> Self {
+    pub fn new(mut rs: ResilientSystem, cfg: AdmissionConfig) -> Self {
         let bucket = TokenBucket::new(cfg.bucket_capacity, cfg.bucket_refill);
+        let ids = SvcIds::register(&mut rs.obs_mut().registry);
         StreamService {
             rs,
             cfg,
@@ -233,7 +287,7 @@ impl StreamService {
             next_id: 1,
             now: 0,
             global_queued_bytes: 0,
-            counters: ServiceCounters::default(),
+            ids,
         }
     }
 
@@ -247,9 +301,55 @@ impl StreamService {
         &mut self.rs
     }
 
-    /// Cumulative decision counters.
+    /// Cumulative decision counters, assembled as a view over the
+    /// unified metrics registry.
     pub fn counters(&self) -> ServiceCounters {
-        self.counters
+        let reg = &self.rs.obs().registry;
+        ServiceCounters {
+            opened: reg.counter_value(self.ids.opened),
+            completed: reg.counter_value(self.ids.completed),
+            rejected_admission: reg.counter_value(self.ids.rejected_admission),
+            rejected_overload: reg.counter_value(self.ids.rejected_overload),
+            rejected_capacity: reg.counter_value(self.ids.rejected_capacity),
+            rejected_queue_full: reg.counter_value(self.ids.rejected_queue_full),
+            rejected_global_full: reg.counter_value(self.ids.rejected_global_full),
+            degraded_low_priority: reg.counter_value(self.ids.degraded_low_priority),
+            parked_idle: reg.counter_value(self.ids.parked_idle),
+            parked_fault: reg.counter_value(self.ids.parked_fault),
+            resumed: reg.counter_value(self.ids.resumed),
+            checkpoints: reg.counter_value(self.ids.checkpoints),
+            restores: reg.counter_value(self.ids.restores),
+            fault_rollbacks: reg.counter_value(self.ids.fault_rollbacks),
+            batch_reruns: reg.counter_value(self.ids.batch_reruns),
+            migrated_to_software: reg.counter_value(self.ids.migrated_to_software),
+            chunks_processed: reg.counter_value(self.ids.chunks_processed),
+            level_transitions: reg.counter_value(self.ids.level_transitions),
+        }
+    }
+
+    /// Snapshot of the service-wide queue-depth histogram (one sample
+    /// per tick, recorded before the pump runs).
+    pub fn queue_depth_stats(&self) -> obs::HistogramSnapshot {
+        self.rs
+            .obs()
+            .registry
+            .histogram_ref(self.ids.queue_depth)
+            .snapshot()
+    }
+
+    /// The observability hub (registry, tracer, fabric profiler).
+    pub fn obs(&self) -> &obs::ObsHub {
+        self.rs.obs()
+    }
+
+    /// Mutable access to the observability hub.
+    pub fn obs_mut(&mut self) -> &mut obs::ObsHub {
+        self.rs.obs_mut()
+    }
+
+    /// Bumps one of this service's registry counters.
+    fn bump(&mut self, id: CounterId) {
+        self.rs.obs_mut().registry.inc(id);
     }
 
     /// The ladder's current level.
@@ -360,17 +460,34 @@ impl StreamService {
         Ok(())
     }
 
-    fn admit(&mut self) -> Result<(), ServiceError> {
+    fn admit(&mut self, name: &str) -> Result<(), ServiceError> {
         if self.level >= OverloadLevel::RejectNew {
-            self.counters.rejected_overload += 1;
+            self.bump(self.ids.rejected_overload);
+            self.rs.obs_mut().event_for(
+                None,
+                Some(name),
+                EventKind::StreamShed { reason: "overload" },
+            );
             return Err(ServiceError::RejectedByOverload);
         }
         if self.sessions.len() >= self.cfg.max_streams {
-            self.counters.rejected_capacity += 1;
+            self.bump(self.ids.rejected_capacity);
+            self.rs.obs_mut().event_for(
+                None,
+                Some(name),
+                EventKind::StreamShed { reason: "capacity" },
+            );
             return Err(ServiceError::RejectedByCapacity);
         }
         if !self.bucket.try_take() {
-            self.counters.rejected_admission += 1;
+            self.bump(self.ids.rejected_admission);
+            self.rs.obs_mut().event_for(
+                None,
+                Some(name),
+                EventKind::StreamShed {
+                    reason: "admission",
+                },
+            );
             return Err(ServiceError::RejectedByBucket);
         }
         Ok(())
@@ -378,9 +495,13 @@ impl StreamService {
 
     fn insert_session(&mut self, s: StreamSession) -> u64 {
         let id = self.next_id;
+        let name = s.name.clone();
         self.next_id += 1;
         self.sessions.insert(id, s);
-        self.counters.opened += 1;
+        self.bump(self.ids.opened);
+        self.rs
+            .obs_mut()
+            .event_for(Some(id), Some(&name), EventKind::StreamAdmit);
         id
     }
 
@@ -403,7 +524,7 @@ impl StreamService {
             .filter(|h| h.kind == StreamKind::Crc)
             .ok_or_else(|| ServiceError::UnknownPersonality(name.to_string()))?
             .clone();
-        self.admit()?;
+        self.admit(name)?;
         let state = self.rs.system().crc_stream_begin(name)?;
         debug_assert_eq!(state.len(), hosted.state_bits);
         Ok(self.insert_session(StreamSession {
@@ -439,7 +560,7 @@ impl StreamService {
             .get(name)
             .filter(|h| h.kind == StreamKind::Scrambler)
             .ok_or_else(|| ServiceError::UnknownPersonality(name.to_string()))?;
-        self.admit()?;
+        self.admit(name)?;
         let state = self.rs.system().scramble_stream_begin(name, seed)?;
         Ok(self.insert_session(StreamSession {
             name: name.to_string(),
@@ -471,27 +592,41 @@ impl StreamService {
         let per_stream = self.cfg.per_stream_queue_chunks;
         let global_cap = self.cfg.global_queue_bytes;
         let global = self.global_queued_bytes;
-        let session = self
+        let depth = self
             .sessions
-            .get_mut(&id)
-            .ok_or(ServiceError::UnknownStream(id))?;
+            .get(&id)
+            .ok_or(ServiceError::UnknownStream(id))?
+            .queue
+            .len();
         if chunk.is_empty() {
             return Ok(());
         }
-        if session.queue.len() >= per_stream {
-            self.counters.rejected_queue_full += 1;
-            return Err(ServiceError::StreamQueueFull {
-                id,
-                depth: session.queue.len(),
-            });
+        if depth >= per_stream {
+            self.bump(self.ids.rejected_queue_full);
+            self.rs.obs_mut().event_for(
+                Some(id),
+                None,
+                EventKind::StreamShed {
+                    reason: "queue_full",
+                },
+            );
+            return Err(ServiceError::StreamQueueFull { id, depth });
         }
         if global + chunk.len() > global_cap {
-            self.counters.rejected_global_full += 1;
+            self.bump(self.ids.rejected_global_full);
+            self.rs.obs_mut().event_for(
+                Some(id),
+                None,
+                EventKind::StreamShed {
+                    reason: "global_full",
+                },
+            );
             return Err(ServiceError::GlobalQueueFull {
                 queued: global,
                 capacity: global_cap,
             });
         }
+        let session = self.sessions.get_mut(&id).expect("checked above");
         session.queue.push_back(chunk.to_vec());
         session.queued_bytes += chunk.len();
         session.last_active = now;
@@ -526,13 +661,20 @@ impl StreamService {
     pub fn tick(&mut self) -> Result<(), ServiceError> {
         self.now += 1;
         self.bucket.tick();
+        let depth = self.queue_depth_total() as u64;
+        let queue_depth = self.ids.queue_depth;
+        self.rs.obs_mut().registry.observe(queue_depth, depth);
         let occupancy_pct = u32::try_from(
             (self.global_queued_bytes as u64) * 100 / (self.cfg.global_queue_bytes as u64).max(1),
         )
         .unwrap_or(u32::MAX);
         let next = self.cfg.next_level(self.level, occupancy_pct);
         if next != self.level {
-            self.counters.level_transitions += 1;
+            self.bump(self.ids.level_transitions);
+            self.rs.obs_mut().event(EventKind::LevelTransition {
+                from: self.level.name(),
+                to: next.name(),
+            });
             self.level = next;
         }
         if self.level >= OverloadLevel::DegradeLowPriority {
@@ -544,7 +686,7 @@ impl StreamService {
                 .collect();
             for id in victims {
                 self.degrade(id)?;
-                self.counters.degraded_low_priority += 1;
+                self.bump(self.ids.degraded_low_priority);
             }
         }
         if self.level >= OverloadLevel::ParkIdle {
@@ -602,6 +744,9 @@ impl StreamService {
         session.staged = BitVec::zeros(0);
         session.out_pending = session.out_pending.concat(&emitted);
         session.domain = Domain::Software;
+        self.rs
+            .obs_mut()
+            .event_for(Some(id), Some(&name), EventKind::Degrade);
         Ok(())
     }
 
@@ -653,7 +798,7 @@ impl StreamService {
                 // The finalize step ran the anti-transform network on
                 // the fabric — guard it like any other fabric work.
                 if self.lane_suspect(&name)? {
-                    self.counters.fault_rollbacks += 1;
+                    self.bump(self.ids.fault_rollbacks);
                     self.rs.recover(&name)?;
                     StreamOutput::Crc(self.software_crc_finish(&name, &state, &staged)?)
                 } else {
@@ -680,7 +825,10 @@ impl StreamService {
             }
         };
         self.sessions.remove(&id);
-        self.counters.completed += 1;
+        self.bump(self.ids.completed);
+        self.rs
+            .obs_mut()
+            .event_for(Some(id), Some(&name), EventKind::StreamComplete);
         Ok(out)
     }
 
@@ -738,7 +886,7 @@ impl StreamService {
             queued: session.queue.iter().cloned().collect(),
             bytes_fed: session.bytes_fed,
         };
-        self.counters.checkpoints += 1;
+        self.bump(self.ids.checkpoints);
         Ok(cp.encode())
     }
 
@@ -758,11 +906,22 @@ impl StreamService {
         let session = self.sessions.remove(&id).expect("checkpoint proved it");
         self.global_queued_bytes -= session.queued_bytes;
         self.parked.insert(id, bytes);
-        match reason {
-            ParkReason::Idle => self.counters.parked_idle += 1,
-            ParkReason::Fault => self.counters.parked_fault += 1,
-            ParkReason::Explicit => {}
-        }
+        let label = match reason {
+            ParkReason::Idle => {
+                self.bump(self.ids.parked_idle);
+                "idle"
+            }
+            ParkReason::Fault => {
+                self.bump(self.ids.parked_fault);
+                "fault"
+            }
+            ParkReason::Explicit => "explicit",
+        };
+        self.rs.obs_mut().event_for(
+            Some(id),
+            Some(&session.name),
+            EventKind::StreamPark { reason: label },
+        );
         Ok(())
     }
 
@@ -781,7 +940,10 @@ impl StreamService {
         let cp = StreamCheckpoint::decode(&bytes)?;
         self.rehydrate(cp, id)?;
         self.parked.remove(&id);
-        self.counters.resumed += 1;
+        self.bump(self.ids.resumed);
+        self.rs
+            .obs_mut()
+            .event_for(Some(id), None, EventKind::StreamResume);
         Ok(())
     }
 
@@ -810,7 +972,12 @@ impl StreamService {
             .ok_or_else(|| ServiceError::UnknownPersonality(cp.name.clone()))?
             .clone();
         if self.sessions.len() >= self.cfg.max_streams {
-            self.counters.rejected_capacity += 1;
+            self.bump(self.ids.rejected_capacity);
+            self.rs.obs_mut().event_for(
+                Some(id),
+                None,
+                EventKind::StreamShed { reason: "capacity" },
+            );
             return Err(ServiceError::RejectedByCapacity);
         }
         if !cp.plain_domain && cp.t_digest != hosted.t_digest {
@@ -850,7 +1017,7 @@ impl StreamService {
         };
         self.global_queued_bytes += queued_bytes;
         self.sessions.insert(id, session);
-        self.counters.restores += 1;
+        self.bump(self.ids.restores);
         Ok(())
     }
 
@@ -912,6 +1079,7 @@ impl StreamService {
     /// migration advice.
     fn transact(&mut self, name: &str, items: &[(u64, Vec<u8>)]) -> Result<(), ServiceError> {
         let mut involved: Vec<u64> = items.iter().map(|(id, _)| *id).collect();
+        involved.sort_unstable();
         involved.dedup();
         let pre: Vec<SessionSnap> = involved
             .iter()
@@ -934,7 +1102,8 @@ impl StreamService {
                 used_fabric |= self.process_chunk(*id, chunk)?;
             }
             if !used_fabric || !self.lane_suspect(name)? {
-                self.counters.chunks_processed += items.len() as u64;
+                let chunks = self.ids.chunks_processed;
+                self.rs.obs_mut().registry.add(chunks, items.len() as u64);
                 let now = self.now;
                 for id in &involved {
                     if let Some(s) = self.sessions.get_mut(id) {
@@ -945,21 +1114,28 @@ impl StreamService {
             }
 
             // Detection: nothing this batch produced can be trusted.
-            self.counters.fault_rollbacks += 1;
+            self.bump(self.ids.fault_rollbacks);
             self.rollback(&pre);
+            self.rs.obs_mut().event_for(
+                None,
+                Some(name),
+                EventKind::BatchRollback {
+                    streams: involved.len() as u64,
+                },
+            );
             let outcome = self.rs.recover(name)?;
             match outcome.migration_advice() {
                 MigrationAdvice::StayFabric => {
                     // The lane is repaired; re-run from the clean
                     // pre-batch states. If repairs keep failing, the
                     // loop bottoms out in a software migration below.
-                    self.counters.batch_reruns += 1;
+                    self.bump(self.ids.batch_reruns);
                     if attempt + 1 == MAX_FABRIC_ATTEMPTS {
                         self.migrate_involved(&involved)?;
                     }
                 }
                 MigrationAdvice::MarshalToSoftware => {
-                    self.counters.batch_reruns += 1;
+                    self.bump(self.ids.batch_reruns);
                     self.migrate_involved(&involved)?;
                 }
                 MigrationAdvice::Park => {
@@ -983,7 +1159,8 @@ impl StreamService {
         for (id, chunk) in items {
             self.process_chunk(*id, chunk)?;
         }
-        self.counters.chunks_processed += items.len() as u64;
+        let chunks = self.ids.chunks_processed;
+        self.rs.obs_mut().registry.add(chunks, items.len() as u64);
         Ok(())
     }
 
@@ -995,7 +1172,7 @@ impl StreamService {
                 .is_some_and(|s| s.domain == Domain::Fabric);
             if fabric {
                 self.degrade(*id)?;
-                self.counters.migrated_to_software += 1;
+                self.bump(self.ids.migrated_to_software);
             }
         }
         Ok(())
@@ -1050,7 +1227,7 @@ impl StreamService {
         // fabric; late sessions migrate the moment they are pumped.
         if domain == Domain::Fabric && self.rs.system().health(&name) == Health::Fallback {
             self.degrade(id)?;
-            self.counters.migrated_to_software += 1;
+            self.bump(self.ids.migrated_to_software);
             domain = Domain::Software;
         }
         let m = self.hosted.get(&name).expect("session is hosted").m;

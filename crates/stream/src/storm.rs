@@ -131,6 +131,15 @@ pub struct StormReport {
     pub max_p99_queue_depth: usize,
     /// The service's cumulative decision counters.
     pub counters: ServiceCounters,
+    /// Snapshot of the full metrics registry at campaign end
+    /// (exports are byte-identical across same-seed runs).
+    pub metrics: obs::MetricsSnapshot,
+    /// Every metric name registered by the stack during the campaign
+    /// (for schema checks against exported reports).
+    pub metric_names: Vec<String>,
+    /// Rendered event trace at campaign end (byte-identical across
+    /// same-seed runs; bounded by the tracer's ring capacity).
+    pub trace_log: String,
 }
 
 impl StormReport {
@@ -380,7 +389,6 @@ pub fn run_storm(cfg: &StormConfig) -> Result<StormReport, ServiceError> {
     let mut completed = 0u64;
     let mut mismatches = 0u64;
     let mut faults_injected = 0u64;
-    let mut depth_samples: Vec<usize> = Vec::new();
     let mut tick = 0u64;
     let drain_budget = cfg.ticks + 2000;
 
@@ -461,8 +469,9 @@ pub fn run_storm(cfg: &StormConfig) -> Result<StormReport, ServiceError> {
             }
         }
 
-        // Sample the offered backlog before the pump drains it.
-        depth_samples.push(service.queue_depth_total());
+        // The service samples the offered backlog into its shared
+        // queue-depth histogram at the top of every tick, before the
+        // pump drains it.
         service.tick()?;
 
         // Notice service-side parking, collect scrambler output.
@@ -516,13 +525,12 @@ pub fn run_storm(cfg: &StormConfig) -> Result<StormReport, ServiceError> {
     }
 
     let unfinished = plans.len() as u64 - completed - shed;
-    depth_samples.sort_unstable();
-    let p99 = depth_samples
-        .get((depth_samples.len().saturating_mul(99)) / 100)
-        .or_else(|| depth_samples.last())
-        .copied()
-        .unwrap_or(0);
-    let max_depth = depth_samples.last().copied().unwrap_or(0);
+    let depth = service.queue_depth_stats();
+    let p99 = usize::try_from(depth.p99).unwrap_or(usize::MAX);
+    let max_depth = usize::try_from(depth.max).unwrap_or(usize::MAX);
+    let metrics = service.obs().registry.snapshot();
+    let metric_names = service.obs().registry.names();
+    let trace_log = service.obs().tracer.render();
     Ok(StormReport {
         seed: cfg.seed,
         planned: plans.len() as u64,
@@ -536,6 +544,9 @@ pub fn run_storm(cfg: &StormConfig) -> Result<StormReport, ServiceError> {
         max_queue_depth: max_depth,
         max_p99_queue_depth: cfg.max_p99_queue_depth,
         counters: service.counters(),
+        metrics,
+        metric_names,
+        trace_log,
     })
 }
 

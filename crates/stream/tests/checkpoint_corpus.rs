@@ -1,0 +1,147 @@
+//! Golden-byte corpus for the v1 checkpoint wire format.
+//!
+//! The `.bin` files under `tests/corpus/` are committed verbatim and
+//! pin the v1 envelope byte-for-byte: any change to the encoder that
+//! alters the wire format fails these tests instead of silently
+//! stranding previously-parked snapshots. Regenerate (only after a
+//! deliberate, version-bumped format change) with
+//! `cargo test -p picolfsr-stream --test checkpoint_corpus -- --ignored`.
+
+use dream::ControlModel;
+use gf2::BitVec;
+use lfsr::scramble::ScramblerSpec;
+use picoga::PicogaParams;
+use resilience::{RecoveryPolicy, ResilientSystem};
+use stream::checkpoint::NO_TRANSFORM;
+use stream::{AdmissionConfig, Priority, StreamCheckpoint, StreamKind, StreamService};
+
+/// The corpus: every entry is a fixed snapshot plus the file its golden
+/// v1 bytes live in. No randomness — the expected structs are literals.
+fn corpus() -> Vec<(&'static str, StreamCheckpoint)> {
+    vec![
+        (
+            "crc_fabric_v1.bin",
+            StreamCheckpoint {
+                name: "eth32".into(),
+                kind: StreamKind::Crc,
+                priority: Priority::High,
+                deadline: 17,
+                plain_domain: false,
+                t_digest: 0xDEAD_BEEF_CAFE_F00D,
+                state: BitVec::from_u64(0x1234_5678, 32),
+                staged: BitVec::from_u64(0b1011, 4),
+                out_pending: BitVec::zeros(0),
+                queued: vec![vec![1, 2, 3], vec![0xFF; 5]],
+                bytes_fed: 99,
+            },
+        ),
+        (
+            "crc_plain_v1.bin",
+            StreamCheckpoint {
+                name: "eth32".into(),
+                kind: StreamKind::Crc,
+                priority: Priority::Low,
+                deadline: 3,
+                plain_domain: true,
+                t_digest: NO_TRANSFORM,
+                state: BitVec::from_u64(0xA5A5_5A5A, 32),
+                staged: BitVec::zeros(0),
+                out_pending: BitVec::zeros(0),
+                queued: vec![vec![7, 8, 9, 10]],
+                bytes_fed: 12,
+            },
+        ),
+        (
+            "scrambler_plain_v1.bin",
+            StreamCheckpoint {
+                name: "wifi16".into(),
+                kind: StreamKind::Scrambler,
+                priority: Priority::High,
+                deadline: 25,
+                plain_domain: true,
+                t_digest: NO_TRANSFORM,
+                state: BitVec::from_u64(0b101_1101, 7),
+                staged: BitVec::zeros(0),
+                out_pending: BitVec::from_u64(0x3C, 8),
+                queued: vec![vec![0x11, 0x22]],
+                bytes_fed: 4,
+            },
+        ),
+    ]
+}
+
+fn golden(file: &str) -> &'static [u8] {
+    match file {
+        "crc_fabric_v1.bin" => include_bytes!("corpus/crc_fabric_v1.bin"),
+        "crc_plain_v1.bin" => include_bytes!("corpus/crc_plain_v1.bin"),
+        "scrambler_plain_v1.bin" => include_bytes!("corpus/scrambler_plain_v1.bin"),
+        _ => unreachable!("unknown corpus file {file}"),
+    }
+}
+
+#[test]
+fn golden_bytes_decode_to_the_expected_snapshots() {
+    for (file, expected) in corpus() {
+        let decoded = StreamCheckpoint::decode(golden(file))
+            .unwrap_or_else(|e| panic!("{file}: golden bytes must decode: {e}"));
+        assert_eq!(decoded, expected, "{file}: decoded snapshot drifted");
+    }
+}
+
+#[test]
+fn encoder_still_emits_the_golden_v1_bytes() {
+    for (file, expected) in corpus() {
+        assert_eq!(
+            expected.encode(),
+            golden(file),
+            "{file}: encoder no longer produces the committed v1 bytes — \
+             this is a wire-format break; bump VERSION instead"
+        );
+    }
+}
+
+/// A plain-domain golden snapshot restores into a live service and, when
+/// checkpointed again, reproduces the golden bytes exactly — proving the
+/// whole park/resume path is bit-transparent for v1 snapshots.
+#[test]
+fn golden_plain_snapshots_restore_bit_exactly() {
+    let rs = ResilientSystem::new(
+        PicogaParams::dream(),
+        ControlModel::default(),
+        RecoveryPolicy::stream_serving(),
+    );
+    let mut svc = StreamService::new(rs, AdmissionConfig::default());
+    let eth = *lfsr::crc::CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    svc.host_crc("eth32", &eth, dream_lfsr::FlowOptions::dream_with_m(32))
+        .unwrap();
+    svc.host_scrambler(
+        "wifi16",
+        ScramblerSpec::ieee80211(),
+        &dream_lfsr::FlowOptions::dream_with_m(16),
+    )
+    .unwrap();
+
+    for file in ["crc_plain_v1.bin", "scrambler_plain_v1.bin"] {
+        let bytes = golden(file);
+        let id = svc
+            .restore(bytes)
+            .unwrap_or_else(|e| panic!("{file}: golden snapshot must restore: {e}"));
+        let again = svc.checkpoint(id).unwrap();
+        assert_eq!(
+            again, bytes,
+            "{file}: restore → checkpoint must be byte-identical"
+        );
+    }
+}
+
+/// Writes the golden files. Run only after a deliberate format change
+/// (and bump [`stream::checkpoint::VERSION`] when the bytes move).
+#[test]
+#[ignore = "regenerates the committed golden corpus"]
+fn regenerate_corpus() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    std::fs::create_dir_all(dir).unwrap();
+    for (file, cp) in corpus() {
+        std::fs::write(format!("{dir}/{file}"), cp.encode()).unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! Observability determinism: two same-seed campaigns must produce
+//! byte-identical metrics snapshots and event traces.
+//!
+//! The tracer stamps events with the fabric's simulated cycle count and
+//! the registry holds only integers, so there is no wall-clock or hash
+//! ordering anywhere in the export path — this test is the proof.
+
+use stream::{run_storm, StormConfig};
+
+#[test]
+fn same_seed_runs_export_identical_metrics_and_traces() {
+    let cfg = StormConfig {
+        streams: 40,
+        ticks: 60,
+        crc_ms: vec![8, 32],
+        scrambler_m: 16,
+        fault_prob: 0.1,
+        overload_window: (10, 20),
+        ..StormConfig::smoke(2008)
+    };
+    let a = run_storm(&cfg).unwrap();
+    let b = run_storm(&cfg).unwrap();
+
+    assert!(
+        !a.metrics.is_empty(),
+        "campaign must export a non-empty metrics snapshot"
+    );
+    assert!(!a.trace_log.is_empty(), "campaign must record trace events");
+    assert_eq!(
+        a.metrics.to_json_lines(),
+        b.metrics.to_json_lines(),
+        "same seed must yield a byte-identical metrics snapshot"
+    );
+    assert_eq!(
+        a.trace_log, b.trace_log,
+        "same seed must yield a byte-identical event trace"
+    );
+    assert_eq!(a.render(), b.render(), "reports stay deterministic too");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let small = |seed| StormConfig {
+        streams: 20,
+        ticks: 40,
+        crc_ms: vec![8],
+        scrambler_m: 16,
+        fault_prob: 0.15,
+        overload_window: (5, 12),
+        ..StormConfig::smoke(seed)
+    };
+    let a = run_storm(&small(1)).unwrap();
+    let b = run_storm(&small(2)).unwrap();
+    // Traces are seed-reproducible, not seed-independent: different
+    // seeds must actually exercise different campaigns.
+    assert_ne!(a.trace_log, b.trace_log, "seeds must matter");
+}

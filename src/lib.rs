@@ -26,7 +26,11 @@
 //!   recovery ladder (reload → re-synthesis → software fallback);
 //! * [`stream`] — fault-tolerant multi-stream serving: sessions with
 //!   checkpoint/restore, token-bucket admission, the overload shedding
-//!   ladder, and the seeded `stream_storm` stress harness.
+//!   ladder, and the seeded `stream_storm` stress harness;
+//! * [`obs`] — the unified observability spine: deterministic metrics
+//!   registry, cycle-stamped event tracer, and per-row fabric profiler
+//!   shared by every layer above (exported by the `obs_report` bench
+//!   binary as `BENCH_obs.json`).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use dream_lfsr as flow;
 pub use gf2;
 pub use lfsr;
 pub use lfsr_parallel as parallel;
+pub use obs;
 pub use picoga;
 pub use resilience;
 pub use riscsim;
