@@ -1,0 +1,444 @@
+//! Whole-configuration static analysis and bounded model checking for
+//! the simulated PiCoGA stack.
+//!
+//! Three analyzers share one intermediate representation
+//! ([`ir::FabricConfig`], lowered from a mapped [`picoga::PgaOperation`]):
+//!
+//! 1. **Linearity/affineness prover** ([`linearity`]) — abstract
+//!    interpretation over GF(2) affine forms at the 4-bit LUT grain.
+//!    Classifies every cell linear/affine/nonlinear and proves (or
+//!    refutes) whole-network affineness. The resulting
+//!    [`LinearityCert`] is the soundness precondition of the runtime
+//!    basis probe: sweeping the zero vector plus the input basis is a
+//!    *complete* stuck-at test only for affine networks, so
+//!    `DreamSystem::datapath_probe` refuses to certify a lane whose
+//!    personality the prover could not show affine.
+//! 2. **Static timing/resource analyzer** ([`timing`]) — critical-path
+//!    depth, per-row register pressure, fan-out load, pipeline
+//!    fill/drain cost and dead-cell occupancy, cross-checked against
+//!    the `obs` fabric profiler's measured per-row busy cycles.
+//! 3. **Bounded model checker** ([`mc`], [`models`]) — exhaustive
+//!    small-scope exploration of the serving state machines
+//!    (admission/overload ladder, park/resume, transactional fault
+//!    rollback, recovery ladder) with shortest-trace counterexamples.
+//!    The pre-fix `transact()` model rediscovers the PR 5 double-park
+//!    bug; the current model passes.
+//!
+//! [`check_config`] is the front door: it runs the prover and the
+//! timing analyzer over one configuration, applies fabric bounds, and
+//! returns either a [`ConfigAnalysis`] or a typed [`AnalyzeError`]
+//! whose report carries `AZ`-coded findings. The build flow
+//! (`picolfsr::flow`) runs it under `FlowOptions::analyze`, and the
+//! `fabric_analyze` bench binary sweeps it across the personality
+//! catalogue.
+
+pub mod ir;
+pub mod linearity;
+pub mod mc;
+pub mod models;
+pub mod timing;
+
+pub use ir::{CellFunc, CellIr, FabricConfig, LutTable, SignalId, MAX_LUT_INPUTS};
+pub use linearity::{certify, CellClass, LinearityCert};
+pub use mc::{explore, Exploration, ExploreLimits, Model, Violation};
+pub use models::{LadderParams, RecoveryModel, ServiceModel};
+pub use timing::{analyze_timing, cross_check, StaticTiming, TimingMismatch};
+
+use picoga::PicogaParams;
+use std::fmt;
+
+/// Severity of an analysis finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Rejects the configuration.
+    Error,
+    /// Reported but does not reject.
+    Warning,
+}
+
+/// Stable analysis diagnostic codes (`AZ…`), disjoint from the verify
+/// crate's `FL…` lint codes: lints judge the *network* during
+/// synthesis, these judge the *placed configuration* as a whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalyzeCode {
+    /// AZ001 — a live cell computes a nonlinear function.
+    NonlinearCell,
+    /// AZ002 — some primary output is not an affine function of the
+    /// inputs, so the affine-complete basis probe is unsound.
+    NonAffineOutput,
+    /// AZ003 — pipeline depth exceeds the fabric's row budget.
+    DepthOverRows,
+    /// AZ004 — some row holds more cells than the usable row width.
+    RegisterPressure,
+    /// AZ005 — some signal's fan-out exceeds the routing bound.
+    FanoutExceeded,
+    /// AZ006 — a cell occupies fabric resources but reaches no output.
+    DeadCell,
+}
+
+impl AnalyzeCode {
+    /// Every code, in stable order.
+    pub const ALL: [AnalyzeCode; 6] = [
+        AnalyzeCode::NonlinearCell,
+        AnalyzeCode::NonAffineOutput,
+        AnalyzeCode::DepthOverRows,
+        AnalyzeCode::RegisterPressure,
+        AnalyzeCode::FanoutExceeded,
+        AnalyzeCode::DeadCell,
+    ];
+
+    /// The stable code string.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AnalyzeCode::NonlinearCell => "AZ001",
+            AnalyzeCode::NonAffineOutput => "AZ002",
+            AnalyzeCode::DepthOverRows => "AZ003",
+            AnalyzeCode::RegisterPressure => "AZ004",
+            AnalyzeCode::FanoutExceeded => "AZ005",
+            AnalyzeCode::DeadCell => "AZ006",
+        }
+    }
+
+    /// One-line description.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            AnalyzeCode::NonlinearCell => "live cell computes a nonlinear function",
+            AnalyzeCode::NonAffineOutput => "output not affine; basis probe unsound",
+            AnalyzeCode::DepthOverRows => "pipeline depth exceeds fabric rows",
+            AnalyzeCode::RegisterPressure => "row pressure exceeds usable row width",
+            AnalyzeCode::FanoutExceeded => "signal fan-out exceeds routing bound",
+            AnalyzeCode::DeadCell => "cell reaches no primary output",
+        }
+    }
+
+    /// Whether the finding rejects the configuration.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            AnalyzeCode::DeadCell => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for AnalyzeCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The diagnostic code.
+    pub code: AnalyzeCode,
+    /// The offending cell index, when the finding is cell-local.
+    pub cell: Option<usize>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.code.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)?;
+        if let Some(c) = self.cell {
+            write!(f, " (cell {c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings for one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// The configuration's name.
+    pub subject: String,
+    /// Findings in deterministic order (by code, then cell).
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.code.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// `true` when no finding rejects the configuration.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "analysis of '{}': {} error(s), {} warning(s)",
+            self.subject,
+            self.errors(),
+            self.warnings()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A configuration rejected by static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// The full report, including the rejecting findings.
+    pub report: AnalysisReport,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "static analysis rejected the configuration: ")?;
+        fmt::Display::fmt(&self.report, f)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Fabric bounds the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisParams {
+    /// Maximum pipeline rows (fabric row count).
+    pub max_rows: usize,
+    /// Maximum cells per row for dense bit-wise networks.
+    pub max_row_pressure: usize,
+    /// Maximum fan-out any single signal may drive.
+    pub max_fanout: usize,
+    /// Require whole-network affineness (the basis-probe soundness
+    /// precondition). On for every LFSR-class personality.
+    pub require_affine: bool,
+}
+
+impl AnalysisParams {
+    /// Bounds for a concrete fabric instance.
+    #[must_use]
+    pub fn for_fabric(p: &PicogaParams) -> Self {
+        AnalysisParams {
+            max_rows: p.rows,
+            max_row_pressure: p.cells_per_row,
+            max_fanout: p.max_signal_fanout(),
+            require_affine: true,
+        }
+    }
+
+    /// Bounds of the DREAM fabric instance.
+    #[must_use]
+    pub fn dream() -> Self {
+        AnalysisParams::for_fabric(&PicogaParams::dream())
+    }
+}
+
+/// The successful result of [`check_config`].
+#[derive(Debug, Clone)]
+pub struct ConfigAnalysis {
+    /// The linearity certificate (always affine on the `Ok` path when
+    /// `require_affine` is set).
+    pub cert: LinearityCert,
+    /// Per-cell classification, indexed by cell.
+    pub classes: Vec<CellClass>,
+    /// The static timing/resource report.
+    pub timing: StaticTiming,
+    /// Warning-severity findings (dead cells, …).
+    pub report: AnalysisReport,
+}
+
+/// Runs the linearity prover and the timing analyzer over one
+/// configuration and applies the fabric bounds.
+///
+/// # Errors
+///
+/// [`AnalyzeError`] when any error-severity finding fires: a live
+/// nonlinear cell, a non-affine output (when `params.require_affine`),
+/// pipeline depth over the row budget, row pressure over the usable
+/// width, or fan-out over the routing bound. The error's report also
+/// carries any warnings, so one failure shows the whole picture.
+pub fn check_config(
+    cfg: &FabricConfig,
+    params: &AnalysisParams,
+) -> Result<ConfigAnalysis, AnalyzeError> {
+    let (cert, classes) = certify(cfg);
+    let timing = analyze_timing(cfg);
+    let mut findings = Vec::new();
+
+    for &cell in &cert.offending_cells {
+        findings.push(Finding {
+            code: AnalyzeCode::NonlinearCell,
+            cell: Some(cell),
+            message: format!("cell {cell} computes a nonlinear function on a live path"),
+        });
+    }
+    if params.require_affine && !cert.affine {
+        findings.push(Finding {
+            code: AnalyzeCode::NonAffineOutput,
+            cell: None,
+            message: format!(
+                "'{}' is {}; the zero+basis stuck-at probe cannot certify this lane",
+                cfg.name(),
+                cert.summary()
+            ),
+        });
+    }
+    if timing.rows_used > params.max_rows {
+        findings.push(Finding {
+            code: AnalyzeCode::DepthOverRows,
+            cell: None,
+            message: format!(
+                "uses {} rows; the fabric has {}",
+                timing.rows_used, params.max_rows
+            ),
+        });
+    }
+    if timing.max_row_pressure > params.max_row_pressure {
+        findings.push(Finding {
+            code: AnalyzeCode::RegisterPressure,
+            cell: None,
+            message: format!(
+                "row pressure {} exceeds usable row width {}",
+                timing.max_row_pressure, params.max_row_pressure
+            ),
+        });
+    }
+    if timing.max_fanout > params.max_fanout {
+        findings.push(Finding {
+            code: AnalyzeCode::FanoutExceeded,
+            cell: None,
+            message: format!(
+                "fan-out {} exceeds routing bound {}",
+                timing.max_fanout, params.max_fanout
+            ),
+        });
+    }
+    for &cell in &timing.dead_cells {
+        findings.push(Finding {
+            code: AnalyzeCode::DeadCell,
+            cell: Some(cell),
+            message: format!("cell {cell} reaches no primary output"),
+        });
+    }
+
+    let report = AnalysisReport {
+        subject: cfg.name().to_string(),
+        findings,
+    };
+    if report.is_clean() {
+        Ok(ConfigAnalysis {
+            cert,
+            classes,
+            timing,
+            report,
+        })
+    } else {
+        Err(AnalyzeError { report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CellFunc, LutTable};
+
+    fn xor_chain(rows: usize) -> FabricConfig {
+        let mut cfg = FabricConfig::new("chain", 2);
+        let mut s = cfg.add_cell(0, vec![0, 1], CellFunc::Xor { invert: false });
+        for r in 1..rows {
+            s = cfg.add_cell(r, vec![s, 0], CellFunc::Xor { invert: false });
+        }
+        cfg.add_output(Some(s));
+        cfg
+    }
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let strs: Vec<&str> = AnalyzeCode::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(strs, ["AZ001", "AZ002", "AZ003", "AZ004", "AZ005", "AZ006"]);
+        for c in AnalyzeCode::ALL {
+            assert!(!c.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn clean_affine_config_passes() {
+        let a = check_config(&xor_chain(3), &AnalysisParams::dream()).expect("clean");
+        assert!(a.cert.affine);
+        assert!(a.report.is_clean());
+        assert_eq!(a.timing.rows_used, 3);
+    }
+
+    #[test]
+    fn live_nonlinear_lut_is_rejected_with_both_codes() {
+        let mut cfg = FabricConfig::new("and-gate", 2);
+        let s = cfg.add_cell(0, vec![0, 1], CellFunc::Lut(LutTable::new(2, 0b1000)));
+        cfg.add_output(Some(s));
+        let err = check_config(&cfg, &AnalysisParams::dream()).unwrap_err();
+        let codes: Vec<AnalyzeCode> = err.report.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&AnalyzeCode::NonlinearCell));
+        assert!(codes.contains(&AnalyzeCode::NonAffineOutput));
+        assert!(err.to_string().contains("AZ002"));
+    }
+
+    #[test]
+    fn depth_over_rows_is_rejected() {
+        let params = AnalysisParams {
+            max_rows: 4,
+            ..AnalysisParams::dream()
+        };
+        let err = check_config(&xor_chain(5), &params).unwrap_err();
+        assert_eq!(err.report.findings[0].code, AnalyzeCode::DepthOverRows);
+    }
+
+    #[test]
+    fn row_pressure_and_fanout_bounds_fire() {
+        let mut cfg = FabricConfig::new("wide", 2);
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            outs.push(cfg.add_cell(0, vec![0, 1], CellFunc::Xor { invert: false }));
+        }
+        for s in outs {
+            cfg.add_output(Some(s));
+        }
+        let params = AnalysisParams {
+            max_row_pressure: 2,
+            max_fanout: 2,
+            ..AnalysisParams::dream()
+        };
+        let err = check_config(&cfg, &params).unwrap_err();
+        let codes: Vec<AnalyzeCode> = err.report.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&AnalyzeCode::RegisterPressure));
+        assert!(codes.contains(&AnalyzeCode::FanoutExceeded), "{codes:?}");
+    }
+
+    #[test]
+    fn dead_cell_is_a_warning_not_an_error() {
+        let mut cfg = FabricConfig::new("dead", 2);
+        let a = cfg.add_cell(0, vec![0, 1], CellFunc::Xor { invert: false });
+        let _dead = cfg.add_cell(0, vec![0], CellFunc::Xor { invert: false });
+        cfg.add_output(Some(a));
+        let a = check_config(&cfg, &AnalysisParams::dream()).expect("warnings do not reject");
+        assert_eq!(a.report.warnings(), 1);
+        assert_eq!(a.report.findings[0].code, AnalyzeCode::DeadCell);
+        assert!(a.report.is_clean());
+    }
+}

@@ -1,0 +1,703 @@
+//! Abstract models of the serving-layer state machines, for the
+//! bounded model checker.
+//!
+//! [`ServiceModel`] abstracts `stream::StreamService`: admission and
+//! the overload ladder, feed/pump with transactional fault rollback,
+//! park/resume, and the batch `involved`-id bookkeeping whose missing
+//! sort caused the PR 5 double-park bug. [`RecoveryModel`] abstracts
+//! `resilience::ResilientSystem`'s recovery ladder. Both are small-scope
+//! models: a handful of streams, tiny queues — enough for exhaustive
+//! exploration of every event interleaving, which is exactly where the
+//! unit tests had their blind spot.
+//!
+//! The ladder arithmetic ([`LadderParams::next_level`]) mirrors
+//! `stream::admission::AdmissionConfig::next_level` and is cross-checked
+//! against it by a property test in the `stream` crate, so the model
+//! cannot silently drift from the implementation.
+
+use crate::mc::Model;
+
+/// Overload-ladder thresholds, mirroring `stream::AdmissionConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderParams {
+    /// Occupancy percent entering RejectNew (rank 1).
+    pub reject_enter_pct: u32,
+    /// Occupancy percent entering DegradeLowPriority (rank 2).
+    pub degrade_enter_pct: u32,
+    /// Occupancy percent entering ParkIdle (rank 3).
+    pub park_enter_pct: u32,
+    /// Hysteresis margin for de-escalation.
+    pub exit_margin_pct: u32,
+}
+
+impl LadderParams {
+    /// The serving layer's default thresholds.
+    #[must_use]
+    pub fn serving_defaults() -> Self {
+        LadderParams {
+            reject_enter_pct: 60,
+            degrade_enter_pct: 75,
+            park_enter_pct: 90,
+            exit_margin_pct: 15,
+        }
+    }
+
+    /// Entry threshold of a ladder rank (0 = Normal).
+    #[must_use]
+    pub fn enter_pct(&self, rank: u8) -> u32 {
+        match rank {
+            0 => 0,
+            1 => self.reject_enter_pct,
+            2 => self.degrade_enter_pct,
+            _ => self.park_enter_pct,
+        }
+    }
+
+    /// The ladder step: escalate immediately to the highest rank whose
+    /// threshold `occ_pct` meets; de-escalate one rank per step and
+    /// only once occupancy has dropped `exit_margin_pct` below the
+    /// current rank's entry threshold.
+    #[must_use]
+    pub fn next_level(&self, current: u8, occ_pct: u32) -> u8 {
+        let mut target = 0u8;
+        for rank in 1..=3u8 {
+            if occ_pct >= self.enter_pct(rank) {
+                target = rank;
+            }
+        }
+        if target >= current {
+            return target;
+        }
+        if occ_pct + self.exit_margin_pct < self.enter_pct(current) {
+            current - 1
+        } else {
+            current
+        }
+    }
+}
+
+/// One stream in the service model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StreamSt {
+    /// Not (yet) opened.
+    Closed,
+    /// Admitted and live.
+    Live {
+        /// Chunks queued, waiting for the pump.
+        queued: u8,
+        /// Chunks processed and committed.
+        done: u8,
+    },
+    /// Checkpointed and parked.
+    Parked {
+        /// Queued chunks preserved in the checkpoint.
+        queued: u8,
+        /// Committed progress preserved in the checkpoint.
+        done: u8,
+    },
+    /// Finished and delivered.
+    Finished {
+        /// Total chunks the stream processed.
+        done: u8,
+    },
+}
+
+/// A service-model state. `Ord`/small so exhaustive exploration is
+/// cheap and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ServiceState {
+    /// Ladder rank 0..=3.
+    pub level: u8,
+    /// Per-stream states.
+    pub streams: Vec<StreamSt>,
+    /// Total chunks ever fed (scope bound).
+    pub fed: u8,
+    /// A fault will strike the next pump batch.
+    pub fault_armed: bool,
+    /// Streams opened so far.
+    pub opened: u8,
+    /// The last ladder transition `(from, to, occupancy)`, for the
+    /// hysteresis invariant.
+    pub last_step: Option<(u8, u8, u32)>,
+    /// Set by the model when an internal operation hits a state it
+    /// must never see (e.g. parking an already-parked stream).
+    pub poison: Option<&'static str>,
+}
+
+/// Events of the service model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// Admit stream `i` (refused above Normal — counted, not state).
+    Open(u8),
+    /// Queue one chunk on live stream `i`.
+    Feed(u8),
+    /// Arm a fault: the next pump's batch fails its lane guard.
+    ArmFault,
+    /// Run one pump round (a transact over a round-robin batch).
+    Pump,
+    /// Ladder tick: recompute the overload level; at ParkIdle, park
+    /// idle streams.
+    Tick,
+    /// Resume parked stream `i`.
+    Resume(u8),
+    /// Finish live, fully-drained stream `i`.
+    Finish(u8),
+}
+
+/// The abstract `StreamService`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Streams in scope (≤ 4 keeps exploration in the thousands).
+    pub n_streams: u8,
+    /// Per-stream queue capacity, in chunks.
+    pub queue_cap: u8,
+    /// Total chunks the scope may feed.
+    pub max_feeds: u8,
+    /// Chunks one pump batch may take (the pump budget).
+    pub pump_budget: u8,
+    /// Ladder thresholds.
+    pub ladder: LadderParams,
+    /// Model the **pre-fix** PR 5 `transact()`: the batch's `involved`
+    /// stream-id list is deduplicated *without sorting first*, so
+    /// non-adjacent duplicates survive and the park path can park one
+    /// stream twice.
+    pub prefix_transact_bug: bool,
+}
+
+impl ServiceModel {
+    /// The default small scope: 2 streams × 2-chunk queues, 5 feeds.
+    #[must_use]
+    pub fn small() -> Self {
+        ServiceModel {
+            n_streams: 2,
+            queue_cap: 2,
+            max_feeds: 5,
+            pump_budget: 3,
+            ladder: LadderParams::serving_defaults(),
+            prefix_transact_bug: false,
+        }
+    }
+
+    /// The same scope against the pre-fix `transact()` model.
+    #[must_use]
+    pub fn small_prefix_bug() -> Self {
+        ServiceModel {
+            prefix_transact_bug: true,
+            ..ServiceModel::small()
+        }
+    }
+
+    fn occupancy_pct(&self, s: &ServiceState) -> u32 {
+        let total: u32 = s
+            .streams
+            .iter()
+            .map(|st| match st {
+                StreamSt::Live { queued, .. } => u32::from(*queued),
+                _ => 0,
+            })
+            .sum();
+        let cap = u32::from(self.n_streams) * u32::from(self.queue_cap);
+        total * 100 / cap.max(1)
+    }
+
+    /// The round-robin pump batch: one chunk per live stream per round
+    /// until the budget is spent — the order that interleaves duplicate
+    /// stream ids (`[0, 1, 0]`), exactly the shape the PR 5 fix sorts.
+    fn batch(&self, s: &ServiceState) -> Vec<u8> {
+        let queued: Vec<u8> = s
+            .streams
+            .iter()
+            .map(|st| match st {
+                StreamSt::Live { queued, .. } => *queued,
+                _ => 0,
+            })
+            .collect();
+        let mut batch = Vec::new();
+        let mut round = 0u8;
+        while batch.len() < self.pump_budget as usize {
+            let mut took = false;
+            for (i, &q) in queued.iter().enumerate() {
+                if q > round && batch.len() < self.pump_budget as usize {
+                    batch.push(u8::try_from(i).expect("≤ 4 streams"));
+                    took = true;
+                }
+            }
+            if !took {
+                break;
+            }
+            round += 1;
+        }
+        batch
+    }
+}
+
+impl Model for ServiceModel {
+    type State = ServiceState;
+    type Event = ServiceEvent;
+
+    fn initial(&self) -> ServiceState {
+        ServiceState {
+            level: 0,
+            streams: vec![StreamSt::Closed; self.n_streams as usize],
+            fed: 0,
+            fault_armed: false,
+            opened: 0,
+            last_step: None,
+            poison: None,
+        }
+    }
+
+    fn events(&self, s: &ServiceState) -> Vec<ServiceEvent> {
+        if s.poison.is_some() {
+            return Vec::new(); // poisoned states are terminal
+        }
+        let mut ev = Vec::new();
+        for i in 0..self.n_streams {
+            if s.streams[i as usize] == StreamSt::Closed {
+                ev.push(ServiceEvent::Open(i));
+            }
+        }
+        for i in 0..self.n_streams {
+            if let StreamSt::Live { queued, .. } = s.streams[i as usize] {
+                if queued < self.queue_cap && s.fed < self.max_feeds {
+                    ev.push(ServiceEvent::Feed(i));
+                }
+            }
+        }
+        if !s.fault_armed {
+            ev.push(ServiceEvent::ArmFault);
+        }
+        ev.push(ServiceEvent::Pump);
+        ev.push(ServiceEvent::Tick);
+        for i in 0..self.n_streams {
+            match s.streams[i as usize] {
+                StreamSt::Parked { .. } => ev.push(ServiceEvent::Resume(i)),
+                StreamSt::Live { queued: 0, .. } => ev.push(ServiceEvent::Finish(i)),
+                _ => {}
+            }
+        }
+        ev
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply(&self, s: &ServiceState, e: &ServiceEvent) -> Option<ServiceState> {
+        let mut n = s.clone();
+        n.last_step = None;
+        match *e {
+            ServiceEvent::Open(i) => {
+                if s.streams[i as usize] != StreamSt::Closed || s.level >= 1 {
+                    return None; // RejectNew and above refuse admission
+                }
+                n.streams[i as usize] = StreamSt::Live { queued: 0, done: 0 };
+                n.opened += 1;
+            }
+            ServiceEvent::Feed(i) => match s.streams[i as usize] {
+                StreamSt::Live { queued, done } if queued < self.queue_cap => {
+                    if s.fed >= self.max_feeds {
+                        return None;
+                    }
+                    n.streams[i as usize] = StreamSt::Live {
+                        queued: queued + 1,
+                        done,
+                    };
+                    n.fed += 1;
+                }
+                _ => return None,
+            },
+            ServiceEvent::ArmFault => {
+                if s.fault_armed {
+                    return None;
+                }
+                n.fault_armed = true;
+            }
+            ServiceEvent::Pump => {
+                let batch = self.batch(s);
+                if batch.is_empty() {
+                    return None;
+                }
+                if s.fault_armed {
+                    // Transactional rollback: per-item snapshots are
+                    // taken (duplicates and all) and restored, then the
+                    // involved streams are parked (MigrationAdvice::Park).
+                    let pre: Vec<(u8, StreamSt)> = batch
+                        .iter()
+                        .map(|&id| (id, s.streams[id as usize]))
+                        .collect();
+                    for &(id, snap) in &pre {
+                        n.streams[id as usize] = snap;
+                    }
+                    // Rollback bit-exactness: the restored streams must
+                    // match their pre-batch snapshots exactly.
+                    for &(id, snap) in &pre {
+                        if n.streams[id as usize] != snap {
+                            n.poison = Some("rollback-exactness");
+                            return Some(n);
+                        }
+                    }
+                    let mut involved = batch;
+                    if !self.prefix_transact_bug {
+                        involved.sort_unstable();
+                    }
+                    involved.dedup();
+                    for id in involved {
+                        match n.streams[id as usize] {
+                            StreamSt::Live { queued, done } => {
+                                n.streams[id as usize] = StreamSt::Parked { queued, done };
+                            }
+                            StreamSt::Parked { .. } => {
+                                // Parking a parked stream clobbers its
+                                // checkpoint — the PR 5 bug.
+                                n.poison = Some("no-double-park");
+                                return Some(n);
+                            }
+                            _ => {
+                                n.poison = Some("park-of-unparkable");
+                                return Some(n);
+                            }
+                        }
+                    }
+                    n.fault_armed = false;
+                } else {
+                    for &id in &batch {
+                        if let StreamSt::Live { queued, done } = n.streams[id as usize] {
+                            n.streams[id as usize] = StreamSt::Live {
+                                queued: queued - 1,
+                                done: done + 1,
+                            };
+                        }
+                    }
+                }
+            }
+            ServiceEvent::Tick => {
+                let occ = self.occupancy_pct(s);
+                let next = self.ladder.next_level(s.level, occ);
+                n.level = next;
+                n.last_step = Some((s.level, next, occ));
+                if next == 3 {
+                    // ParkIdle rung: park drained live streams.
+                    for st in &mut n.streams {
+                        if let StreamSt::Live { queued: 0, done } = *st {
+                            *st = StreamSt::Parked { queued: 0, done };
+                        }
+                    }
+                }
+            }
+            ServiceEvent::Resume(i) => match s.streams[i as usize] {
+                StreamSt::Parked { queued, done } => {
+                    if s.level >= 3 {
+                        return None; // still shedding — resume refused
+                    }
+                    n.streams[i as usize] = StreamSt::Live { queued, done };
+                }
+                _ => return None,
+            },
+            ServiceEvent::Finish(i) => match s.streams[i as usize] {
+                StreamSt::Live { queued: 0, done } => {
+                    n.streams[i as usize] = StreamSt::Finished { done };
+                }
+                _ => return None,
+            },
+        }
+        Some(n)
+    }
+
+    fn violations(&self, s: &ServiceState) -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        if let Some(p) = s.poison {
+            v.push((
+                p.to_string(),
+                "the model reached an operation on an illegal target".into(),
+            ));
+        }
+        // Stream conservation: every opened stream is live, parked or
+        // finished; every fed chunk is queued or done.
+        let mut accounted = 0u8;
+        let mut chunks = 0u8;
+        for st in &s.streams {
+            match *st {
+                StreamSt::Closed => {}
+                StreamSt::Live { queued, done } | StreamSt::Parked { queued, done } => {
+                    accounted += 1;
+                    chunks += queued + done;
+                }
+                StreamSt::Finished { done } => {
+                    accounted += 1;
+                    chunks += done;
+                }
+            }
+        }
+        if accounted != s.opened {
+            v.push((
+                "stream-conservation".into(),
+                format!(
+                    "opened {} but {} streams accounted for",
+                    s.opened, accounted
+                ),
+            ));
+        }
+        if chunks != s.fed {
+            v.push((
+                "chunk-conservation".into(),
+                format!("fed {} chunks but {} queued+done", s.fed, chunks),
+            ));
+        }
+        // Ladder hysteresis monotonicity on the last tick.
+        if let Some((from, to, occ)) = s.last_step {
+            if to > from && occ < self.ladder.enter_pct(to) {
+                v.push((
+                    "ladder-escalation-threshold".into(),
+                    format!("escalated {from}→{to} at occupancy {occ}%"),
+                ));
+            }
+            if to < from {
+                if from - to != 1 {
+                    v.push((
+                        "ladder-single-rung-deescalation".into(),
+                        format!("de-escalated {from}→{to} in one tick"),
+                    ));
+                }
+                if occ + self.ladder.exit_margin_pct >= self.ladder.enter_pct(from) {
+                    v.push((
+                        "ladder-hysteresis".into(),
+                        format!("left rank {from} at occupancy {occ}% inside the margin"),
+                    ));
+                }
+            }
+        }
+        v
+    }
+}
+
+/// Health ranks of the recovery model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthSt {
+    /// Serving on the fabric.
+    Healthy,
+    /// Detection outstanding; fabric results untrusted.
+    Suspect,
+    /// Fabric abandoned; serving on the software kernel.
+    Fallback,
+}
+
+/// A recovery-model state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RecoveryState {
+    /// Current lane health.
+    pub health: HealthSt,
+    /// Reloads attempted against the current detection.
+    pub reloads: u8,
+    /// A perturbed re-synthesis replaced the personality.
+    pub resynthed: bool,
+    /// The lane's streams were checkpoint-parked.
+    pub parked: bool,
+    /// The lane has ever reached `Fallback` (absorbing rung).
+    pub was_fallback: bool,
+}
+
+/// Events of the recovery model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A fault is detected (scrub/probe).
+    Detect,
+    /// Serve a message on the fabric path.
+    ServeFabric,
+    /// Serve a message on the software kernel.
+    ServeSoftware,
+    /// Run one rung of the recovery ladder.
+    RecoverStep {
+        /// Whether this rung's repair actually heals the fault (reload
+        /// heals upsets, not stuck-at cells; re-synthesis heals both).
+        heals: bool,
+    },
+}
+
+/// The abstract `ResilientSystem` recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryModel {
+    /// Reload retries before escalating (policy `max_reload_retries`).
+    pub max_reloads: u8,
+    /// Re-synthesis rung enabled.
+    pub allow_resynthesis: bool,
+    /// Software-fallback terminal rung enabled.
+    pub allow_fallback: bool,
+    /// Checkpoint-park terminal rung enabled.
+    pub park_streams: bool,
+}
+
+impl RecoveryModel {
+    /// The `RecoveryPolicy::standard()` shape.
+    #[must_use]
+    pub fn standard() -> Self {
+        RecoveryModel {
+            max_reloads: 2,
+            allow_resynthesis: true,
+            allow_fallback: true,
+            park_streams: false,
+        }
+    }
+
+    /// The stream-serving policy: park instead of dropping.
+    #[must_use]
+    pub fn stream_serving() -> Self {
+        RecoveryModel {
+            park_streams: true,
+            ..RecoveryModel::standard()
+        }
+    }
+}
+
+impl Model for RecoveryModel {
+    type State = RecoveryState;
+    type Event = RecoveryEvent;
+
+    fn initial(&self) -> RecoveryState {
+        RecoveryState {
+            health: HealthSt::Healthy,
+            reloads: 0,
+            resynthed: false,
+            parked: false,
+            was_fallback: false,
+        }
+    }
+
+    fn events(&self, s: &RecoveryState) -> Vec<RecoveryEvent> {
+        let mut ev = vec![RecoveryEvent::ServeFabric, RecoveryEvent::ServeSoftware];
+        if s.health == HealthSt::Healthy {
+            ev.push(RecoveryEvent::Detect);
+        }
+        if s.health == HealthSt::Suspect {
+            ev.push(RecoveryEvent::RecoverStep { heals: false });
+            ev.push(RecoveryEvent::RecoverStep { heals: true });
+        }
+        ev
+    }
+
+    fn apply(&self, s: &RecoveryState, e: &RecoveryEvent) -> Option<RecoveryState> {
+        let mut n = s.clone();
+        match *e {
+            RecoveryEvent::Detect => {
+                n.health = HealthSt::Suspect;
+                n.reloads = 0;
+                n.resynthed = false;
+            }
+            RecoveryEvent::ServeFabric => {
+                // The real system's health guard: fabric results are
+                // served only while the lane is trusted.
+                if s.health != HealthSt::Healthy {
+                    return None;
+                }
+            }
+            RecoveryEvent::ServeSoftware => {
+                if s.health != HealthSt::Fallback {
+                    return None; // software path only after fallback
+                }
+            }
+            RecoveryEvent::RecoverStep { heals } => {
+                if s.health != HealthSt::Suspect {
+                    return None;
+                }
+                if s.reloads < self.max_reloads {
+                    n.reloads += 1;
+                    if heals {
+                        n.health = HealthSt::Healthy;
+                    }
+                } else if self.allow_resynthesis && !s.resynthed {
+                    n.resynthed = true;
+                    if heals {
+                        n.health = HealthSt::Healthy;
+                    }
+                } else if self.allow_fallback {
+                    n.health = HealthSt::Fallback;
+                    n.was_fallback = true;
+                } else if self.park_streams {
+                    n.parked = true;
+                } else {
+                    // Unrecovered: stays suspect; nothing else to try.
+                    return None;
+                }
+            }
+        }
+        Some(n)
+    }
+
+    fn violations(&self, s: &RecoveryState) -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        if s.was_fallback && s.health != HealthSt::Fallback {
+            v.push((
+                "fallback-absorbing".into(),
+                format!("left Fallback for {:?}", s.health),
+            ));
+        }
+        if s.reloads > self.max_reloads {
+            v.push((
+                "ladder-reload-budget".into(),
+                format!("{} reloads > budget {}", s.reloads, self.max_reloads),
+            ));
+        }
+        if s.parked && !self.park_streams {
+            v.push((
+                "park-requires-policy".into(),
+                "streams parked under a policy without the park rung".into(),
+            ));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::{explore, ExploreLimits};
+
+    #[test]
+    fn fixed_service_model_holds_all_invariants() {
+        let r = explore(&ServiceModel::small(), &ExploreLimits::default());
+        assert!(
+            r.passed(),
+            "fixed transact must satisfy every invariant:\n{}",
+            r.violations
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(!r.truncated, "small scope must be exhausted");
+        assert!(r.states > 100, "scope is non-trivial: {} states", r.states);
+    }
+
+    #[test]
+    fn prefix_transact_model_rediscovers_the_double_park_bug() {
+        let r = explore(&ServiceModel::small_prefix_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "no-double-park")
+            .expect("the pre-fix dedup-without-sort model double-parks");
+        // The counterexample needs ≥ 2 chunks on one stream and ≥ 1 on
+        // another (the [0, 1, 0] batch), a fault, and a pump.
+        assert!(v.trace.len() >= 6, "trace: {:?}", v.trace);
+        assert!(v.trace.contains(&ServiceEvent::ArmFault));
+        assert!(v.trace.contains(&ServiceEvent::Pump));
+    }
+
+    #[test]
+    fn ladder_mirror_matches_spec_shape() {
+        let l = LadderParams::serving_defaults();
+        assert_eq!(l.next_level(0, 59), 0);
+        assert_eq!(l.next_level(0, 60), 1);
+        assert_eq!(l.next_level(0, 100), 3);
+        // De-escalation: one rung, only past the margin.
+        assert_eq!(l.next_level(3, 80), 3, "80 + 15 ≥ 90 holds the rung");
+        assert_eq!(l.next_level(3, 74), 2);
+        assert_eq!(l.next_level(2, 10), 1, "one rung per tick");
+    }
+
+    #[test]
+    fn recovery_models_hold_for_both_policies() {
+        for m in [RecoveryModel::standard(), RecoveryModel::stream_serving()] {
+            let r = explore(&m, &ExploreLimits::default());
+            assert!(r.passed(), "{m:?}: {:?}", r.violations.first());
+            assert!(!r.truncated);
+        }
+    }
+}

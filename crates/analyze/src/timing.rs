@@ -1,0 +1,252 @@
+//! Static timing and resource analysis of a [`FabricConfig`].
+//!
+//! The PiCoGA pipelines one row per cycle, so timing is structural:
+//! latency = number of occupied rows, initiation interval = rows the
+//! feedback loop spans, fill/drain cost = latency − 1 per issue. This
+//! module derives those numbers — plus per-row register pressure,
+//! fan-out load and dead-cell occupancy — purely from the configuration,
+//! and [`cross_check`] validates the static model against the `obs`
+//! fabric profiler's *measured* per-row busy cycles and stall counts,
+//! so the analyzer and the cycle-accurate simulator keep each other
+//! honest.
+
+use crate::ir::FabricConfig;
+use std::fmt;
+
+/// The static timing/resource report for one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticTiming {
+    /// Occupied pipeline rows (the op's pipeline depth).
+    pub rows_used: usize,
+    /// Longest cell-to-cell dependency chain (logic levels). On a legal
+    /// wavefront placement this bounds `rows_used` from below.
+    pub critical_path: usize,
+    /// Cells per physical row, indexed by row (register pressure).
+    pub per_row_cells: Vec<usize>,
+    /// The largest per-row cell count.
+    pub max_row_pressure: usize,
+    /// The highest fan-out of any signal (routing load).
+    pub max_fanout: usize,
+    /// Cells that reach no primary output yet occupy fabric cells,
+    /// sorted by index.
+    pub dead_cells: Vec<usize>,
+    /// Cells with no placement row (never executed by the wavefront).
+    pub unplaced_cells: Vec<usize>,
+    /// Pipeline latency in cycles (= `rows_used`, one row per cycle).
+    pub latency: u64,
+    /// Cycles between issues: 1 for companion feedback, `latency` for
+    /// the dense fallback, 1 for feed-forward ops.
+    pub initiation_interval: u64,
+    /// Fill + drain stall cycles paid once per pipelined issue.
+    pub fill_drain_stalls_per_issue: u64,
+}
+
+impl StaticTiming {
+    /// Predicted busy cycles for each *used* row after streaming
+    /// `blocks` blocks in one pipelined issue (the profiler charges one
+    /// cycle per block to every used row).
+    #[must_use]
+    pub fn predicted_row_busy(&self, blocks: u64) -> u64 {
+        blocks
+    }
+
+    /// Predicted total fill/drain stalls after `issues` pipelined runs.
+    #[must_use]
+    pub fn predicted_stalls(&self, issues: u64) -> u64 {
+        self.fill_drain_stalls_per_issue * issues
+    }
+}
+
+/// A divergence between the static model and the profiler's measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingMismatch {
+    /// Which quantity diverged.
+    pub what: &'static str,
+    /// The static model's prediction.
+    pub predicted: u64,
+    /// What the profiler measured.
+    pub measured: u64,
+}
+
+impl fmt::Display for TimingMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "static timing model diverges from profiler: {} predicted {}, measured {}",
+            self.what, self.predicted, self.measured
+        )
+    }
+}
+
+impl std::error::Error for TimingMismatch {}
+
+/// Derives the static timing/resource report.
+#[must_use]
+pub fn analyze_timing(cfg: &FabricConfig) -> StaticTiming {
+    let n = cfg.n_inputs();
+
+    // Logic levels: inputs at level 0, each cell one past its deepest
+    // fan-in cell.
+    let mut level = vec![0usize; cfg.n_signals()];
+    for (ci, cell) in cfg.cells().iter().enumerate() {
+        let deepest = cell
+            .inputs
+            .iter()
+            .map(|&s| if s < n { 0 } else { level[s] })
+            .max()
+            .unwrap_or(0);
+        level[n + ci] = deepest + 1;
+    }
+    let critical_path = cfg
+        .cells()
+        .iter()
+        .enumerate()
+        .map(|(ci, _)| level[n + ci])
+        .max()
+        .unwrap_or(0);
+
+    let mut per_row_cells = Vec::new();
+    let mut unplaced_cells = Vec::new();
+    for (ci, cell) in cfg.cells().iter().enumerate() {
+        match cell.row {
+            Some(r) => {
+                if per_row_cells.len() <= r {
+                    per_row_cells.resize(r + 1, 0);
+                }
+                per_row_cells[r] += 1;
+            }
+            None => unplaced_cells.push(ci),
+        }
+    }
+    // The companion-feedback state row is real fabric: the placed
+    // operation charges one extra row (holding the state's ALU cells)
+    // beyond the lifted XOR network, so count it here too — otherwise
+    // latency and the AZ003 row bound would disagree with the
+    // simulator's issue-to-result accounting.
+    let companion_row = usize::from(cfg.loop_rows() == Some(1));
+    let rows_used = per_row_cells.iter().filter(|&&c| c > 0).count() + companion_row;
+    let max_row_pressure = per_row_cells.iter().copied().max().unwrap_or(0);
+
+    let live = cfg.live_signals();
+    let dead_cells: Vec<usize> = (0..cfg.cells().len()).filter(|&ci| !live[n + ci]).collect();
+
+    let max_fanout = cfg.fanout_counts().into_iter().max().unwrap_or(0);
+
+    let latency = rows_used.max(1) as u64;
+    let initiation_interval = match cfg.loop_rows() {
+        Some(r) if r > 1 => latency,
+        _ => 1,
+    };
+    StaticTiming {
+        rows_used,
+        critical_path,
+        per_row_cells,
+        max_row_pressure,
+        max_fanout,
+        dead_cells,
+        unplaced_cells,
+        latency,
+        initiation_interval,
+        fill_drain_stalls_per_issue: latency - 1,
+    }
+}
+
+/// Validates the static model against profiler measurements for a
+/// single-lane workload: `row_busy` is the profiler's per-row cycle
+/// count and `stalls` its fill/drain total after `issues` pipelined
+/// issues totalling `blocks` blocks (the profiler charges one cycle
+/// per block to every used row, and `latency − 1` stalls per issue).
+///
+/// # Errors
+///
+/// The first [`TimingMismatch`] found, if the model and measurement
+/// diverge.
+pub fn cross_check(
+    t: &StaticTiming,
+    issues: u64,
+    blocks: u64,
+    row_busy: &[u64],
+    stalls: u64,
+) -> Result<(), TimingMismatch> {
+    let predicted = t.predicted_stalls(issues);
+    if predicted != stalls {
+        return Err(TimingMismatch {
+            what: "fill/drain stalls",
+            predicted,
+            measured: stalls,
+        });
+    }
+    for (r, &busy) in row_busy.iter().enumerate() {
+        let predicted = if r < t.rows_used { blocks } else { 0 };
+        if busy != predicted {
+            return Err(TimingMismatch {
+                what: "per-row busy cycles",
+                predicted,
+                measured: busy,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CellFunc, FabricConfig};
+
+    fn chain(rows: usize) -> FabricConfig {
+        let mut cfg = FabricConfig::new("chain", 2);
+        let mut s = cfg.add_cell(0, vec![0, 1], CellFunc::Xor { invert: false });
+        for r in 1..rows {
+            s = cfg.add_cell(r, vec![s, 0], CellFunc::Xor { invert: false });
+        }
+        cfg.add_output(Some(s));
+        cfg
+    }
+
+    #[test]
+    fn chain_depth_and_latency() {
+        let cfg = chain(5);
+        let t = analyze_timing(&cfg);
+        assert_eq!(t.rows_used, 5);
+        assert_eq!(t.critical_path, 5);
+        assert_eq!(t.latency, 5);
+        assert_eq!(t.initiation_interval, 1, "feed-forward issues every cycle");
+        assert_eq!(t.fill_drain_stalls_per_issue, 4);
+        assert_eq!(t.per_row_cells, vec![1; 5]);
+        assert!(t.dead_cells.is_empty());
+        assert!(t.unplaced_cells.is_empty());
+    }
+
+    #[test]
+    fn dense_loop_has_ii_equal_latency() {
+        let mut cfg = chain(3);
+        cfg.set_loop_rows(Some(3));
+        let t = analyze_timing(&cfg);
+        assert_eq!(t.initiation_interval, t.latency);
+    }
+
+    #[test]
+    fn dead_and_pressure_reported() {
+        let mut cfg = FabricConfig::new("dead", 2);
+        let a = cfg.add_cell(0, vec![0, 1], CellFunc::Xor { invert: false });
+        let _dead = cfg.add_cell(0, vec![0], CellFunc::Xor { invert: false });
+        cfg.add_output(Some(a));
+        let t = analyze_timing(&cfg);
+        assert_eq!(t.dead_cells, vec![1]);
+        assert_eq!(t.max_row_pressure, 2);
+        assert_eq!(t.rows_used, 1);
+    }
+
+    #[test]
+    fn cross_check_matches_profiler_arithmetic() {
+        let t = analyze_timing(&chain(3));
+        // Mirror FabricProfiler::record_stream(3, 3, 10): each used row
+        // busy 10 cycles, stalls 2.
+        assert!(cross_check(&t, 1, 10, &[10, 10, 10, 0], 2).is_ok());
+        let err = cross_check(&t, 1, 10, &[10, 9, 10, 0], 2).unwrap_err();
+        assert_eq!(err.what, "per-row busy cycles");
+        let err = cross_check(&t, 2, 10, &[10, 10, 10, 0], 2).unwrap_err();
+        assert_eq!(err.what, "fill/drain stalls");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the static analyzers and the model checker.
+//!
+//! * Random affine networks (XOR cells and parity LUTs, with and
+//!   without inversion) must always certify affine — the prover may
+//!   not under-approximate the class it was built for.
+//! * Injecting a single *live* nonlinear LUT must always break the
+//!   certificate and name an offending cell — the prover may not
+//!   over-approximate either.
+//! * The model checker's exploration is a pure function of the model:
+//!   two explorations of the same model are identical, counterexample
+//!   traces included (the determinism `BENCH_analyze.json`'s byte
+//!   comparison in CI builds on).
+
+use analyze::{certify, explore, CellFunc, ExploreLimits, FabricConfig, LutTable, ServiceModel};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Builds a random-but-valid affine configuration from raw generator
+/// material: each descriptor word packs two (possibly equal) earlier
+/// signals, a row, whether to use a LUT or native XOR, and an
+/// inversion bit (the vendored proptest has no tuple strategies, so a
+/// cell is one `u32`). Parity LUTs (`x0 ^ x1 [^ 1]`) are affine by
+/// construction.
+fn affine_net(n_inputs: usize, descr: &[u32]) -> FabricConfig {
+    let mut cfg = FabricConfig::new("random-affine", n_inputs);
+    let mut last = Vec::new();
+    for &d in descr {
+        let (row, use_lut, invert) = ((d & 7) as u8, d >> 19 & 1 == 1, d >> 20 & 1 == 1);
+        let n = cfg.n_signals();
+        let (a, b) = ((d >> 3 & 0xFF) as usize % n, (d >> 11 & 0xFF) as usize % n);
+        let func = if use_lut {
+            // Truth table of x0 ^ x1 (^ 1): rows 0b01 and 0b10 high,
+            // flipped wholesale by the inversion constant.
+            let parity: u16 = 0b0110;
+            CellFunc::Lut(LutTable::new(
+                2,
+                if invert { !parity & 0xF } else { parity },
+            ))
+        } else {
+            CellFunc::Xor { invert }
+        };
+        last.push(cfg.add_cell(row as usize % 6, vec![a, b], func));
+    }
+    // Tap the most recent cells (or inputs) as outputs so most of the
+    // network is live.
+    let taps: Vec<_> = last.iter().rev().take(4).copied().collect();
+    if taps.is_empty() {
+        cfg.add_output(Some(0));
+    }
+    for t in taps {
+        cfg.add_output(Some(t));
+    }
+    cfg
+}
+
+proptest! {
+    #[test]
+    fn random_affine_networks_always_certify_affine(
+        n_inputs in 2usize..6,
+        descr in collection::vec(any::<u32>(), 1..24),
+    ) {
+        let cfg = affine_net(n_inputs, &descr);
+        let (cert, classes) = certify(&cfg);
+        prop_assert!(cert.affine, "affine-by-construction net refused: {}", cert.summary());
+        prop_assert!(cert.offending_cells.is_empty());
+        prop_assert_eq!(classes.len(), cfg.cells().len());
+    }
+
+    #[test]
+    fn one_injected_live_nonlinear_lut_never_certifies(
+        n_inputs in 2usize..6,
+        descr in collection::vec(any::<u32>(), 1..24),
+        pick_a in any::<u8>(),
+    ) {
+        let mut cfg = affine_net(n_inputs, &descr);
+        // Two *distinct primary inputs* feeding an AND LUT: distinct
+        // free variables, so no abstract simplification (constant
+        // propagation, equal-pin merging, x & x = x) can linearise it.
+        let a = pick_a as usize % n_inputs;
+        let b = (a + 1) % n_inputs;
+        let s = cfg.add_cell(5, vec![a, b], CellFunc::Lut(LutTable::new(2, 0b1000)));
+        // Wired straight to an output: undeniably live.
+        cfg.add_output(Some(s));
+        let (cert, _) = certify(&cfg);
+        prop_assert!(!cert.affine, "live AND cell certified affine: {}", cert.summary());
+        prop_assert!(!cert.offending_cells.is_empty());
+    }
+}
+
+#[test]
+fn exploration_is_deterministic_run_to_run() {
+    let limits = ExploreLimits::default();
+    for model in [ServiceModel::small(), ServiceModel::small_prefix_bug()] {
+        let a = explore(&model, &limits);
+        let b = explore(&model, &limits);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(
+            format!("{:?}", a.violations),
+            format!("{:?}", b.violations),
+            "counterexample traces must not depend on iteration order"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Tolerance-based comparator between a committed `BENCH_obs.json`
+//! baseline and a freshly generated report — the first rung of the
+//! performance ratchet.
+//!
+//! Three regression gates, each with a percentage tolerance (default
+//! 10%):
+//!
+//! * **Throughput floor** — every catalogue point present in the
+//!   baseline must still exist and reach at least
+//!   `baseline × (100 − tol)%` of its recorded `throughput_bps`.
+//! * **Stall ceiling** — per point, `fill_drain_stalls` may not exceed
+//!   `baseline × (100 + tol)% + 2` (the absolute slack forgives
+//!   rounding on near-zero baselines).
+//! * **p99 queue-depth ceiling** — the storm pass's
+//!   `queue_depth.p99` may not exceed `baseline × (100 + tol)% + 1`.
+//!
+//! A point present in the baseline but missing from the current report
+//! is itself a regression (coverage loss), reported and fatal.
+//!
+//! Usage: `obs_baseline [--baseline PATH] [--current PATH] [--tolerance-pct N]`
+
+use obs::{json_objects, json_section, json_str, json_u64};
+use std::collections::BTreeMap;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// (spec, m) → (throughput_bps, fill_drain_stalls) per catalogue point.
+fn catalogue_points(doc: &str, what: &str) -> BTreeMap<(String, u64), (u64, u64)> {
+    let Some(cat) = json_section(doc, "catalogue") else {
+        eprintln!("{what}: no \"catalogue\" section");
+        std::process::exit(2);
+    };
+    let mut out = BTreeMap::new();
+    for obj in json_objects(cat) {
+        let (Some(spec), Some(m), Some(bps), Some(stalls)) = (
+            json_str(obj, "spec"),
+            json_u64(obj, "m"),
+            json_u64(obj, "throughput_bps"),
+            json_u64(obj, "fill_drain_stalls"),
+        ) else {
+            eprintln!("{what}: malformed catalogue entry: {obj}");
+            std::process::exit(2);
+        };
+        out.insert((spec.to_string(), m), (bps, stalls));
+    }
+    out
+}
+
+fn queue_p99(doc: &str, what: &str) -> u64 {
+    json_section(doc, "storm")
+        .and_then(|s| json_section(s, "queue_depth"))
+        .and_then(|q| json_u64(q, "p99"))
+        .unwrap_or_else(|| {
+            eprintln!("{what}: no storm queue_depth.p99");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let mut baseline_path = String::from("baselines/BENCH_obs.json");
+    let mut current_path = String::from("BENCH_obs.json");
+    let mut tol: u64 = 10;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = val("--baseline"),
+            "--current" => current_path = val("--current"),
+            "--tolerance-pct" => {
+                let v = val("--tolerance-pct");
+                tol = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance-pct expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: obs_baseline \
+                     [--baseline PATH] [--current PATH] [--tolerance-pct N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+    let base_points = catalogue_points(&baseline, "baseline");
+    let cur_points = catalogue_points(&current, "current");
+
+    let mut regressions: Vec<String> = Vec::new();
+    for ((spec, m), &(base_bps, base_stalls)) in &base_points {
+        let Some(&(cur_bps, cur_stalls)) = cur_points.get(&(spec.clone(), *m)) else {
+            regressions.push(format!("{spec} M={m}: point missing from current report"));
+            continue;
+        };
+        let floor = base_bps * (100 - tol.min(100)) / 100;
+        if cur_bps < floor {
+            regressions.push(format!(
+                "{spec} M={m}: throughput {cur_bps} b/s below floor {floor} \
+                 (baseline {base_bps}, tolerance {tol}%)"
+            ));
+        }
+        let ceiling = base_stalls * (100 + tol) / 100 + 2;
+        if cur_stalls > ceiling {
+            regressions.push(format!(
+                "{spec} M={m}: fill/drain stalls {cur_stalls} above ceiling {ceiling} \
+                 (baseline {base_stalls}, tolerance {tol}%)"
+            ));
+        }
+    }
+
+    let base_p99 = queue_p99(&baseline, "baseline");
+    let cur_p99 = queue_p99(&current, "current");
+    let p99_ceiling = base_p99 * (100 + tol) / 100 + 1;
+    if cur_p99 > p99_ceiling {
+        regressions.push(format!(
+            "storm queue_depth p99 {cur_p99} above ceiling {p99_ceiling} \
+             (baseline {base_p99}, tolerance {tol}%)"
+        ));
+    }
+
+    println!(
+        "obs_baseline: {} point(s) compared (tolerance {tol}%), \
+         queue p99 {cur_p99} vs baseline {base_p99}",
+        base_points.len(),
+    );
+    if regressions.is_empty() {
+        println!("no regressions against {baseline_path}");
+    } else {
+        eprintln!(
+            "{} regression(s) against {baseline_path}:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,13 @@ pub struct FlowOptions {
     /// fabric linter; any `Error`-severity finding fails the build with
     /// [`BuildError::Verify`]. `None` skips verification entirely.
     pub verify: Option<LintConfig>,
+    /// Strict-mode static analysis: when set, every mapped operation is
+    /// lowered to the analyzer IR and run through the linearity prover
+    /// and the timing/resource analyzer; any `AZ`-coded error-severity
+    /// finding fails the build with [`BuildError::Analyze`], and the
+    /// proven [`analyze::LinearityCert`] is attached to the personality
+    /// so the runtime datapath probe knows its basis sweep is sound.
+    pub analyze: bool,
 }
 
 impl FlowOptions {
@@ -55,6 +62,7 @@ impl FlowOptions {
             synth: SynthOptions::default(),
             control: ControlModel::default(),
             verify: Some(LintConfig::keep_all()),
+            analyze: true,
         }
     }
 
@@ -86,6 +94,29 @@ fn enforce(
         });
     }
     Ok(())
+}
+
+/// Analysis gate: lowers `op` to the analyzer IR and runs the linearity
+/// prover plus the timing/resource analyzer against the target fabric's
+/// bounds. Returns the proven certificate (for attaching to the hosted
+/// personality) or `None` when analysis is disabled.
+fn enforce_analysis(
+    op_name: &'static str,
+    op: &PgaOperation,
+    opts: &FlowOptions,
+) -> Result<Option<analyze::LinearityCert>, BuildError> {
+    if !opts.analyze {
+        return Ok(None);
+    }
+    let cfg = analyze::FabricConfig::from_op(op);
+    let params = analyze::AnalysisParams::for_fabric(&opts.params);
+    match analyze::check_config(&cfg, &params) {
+        Ok(a) => Ok(Some(a.cert)),
+        Err(source) => Err(BuildError::Analyze {
+            op: op_name,
+            source,
+        }),
+    }
 }
 
 /// What the flow decided and what it cost — the §4 narrative as data.
@@ -129,6 +160,8 @@ pub fn build_crc_app(
             enforce("crc-update", app.update_op(), derby.b_mt(), opts)?;
             let fin = app.finalize_op().expect("Derby datapath has a finalize op");
             enforce("crc-finalize", fin, derby.t(), opts)?;
+            enforce_analysis("crc-update", app.update_op(), opts)?;
+            enforce_analysis("crc-finalize", fin, opts)?;
         }
         None => {
             let block = app
@@ -136,6 +169,7 @@ pub fn build_crc_app(
                 .expect("non-Derby datapath is dense");
             let expected = block.a_m().hstack(block.b_m());
             enforce("crc-update-dense", app.update_op(), &expected, opts)?;
+            enforce_analysis("crc-update-dense", app.update_op(), opts)?;
         }
     }
     let serial = StateSpaceLfsr::crc(&spec.generator()).expect("valid generator");
@@ -170,6 +204,7 @@ pub fn build_scrambler_app(
         let derby = app.transform();
         let expected = derby.c_stack_t().hstack(derby.d_stack());
         enforce("scrambler", app.op(), &expected, opts)?;
+        enforce_analysis("scrambler", app.op(), opts)?;
     }
     let serial = StateSpaceLfsr::additive_scrambler(&spec.polynomial()).expect("valid poly");
     let a_m_ones = serial.a().pow(opts.m as u64).count_ones();
@@ -206,6 +241,7 @@ pub fn build_personality(
     use picoga::PgaOperation;
     use xornet::synthesize;
 
+    let name: String = name.into();
     let serial = StateSpaceLfsr::crc(&spec.generator()).expect("valid generator");
     let block = BlockSystem::new(&serial, opts.m)?;
     match DerbyTransform::new(&block) {
@@ -226,13 +262,22 @@ pub fn build_personality(
                 })?;
             enforce("update", &update, derby.b_mt(), opts)?;
             enforce("finalize", &finalize, derby.t(), opts)?;
+            let cu = enforce_analysis("update", &update, opts)?;
+            let cf = enforce_analysis("finalize", &finalize, opts)?;
+            let linearity = cu.map(|cu| {
+                analyze::LinearityCert::merge(
+                    name.clone(),
+                    &[cu, cf.expect("both gates run together")],
+                )
+            });
             Ok(dream::Personality {
-                name: name.into(),
+                name,
                 spec: *spec,
                 m: opts.m,
                 update,
                 finalize: Some(finalize),
                 derby: Some(derby),
+                linearity,
             })
         }
         Err(ParallelError::SingularKrylov { .. }) => {
@@ -243,13 +288,16 @@ pub fn build_personality(
                     source,
                 })?;
             enforce("update", &update, &block.a_m().hstack(block.b_m()), opts)?;
+            let linearity = enforce_analysis("update", &update, opts)?
+                .map(|c| analyze::LinearityCert::merge(name.clone(), &[c]));
             Ok(dream::Personality {
-                name: name.into(),
+                name,
                 spec: *spec,
                 m: opts.m,
                 update,
                 finalize: None,
                 derby: None,
+                linearity,
             })
         }
         Err(e) => Err(e.into()),
@@ -283,12 +331,16 @@ pub fn build_scrambler_personality(
             source,
         })?;
     enforce("scrambler", &op, &expected, opts)?;
+    let name: String = name.into();
+    let linearity = enforce_analysis("scrambler", &op, opts)?
+        .map(|c| analyze::LinearityCert::merge(name.clone(), &[c]));
     Ok(dream::ScramblerPersonality {
-        name: name.into(),
+        name,
         spec: *spec,
         m: opts.m,
         op,
         derby,
+        linearity,
     })
 }
 
@@ -387,10 +439,14 @@ mod tests {
             for m in [8usize, 16, 32, 64, 128] {
                 let opts = FlowOptions::dream_with_m(m);
                 assert!(opts.verify.is_some(), "strict mode is the default");
+                assert!(opts.analyze, "static analysis is on by default");
                 match build_crc_app(spec, &opts) {
                     Ok(_) => {}
                     Err(BuildError::Verify { op, source }) => {
                         panic!("{} M={m} '{op}' failed verification:\n{source}", spec.name)
+                    }
+                    Err(BuildError::Analyze { op, source }) => {
+                        panic!("{} M={m} '{op}' failed analysis:\n{source}", spec.name)
                     }
                     // Genuinely unmappable points (e.g. M beyond the I/O
                     // budget for wide states) are not verification bugs.
@@ -410,11 +466,44 @@ mod tests {
     fn verification_can_be_disabled() {
         let opts = FlowOptions {
             verify: None,
+            analyze: false,
             ..FlowOptions::dream_with_m(32)
         };
         let (mut app, _) = build_crc_app(CrcSpec::crc32_ethernet(), &opts).unwrap();
         let (crc, _) = app.checksum(b"123456789");
         assert_eq!(crc, 0xCBF43926);
+    }
+
+    #[test]
+    fn analysis_attaches_an_affine_certificate() {
+        let p = build_personality(
+            "eth",
+            CrcSpec::crc32_ethernet(),
+            &FlowOptions::dream_with_m(32),
+        )
+        .unwrap();
+        let cert = p.linearity.expect("dream presets analyze by default");
+        assert!(cert.affine, "{}", cert.summary());
+        assert!(cert.linear, "CRC update/finalize are linear maps");
+        assert!(cert.offending_cells.is_empty());
+
+        let s = crate::flow::build_scrambler_personality(
+            "wifi",
+            ScramblerSpec::ieee80211(),
+            &FlowOptions::dream_with_m(32),
+        )
+        .unwrap();
+        assert!(s.linearity.expect("cert attached").affine);
+    }
+
+    #[test]
+    fn analysis_can_be_disabled_leaving_no_certificate() {
+        let opts = FlowOptions {
+            analyze: false,
+            ..FlowOptions::dream_with_m(32)
+        };
+        let p = build_personality("eth", CrcSpec::crc32_ethernet(), &opts).unwrap();
+        assert!(p.linearity.is_none());
     }
 
     #[test]

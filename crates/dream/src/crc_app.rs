@@ -54,6 +54,15 @@ pub enum BuildError {
         /// The underlying simulator error.
         source: SimError,
     },
+    /// Whole-configuration static analysis rejected a mapped operation
+    /// (strict-mode flows only): a live nonlinear cell, a non-affine
+    /// output (unsound basis probe), or a fabric bound exceeded.
+    Analyze {
+        /// Which operation failed analysis.
+        op: &'static str,
+        /// The `AZ`-coded findings that rejected the configuration.
+        source: analyze::AnalyzeError,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -68,6 +77,9 @@ impl fmt::Display for BuildError {
             BuildError::Fabric { op, source } => {
                 write!(f, "fabric cannot host '{op}': {source}")
             }
+            BuildError::Analyze { op, source } => {
+                write!(f, "static analysis of '{op}' failed: {source}")
+            }
         }
     }
 }
@@ -80,6 +92,7 @@ impl std::error::Error for BuildError {
             BuildError::Map { source, .. } => Some(source),
             BuildError::Verify { source, .. } => Some(source),
             BuildError::Fabric { source, .. } => Some(source),
+            BuildError::Analyze { source, .. } => Some(source),
         }
     }
 }

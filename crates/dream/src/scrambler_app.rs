@@ -104,6 +104,12 @@ impl DreamScramblerApp {
         &self.derby
     }
 
+    /// The fabric simulator this application runs on — read access for
+    /// observability (cycle counters, profiler, tracer).
+    pub fn fabric(&self) -> &PicogaSim {
+        &self.sim
+    }
+
     /// Kernel-only peak throughput: M bits per cycle at the fabric clock.
     pub fn kernel_throughput_bps(&self) -> f64 {
         self.m as f64 * self.sim.params().clock_hz

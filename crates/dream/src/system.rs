@@ -40,6 +40,12 @@ pub struct Personality {
     pub finalize: Option<PgaOperation>,
     /// The transform, for state conversion.
     pub derby: Option<DerbyTransform>,
+    /// Static linearity certificate covering every operation. Attached
+    /// by the build flow's analysis pass; derived lazily (and cached)
+    /// by [`DreamSystem::datapath_probe`] when absent. The probe's
+    /// zero+basis sweep is complete only for affine networks, so a
+    /// non-affine certificate makes the probe refuse to run.
+    pub linearity: Option<analyze::LinearityCert>,
 }
 
 /// Errors from driving the system.
@@ -104,6 +110,18 @@ pub enum SystemError {
         /// The personality's state dimension.
         expected: usize,
     },
+    /// The affine-complete datapath probe was asked to certify a lane
+    /// whose personality is **not** affine: the zero+basis sweep is
+    /// complete only for affine functions, so running it would produce
+    /// an unsound "clean" verdict. This is a configuration property
+    /// (caught statically), not a runtime fault — the lane's health is
+    /// left untouched.
+    ProbeUnsound {
+        /// The personality whose probe was refused.
+        name: String,
+        /// The linearity certificate's one-line summary.
+        summary: String,
+    },
     /// Underlying simulator error.
     Sim(SimError),
 }
@@ -142,6 +160,13 @@ impl fmt::Display for SystemError {
                 write!(
                     f,
                     "stream state has {got} bits, personality needs {expected}"
+                )
+            }
+            SystemError::ProbeUnsound { name, summary } => {
+                write!(
+                    f,
+                    "datapath probe of '{name}' refused: {summary} — the affine-complete sweep \
+                     is unsound for non-affine personalities"
                 )
             }
             SystemError::Sim(e) => write!(f, "fabric error: {e}"),
@@ -187,6 +212,9 @@ pub struct ScramblerPersonality {
     pub op: PgaOperation,
     /// The transform (for seed conversion).
     pub derby: DerbyTransform,
+    /// Static linearity certificate for the operation (see
+    /// [`Personality::linearity`]).
+    pub linearity: Option<analyze::LinearityCert>,
 }
 
 /// Health of one hosted personality, as tracked by the runtime
@@ -833,13 +861,28 @@ impl DreamSystem {
     ///
     /// A failing personality is marked [`Health::Suspect`].
     ///
+    /// The sweep's completeness holds **only for affine datapaths**, so
+    /// the probe first consults the personality's static
+    /// [`analyze::LinearityCert`] (deriving and caching one when the
+    /// build flow did not attach it) and refuses with
+    /// [`SystemError::ProbeUnsound`] — a hard error, not a silent
+    /// fallback — when the personality is not affine.
+    ///
     /// Returns `true` when every context's datapath matches its
     /// configuration.
     ///
     /// # Errors
     ///
-    /// [`SystemError::UnknownPersonality`] or fabric errors.
+    /// [`SystemError::UnknownPersonality`], [`SystemError::ProbeUnsound`]
+    /// or fabric errors.
     pub fn datapath_probe(&mut self, name: &str) -> Result<bool, SystemError> {
+        let cert = self.linearity_cert(name)?;
+        if !cert.affine {
+            return Err(SystemError::ProbeUnsound {
+                name: name.into(),
+                summary: cert.summary(),
+            });
+        }
         self.sim.obs_mut().registry.inc(self.ids.probe_runs);
         let mut roles: Vec<u8> = Vec::new();
         if let Some(p) = self.personalities.get(name) {
@@ -873,6 +916,38 @@ impl DreamSystem {
             .obs_mut()
             .event_for(None, Some(name), EventKind::ProbeRun { ok });
         Ok(ok)
+    }
+
+    /// The personality's linearity certificate: the one the build flow
+    /// attached, or — for personalities registered without analysis —
+    /// one derived here from the registered operations and cached.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::UnknownPersonality`].
+    pub fn linearity_cert(&mut self, name: &str) -> Result<analyze::LinearityCert, SystemError> {
+        if let Some(p) = self.personalities.get_mut(name) {
+            if let Some(c) = &p.linearity {
+                return Ok(c.clone());
+            }
+            let mut parts = vec![analyze::certify(&analyze::FabricConfig::from_op(&p.update)).0];
+            if let Some(fin) = &p.finalize {
+                parts.push(analyze::certify(&analyze::FabricConfig::from_op(fin)).0);
+            }
+            let cert = analyze::LinearityCert::merge(name, &parts);
+            p.linearity = Some(cert.clone());
+            Ok(cert)
+        } else if let Some(p) = self.scramblers.get_mut(name) {
+            if let Some(c) = &p.linearity {
+                return Ok(c.clone());
+            }
+            let (cert, _) = analyze::certify(&analyze::FabricConfig::from_op(&p.op));
+            let cert = analyze::LinearityCert::merge(name, &[cert]);
+            p.linearity = Some(cert.clone());
+            Ok(cert)
+        } else {
+            Err(SystemError::UnknownPersonality { name: name.into() })
+        }
     }
 
     /// Reloads the pristine configuration of every resident context of
@@ -1088,6 +1163,7 @@ pub(crate) mod tests {
             update,
             finalize: Some(finalize),
             derby: Some(derby),
+            linearity: None,
         })
     }
 
@@ -1181,6 +1257,7 @@ pub(crate) mod tests {
             m: 32,
             op,
             derby,
+            linearity: None,
         })
         .unwrap();
 
@@ -1237,6 +1314,7 @@ pub(crate) mod tests {
             m,
             op,
             derby,
+            linearity: None,
         }
     }
 
@@ -1370,6 +1448,43 @@ pub(crate) mod tests {
         assert_eq!(report.picoga.total(), 0, "no fabric cycles in fallback");
         assert!(report.tail_cycles > 0);
         assert_eq!(sys.resilience_counters().fallback_messages, 1);
+    }
+
+    #[test]
+    fn datapath_probe_derives_and_caches_a_linearity_cert() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        // Registered without a cert: the probe derives one on first use.
+        assert!(sys.datapath_probe("eth").unwrap());
+        let cert = sys.linearity_cert("eth").unwrap();
+        assert!(
+            cert.affine,
+            "CRC personalities are linear: {}",
+            cert.summary()
+        );
+        assert_eq!(cert.n_nonlinear, 0);
+    }
+
+    #[test]
+    fn non_affine_cert_makes_the_probe_refuse() {
+        let mut sys = system_with(&[("eth", "CRC-32/ETHERNET", 32)]);
+        // Doctor the cert: pretend the prover found a nonlinear cell.
+        let mut p = personality("eth2", CrcSpec::crc32_ethernet(), 32).unwrap();
+        p.linearity = Some(analyze::LinearityCert {
+            affine: false,
+            linear: false,
+            n_affine: 0,
+            n_nonlinear: 1,
+            offending_cells: vec![7],
+            matrix: None,
+            offset: None,
+            ..sys.linearity_cert("eth").unwrap()
+        });
+        sys.register(p).unwrap();
+        let err = sys.datapath_probe("eth2").unwrap_err();
+        assert!(matches!(err, SystemError::ProbeUnsound { .. }), "{err}");
+        assert!(err.to_string().contains("unsound"));
+        // A config property, not a fault: health is untouched.
+        assert_eq!(sys.health("eth2"), Health::Healthy);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Minimal JSON *extraction* — the read-side counterpart of the
+//! hand-rolled exporters.
+//!
+//! The bench binaries emit flat, sorted, integer-only JSON documents
+//! (`BENCH_obs.json`, `BENCH_analyze.json`). The baseline comparator
+//! needs to read those documents back without pulling a JSON dependency
+//! into the workspace, so this module provides just enough: locate a
+//! key's value, split an array into its top-level objects, and pull
+//! unsigned integers and strings out of flat objects. It is not a
+//! general JSON parser — nesting is handled only by bracket matching,
+//! and numbers are expected to be unsigned integers (the exporters
+//! guarantee both).
+
+/// Returns the raw text of the value following `"key":` at any nesting
+/// depth — an object/array including its brackets, or a scalar up to
+/// the enclosing `,`/`}`/`]`. The first occurrence wins.
+#[must_use]
+pub fn json_section<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = &doc[start..];
+    let mut chars = rest.char_indices();
+    let (_, first) = chars.next()?;
+    match first {
+        '{' | '[' => {
+            let close = if first == '{' { '}' } else { ']' };
+            let mut depth = 0usize;
+            let mut in_str = false;
+            let mut escaped = false;
+            for (i, c) in rest.char_indices() {
+                if in_str {
+                    match c {
+                        _ if escaped => escaped = false,
+                        '\\' => escaped = true,
+                        '"' => in_str = false,
+                        _ => {}
+                    }
+                    continue;
+                }
+                match c {
+                    '"' => in_str = true,
+                    c if c == first => depth += 1,
+                    c if c == close => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(&rest[..=i]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        _ => {
+            let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+            Some(rest[..end].trim())
+        }
+    }
+}
+
+/// Splits an array slice (as returned by [`json_section`], brackets
+/// included) into its top-level `{…}` object slices.
+#[must_use]
+pub fn json_objects(array: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in array.char_indices() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        out.push(&array[s..=i]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Reads the unsigned integer value of `"key"` in a flat object slice.
+#[must_use]
+pub fn json_u64(obj: &str, key: &str) -> Option<u64> {
+    json_section(obj, key)?.parse().ok()
+}
+
+/// Reads the (unescaped-as-written) string value of `"key"` in a flat
+/// object slice.
+#[must_use]
+pub fn json_str<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let raw = json_section(obj, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "{\"bench\":\"obs_report\",\"seed\":2008,\
+         \"catalogue\":[{\"spec\":\"CRC-32\",\"m\":8,\"throughput_bps\":1600000000},\
+         {\"spec\":\"odd{\\\"}name\",\"m\":32,\"throughput_bps\":6400000000}],\
+         \"storm\":{\"queue_depth\":{\"p99\":7,\"max\":9},\"passed\":true}}";
+
+    #[test]
+    fn sections_scalars_and_strings_extract() {
+        assert_eq!(json_section(DOC, "seed"), Some("2008"));
+        assert_eq!(json_u64(DOC, "seed"), Some(2008));
+        assert_eq!(json_str(DOC, "bench"), Some("obs_report"));
+        let storm = json_section(DOC, "storm").unwrap();
+        assert!(storm.starts_with('{') && storm.ends_with('}'));
+        assert_eq!(
+            json_u64(json_section(storm, "queue_depth").unwrap(), "p99"),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn arrays_split_into_objects_despite_tricky_strings() {
+        let cat = json_section(DOC, "catalogue").unwrap();
+        let objs = json_objects(cat);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(json_str(objs[0], "spec"), Some("CRC-32"));
+        assert_eq!(json_u64(objs[0], "throughput_bps"), Some(1_600_000_000));
+        assert_eq!(json_u64(objs[1], "m"), Some(32));
+    }
+
+    #[test]
+    fn missing_keys_are_none() {
+        assert_eq!(json_section(DOC, "nope"), None);
+        assert_eq!(json_u64(DOC, "bench"), None, "strings do not parse as u64");
+    }
+}

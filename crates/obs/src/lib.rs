@@ -24,12 +24,14 @@
 
 mod hist;
 mod hub;
+mod json;
 mod profile;
 mod registry;
 mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use hub::{CycleIds, ObsHub};
+pub use json::{json_objects, json_section, json_str, json_u64};
 pub use profile::{FabricProfiler, LaneUsage};
 pub use registry::{
     CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot,

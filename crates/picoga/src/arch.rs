@@ -80,6 +80,17 @@ impl PicogaParams {
         self.rows * self.cells_per_row
     }
 
+    /// Upper bound on the fan-out one signal may drive through the
+    /// routing fabric. The 2-bit-granularity interconnect broadcasts a
+    /// signal down a vertical channel in row segments; a channel drives
+    /// at most four segments of `cells_per_row` taps before the
+    /// segmentation buffers run out (64 on the DREAM instance — the
+    /// densest mapped network, the 802.11 scrambler at M=128, peaks at
+    /// 33; see the fan-out survey in `tests/analyze_acceptance.rs`).
+    pub fn max_signal_fanout(&self) -> usize {
+        4 * self.cells_per_row
+    }
+
     /// Configuration bitstream size for an operation occupying
     /// `cells` cells over `rows` rows.
     pub fn config_bits(&self, cells: usize, rows: usize) -> usize {

@@ -558,6 +558,13 @@ impl ResilientSystem {
     /// trustworthy: a reload fixes configuration upsets but not
     /// stuck-at cells, and a sampled probe can miss a stuck cell that
     /// live traffic would excite — the sweep cannot.
+    ///
+    /// The sweep itself is guarded by the lane's static linearity
+    /// certificate: `datapath_probe` returns
+    /// [`SystemError::ProbeUnsound`] for a personality the `analyze`
+    /// prover could not show affine, and that error propagates out of
+    /// the whole recovery ladder via `?` — a lane whose health cannot
+    /// be soundly decided must never be declared healed.
     fn lane_clean(&mut self, name: &str) -> Result<bool, SystemError> {
         if self.sys.scrub().iter().any(|f| f.personality == name) {
             return Ok(false);
@@ -784,5 +791,39 @@ mod tests {
             assert_eq!(r.crc, expected, "DMR must never deliver a wrong answer");
         }
         assert!(rs.dmr_mismatches() >= 1, "the stuck cell was noticed");
+    }
+
+    #[test]
+    fn probe_unsound_cert_aborts_the_recovery_ladder_with_a_typed_error() {
+        let mut rs = mk(RecoveryPolicy::standard());
+        let spec = spec();
+        rs.host("eth", &spec, FlowOptions::dream_with_m(32))
+            .unwrap();
+
+        // Doctor the lane's linearity certificate: pretend the prover
+        // found a nonlinear cell. Every rung's lane_clean check runs
+        // the datapath sweep, which must now refuse rather than certify.
+        let mut p = build_personality("eth", &spec, &FlowOptions::dream_with_m(32)).unwrap();
+        let genuine = p.linearity.take().expect("dream presets attach a cert");
+        p.linearity = Some(analyze::LinearityCert {
+            affine: false,
+            linear: false,
+            n_affine: 0,
+            n_nonlinear: 1,
+            offending_cells: vec![3],
+            matrix: None,
+            offset: None,
+            ..genuine
+        });
+        rs.system_mut().replace_personality(p).unwrap();
+
+        let err = rs.recover("eth").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ResilienceError::System(SystemError::ProbeUnsound { .. })
+            ),
+            "recovery must not declare an unprobeable lane healed: {err}"
+        );
     }
 }

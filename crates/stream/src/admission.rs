@@ -77,7 +77,11 @@ impl OverloadLevel {
         }
     }
 
-    fn rank(self) -> u8 {
+    /// The ladder rank, 0 (Normal) … 3 (ParkIdle). Public so the
+    /// `analyze` model checker's abstract ladder can be cross-checked
+    /// against this implementation rank-for-rank.
+    #[must_use]
+    pub fn rank(self) -> u8 {
         match self {
             OverloadLevel::Normal => 0,
             OverloadLevel::RejectNew => 1,
@@ -86,7 +90,10 @@ impl OverloadLevel {
         }
     }
 
-    fn from_rank(rank: u8) -> Self {
+    /// Inverse of [`OverloadLevel::rank`]; ranks above 3 saturate to
+    /// [`OverloadLevel::ParkIdle`].
+    #[must_use]
+    pub fn from_rank(rank: u8) -> Self {
         match rank {
             0 => OverloadLevel::Normal,
             1 => OverloadLevel::RejectNew,

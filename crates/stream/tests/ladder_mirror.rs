@@ -1,0 +1,62 @@
+//! Cross-check: the model checker's abstract overload ladder
+//! ([`analyze::LadderParams`]) must compute exactly the same step
+//! function as the real [`stream::AdmissionConfig::next_level`] — the
+//! model-checking verdicts are only as good as the model's fidelity,
+//! so drift between the two is a test failure here, not a silent
+//! soundness hole there.
+
+use analyze::LadderParams;
+use proptest::prelude::*;
+use stream::{AdmissionConfig, OverloadLevel};
+
+fn mirror(cfg: &AdmissionConfig) -> LadderParams {
+    LadderParams {
+        reject_enter_pct: cfg.reject_enter_pct,
+        degrade_enter_pct: cfg.degrade_enter_pct,
+        park_enter_pct: cfg.park_enter_pct,
+        exit_margin_pct: cfg.exit_margin_pct,
+    }
+}
+
+#[test]
+fn default_ladder_agrees_exhaustively() {
+    let cfg = AdmissionConfig::default();
+    let model = mirror(&cfg);
+    assert_eq!(
+        model,
+        LadderParams::serving_defaults(),
+        "the model's serving_defaults must track AdmissionConfig::default"
+    );
+    for rank in 0u8..=3 {
+        for occ in 0u32..=150 {
+            let real = cfg.next_level(OverloadLevel::from_rank(rank), occ).rank();
+            let abs = model.next_level(rank, occ);
+            assert_eq!(real, abs, "rank {rank}, occupancy {occ}%");
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary (even unordered) thresholds, margins and occupancies:
+    /// the two step functions stay pointwise identical.
+    #[test]
+    fn ladder_mirror_matches_for_arbitrary_thresholds(
+        reject in 0u32..121,
+        degrade in 0u32..121,
+        park in 0u32..121,
+        margin in 0u32..51,
+        rank in 0u8..4,
+        occ in 0u32..201,
+    ) {
+        let cfg = AdmissionConfig {
+            reject_enter_pct: reject,
+            degrade_enter_pct: degrade,
+            park_enter_pct: park,
+            exit_margin_pct: margin,
+            ..AdmissionConfig::default()
+        };
+        let real = cfg.next_level(OverloadLevel::from_rank(rank), occ).rank();
+        let abs = mirror(&cfg).next_level(rank, occ);
+        prop_assert_eq!(real, abs);
+    }
+}

@@ -36,11 +36,23 @@ pub enum Code {
     /// FL008 — a working set larger than the configuration cache
     /// (context thrash on a shared fabric).
     CacheOverflow,
+    /// FL009 — a signal drives more cell taps than the routing fabric's
+    /// fan-out bound.
+    FanoutExceeded,
+    /// FL010 — the network's critical-path logic depth exceeds the row
+    /// budget: no wavefront placement at one level per row can exist.
+    DepthOverRows,
+    /// FL011 — a dead gate holds a placement row (occupies a physical
+    /// fabric cell for nothing).
+    DeadCell,
+    /// FL012 — a gate taps the same signal more than once; the pair
+    /// cancels in GF(2), wasting two fan-in slots.
+    DuplicateTap,
 }
 
 impl Code {
     /// Every code, in FL-number order.
-    pub const ALL: [Code; 9] = [
+    pub const ALL: [Code; 13] = [
         Code::NonEquivalent,
         Code::DeadGate,
         Code::DuplicateGate,
@@ -50,6 +62,10 @@ impl Code {
         Code::NonCompanionFeedback,
         Code::WavefrontHazard,
         Code::CacheOverflow,
+        Code::FanoutExceeded,
+        Code::DepthOverRows,
+        Code::DeadCell,
+        Code::DuplicateTap,
     ];
 
     /// The stable string form (`"FL004"`).
@@ -65,6 +81,10 @@ impl Code {
             Code::NonCompanionFeedback => "FL006",
             Code::WavefrontHazard => "FL007",
             Code::CacheOverflow => "FL008",
+            Code::FanoutExceeded => "FL009",
+            Code::DepthOverRows => "FL010",
+            Code::DeadCell => "FL011",
+            Code::DuplicateTap => "FL012",
         }
     }
 
@@ -81,6 +101,10 @@ impl Code {
             Code::NonCompanionFeedback => "feedback not in companion form (II = latency)",
             Code::WavefrontHazard => "gate reads a signal from its own or a later row",
             Code::CacheOverflow => "working set exceeds the configuration cache",
+            Code::FanoutExceeded => "signal fan-out exceeds the routing bound",
+            Code::DepthOverRows => "critical-path depth exceeds the row budget",
+            Code::DeadCell => "dead gate occupies a placed fabric cell",
+            Code::DuplicateTap => "gate taps the same signal twice (GF(2) cancellation)",
         }
     }
 
@@ -375,7 +399,10 @@ mod tests {
         let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(
             strs,
-            ["FL000", "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007", "FL008"]
+            [
+                "FL000", "FL001", "FL002", "FL003", "FL004", "FL005", "FL006", "FL007", "FL008",
+                "FL009", "FL010", "FL011", "FL012"
+            ]
         );
         for c in Code::ALL {
             assert!(!c.summary().is_empty());

@@ -11,11 +11,13 @@
 //!   for its source matrix. Rejections are localised to the offending
 //!   output rows and input columns (`FL000`).
 //! * [`lint_network`] / [`lint_operation`] / [`lint_context_demand`] —
-//!   a **structural linter** with stable codes `FL001`–`FL008`: dead
+//!   a **structural linter** with stable codes `FL001`–`FL012`: dead
 //!   gates, missed sharing, buffer chains, cell fan-in violations,
 //!   row/cell/I-O budget violations and saturation, non-companion
 //!   feedback (II = latency), wavefront hazards in the row placement,
-//!   and configuration-cache overflow on a shared fabric.
+//!   configuration-cache overflow on a shared fabric, routing fan-out
+//!   violations, critical-path depth over the row budget, placed dead
+//!   cells, and duplicate taps that cancel in GF(2).
 //! * [`Diagnostic`] / [`Report`] / [`LintConfig`] — the diagnostics
 //!   layer: coded findings with intrinsic severities, per-code
 //!   allow/warn/deny/keep levels, and a rendered text report.

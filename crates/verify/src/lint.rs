@@ -20,7 +20,8 @@ pub const ROW_SATURATION_WARN_PCT: usize = 95;
 /// Lints a bare XOR network against a cell fan-in limit.
 ///
 /// Emits `FL001` (dead gate), `FL002` (duplicate gate), `FL003` (buffer
-/// gate) advisories and `FL004` (fan-in over `fanin_limit`) violations.
+/// gate) and `FL012` (duplicate tap) advisories and `FL004` (fan-in
+/// over `fanin_limit`) violations.
 #[must_use]
 pub fn lint_network(net: &XorNetwork, fanin_limit: usize) -> Report {
     let mut report = Report::new();
@@ -63,7 +64,20 @@ pub fn lint_network(net: &XorNetwork, fanin_limit: usize) -> Report {
 
         let mut key = gate.inputs.clone();
         key.sort_unstable();
+        let before_dedup = key.len();
         key.dedup();
+        if key.len() < before_dedup {
+            report.diagnostics.push(Diagnostic::warning(
+                Code::DuplicateTap,
+                Location::Gate(gi),
+                format!(
+                    "{} of {} taps are repeats; repeated pairs cancel in GF(2) \
+                     and burn fan-in slots",
+                    before_dedup - key.len(),
+                    before_dedup
+                ),
+            ));
+        }
         if let Some((_, first)) = seen.iter().find(|(k, _)| *k == key) {
             report.diagnostics.push(Diagnostic::warning(
                 Code::DuplicateGate,
@@ -80,14 +94,24 @@ pub fn lint_network(net: &XorNetwork, fanin_limit: usize) -> Report {
 /// Lints a network *with its row placement*: everything
 /// [`lint_network`] finds, plus `FL007` wavefront hazards — a gate
 /// whose fan-in is produced in its own row or a later one would read a
-/// stale value once each row becomes a pipeline stage.
+/// stale value once each row becomes a pipeline stage — and `FL011`
+/// dead cells: dead gates that nonetheless hold a placement row and so
+/// occupy a physical fabric cell.
 #[must_use]
 pub fn lint_placed_network(net: &XorNetwork, placement: &Placement, fanin_limit: usize) -> Report {
     let mut report = lint_network(net, fanin_limit);
+    let live = net.live_signals();
     for (gi, gate) in net.gates().iter().enumerate() {
         let Some(row) = placement.row_of(gi) else {
             continue;
         };
+        if !live[net.n_inputs() + gi] {
+            report.diagnostics.push(Diagnostic::warning(
+                Code::DeadCell,
+                Location::Gate(gi),
+                format!("dead gate occupies a cell in row {row}"),
+            ));
+        }
         for &s in &gate.inputs {
             if s < net.n_inputs() {
                 continue; // primary inputs are valid in every row
@@ -126,12 +150,55 @@ pub fn lint_placed_network(net: &XorNetwork, placement: &Placement, fanin_limit:
 ///   near-saturation advisories (≥ [`ROW_SATURATION_WARN_PCT`] % of the
 ///   rows, warnings);
 /// * `FL006` — a dense look-ahead feedback structure, whose loop spans
-///   the whole pipeline (II = latency instead of 1).
+///   the whole pipeline (II = latency instead of 1);
+/// * `FL009` — a signal whose fan-out exceeds the routing bound
+///   (`PicogaParams::max_signal_fanout`);
+/// * `FL010` — a critical-path logic depth over the row budget, which
+///   no one-level-per-row wavefront placement can absorb.
 #[must_use]
 pub fn lint_operation(op: &PgaOperation, params: &PicogaParams) -> Report {
     let mut report = lint_placed_network(op.network(), op.placement(), params.max_cell_fanin);
     let stats = op.stats();
     let loc = || Location::Op(op.name().to_string());
+
+    let net = op.network();
+    let mut fanout = vec![0usize; net.n_inputs() + net.gate_count()];
+    for gate in net.gates() {
+        let mut taps = gate.inputs.clone();
+        taps.sort_unstable();
+        taps.dedup();
+        for s in taps {
+            fanout[s] += 1;
+        }
+    }
+    let bound = params.max_signal_fanout();
+    for (s, &f) in fanout.iter().enumerate() {
+        if f > bound {
+            report.diagnostics.push(Diagnostic::error(
+                Code::FanoutExceeded,
+                loc(),
+                format!("signal {s} drives {f} cell taps, the routing allows {bound}"),
+            ));
+        }
+    }
+
+    let mut level = vec![0usize; net.n_inputs() + net.gate_count()];
+    for (gi, gate) in net.gates().iter().enumerate() {
+        let deepest = gate.inputs.iter().map(|&s| level[s]).max().unwrap_or(0);
+        level[net.n_inputs() + gi] = deepest + 1;
+    }
+    let depth = level.iter().copied().max().unwrap_or(0);
+    if depth > params.rows {
+        report.diagnostics.push(Diagnostic::error(
+            Code::DepthOverRows,
+            loc(),
+            format!(
+                "critical path spans {depth} logic levels, the array pipelines \
+                 one level per row over {} rows",
+                params.rows
+            ),
+        ));
+    }
 
     if stats.rows > params.rows {
         report.diagnostics.push(Diagnostic::error(
@@ -333,6 +400,101 @@ mod tests {
         let report = lint_operation(&op, &params);
         assert!(codes(&report).contains(&Code::NonCompanionFeedback));
         assert!(!report.has_errors(), "the fallback is legal, just slow");
+    }
+
+    #[test]
+    fn duplicate_tap_flagged_fl012() {
+        let mut net = XorNetwork::new(2, 4);
+        let g = net.add_gate(vec![0, 0, 1]); // x0 ⊕ x0 ⊕ x1 = x1
+        net.add_output(Some(g));
+        let report = lint_network(&net, 10);
+        assert!(codes(&report).contains(&Code::DuplicateTap));
+        assert!(!report.has_errors(), "cancellation is advisory");
+
+        // Negative: distinct taps stay clean of FL012.
+        let mut clean = XorNetwork::new(2, 4);
+        let g = clean.add_gate(vec![0, 1]);
+        clean.add_output(Some(g));
+        assert!(!codes(&lint_network(&clean, 10)).contains(&Code::DuplicateTap));
+    }
+
+    #[test]
+    fn placed_dead_gate_flagged_fl011() {
+        let mut net = XorNetwork::new(2, 4);
+        let g0 = net.add_gate(vec![0, 1]);
+        let _dead = net.add_gate(vec![1, 0]); // dead AND a duplicate
+        net.add_output(Some(g0));
+
+        // Dead gate holds a cell in row 0: FL011 (plus the FL001 advisory).
+        let placed = Placement::from_rows(vec![vec![0, 1]]);
+        let report = lint_placed_network(&net, &placed, 10);
+        assert!(codes(&report).contains(&Code::DeadCell));
+
+        // Negative: the dead gate left unplaced costs no cell.
+        let pruned = Placement::from_rows(vec![vec![0]]);
+        let report = lint_placed_network(&net, &pruned, 10);
+        assert!(!codes(&report).contains(&Code::DeadCell));
+    }
+
+    #[test]
+    fn fanout_over_routing_bound_flagged_fl009() {
+        use picoga::PgaOperation;
+        let params = PicogaParams::dream();
+        // Six outputs all tapping x0 (and x1, to avoid buffer gates),
+        // shared-pattern detection off so all six gates survive.
+        let m = BitMat::from_rows(vec![BitVec::ones(2); 6]);
+        let net = synthesize(
+            &m,
+            SynthOptions {
+                share_patterns: false,
+                ..SynthOptions::default()
+            },
+        );
+        let op = PgaOperation::linear("fan", net, &params).unwrap();
+
+        // Negative: the DREAM routing bound (64) absorbs fan-out 6.
+        assert!(!codes(&lint_operation(&op, &params)).contains(&Code::FanoutExceeded));
+
+        // Positive: judge against a narrow fabric — bound 4 × 1 = 4 < 6.
+        let mut narrow = params;
+        narrow.cells_per_row = 1;
+        let report = lint_operation(&op, &narrow);
+        assert!(
+            codes(&report).contains(&Code::FanoutExceeded),
+            "{}",
+            report.render()
+        );
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn depth_over_row_budget_flagged_fl010() {
+        use picoga::PgaOperation;
+        let params = PicogaParams::dream();
+        // Parity of 8 bits at fan-in 2: a 3-level tree.
+        let parity = BitMat::from_rows(vec![BitVec::ones(8)]);
+        let deep = synthesize(
+            &parity,
+            SynthOptions {
+                max_fanin: 2,
+                share_patterns: false,
+            },
+        );
+        let op = PgaOperation::linear("parity", deep, &params).unwrap();
+
+        // Negative: 3 levels fit 24 rows.
+        assert!(!codes(&lint_operation(&op, &params)).contains(&Code::DepthOverRows));
+
+        // Positive: a 2-row fabric cannot pipeline 3 logic levels.
+        let mut shallow = params;
+        shallow.rows = 2;
+        let report = lint_operation(&op, &shallow);
+        assert!(
+            codes(&report).contains(&Code::DepthOverRows),
+            "{}",
+            report.render()
+        );
+        assert!(report.has_errors());
     }
 
     #[test]

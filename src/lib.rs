@@ -30,7 +30,13 @@
 //! * [`obs`] — the unified observability spine: deterministic metrics
 //!   registry, cycle-stamped event tracer, and per-row fabric profiler
 //!   shared by every layer above (exported by the `obs_report` bench
-//!   binary as `BENCH_obs.json`).
+//!   binary as `BENCH_obs.json`);
+//! * [`analyze`] — whole-configuration static analysis: the GF(2)
+//!   linearity/affineness prover (certifying the runtime basis probe's
+//!   soundness), the static timing/resource analyzer cross-checked
+//!   against the fabric profiler, and the bounded model checker for
+//!   the serving/recovery state machines (exported by the
+//!   `fabric_analyze` bench binary as `BENCH_analyze.json`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use analyze;
 pub use asic;
 pub use dream;
 pub use dream_lfsr as flow;
