@@ -41,7 +41,7 @@ pub mod timing;
 pub use ir::{CellFunc, CellIr, FabricConfig, LutTable, SignalId, MAX_LUT_INPUTS};
 pub use linearity::{certify, CellClass, LinearityCert};
 pub use mc::{explore, Exploration, ExploreLimits, Model, Violation};
-pub use models::{LadderParams, RecoveryModel, ServiceModel};
+pub use models::{ClusterModel, LadderParams, RecoveryModel, ServiceModel};
 pub use timing::{analyze_timing, cross_check, StaticTiming, TimingMismatch};
 
 use picoga::PicogaParams;

@@ -5,10 +5,13 @@
 //! the overload ladder, feed/pump with transactional fault rollback,
 //! park/resume, and the batch `involved`-id bookkeeping whose missing
 //! sort caused the PR 5 double-park bug. [`RecoveryModel`] abstracts
-//! `resilience::ResilientSystem`'s recovery ladder. Both are small-scope
-//! models: a handful of streams, tiny queues — enough for exhaustive
-//! exploration of every event interleaving, which is exactly where the
-//! unit tests had their blind spot.
+//! `resilience::ResilientSystem`'s recovery ladder. [`ClusterModel`]
+//! abstracts the `cluster::Cluster` control plane: placement fencing,
+//! checkpoint sweeps, two-step live migration, drain, and
+//! kill-triggered failover replay. All are small-scope models: a
+//! handful of streams, tiny queues — enough for exhaustive exploration
+//! of every event interleaving, which is exactly where the unit tests
+//! had their blind spot.
 //!
 //! The ladder arithmetic ([`LadderParams::next_level`]) mirrors
 //! `stream::admission::AdmissionConfig::next_level` and is cross-checked
@@ -644,6 +647,515 @@ impl Model for RecoveryModel {
     }
 }
 
+/// Per-shard lifecycle in the cluster model, mirroring
+/// `cluster::ShardState` (the `Down` reasons are collapsed — the
+/// invariants only care that a down shard serves nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShardCl {
+    /// Accepting placements and serving.
+    Active,
+    /// Admission-fenced; shedding residents.
+    Draining,
+    /// Out of the cluster (drained, killed or abandoned).
+    Down,
+}
+
+/// One stream in the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StreamCl {
+    /// Not (yet) opened.
+    Closed,
+    /// Routed to a shard. `pos` counts committed chunks; `ckpt` is the
+    /// position captured by the last checkpoint sweep, if any.
+    Routed {
+        /// Hosting shard index.
+        shard: u8,
+        /// Committed progress, in chunks.
+        pos: u8,
+        /// Last swept checkpoint position.
+        ckpt: Option<u8>,
+    },
+    /// Mid-migration: checkpoint-detached from `from`, not yet restored
+    /// on `to`. Crucially *not* in the route table — a concurrent shard
+    /// death does not fail it over; only the transfer owns it.
+    InFlight {
+        /// Source shard (detached from).
+        from: u8,
+        /// Target shard (restoring onto).
+        to: u8,
+        /// Progress carried in the transferred snapshot.
+        pos: u8,
+        /// Checkpoint position carried in the snapshot.
+        ckpt: Option<u8>,
+    },
+    /// Finished and delivered.
+    Done {
+        /// Total committed chunks.
+        pos: u8,
+    },
+    /// Declared lost with a typed reason (the model collapses the
+    /// reasons; the invariants only require the loss be *recorded*).
+    Lost,
+}
+
+/// A cluster-model state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClusterState {
+    /// Per-shard lifecycle.
+    pub shards: Vec<ShardCl>,
+    /// Per-stream states.
+    pub streams: Vec<StreamCl>,
+    /// Total chunk advances so far (scope bound).
+    pub advanced: u8,
+    /// Streams opened so far.
+    pub opened: u8,
+    /// Streams declared lost (typed losses).
+    pub lost: u8,
+    /// The last failover `(resumed-at, checkpoint)` positions, for the
+    /// replay invariant.
+    pub last_failover: Option<(u8, u8)>,
+    /// Set when an internal operation hits a state it must never see.
+    pub poison: Option<&'static str>,
+}
+
+/// Events of the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// Open stream `i` on the best active shard.
+    Open(u8),
+    /// Commit one chunk on routed stream `i`.
+    Advance(u8),
+    /// Checkpoint sweep: capture every routed stream's position.
+    Sweep,
+    /// Begin a live migration: checkpoint-detach stream `i` towards
+    /// shard `to`.
+    MigrateStart {
+        /// The migrating stream.
+        stream: u8,
+        /// The target shard.
+        to: u8,
+    },
+    /// Complete (or abort) the in-flight migration of stream `i`.
+    MigrateLand(u8),
+    /// Fence shard `s` and start shedding its residents.
+    Drain(u8),
+    /// One drain round: each draining shard sheds a resident, or goes
+    /// down once empty.
+    DrainStep,
+    /// Kill shard `s` outright; its residents fail over from their
+    /// checkpoints.
+    Kill(u8),
+    /// Finish routed stream `i`.
+    Finish(u8),
+}
+
+/// The abstract `cluster::Cluster` control plane.
+///
+/// Three seeded-bug variants, each rediscovered by the checker:
+///
+/// * [`fence_bug`](Self::fence_bug) — placement ignores the drain
+///   fence, so opens and migrations can land on a draining shard.
+/// * [`lost_detach_bug`](Self::lost_detach_bug) — an in-flight stream
+///   whose target shard dies is dropped on the floor instead of being
+///   restored to its source or declared a typed loss (the hazard the
+///   real `transfer_restore` undo path exists to close).
+/// * [`stale_resume_bug`](Self::stale_resume_bug) — failover resumes a
+///   stream at its pre-kill position instead of rewinding to its
+///   checkpoint, silently skipping the replay window (the race the
+///   cluster storm harness originally hit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterModel {
+    /// Shards in scope.
+    pub n_shards: u8,
+    /// Streams in scope.
+    pub n_streams: u8,
+    /// Total chunks the scope may commit.
+    pub max_advances: u8,
+    /// Placement skips the Active-only fence.
+    pub fence_bug: bool,
+    /// A dead migration target drops the in-flight stream silently.
+    pub lost_detach_bug: bool,
+    /// Failover restores at the stale live position, not the checkpoint.
+    pub stale_resume_bug: bool,
+}
+
+impl ClusterModel {
+    /// The default small scope: 2 shards × 2 streams, 3 chunk advances.
+    #[must_use]
+    pub fn small() -> Self {
+        ClusterModel {
+            n_shards: 2,
+            n_streams: 2,
+            max_advances: 3,
+            fence_bug: false,
+            lost_detach_bug: false,
+            stale_resume_bug: false,
+        }
+    }
+
+    /// The same scope with the placement fence removed.
+    #[must_use]
+    pub fn fence_bug() -> Self {
+        ClusterModel {
+            fence_bug: true,
+            ..ClusterModel::small()
+        }
+    }
+
+    /// The same scope with the migration-undo path removed.
+    #[must_use]
+    pub fn lost_detach_bug() -> Self {
+        ClusterModel {
+            lost_detach_bug: true,
+            ..ClusterModel::small()
+        }
+    }
+
+    /// The same scope with failover replaying from the live position.
+    #[must_use]
+    pub fn stale_resume_bug() -> Self {
+        ClusterModel {
+            stale_resume_bug: true,
+            ..ClusterModel::small()
+        }
+    }
+
+    /// Deterministic placement: the lowest-index shard a new stream (or
+    /// replayed snapshot) may land on. The fixed model only places on
+    /// active shards; the fence bug also admits draining ones.
+    fn place(&self, s: &ClusterState) -> Option<u8> {
+        s.shards
+            .iter()
+            .position(|sh| *sh == ShardCl::Active || (self.fence_bug && *sh == ShardCl::Draining))
+            .map(|i| u8::try_from(i).expect("small scope"))
+    }
+
+    /// Whether `shard` may receive a placement under the current model.
+    fn placeable(&self, s: &ClusterState, shard: u8) -> bool {
+        match s.shards[shard as usize] {
+            ShardCl::Active => true,
+            ShardCl::Draining => self.fence_bug,
+            ShardCl::Down => false,
+        }
+    }
+}
+
+impl Model for ClusterModel {
+    type State = ClusterState;
+    type Event = ClusterEvent;
+
+    fn initial(&self) -> ClusterState {
+        ClusterState {
+            shards: vec![ShardCl::Active; self.n_shards as usize],
+            streams: vec![StreamCl::Closed; self.n_streams as usize],
+            advanced: 0,
+            opened: 0,
+            lost: 0,
+            last_failover: None,
+            poison: None,
+        }
+    }
+
+    fn events(&self, s: &ClusterState) -> Vec<ClusterEvent> {
+        if s.poison.is_some() {
+            return Vec::new(); // poisoned states are terminal
+        }
+        let mut ev = Vec::new();
+        for i in 0..self.n_streams {
+            if s.streams[i as usize] == StreamCl::Closed && self.place(s).is_some() {
+                ev.push(ClusterEvent::Open(i));
+            }
+        }
+        for i in 0..self.n_streams {
+            match s.streams[i as usize] {
+                StreamCl::Routed { shard, .. } => {
+                    if s.advanced < self.max_advances {
+                        ev.push(ClusterEvent::Advance(i));
+                    }
+                    for to in 0..self.n_shards {
+                        if to != shard && self.placeable(s, to) {
+                            ev.push(ClusterEvent::MigrateStart { stream: i, to });
+                        }
+                    }
+                    ev.push(ClusterEvent::Finish(i));
+                }
+                StreamCl::InFlight { .. } => ev.push(ClusterEvent::MigrateLand(i)),
+                _ => {}
+            }
+        }
+        if s.streams
+            .iter()
+            .any(|st| matches!(st, StreamCl::Routed { pos, ckpt, .. } if *ckpt != Some(*pos)))
+        {
+            ev.push(ClusterEvent::Sweep);
+        }
+        for sh in 0..self.n_shards {
+            match s.shards[sh as usize] {
+                ShardCl::Active => {
+                    ev.push(ClusterEvent::Drain(sh));
+                    ev.push(ClusterEvent::Kill(sh));
+                }
+                ShardCl::Draining => ev.push(ClusterEvent::Kill(sh)),
+                ShardCl::Down => {}
+            }
+        }
+        if s.shards.contains(&ShardCl::Draining) {
+            ev.push(ClusterEvent::DrainStep);
+        }
+        ev
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply(&self, s: &ClusterState, e: &ClusterEvent) -> Option<ClusterState> {
+        let mut n = s.clone();
+        n.last_failover = None;
+        match *e {
+            ClusterEvent::Open(i) => {
+                if s.streams[i as usize] != StreamCl::Closed {
+                    return None;
+                }
+                let shard = self.place(s)?;
+                if s.shards[shard as usize] != ShardCl::Active {
+                    n.poison = Some("placement-fence");
+                    return Some(n);
+                }
+                n.streams[i as usize] = StreamCl::Routed {
+                    shard,
+                    pos: 0,
+                    ckpt: None,
+                };
+                n.opened += 1;
+            }
+            ClusterEvent::Advance(i) => match s.streams[i as usize] {
+                StreamCl::Routed { shard, pos, ckpt } if s.advanced < self.max_advances => {
+                    n.streams[i as usize] = StreamCl::Routed {
+                        shard,
+                        pos: pos + 1,
+                        ckpt,
+                    };
+                    n.advanced += 1;
+                }
+                _ => return None,
+            },
+            ClusterEvent::Sweep => {
+                for st in &mut n.streams {
+                    if let StreamCl::Routed { shard, pos, .. } = *st {
+                        *st = StreamCl::Routed {
+                            shard,
+                            pos,
+                            ckpt: Some(pos),
+                        };
+                    }
+                }
+            }
+            ClusterEvent::MigrateStart { stream, to } => match s.streams[stream as usize] {
+                StreamCl::Routed { shard, pos, ckpt } if shard != to => {
+                    if !self.placeable(s, to) {
+                        return None;
+                    }
+                    if s.shards[to as usize] != ShardCl::Active {
+                        n.poison = Some("placement-fence");
+                        return Some(n);
+                    }
+                    // Checkpoint-detach: the stream leaves the route
+                    // table; the transfer alone owns it now.
+                    n.streams[stream as usize] = StreamCl::InFlight {
+                        from: shard,
+                        to,
+                        pos,
+                        ckpt,
+                    };
+                }
+                _ => return None,
+            },
+            ClusterEvent::MigrateLand(i) => match s.streams[i as usize] {
+                StreamCl::InFlight {
+                    from,
+                    to,
+                    pos,
+                    ckpt,
+                } => {
+                    // A target that merely *started draining* during the
+                    // transfer still restores (the fence guards the
+                    // start; the drain sheds the stream in due course) —
+                    // only a dead target aborts the transfer.
+                    if s.shards[to as usize] != ShardCl::Down {
+                        n.streams[i as usize] = StreamCl::Routed {
+                            shard: to,
+                            pos,
+                            ckpt,
+                        };
+                    } else if self.lost_detach_bug {
+                        // The bug: the target died mid-transfer and the
+                        // snapshot evaporates — no undo, no typed loss.
+                        n.streams[i as usize] = StreamCl::Closed;
+                    } else if s.shards[from as usize] != ShardCl::Down {
+                        // Undo: restore the snapshot onto its source.
+                        n.streams[i as usize] = StreamCl::Routed {
+                            shard: from,
+                            pos,
+                            ckpt,
+                        };
+                    } else {
+                        // Source and target both gone: a *typed* loss.
+                        n.streams[i as usize] = StreamCl::Lost;
+                        n.lost += 1;
+                    }
+                }
+                _ => return None,
+            },
+            ClusterEvent::Drain(sh) => {
+                if s.shards[sh as usize] != ShardCl::Active {
+                    return None;
+                }
+                n.shards[sh as usize] = ShardCl::Draining;
+            }
+            ClusterEvent::DrainStep => {
+                if !s.shards.contains(&ShardCl::Draining) {
+                    return None;
+                }
+                for sh in 0..self.n_shards {
+                    if n.shards[sh as usize] != ShardCl::Draining {
+                        continue;
+                    }
+                    let resident = n.streams.iter().position(
+                        |st| matches!(st, StreamCl::Routed { shard, .. } if *shard == sh),
+                    );
+                    match resident {
+                        Some(i) => {
+                            // Shed one resident per round, live state
+                            // carried whole. No active target ⇒ the
+                            // drain stalls (and retries next round).
+                            let target = n
+                                .shards
+                                .iter()
+                                .position(|x| *x == ShardCl::Active)
+                                .map(|t| u8::try_from(t).expect("small scope"));
+                            if let Some(to) = target {
+                                if let StreamCl::Routed { pos, ckpt, .. } = n.streams[i] {
+                                    n.streams[i] = StreamCl::Routed {
+                                        shard: to,
+                                        pos,
+                                        ckpt,
+                                    };
+                                }
+                            }
+                        }
+                        None => n.shards[sh as usize] = ShardCl::Down,
+                    }
+                }
+            }
+            ClusterEvent::Kill(sh) => {
+                if s.shards[sh as usize] == ShardCl::Down {
+                    return None;
+                }
+                n.shards[sh as usize] = ShardCl::Down;
+                // Failover: every *routed* resident replays from its
+                // checkpoint onto a survivor. In-flight streams are not
+                // in the route table and are untouched here.
+                for i in 0..self.n_streams {
+                    let StreamCl::Routed { shard, pos, ckpt } = n.streams[i as usize] else {
+                        continue;
+                    };
+                    if shard != sh {
+                        continue;
+                    }
+                    let survivor = n
+                        .shards
+                        .iter()
+                        .position(|x| *x == ShardCl::Active)
+                        .map(|t| u8::try_from(t).expect("small scope"));
+                    match (ckpt, survivor) {
+                        (Some(c), Some(to)) => {
+                            let resume = if self.stale_resume_bug { pos } else { c };
+                            n.streams[i as usize] = StreamCl::Routed {
+                                shard: to,
+                                pos: resume,
+                                ckpt: Some(c),
+                            };
+                            n.last_failover = Some((resume, c));
+                        }
+                        _ => {
+                            // No checkpoint, or nowhere to go: typed.
+                            n.streams[i as usize] = StreamCl::Lost;
+                            n.lost += 1;
+                        }
+                    }
+                }
+            }
+            ClusterEvent::Finish(i) => match s.streams[i as usize] {
+                StreamCl::Routed { pos, .. } => {
+                    n.streams[i as usize] = StreamCl::Done { pos };
+                }
+                _ => return None,
+            },
+        }
+        Some(n)
+    }
+
+    fn violations(&self, s: &ClusterState) -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        if let Some(p) = s.poison {
+            v.push((
+                p.to_string(),
+                "a stream was placed on a shard not accepting placements".into(),
+            ));
+        }
+        // No routes to down shards: failover must have cleared them.
+        for (i, st) in s.streams.iter().enumerate() {
+            if let StreamCl::Routed { shard, .. } = st {
+                if s.shards[*shard as usize] == ShardCl::Down {
+                    v.push((
+                        "no-routes-to-down-shards".into(),
+                        format!("stream {i} still routed to down shard {shard}"),
+                    ));
+                }
+            }
+        }
+        // Conservation: every opened stream is routed, in flight, done,
+        // or a *recorded* loss — nothing vanishes silently.
+        let accounted = u8::try_from(
+            s.streams
+                .iter()
+                .filter(|st| **st != StreamCl::Closed)
+                .count(),
+        )
+        .expect("small scope");
+        if accounted != s.opened {
+            v.push((
+                "stream-conservation".into(),
+                format!("opened {} but {accounted} streams accounted for", s.opened),
+            ));
+        }
+        // A checkpoint never runs ahead of committed progress.
+        for (i, st) in s.streams.iter().enumerate() {
+            let (StreamCl::Routed { pos, ckpt, .. } | StreamCl::InFlight { pos, ckpt, .. }) = st
+            else {
+                continue;
+            };
+            if let Some(c) = ckpt {
+                if c > pos {
+                    v.push((
+                        "checkpoint-not-ahead".into(),
+                        format!("stream {i} checkpointed at {c} past position {pos}"),
+                    ));
+                }
+            }
+        }
+        // Failover resumes exactly at the checkpoint: later skips
+        // replayed data; earlier cannot exist in the snapshot.
+        if let Some((resume, ckpt)) = s.last_failover {
+            if resume != ckpt {
+                v.push((
+                    "failover-replays-from-checkpoint".into(),
+                    format!("failover resumed at {resume}, checkpoint was {ckpt}"),
+                ));
+            }
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,5 +1211,70 @@ mod tests {
             assert!(r.passed(), "{m:?}: {:?}", r.violations.first());
             assert!(!r.truncated);
         }
+    }
+
+    #[test]
+    fn fixed_cluster_model_holds_all_invariants() {
+        let r = explore(&ClusterModel::small(), &ExploreLimits::default());
+        assert!(
+            r.passed(),
+            "fixed cluster model must satisfy every invariant:\n{}",
+            r.violations
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(!r.truncated, "small scope must be exhausted");
+        assert!(r.states > 1000, "scope is non-trivial: {} states", r.states);
+    }
+
+    #[test]
+    fn fence_bug_model_places_onto_draining_shards() {
+        let r = explore(&ClusterModel::fence_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "placement-fence")
+            .expect("unfenced placement must land on a draining shard");
+        assert!(
+            v.trace.iter().any(|e| matches!(e, ClusterEvent::Drain(_))),
+            "trace: {:?}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn lost_detach_bug_model_breaks_stream_conservation() {
+        let r = explore(&ClusterModel::lost_detach_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "stream-conservation")
+            .expect("dropping an in-flight stream must break conservation");
+        // The counterexample needs a migration in flight and the target
+        // shard killed before the transfer lands.
+        assert!(v
+            .trace
+            .iter()
+            .any(|e| matches!(e, ClusterEvent::MigrateStart { .. })));
+        assert!(v.trace.iter().any(|e| matches!(e, ClusterEvent::Kill(_))));
+    }
+
+    #[test]
+    fn stale_resume_bug_model_skips_the_replay_window() {
+        let r = explore(&ClusterModel::stale_resume_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "failover-replays-from-checkpoint")
+            .expect("stale resume must surface once progress outruns the checkpoint");
+        // Needs a sweep, then further progress, then the kill.
+        assert!(v.trace.contains(&ClusterEvent::Sweep));
+        assert!(v
+            .trace
+            .iter()
+            .any(|e| matches!(e, ClusterEvent::Advance(_))));
+        assert!(v.trace.iter().any(|e| matches!(e, ClusterEvent::Kill(_))));
     }
 }

@@ -1,0 +1,187 @@
+//! Tolerance-based comparator between a committed `BENCH_analyze.json`
+//! baseline and a freshly generated report — the static-analysis rung
+//! of the regression ratchet.
+//!
+//! Gates:
+//!
+//! * **Catalogue coverage** — every `(spec, m, op)` point in the
+//!   baseline must still exist, and a point the baseline analysed
+//!   cleanly (`ok`) must still be clean.
+//! * **Critical-path ceiling** — per point, `critical_path` may not
+//!   exceed `baseline × (100 + tol)% + 1` level(s): a mapping change
+//!   that deepens the fabric's logic beyond tolerance is a regression.
+//! * **Cell-count ceiling** — per point, `cells` may not exceed
+//!   `baseline × (100 + tol)% + 2`: area creep is a regression too.
+//! * **Model-checking parity** — every model the baseline explored must
+//!   still be explored, never truncated, with the same verdict
+//!   (`passed`), and must not lose reachable states beyond tolerance
+//!   (a shrinking state space means the scope silently narrowed).
+//!
+//! Usage: `analyze_baseline [--baseline PATH] [--current PATH] [--tolerance-pct N]`
+
+use obs::{json_objects, json_section, json_str, json_u64};
+use std::collections::BTreeMap;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// (spec, m, op) → (critical_path, cells, ok) per catalogue point.
+fn catalogue_points(doc: &str, what: &str) -> BTreeMap<(String, u64, String), (u64, u64, bool)> {
+    let Some(cat) = json_section(doc, "catalogue") else {
+        eprintln!("{what}: no \"catalogue\" section");
+        std::process::exit(2);
+    };
+    let mut out = BTreeMap::new();
+    for obj in json_objects(cat) {
+        let (Some(spec), Some(m), Some(op), Some(cp), Some(cells)) = (
+            json_str(obj, "spec"),
+            json_u64(obj, "m"),
+            json_str(obj, "op"),
+            json_u64(obj, "critical_path"),
+            json_u64(obj, "cells"),
+        ) else {
+            eprintln!("{what}: malformed catalogue entry: {obj}");
+            std::process::exit(2);
+        };
+        let ok = obj.contains("\"ok\":true");
+        out.insert((spec.to_string(), m, op.to_string()), (cp, cells, ok));
+    }
+    out
+}
+
+/// model → (states, passed, truncated).
+fn mc_points(doc: &str, what: &str) -> BTreeMap<String, (u64, bool, bool)> {
+    let Some(mc) = json_section(doc, "model_checking") else {
+        eprintln!("{what}: no \"model_checking\" section");
+        std::process::exit(2);
+    };
+    let mut out = BTreeMap::new();
+    for obj in json_objects(mc) {
+        let (Some(model), Some(states)) = (json_str(obj, "model"), json_u64(obj, "states")) else {
+            eprintln!("{what}: malformed model_checking entry: {obj}");
+            std::process::exit(2);
+        };
+        out.insert(
+            model.to_string(),
+            (
+                states,
+                obj.contains("\"passed\":true"),
+                obj.contains("\"truncated\":true"),
+            ),
+        );
+    }
+    out
+}
+
+fn main() {
+    let mut baseline_path = String::from("baselines/BENCH_analyze.json");
+    let mut current_path = String::from("BENCH_analyze.json");
+    let mut tol: u64 = 10;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = val("--baseline"),
+            "--current" => current_path = val("--current"),
+            "--tolerance-pct" => {
+                let v = val("--tolerance-pct");
+                tol = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance-pct expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: analyze_baseline \
+                     [--baseline PATH] [--current PATH] [--tolerance-pct N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+    let base_points = catalogue_points(&baseline, "baseline");
+    let cur_points = catalogue_points(&current, "current");
+
+    let mut regressions: Vec<String> = Vec::new();
+    for (key, &(base_cp, base_cells, base_ok)) in &base_points {
+        let (spec, m, op) = key;
+        let Some(&(cur_cp, cur_cells, cur_ok)) = cur_points.get(key) else {
+            regressions.push(format!(
+                "{spec} M={m} {op}: point missing from current report"
+            ));
+            continue;
+        };
+        if base_ok && !cur_ok {
+            regressions.push(format!("{spec} M={m} {op}: was clean, now unclean"));
+        }
+        let cp_ceiling = base_cp * (100 + tol) / 100 + 1;
+        if cur_cp > cp_ceiling {
+            regressions.push(format!(
+                "{spec} M={m} {op}: critical path {cur_cp} above ceiling {cp_ceiling} \
+                 (baseline {base_cp}, tolerance {tol}%)"
+            ));
+        }
+        let cell_ceiling = base_cells * (100 + tol) / 100 + 2;
+        if cur_cells > cell_ceiling {
+            regressions.push(format!(
+                "{spec} M={m} {op}: {cur_cells} cells above ceiling {cell_ceiling} \
+                 (baseline {base_cells}, tolerance {tol}%)"
+            ));
+        }
+    }
+
+    let base_mc = mc_points(&baseline, "baseline");
+    let cur_mc = mc_points(&current, "current");
+    for (model, &(base_states, base_passed, _)) in &base_mc {
+        let Some(&(cur_states, cur_passed, cur_trunc)) = cur_mc.get(model) else {
+            regressions.push(format!("model {model}: missing from current report"));
+            continue;
+        };
+        if cur_trunc {
+            regressions.push(format!("model {model}: exploration truncated"));
+        }
+        if cur_passed != base_passed {
+            regressions.push(format!(
+                "model {model}: verdict flipped (baseline passed={base_passed}, \
+                 current passed={cur_passed})"
+            ));
+        }
+        let floor = base_states * (100 - tol.min(100)) / 100;
+        if cur_states < floor {
+            regressions.push(format!(
+                "model {model}: {cur_states} states below floor {floor} \
+                 (baseline {base_states}, tolerance {tol}%) — scope narrowed?"
+            ));
+        }
+    }
+
+    println!(
+        "analyze_baseline: {} catalogue point(s) + {} model(s) compared (tolerance {tol}%)",
+        base_points.len(),
+        base_mc.len(),
+    );
+    if regressions.is_empty() {
+        println!("no regressions against {baseline_path}");
+    } else {
+        eprintln!(
+            "{} regression(s) against {baseline_path}:",
+            regressions.len()
+        );
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-PR trend table: committed baselines vs freshly generated
+//! reports, one line per headline metric.
+//!
+//! Reads up to four report pairs — `BENCH_obs.json`,
+//! `BENCH_analyze.json`, `BENCH_storm.json`, `BENCH_cluster.json` —
+//! from `baselines/` (the values committed by past PRs) and from the
+//! working directory (this build), and prints an aligned table with
+//! signed deltas. Purely informational: missing files render as `-`
+//! and never fail the run; the gating lives in the `*_baseline`
+//! comparators. CI prints this table into the job log so reviewers see
+//! at a glance what a PR did to throughput, fabric depth, state-space
+//! coverage and cluster robustness.
+//!
+//! Usage: `bench_trend [--baseline-dir DIR] [--current-dir DIR]`
+
+use obs::{json_objects, json_section, json_u64};
+
+/// One metric extractor: file stem, metric label, closure over the doc.
+type Extract = (&'static str, &'static str, fn(&str) -> Option<u64>);
+
+fn obs_peak_throughput(doc: &str) -> Option<u64> {
+    let cat = json_section(doc, "catalogue")?;
+    json_objects(cat)
+        .iter()
+        .filter_map(|o| json_u64(o, "throughput_bps"))
+        .max()
+}
+
+fn obs_queue_p99(doc: &str) -> Option<u64> {
+    json_u64(json_section(doc, "storm")?, "p99")
+}
+
+fn analyze_points(doc: &str) -> Option<u64> {
+    Some(json_objects(json_section(doc, "catalogue")?).len() as u64)
+}
+
+fn analyze_max_critical_path(doc: &str) -> Option<u64> {
+    json_objects(json_section(doc, "catalogue")?)
+        .iter()
+        .filter_map(|o| json_u64(o, "critical_path"))
+        .max()
+}
+
+fn mc_total_states(doc: &str) -> Option<u64> {
+    let mc = json_section(doc, "model_checking")?;
+    Some(
+        json_objects(mc)
+            .iter()
+            .filter_map(|o| json_u64(o, "states"))
+            .sum(),
+    )
+}
+
+fn mc_models(doc: &str) -> Option<u64> {
+    Some(json_objects(json_section(doc, "model_checking")?).len() as u64)
+}
+
+const METRICS: &[Extract] = &[
+    ("BENCH_obs", "peak throughput (b/s)", obs_peak_throughput),
+    ("BENCH_obs", "storm queue p99 (chunks)", obs_queue_p99),
+    ("BENCH_analyze", "catalogue points analysed", analyze_points),
+    (
+        "BENCH_analyze",
+        "max critical path (levels)",
+        analyze_max_critical_path,
+    ),
+    ("BENCH_analyze", "models checked", mc_models),
+    ("BENCH_analyze", "model states explored", mc_total_states),
+    ("BENCH_storm", "streams completed", |d| {
+        json_u64(d, "completed")
+    }),
+    ("BENCH_storm", "faults injected", |d| {
+        json_u64(d, "faults_injected")
+    }),
+    ("BENCH_storm", "queue p99 (chunks)", |d| {
+        json_u64(d, "p99_queue_depth")
+    }),
+    ("BENCH_cluster", "streams completed", |d| {
+        json_u64(d, "completed")
+    }),
+    ("BENCH_cluster", "live migrations", |d| {
+        json_u64(d, "migrations")
+    }),
+    ("BENCH_cluster", "failover replays", |d| {
+        json_u64(d, "failovers")
+    }),
+    ("BENCH_cluster", "typed losses", |d| {
+        json_u64(d, "lost_streams")
+    }),
+    ("BENCH_cluster", "checkpoints swept", |d| {
+        json_u64(d, "checkpoints_stored")
+    }),
+];
+
+fn main() {
+    let mut baseline_dir = String::from("baselines");
+    let mut current_dir = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline-dir" => baseline_dir = val("--baseline-dir"),
+            "--current-dir" => current_dir = val("--current-dir"),
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: bench_trend \
+                     [--baseline-dir DIR] [--current-dir DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let load = |dir: &str, stem: &str| std::fs::read_to_string(format!("{dir}/{stem}.json")).ok();
+    println!(
+        "| {:<14} | {:<28} | {:>14} | {:>14} | {:>8} |",
+        "report", "metric", "baseline", "current", "delta"
+    );
+    println!(
+        "|{:-<16}|{:-<30}|{:-<16}|{:-<16}|{:-<10}|",
+        "", "", "", "", ""
+    );
+    for &(stem, label, extract) in METRICS {
+        let base = load(&baseline_dir, stem).as_deref().and_then(extract);
+        let cur = load(&current_dir, stem).as_deref().and_then(extract);
+        let cell = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+        let delta = match (base, cur) {
+            (Some(b), Some(c)) if b > 0 => {
+                let pct = (i128::from(c) - i128::from(b)) * 100 / i128::from(b);
+                format!("{pct:+}%")
+            }
+            _ => "-".to_string(),
+        };
+        println!(
+            "| {stem:<14} | {label:<28} | {:>14} | {:>14} | {delta:>8} |",
+            cell(base),
+            cell(cur),
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Seeded cluster-wide storm over the sharded serving deployment.
+//!
+//! Drives the `cluster` crate's storm harness: hundreds of logical
+//! streams over a multi-shard cluster with random live migrations, a
+//! planned drain of one shard and a forced kill of another mid-run,
+//! fabric faults injected on every shard, and every completed stream's
+//! digest checked against the software oracle. Failover losses must be
+//! *typed* — a stream the harness never hears about again is a silent
+//! loss and fails the campaign.
+//!
+//! Prints the human-readable report to stdout and writes a flat JSON
+//! summary (sorted keys, integers and booleans only — byte-identical
+//! across same-seed runs, CI compares two with `cmp`) to `--out`.
+//!
+//! Usage: `cluster_storm [--smoke] [--seed N] [--out PATH]`
+//!
+//! Exits nonzero on any digest mismatch, unfinished stream, silent
+//! loss, or harness error, so it doubles as a CI regression gate.
+
+use cluster::{run_cluster_storm, ClusterStormConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    let mut seed: u64 = 2008;
+    let mut out_path = String::from("BENCH_cluster.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // The smoke campaign is currently the only shape; the flag
+            // is accepted so every storm binary drives the same way.
+            "--smoke" => {}
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: cluster_storm [--smoke] [--seed N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = ClusterStormConfig::smoke(seed);
+    let report = match run_cluster_storm(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster storm failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render());
+
+    let c = &report.counters;
+    let shard_lines: Vec<String> = report
+        .shard_lines
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"{}\",\"state\":\"{}\",\"opened\":{},\"completed\":{},\"chunks\":{}}}",
+                obs::json_escape(&s.name),
+                obs::json_escape(s.state),
+                s.opened,
+                s.completed,
+                s.chunks,
+            )
+        })
+        .collect();
+    let mut doc = String::new();
+    let _ = write!(
+        doc,
+        "{{\"bench\":\"cluster_storm\",\"seed\":{},\"shards\":{},\
+         \"planned\":{},\"completed\":{},\"restarts\":{},\
+         \"lost_no_checkpoint\":{},\"lost_incompatible\":{},\
+         \"lost_no_capacity\":{},\"lost_corrupt\":{},\
+         \"losses_unaccounted\":{},\"mismatches\":{},\"unfinished\":{},\
+         \"faults_injected\":{},\"ticks_run\":{},\
+         \"migrations\":{},\"migration_retries\":{},\"drains_started\":{},\
+         \"shards_drained\":{},\"shards_down\":{},\"failovers\":{},\
+         \"lost_streams\":{},\"checkpoints_stored\":{},\
+         \"shard_lines\":[{}],\"passed\":{}}}",
+        report.seed,
+        report.shards,
+        report.planned,
+        report.completed,
+        report.restarts,
+        report.lost_no_checkpoint,
+        report.lost_incompatible,
+        report.lost_no_capacity,
+        report.lost_corrupt,
+        report.losses_unaccounted,
+        report.mismatches,
+        report.unfinished,
+        report.faults_injected,
+        report.ticks_run,
+        c.migrations,
+        c.migration_retries,
+        c.drains_started,
+        c.shards_drained,
+        c.shards_down,
+        c.failovers,
+        c.lost_streams,
+        c.checkpoints_stored,
+        shard_lines.join(","),
+        report.passed(),
+    );
+    doc.push('\n');
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    // Path goes to stderr so same-seed stdout stays byte-identical
+    // even when the runs write to different --out files.
+    eprintln!("cluster_storm: JSON summary -> {out_path}");
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

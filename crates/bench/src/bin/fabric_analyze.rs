@@ -32,8 +32,8 @@
 //! Usage: `fabric_analyze [--smoke] [--seed N] [--out PATH]`
 
 use analyze::{
-    analyze_timing, check_config, explore, AnalysisParams, AnalyzeCode, Exploration, ExploreLimits,
-    FabricConfig, Model, RecoveryModel, ServiceModel, Severity,
+    analyze_timing, check_config, explore, AnalysisParams, AnalyzeCode, ClusterModel, Exploration,
+    ExploreLimits, FabricConfig, Model, RecoveryModel, ServiceModel, Severity,
 };
 use dream_lfsr::{build_crc_app, build_scrambler_app, FlowOptions};
 use gf2::BitVec;
@@ -299,6 +299,31 @@ fn mc_section(out: &mut String) -> bool {
         ("recovery-stream-serving", RecoveryModel::stream_serving()),
     ] {
         let (e, ok) = mc_entry::<RecoveryModel>(name, &explore(&model, &limits), None);
+        entries.push(e);
+        all_ok &= ok;
+    }
+
+    // The cluster control plane: the fixed model must pass; each seeded
+    // bug must be rediscovered with its counterexample trace.
+    for (name, model, expect) in [
+        ("cluster-fixed", ClusterModel::small(), None),
+        (
+            "cluster-fence-bug",
+            ClusterModel::fence_bug(),
+            Some("placement-fence"),
+        ),
+        (
+            "cluster-lost-detach-bug",
+            ClusterModel::lost_detach_bug(),
+            Some("stream-conservation"),
+        ),
+        (
+            "cluster-stale-resume-bug",
+            ClusterModel::stale_resume_bug(),
+            Some("failover-replays-from-checkpoint"),
+        ),
+    ] {
+        let (e, ok) = mc_entry::<ClusterModel>(name, &explore(&model, &limits), expect);
         entries.push(e);
         all_ok &= ok;
     }

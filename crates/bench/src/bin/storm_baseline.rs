@@ -1,0 +1,208 @@
+//! Tolerance-based comparator between committed storm baselines
+//! (`BENCH_storm.json`, `BENCH_cluster.json`) and freshly generated
+//! reports — the robustness rung of the regression ratchet.
+//!
+//! Stream-storm gates (vs `--baseline`):
+//!
+//! * `completed` may not drop below `baseline × (100 − tol)%`.
+//! * `mismatches`, `unfinished` must be zero (absolute, no tolerance).
+//! * `p99_queue_depth` may not exceed `baseline × (100 + tol)% + 1`.
+//! * `faults_injected` must stay within tolerance of the baseline in
+//!   *both* directions — a collapse means the campaign stopped
+//!   exercising recovery.
+//!
+//! Cluster-storm gates (vs `--cluster-baseline`):
+//!
+//! * `completed` floor and zero `mismatches` / `losses_unaccounted` /
+//!   `unfinished`, as above.
+//! * `failovers` and `migrations` may not drop below their floors —
+//!   a cluster campaign that stops failing over or migrating is no
+//!   longer testing the control plane.
+//!
+//! Usage: `storm_baseline [--baseline PATH] [--current PATH]
+//!         [--cluster-baseline PATH] [--cluster-current PATH]
+//!         [--tolerance-pct N]`
+
+use obs::json_u64;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn field(doc: &str, what: &str, key: &str) -> u64 {
+    json_u64(doc, key).unwrap_or_else(|| {
+        eprintln!("{what}: missing \"{key}\"");
+        std::process::exit(2);
+    })
+}
+
+/// `current ≥ baseline × (100 − tol)%`, else a regression line.
+fn gate_floor(reg: &mut Vec<String>, what: &str, key: &str, base: u64, cur: u64, tol: u64) {
+    let floor = base * (100 - tol.min(100)) / 100;
+    if cur < floor {
+        reg.push(format!(
+            "{what}: {key} {cur} below floor {floor} (baseline {base}, tolerance {tol}%)"
+        ));
+    }
+}
+
+/// `current ≤ baseline × (100 + tol)% + slack`, else a regression line.
+fn gate_ceiling(
+    reg: &mut Vec<String>,
+    what: &str,
+    key: &str,
+    base: u64,
+    cur: u64,
+    tol: u64,
+    slack: u64,
+) {
+    let ceiling = base * (100 + tol) / 100 + slack;
+    if cur > ceiling {
+        reg.push(format!(
+            "{what}: {key} {cur} above ceiling {ceiling} (baseline {base}, tolerance {tol}%)"
+        ));
+    }
+}
+
+fn gate_zero(reg: &mut Vec<String>, what: &str, key: &str, cur: u64) {
+    if cur != 0 {
+        reg.push(format!("{what}: {key} is {cur}, must be 0"));
+    }
+}
+
+fn main() {
+    let mut baseline_path = String::from("baselines/BENCH_storm.json");
+    let mut current_path = String::from("BENCH_storm.json");
+    let mut cluster_baseline_path = String::from("baselines/BENCH_cluster.json");
+    let mut cluster_current_path = String::from("BENCH_cluster.json");
+    let mut tol: u64 = 10;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = val("--baseline"),
+            "--current" => current_path = val("--current"),
+            "--cluster-baseline" => cluster_baseline_path = val("--cluster-baseline"),
+            "--cluster-current" => cluster_current_path = val("--cluster-current"),
+            "--tolerance-pct" => {
+                let v = val("--tolerance-pct");
+                tol = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance-pct expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: storm_baseline \
+                     [--baseline PATH] [--current PATH] \
+                     [--cluster-baseline PATH] [--cluster-current PATH] \
+                     [--tolerance-pct N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut regressions: Vec<String> = Vec::new();
+
+    let base = read(&baseline_path);
+    let cur = read(&current_path);
+    let what = "stream storm";
+    gate_floor(
+        &mut regressions,
+        what,
+        "completed",
+        field(&base, "baseline", "completed"),
+        field(&cur, "current", "completed"),
+        tol,
+    );
+    gate_zero(
+        &mut regressions,
+        what,
+        "mismatches",
+        field(&cur, "current", "mismatches"),
+    );
+    gate_zero(
+        &mut regressions,
+        what,
+        "unfinished",
+        field(&cur, "current", "unfinished"),
+    );
+    gate_ceiling(
+        &mut regressions,
+        what,
+        "p99_queue_depth",
+        field(&base, "baseline", "p99_queue_depth"),
+        field(&cur, "current", "p99_queue_depth"),
+        tol,
+        1,
+    );
+    let base_faults = field(&base, "baseline", "faults_injected");
+    let cur_faults = field(&cur, "current", "faults_injected");
+    gate_floor(
+        &mut regressions,
+        what,
+        "faults_injected",
+        base_faults,
+        cur_faults,
+        tol.max(50),
+    );
+    gate_ceiling(
+        &mut regressions,
+        what,
+        "faults_injected",
+        base_faults,
+        cur_faults,
+        tol.max(50),
+        2,
+    );
+
+    let cbase = read(&cluster_baseline_path);
+    let ccur = read(&cluster_current_path);
+    let what = "cluster storm";
+    gate_floor(
+        &mut regressions,
+        what,
+        "completed",
+        field(&cbase, "cluster baseline", "completed"),
+        field(&ccur, "cluster current", "completed"),
+        tol,
+    );
+    for key in ["mismatches", "losses_unaccounted", "unfinished"] {
+        gate_zero(
+            &mut regressions,
+            what,
+            key,
+            field(&ccur, "cluster current", key),
+        );
+    }
+    for key in ["failovers", "migrations"] {
+        gate_floor(
+            &mut regressions,
+            what,
+            key,
+            field(&cbase, "cluster baseline", key),
+            field(&ccur, "cluster current", key),
+            tol.max(25),
+        );
+    }
+
+    println!("storm_baseline: stream + cluster reports compared (tolerance {tol}%)");
+    if regressions.is_empty() {
+        println!("no regressions against {baseline_path} / {cluster_baseline_path}");
+    } else {
+        eprintln!("{} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1399 @@
+//! The cluster control plane: N shards, one route table, three
+//! robustness flows.
+//!
+//! Each shard is a full serving stack — a [`StreamService`] over a
+//! [`resilience::ResilientSystem`] over its own simulated DREAM fabric.
+//! The cluster in front owns global stream identity (monotonic ids that
+//! never collide across shards), deterministic placement
+//! ([`crate::placement`]), a checkpoint store fed by a periodic sweep,
+//! and the three flows this crate exists for:
+//!
+//! * **live migration** — checkpoint-detach on the source shard,
+//!   digest-verified transfer, restore-and-resume on the target. A
+//!   failed restore is classified through the typed
+//!   [`RestoreDisposition`]: damaged bytes are retransferred once,
+//!   an incompatible snapshot is restored back onto its source and the
+//!   caller told, so a stream is never stranded mid-flight.
+//! * **shard drain** — an admission fence (no new placements) plus a
+//!   bounded per-tick migrate-out until the shard holds nothing, then
+//!   retirement.
+//! * **whole-shard failover** — on a kill (simulated power loss), a
+//!   tick that errors, or a health-monitor verdict, every stream routed
+//!   to the dead shard is replayed from its last swept checkpoint onto
+//!   survivors; streams without a usable checkpoint become **typed
+//!   losses**, never silent ones.
+
+use crate::health::{HealthPolicy, HealthVerdict, ShardHealthMonitor};
+use crate::placement::{shard_seed, PlacementPolicy, ShardView};
+use dream::ControlModel;
+use dream_lfsr::FlowOptions;
+use gf2::BitVec;
+use lfsr::crc::CrcSpec;
+use lfsr::scramble::ScramblerSpec;
+use obs::EventKind;
+use picoga::PicogaParams;
+use resilience::{RecoveryPolicy, ResilientSystem};
+use std::collections::BTreeMap;
+use std::fmt;
+use stream::{
+    AdmissionConfig, Priority, RestoreDisposition, ServiceError, StreamCheckpoint, StreamOutput,
+    StreamProgress, StreamService,
+};
+
+/// FNV-1a 64 over the snapshot bytes: the transfer-channel integrity
+/// digest a migration verifies before restoring. (The snapshot's own
+/// CRC envelope guards decode; this digest guards the hand-off itself
+/// and lets the cluster distinguish "channel damaged it" from "source
+/// produced garbage".)
+#[must_use]
+pub fn transfer_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Static description of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Stable name (rendezvous identity, metric scope, trace lane).
+    pub name: String,
+    /// Admission and overload configuration for the shard's service.
+    pub admission: AdmissionConfig,
+}
+
+/// Static description of a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The shards, in index order.
+    pub shards: Vec<ShardSpec>,
+    /// Recovery policy every shard's resilient system runs under.
+    pub recovery: RecoveryPolicy,
+    /// Placement policy for new streams and replayed snapshots.
+    pub placement: PlacementPolicy,
+    /// When shards are retired on health grounds.
+    pub health: HealthPolicy,
+    /// Sweep every live and parked stream into the checkpoint store
+    /// each this many ticks (`0` disables the sweep — failover then
+    /// loses every stream, typed).
+    pub checkpoint_interval: u64,
+    /// Streams migrated off each draining shard per tick.
+    pub drain_batch: usize,
+}
+
+impl ClusterConfig {
+    /// `n` identically configured shards named `shard0..shard{n-1}`.
+    #[must_use]
+    pub fn homogeneous(n: usize, admission: AdmissionConfig) -> Self {
+        ClusterConfig {
+            shards: (0..n)
+                .map(|i| ShardSpec {
+                    name: format!("shard{i}"),
+                    admission,
+                })
+                .collect(),
+            recovery: RecoveryPolicy::stream_serving(),
+            placement: PlacementPolicy::default(),
+            health: HealthPolicy::default(),
+            checkpoint_interval: 8,
+            drain_batch: 4,
+        }
+    }
+}
+
+/// Lifecycle state of a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving and accepting new placements.
+    Active,
+    /// Serving existing streams, fenced against new placements, being
+    /// emptied by the per-tick drain step.
+    Draining,
+    /// Retired; its service is never touched again.
+    Down(
+        /// Why the shard went down.
+        DownReason,
+    ),
+}
+
+impl ShardState {
+    /// Stable label for traces and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardState::Active => "active",
+            ShardState::Draining => "draining",
+            ShardState::Down(_) => "down",
+        }
+    }
+}
+
+/// Why a shard was retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownReason {
+    /// Planned drain completed with the shard empty.
+    Drained,
+    /// [`Cluster::kill_shard`] — simulated power loss.
+    Killed,
+    /// The health monitor saw the fabric abandoned for too long.
+    Abandoned,
+    /// The shard's own tick failed; the cluster isolated it.
+    TickFailed,
+}
+
+impl DownReason {
+    /// Stable label for traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DownReason::Drained => "drained",
+            DownReason::Killed => "killed",
+            DownReason::Abandoned => "abandoned",
+            DownReason::TickFailed => "tick_failed",
+        }
+    }
+}
+
+/// Why a stream on a dead shard could not be replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// The checkpoint sweep never captured it (or sweeps are off).
+    NoCheckpoint,
+    /// Its snapshot is intact but no surviving shard can run it.
+    Incompatible,
+    /// Every compatible survivor refused it for capacity.
+    NoCapacity,
+    /// Its stored snapshot fails validation even after a retransfer.
+    Corrupt,
+}
+
+impl LossReason {
+    /// Stable label for traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LossReason::NoCheckpoint => "no_checkpoint",
+            LossReason::Incompatible => "incompatible",
+            LossReason::NoCapacity => "no_capacity",
+            LossReason::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// A typed loss record: the cluster's promise is that a stream either
+/// keeps running somewhere or appears here — never neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamLoss {
+    /// The lost stream's cluster id.
+    pub id: u64,
+    /// The dead shard it was routed to.
+    pub shard: usize,
+    /// Why it could not be replayed.
+    pub reason: LossReason,
+}
+
+/// One stream replayed onto a survivor, with everything a client needs
+/// to resume: re-offer payload from byte `resume_from`, and (for
+/// scramblers) discard collected output beyond `delivered_bits` — the
+/// replayed stream regenerates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverResume {
+    /// The stream's cluster id (unchanged by failover).
+    pub id: u64,
+    /// The dead shard it was on.
+    pub from_shard: usize,
+    /// The survivor now serving it.
+    pub to_shard: usize,
+    /// Client re-feed offset in payload bytes. Always a whole-chunk
+    /// boundary: absorbed bytes advance chunk-at-a-time and queued
+    /// chunks travel inside the snapshot.
+    pub resume_from: u64,
+    /// Scrambler output bits the checkpoint had already delivered;
+    /// anything a client collected past this is regenerated and must be
+    /// dropped before re-collecting.
+    pub delivered_bits: u64,
+}
+
+/// Typed refusals and failures of the cluster layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// No stream with this cluster id (never opened, or finished).
+    UnknownStream(
+        /// The id requested.
+        u64,
+    ),
+    /// No shard with this index.
+    UnknownShard(
+        /// The index requested.
+        usize,
+    ),
+    /// The stream's shard is down (transient: failover runs in the
+    /// same call that retires a shard, so callers should not see this).
+    ShardDown(
+        /// The down shard.
+        usize,
+    ),
+    /// Migration target refused by the admission fence: the shard is
+    /// draining or down.
+    NotAccepting(
+        /// The fenced shard.
+        usize,
+    ),
+    /// No active shard could take the stream.
+    NoEligibleShard,
+    /// The stream was declared lost during failover. The record is
+    /// permanent: every later operation on the id returns this.
+    StreamLost {
+        /// The lost stream's cluster id.
+        id: u64,
+        /// The dead shard it was on.
+        shard: usize,
+        /// Why it was lost.
+        reason: LossReason,
+    },
+    /// Snapshot bytes failed validation and a retransfer failed the
+    /// same way — the snapshot itself is damaged.
+    SnapshotCorrupt,
+    /// The snapshot is intact but the requested target cannot run it;
+    /// the stream was restored back onto its source shard.
+    Incompatible {
+        /// The stream left where it was.
+        id: u64,
+    },
+    /// A shard-level error, with stream ids translated to cluster ids.
+    Shard(ServiceError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownStream(id) => write!(f, "unknown cluster stream {id}"),
+            ClusterError::UnknownShard(s) => write!(f, "unknown shard {s}"),
+            ClusterError::ShardDown(s) => write!(f, "shard {s} is down"),
+            ClusterError::NotAccepting(s) => write!(f, "shard {s} is not accepting streams"),
+            ClusterError::NoEligibleShard => write!(f, "no active shard can take this stream"),
+            ClusterError::StreamLost { id, shard, reason } => write!(
+                f,
+                "stream {id} was lost with shard {shard} ({})",
+                reason.label()
+            ),
+            ClusterError::SnapshotCorrupt => write!(f, "snapshot damaged beyond retransfer"),
+            ClusterError::Incompatible { id } => {
+                write!(f, "target cannot run stream {id}; left on source")
+            }
+            ClusterError::Shard(e) => write!(f, "shard error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Shard(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for ClusterError {
+    fn from(e: ServiceError) -> Self {
+        ClusterError::Shard(e)
+    }
+}
+
+/// Where a stream currently lives.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    shard: usize,
+    local: u64,
+}
+
+/// A swept snapshot plus the client-resume facts decoded from it once.
+#[derive(Debug, Clone)]
+struct CheckpointRecord {
+    bytes: Vec<u8>,
+    resume_from: u64,
+    delivered_bits: u64,
+}
+
+impl CheckpointRecord {
+    fn from_snapshot(bytes: Vec<u8>) -> Option<Self> {
+        let cp = StreamCheckpoint::decode(&bytes).ok()?;
+        let queued: u64 = cp.queued.iter().map(|c| c.len() as u64).sum();
+        let delivered_bits = (cp.bytes_fed * 8)
+            .saturating_sub(cp.staged.len() as u64)
+            .saturating_sub(cp.out_pending.len() as u64);
+        Some(CheckpointRecord {
+            resume_from: cp.bytes_fed + queued,
+            delivered_bits,
+            bytes,
+        })
+    }
+}
+
+/// One shard: its service, lifecycle state and health streak.
+struct Shard {
+    name: String,
+    seed: u64,
+    state: ShardState,
+    svc: StreamService,
+    monitor: ShardHealthMonitor,
+}
+
+/// Registry handles for the cluster's own decision counters (kept in a
+/// cluster-level registry, separate from every shard's).
+#[derive(Debug, Clone, Copy)]
+struct ClusterIds {
+    opened: obs::CounterId,
+    completed: obs::CounterId,
+    migrations: obs::CounterId,
+    migration_retries: obs::CounterId,
+    drains_started: obs::CounterId,
+    shards_drained: obs::CounterId,
+    shards_down: obs::CounterId,
+    failovers: obs::CounterId,
+    lost_streams: obs::CounterId,
+    checkpoints_stored: obs::CounterId,
+}
+
+impl ClusterIds {
+    fn register(reg: &mut obs::MetricsRegistry) -> Self {
+        ClusterIds {
+            opened: reg.counter("cluster.opened"),
+            completed: reg.counter("cluster.completed"),
+            migrations: reg.counter("cluster.migrations"),
+            migration_retries: reg.counter("cluster.migration_retries"),
+            drains_started: reg.counter("cluster.drains_started"),
+            shards_drained: reg.counter("cluster.shards_drained"),
+            shards_down: reg.counter("cluster.shards_down"),
+            failovers: reg.counter("cluster.failovers"),
+            lost_streams: reg.counter("cluster.lost_streams"),
+            checkpoints_stored: reg.counter("cluster.checkpoints_stored"),
+        }
+    }
+}
+
+/// Cumulative cluster-level decision counters (a typed view over the
+/// cluster registry, mirroring [`stream::ServiceCounters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCounters {
+    /// Streams opened (across all shards).
+    pub opened: u64,
+    /// Streams finished and delivered.
+    pub completed: u64,
+    /// Successful migrations (live, drain-driven and manual alike).
+    pub migrations: u64,
+    /// Restores retried after a damaged transfer.
+    pub migration_retries: u64,
+    /// Drains initiated.
+    pub drains_started: u64,
+    /// Shards retired empty by a completed drain.
+    pub shards_drained: u64,
+    /// Shards retired down (killed, abandoned, tick-failed).
+    pub shards_down: u64,
+    /// Streams replayed onto survivors by failover.
+    pub failovers: u64,
+    /// Streams declared lost (typed, permanent).
+    pub lost_streams: u64,
+    /// Snapshots captured into the checkpoint store by sweeps.
+    pub checkpoints_stored: u64,
+}
+
+/// The sharded control plane. See the module docs for the three flows.
+pub struct Cluster {
+    shards: Vec<Shard>,
+    placement: PlacementPolicy,
+    health: HealthPolicy,
+    checkpoint_interval: u64,
+    drain_batch: usize,
+    routes: BTreeMap<u64, Route>,
+    store: BTreeMap<u64, CheckpointRecord>,
+    losses: BTreeMap<u64, StreamLoss>,
+    resumes: Vec<FailoverResume>,
+    next_id: u64,
+    now: u64,
+    registry: obs::MetricsRegistry,
+    tracer: obs::Tracer,
+    ids: ClusterIds,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.shards.len())
+            .field("routes", &self.routes.len())
+            .field("losses", &self.losses.len())
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds the cluster: one full serving stack per shard spec.
+    #[must_use]
+    pub fn new(cfg: &ClusterConfig) -> Self {
+        let mut registry = obs::MetricsRegistry::new();
+        let ids = ClusterIds::register(&mut registry);
+        let shards = cfg
+            .shards
+            .iter()
+            .map(|spec| {
+                let rs = ResilientSystem::new(
+                    PicogaParams::dream(),
+                    ControlModel::default(),
+                    cfg.recovery,
+                );
+                Shard {
+                    seed: shard_seed(&spec.name),
+                    name: spec.name.clone(),
+                    state: ShardState::Active,
+                    svc: StreamService::new(rs, spec.admission),
+                    monitor: ShardHealthMonitor::default(),
+                }
+            })
+            .collect();
+        Cluster {
+            shards,
+            placement: cfg.placement,
+            health: cfg.health,
+            checkpoint_interval: cfg.checkpoint_interval,
+            drain_batch: cfg.drain_batch.max(1),
+            routes: BTreeMap::new(),
+            store: BTreeMap::new(),
+            losses: BTreeMap::new(),
+            resumes: Vec::new(),
+            next_id: 1,
+            now: 0,
+            registry,
+            tracer: obs::Tracer::new(4096),
+            ids,
+        }
+    }
+
+    // ----- hosting ------------------------------------------------------
+
+    /// Hosts a CRC personality on every shard (the homogeneous case:
+    /// any stream can live anywhere).
+    ///
+    /// # Errors
+    ///
+    /// The first shard's hosting failure, translated.
+    pub fn host_crc(
+        &mut self,
+        name: &str,
+        spec: &CrcSpec,
+        opts: FlowOptions,
+    ) -> Result<(), ClusterError> {
+        for sh in &mut self.shards {
+            sh.svc.host_crc(name, spec, opts)?;
+        }
+        Ok(())
+    }
+
+    /// Hosts a scrambler personality on every shard.
+    ///
+    /// # Errors
+    ///
+    /// The first shard's hosting failure, translated.
+    pub fn host_scrambler(
+        &mut self,
+        name: &str,
+        spec: &ScramblerSpec,
+        opts: &FlowOptions,
+    ) -> Result<(), ClusterError> {
+        for sh in &mut self.shards {
+            sh.svc.host_scrambler(name, spec, opts)?;
+        }
+        Ok(())
+    }
+
+    /// Hosts a CRC personality on one shard only (heterogeneous
+    /// clusters; streams then only place where their personality is).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownShard`] or the hosting failure.
+    pub fn host_crc_on(
+        &mut self,
+        shard: usize,
+        name: &str,
+        spec: &CrcSpec,
+        opts: FlowOptions,
+    ) -> Result<(), ClusterError> {
+        let sh = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ClusterError::UnknownShard(shard))?;
+        sh.svc.host_crc(name, spec, opts)?;
+        Ok(())
+    }
+
+    // ----- accessors ----------------------------------------------------
+
+    /// Number of shards (any state).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A shard's lifecycle state.
+    #[must_use]
+    pub fn shard_state(&self, shard: usize) -> Option<ShardState> {
+        self.shards.get(shard).map(|s| s.state)
+    }
+
+    /// A shard's name.
+    #[must_use]
+    pub fn shard_name(&self, shard: usize) -> Option<&str> {
+        self.shards.get(shard).map(|s| s.name.as_str())
+    }
+
+    /// Indices of shards currently accepting placements.
+    #[must_use]
+    pub fn active_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == ShardState::Active)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A shard's service, read-only (killed shards included — their
+    /// final state is frozen).
+    #[must_use]
+    pub fn shard_service(&self, shard: usize) -> Option<&StreamService> {
+        self.shards.get(shard).map(|s| &s.svc)
+    }
+
+    /// Mutable access to a serving shard's service (fault injection in
+    /// harnesses). `None` for unknown or down shards: a dead shard's
+    /// state is never touched again.
+    pub fn shard_service_mut(&mut self, shard: usize) -> Option<&mut StreamService> {
+        self.shards
+            .get_mut(shard)
+            .filter(|s| !matches!(s.state, ShardState::Down(_)))
+            .map(|s| &mut s.svc)
+    }
+
+    /// Every routed stream id, ascending.
+    #[must_use]
+    pub fn route_ids(&self) -> Vec<u64> {
+        self.routes.keys().copied().collect()
+    }
+
+    /// The shard a stream is currently routed to.
+    #[must_use]
+    pub fn shard_of(&self, id: u64) -> Option<usize> {
+        self.routes.get(&id).map(|r| r.shard)
+    }
+
+    /// All typed loss records so far, ascending by stream id.
+    #[must_use]
+    pub fn losses(&self) -> Vec<StreamLoss> {
+        self.losses.values().copied().collect()
+    }
+
+    /// Drains the pending failover-resume notices. Each tells a client
+    /// where its stream went and from which byte offset to re-feed.
+    pub fn take_failover_resumes(&mut self) -> Vec<FailoverResume> {
+        std::mem::take(&mut self.resumes)
+    }
+
+    /// Snapshots currently held in the checkpoint store.
+    #[must_use]
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The cluster's own tick counter.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Cluster-level decision counters.
+    #[must_use]
+    pub fn counters(&self) -> ClusterCounters {
+        let reg = &self.registry;
+        ClusterCounters {
+            opened: reg.counter_value(self.ids.opened),
+            completed: reg.counter_value(self.ids.completed),
+            migrations: reg.counter_value(self.ids.migrations),
+            migration_retries: reg.counter_value(self.ids.migration_retries),
+            drains_started: reg.counter_value(self.ids.drains_started),
+            shards_drained: reg.counter_value(self.ids.shards_drained),
+            shards_down: reg.counter_value(self.ids.shards_down),
+            failovers: reg.counter_value(self.ids.failovers),
+            lost_streams: reg.counter_value(self.ids.lost_streams),
+            checkpoints_stored: reg.counter_value(self.ids.checkpoints_stored),
+        }
+    }
+
+    /// The cluster-level event trace.
+    #[must_use]
+    pub fn trace(&self) -> &obs::Tracer {
+        &self.tracer
+    }
+
+    /// Cluster-level metrics only.
+    #[must_use]
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// One merged snapshot of the whole deployment: cluster metrics
+    /// under `cluster/`, every shard's full registry under its name.
+    /// Deterministic (name-ordered) and byte-stable across same-seed
+    /// runs, like every other export in the stack.
+    #[must_use]
+    pub fn metrics_merged(&self) -> obs::MetricsSnapshot {
+        let mut all = self.registry.snapshot().scoped("cluster");
+        for sh in &self.shards {
+            all.merge(&sh.svc.obs().registry.snapshot().scoped(&sh.name));
+        }
+        all
+    }
+
+    // ----- routing helpers ----------------------------------------------
+
+    fn views(&self) -> Vec<ShardView> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardView {
+                index: i,
+                seed: s.seed,
+                eligible: s.state == ShardState::Active,
+                load: s.svc.live_streams() as u64,
+            })
+            .collect()
+    }
+
+    fn route_of(&self, id: u64) -> Result<Route, ClusterError> {
+        if let Some(loss) = self.losses.get(&id) {
+            return Err(ClusterError::StreamLost {
+                id,
+                shard: loss.shard,
+                reason: loss.reason,
+            });
+        }
+        self.routes
+            .get(&id)
+            .copied()
+            .ok_or(ClusterError::UnknownStream(id))
+    }
+
+    /// Translates shard-local stream ids inside a passthrough error to
+    /// the cluster id the caller used.
+    fn remap(e: ServiceError, id: u64) -> ClusterError {
+        let e = match e {
+            ServiceError::UnknownStream(_) => ServiceError::UnknownStream(id),
+            ServiceError::UnknownParked(_) => ServiceError::UnknownParked(id),
+            ServiceError::StreamParked(_) => ServiceError::StreamParked(id),
+            ServiceError::StreamQueueFull { depth, .. } => {
+                ServiceError::StreamQueueFull { id, depth }
+            }
+            other => other,
+        };
+        ClusterError::Shard(e)
+    }
+
+    fn record(&mut self, stream: Option<u64>, shard: Option<usize>, kind: EventKind) {
+        let lane = shard.map(|i| self.shards[i].name.clone());
+        self.tracer.record(self.now, stream, lane.as_deref(), kind);
+    }
+
+    // ----- stream lifecycle ---------------------------------------------
+
+    /// Opens a CRC stream somewhere: shards are tried in placement
+    /// order, skipping any that refuse admission or do not host the
+    /// personality. Returns the cluster-wide stream id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoEligibleShard`] when every active shard
+    /// refused; hard shard errors pass through.
+    pub fn open_crc(
+        &mut self,
+        name: &str,
+        priority: Priority,
+        deadline_in: u64,
+    ) -> Result<u64, ClusterError> {
+        self.open_with(|svc| svc.open_crc(name, priority, deadline_in))
+    }
+
+    /// Opens a scrambler stream somewhere (see [`Cluster::open_crc`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::open_crc`].
+    pub fn open_scrambler(
+        &mut self,
+        name: &str,
+        seed: u64,
+        priority: Priority,
+        deadline_in: u64,
+    ) -> Result<u64, ClusterError> {
+        self.open_with(|svc| svc.open_scrambler(name, seed, priority, deadline_in))
+    }
+
+    fn open_with(
+        &mut self,
+        mut open: impl FnMut(&mut StreamService) -> Result<u64, ServiceError>,
+    ) -> Result<u64, ClusterError> {
+        let id = self.next_id;
+        let order = self.placement.ordered(id, &self.views());
+        for shard in order {
+            match open(&mut self.shards[shard].svc) {
+                Ok(local) => {
+                    self.next_id += 1;
+                    self.routes.insert(id, Route { shard, local });
+                    self.registry.inc(self.ids.opened);
+                    self.record(Some(id), Some(shard), EventKind::StreamAdmit);
+                    return Ok(id);
+                }
+                // Refusals spill to the next-preferred shard; anything
+                // else is a real fault.
+                Err(
+                    ServiceError::UnknownPersonality(_)
+                    | ServiceError::RejectedByBucket
+                    | ServiceError::RejectedByOverload
+                    | ServiceError::RejectedByCapacity,
+                ) => {}
+                Err(e) => return Err(ClusterError::Shard(e)),
+            }
+        }
+        Err(ClusterError::NoEligibleShard)
+    }
+
+    /// Queues a chunk on a stream, wherever it lives.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or the shard's backpressure (ids translated).
+    pub fn feed(&mut self, id: u64, chunk: &[u8]) -> Result<(), ClusterError> {
+        let r = self.route_of(id)?;
+        if matches!(self.shards[r.shard].state, ShardState::Down(_)) {
+            return Err(ClusterError::ShardDown(r.shard));
+        }
+        if self.shards[r.shard].svc.is_parked(r.local) {
+            return Err(ClusterError::Shard(ServiceError::StreamParked(id)));
+        }
+        self.shards[r.shard]
+            .svc
+            .feed(r.local, chunk)
+            .map_err(|e| Self::remap(e, id))
+    }
+
+    /// Takes the scrambler output produced so far.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or the shard's (ids translated).
+    pub fn collect(&mut self, id: u64) -> Result<BitVec, ClusterError> {
+        let r = self.route_of(id)?;
+        self.shards[r.shard]
+            .svc
+            .collect(r.local)
+            .map_err(|e| Self::remap(e, id))
+    }
+
+    /// Progress marker of a live stream (see
+    /// [`StreamService::progress`]).
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or the shard's (ids translated).
+    pub fn progress(&self, id: u64) -> Result<StreamProgress, ClusterError> {
+        let r = self.route_of(id)?;
+        self.shards[r.shard]
+            .svc
+            .progress(r.local)
+            .map_err(|e| Self::remap(e, id))
+    }
+
+    /// Resumes a stream parked at the shard level. A stream revived by
+    /// migration or failover is already live; that case is an Ok no-op.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or the shard's (ids translated).
+    pub fn resume(&mut self, id: u64) -> Result<(), ClusterError> {
+        let r = self.route_of(id)?;
+        if self.shards[r.shard].svc.is_live(r.local) {
+            return Ok(());
+        }
+        self.shards[r.shard]
+            .svc
+            .resume(r.local)
+            .map_err(|e| Self::remap(e, id))
+    }
+
+    /// Finishes a stream and delivers its output; the route and any
+    /// stored checkpoint are released.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or the shard's — notably
+    /// [`ServiceError::StreamParked`] (translated) when recovery parked
+    /// the stream while draining its queue; resume and call again.
+    pub fn finish(&mut self, id: u64) -> Result<StreamOutput, ClusterError> {
+        let r = self.route_of(id)?;
+        if matches!(self.shards[r.shard].state, ShardState::Down(_)) {
+            return Err(ClusterError::ShardDown(r.shard));
+        }
+        match self.shards[r.shard].svc.finish(r.local) {
+            Ok(out) => {
+                self.routes.remove(&id);
+                self.store.remove(&id);
+                self.registry.inc(self.ids.completed);
+                self.record(Some(id), Some(r.shard), EventKind::StreamComplete);
+                Ok(out)
+            }
+            Err(e) => Err(Self::remap(e, id)),
+        }
+    }
+
+    // ----- checkpointing ------------------------------------------------
+
+    /// Captures one stream's snapshot into the checkpoint store right
+    /// now (the periodic sweep does this for every stream).
+    ///
+    /// # Errors
+    ///
+    /// Routing errors, or the shard's (ids translated).
+    pub fn checkpoint_now(&mut self, id: u64) -> Result<(), ClusterError> {
+        let r = self.route_of(id)?;
+        let bytes = if self.shards[r.shard].svc.is_live(r.local) {
+            self.shards[r.shard]
+                .svc
+                .checkpoint(r.local)
+                .map_err(|e| Self::remap(e, id))?
+        } else if let Some(b) = self.shards[r.shard].svc.parked_snapshot(r.local) {
+            b.to_vec()
+        } else {
+            return Err(ClusterError::UnknownStream(id));
+        };
+        if let Some(rec) = CheckpointRecord::from_snapshot(bytes) {
+            self.store.insert(id, rec);
+            self.registry.inc(self.ids.checkpoints_stored);
+        }
+        Ok(())
+    }
+
+    fn checkpoint_sweep(&mut self) {
+        let entries: Vec<u64> = self.routes.keys().copied().collect();
+        for id in entries {
+            // Sweeping best-effort: a stream that raced away is fine.
+            let _ = self.checkpoint_now(id);
+        }
+    }
+
+    // ----- live migration -----------------------------------------------
+
+    /// Live-migrates a stream to an explicit target shard: checkpoint
+    /// and detach on the source, digest-verified transfer, restore on
+    /// the target. Parked streams migrate their retained snapshot and
+    /// come back *live* on the target.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::NotAccepting`] — target is fenced (draining or
+    ///   down); the stream is untouched.
+    /// * [`ClusterError::Incompatible`] — target cannot run the
+    ///   snapshot; the stream was restored back onto its source.
+    /// * [`ClusterError::SnapshotCorrupt`] — validation failed even
+    ///   after a retransfer (cannot happen with an honest in-process
+    ///   channel; the path exists for the typed-error contract).
+    pub fn migrate(&mut self, id: u64, target: usize) -> Result<(), ClusterError> {
+        let r = self.route_of(id)?;
+        if target >= self.shards.len() {
+            return Err(ClusterError::UnknownShard(target));
+        }
+        if r.shard == target {
+            return Ok(());
+        }
+        if self.shards[target].state != ShardState::Active {
+            return Err(ClusterError::NotAccepting(target));
+        }
+        if matches!(self.shards[r.shard].state, ShardState::Down(_)) {
+            return Err(ClusterError::ShardDown(r.shard));
+        }
+        let src = &mut self.shards[r.shard].svc;
+        let bytes = if src.is_live(r.local) {
+            src.detach(r.local).map_err(|e| Self::remap(e, id))?
+        } else {
+            src.take_parked(r.local).map_err(|e| Self::remap(e, id))?
+        };
+        let sum = transfer_digest(&bytes);
+        self.transfer_restore(id, r.shard, target, &bytes, sum)
+    }
+
+    /// The receive half of a migration: verify the transfer digest,
+    /// restore, classify failures. On `Incompatible` the snapshot is
+    /// restored back onto the source shard (which just held it, so
+    /// capacity is there).
+    fn transfer_restore(
+        &mut self,
+        id: u64,
+        source: usize,
+        target: usize,
+        bytes: &[u8],
+        sum: u64,
+    ) -> Result<(), ClusterError> {
+        if transfer_digest(bytes) != sum {
+            // The simulated channel handed over different bytes than
+            // the source digested — retransfer is the only option, and
+            // in-process there is nothing better to retransfer.
+            return self.undo_detach(id, source, bytes, ClusterError::SnapshotCorrupt);
+        }
+        let mut attempt = self.shards[target].svc.restore(bytes);
+        if matches!(
+            attempt.as_ref().map_err(ServiceError::restore_disposition),
+            Err(Some(RestoreDisposition::RetryTransfer))
+        ) {
+            // Typed contract: damaged bytes are worth one retransfer.
+            self.registry.inc(self.ids.migration_retries);
+            attempt = self.shards[target].svc.restore(bytes);
+        }
+        match attempt {
+            Ok(local) => {
+                self.routes.insert(
+                    id,
+                    Route {
+                        shard: target,
+                        local,
+                    },
+                );
+                if let Some(rec) = CheckpointRecord::from_snapshot(bytes.to_vec()) {
+                    self.store.insert(id, rec);
+                }
+                self.registry.inc(self.ids.migrations);
+                self.record(
+                    Some(id),
+                    Some(target),
+                    EventKind::StreamMigrate {
+                        from_shard: source as u64,
+                        to_shard: target as u64,
+                    },
+                );
+                Ok(())
+            }
+            Err(e) => {
+                let err = match e.restore_disposition() {
+                    Some(RestoreDisposition::RetryTransfer) => ClusterError::SnapshotCorrupt,
+                    Some(RestoreDisposition::Incompatible) => ClusterError::Incompatible { id },
+                    None => Self::remap(e, id),
+                };
+                self.undo_detach(id, source, bytes, err)
+            }
+        }
+    }
+
+    /// Puts a detached snapshot back onto its source shard after a
+    /// failed hand-off, so migration never strands a stream. Returns
+    /// `err` (the original failure) on success of the undo; a failed
+    /// undo escalates to a typed loss.
+    fn undo_detach(
+        &mut self,
+        id: u64,
+        source: usize,
+        bytes: &[u8],
+        err: ClusterError,
+    ) -> Result<(), ClusterError> {
+        match self.shards[source].svc.restore(bytes) {
+            Ok(local) => {
+                self.routes.insert(
+                    id,
+                    Route {
+                        shard: source,
+                        local,
+                    },
+                );
+                Err(err)
+            }
+            Err(_) => {
+                // Source had it a moment ago and now refuses: the
+                // snapshot is damaged. Never silent.
+                self.declare_lost(id, source, LossReason::Corrupt);
+                Err(ClusterError::StreamLost {
+                    id,
+                    shard: source,
+                    reason: LossReason::Corrupt,
+                })
+            }
+        }
+    }
+
+    /// Adopts an external snapshot (from another cluster, or storage)
+    /// onto the best compatible shard, returning the new cluster id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::SnapshotCorrupt`] for damaged bytes,
+    /// [`ClusterError::NoEligibleShard`] when no active shard can run
+    /// or fit it.
+    pub fn adopt(&mut self, bytes: &[u8]) -> Result<u64, ClusterError> {
+        let id = self.next_id;
+        let order = self.placement.ordered(id, &self.views());
+        for shard in order {
+            match self.shards[shard].svc.restore(bytes) {
+                Ok(local) => {
+                    self.next_id += 1;
+                    self.routes.insert(id, Route { shard, local });
+                    if let Some(rec) = CheckpointRecord::from_snapshot(bytes.to_vec()) {
+                        self.store.insert(id, rec);
+                    }
+                    self.registry.inc(self.ids.opened);
+                    self.record(Some(id), Some(shard), EventKind::StreamAdmit);
+                    return Ok(id);
+                }
+                Err(e) => match e.restore_disposition() {
+                    // Damaged bytes fail identically everywhere.
+                    Some(RestoreDisposition::RetryTransfer) => {
+                        return Err(ClusterError::SnapshotCorrupt)
+                    }
+                    // Incompatible here may fit elsewhere; capacity
+                    // refusals likewise spill.
+                    Some(RestoreDisposition::Incompatible) => {}
+                    None => {}
+                },
+            }
+        }
+        Err(ClusterError::NoEligibleShard)
+    }
+
+    // ----- drain --------------------------------------------------------
+
+    /// Fences a shard against new placements and starts emptying it:
+    /// each [`Cluster::tick`] migrates up to `drain_batch` of its
+    /// streams to active shards until none remain, then retires it.
+    /// Idempotent on an already-draining shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownShard`] / [`ClusterError::ShardDown`].
+    pub fn drain_shard(&mut self, shard: usize) -> Result<(), ClusterError> {
+        match self.shards.get(shard).map(|s| s.state) {
+            None => Err(ClusterError::UnknownShard(shard)),
+            Some(ShardState::Down(_)) => Err(ClusterError::ShardDown(shard)),
+            Some(ShardState::Draining) => Ok(()),
+            Some(ShardState::Active) => {
+                self.shards[shard].state = ShardState::Draining;
+                self.registry.inc(self.ids.drains_started);
+                self.record(
+                    None,
+                    Some(shard),
+                    EventKind::ShardState {
+                        shard: shard as u64,
+                        from: "active",
+                        to: "draining",
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    fn drain_step(&mut self) {
+        for shard in 0..self.shards.len() {
+            if self.shards[shard].state != ShardState::Draining {
+                continue;
+            }
+            let residents: Vec<u64> = self
+                .routes
+                .iter()
+                .filter(|(_, r)| r.shard == shard)
+                .map(|(id, _)| *id)
+                .collect();
+            let mut moved = 0usize;
+            for id in &residents {
+                if moved >= self.drain_batch {
+                    break;
+                }
+                let Some(target) = self
+                    .placement
+                    .ordered(*id, &self.views())
+                    .into_iter()
+                    .find(|&t| t != shard)
+                else {
+                    break; // nowhere to go this tick; retry next tick
+                };
+                // A failed migration leaves the stream on the shard
+                // (restored by the undo path); it is retried next tick.
+                if self.migrate(*id, target).is_ok() {
+                    moved += 1;
+                }
+            }
+            let empty = !self.routes.values().any(|r| r.shard == shard);
+            if empty {
+                self.shards[shard].state = ShardState::Down(DownReason::Drained);
+                self.registry.inc(self.ids.shards_drained);
+                self.record(
+                    None,
+                    Some(shard),
+                    EventKind::ShardState {
+                        shard: shard as u64,
+                        from: "draining",
+                        to: "down",
+                    },
+                );
+            }
+        }
+    }
+
+    // ----- failover -----------------------------------------------------
+
+    /// Kills a shard outright — simulated power loss. Its service is
+    /// never consulted again; every resident stream is replayed from
+    /// its last swept checkpoint onto survivors, or declared lost with
+    /// a typed reason.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownShard`]; killing a down shard is a no-op.
+    pub fn kill_shard(&mut self, shard: usize) -> Result<(), ClusterError> {
+        match self.shards.get(shard).map(|s| s.state) {
+            None => Err(ClusterError::UnknownShard(shard)),
+            Some(ShardState::Down(_)) => Ok(()),
+            Some(_) => {
+                self.retire(shard, DownReason::Killed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether any shard other than `shard` is active.
+    fn another_active(&self, shard: usize) -> bool {
+        self.shards
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != shard && s.state == ShardState::Active)
+    }
+
+    fn retire(&mut self, shard: usize, reason: DownReason) {
+        let from = self.shards[shard].state.label();
+        self.shards[shard].state = ShardState::Down(reason);
+        self.registry.inc(self.ids.shards_down);
+        self.record(
+            None,
+            Some(shard),
+            EventKind::ShardState {
+                shard: shard as u64,
+                from,
+                to: "down",
+            },
+        );
+        self.fail_over(shard);
+    }
+
+    /// Replays every stream routed to `dead` from its last checkpoint
+    /// onto survivors; the rest become typed losses.
+    fn fail_over(&mut self, dead: usize) {
+        let victims: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.shard == dead)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in victims {
+            let Some(rec) = self.store.get(&id).cloned() else {
+                self.declare_lost(id, dead, LossReason::NoCheckpoint);
+                continue;
+            };
+            match self.place_snapshot(id, &rec.bytes, dead) {
+                Ok((to, local)) => {
+                    self.routes.insert(id, Route { shard: to, local });
+                    self.registry.inc(self.ids.failovers);
+                    self.record(
+                        Some(id),
+                        Some(to),
+                        EventKind::StreamFailover {
+                            from_shard: dead as u64,
+                            to_shard: to as u64,
+                        },
+                    );
+                    self.resumes.push(FailoverResume {
+                        id,
+                        from_shard: dead,
+                        to_shard: to,
+                        resume_from: rec.resume_from,
+                        delivered_bits: rec.delivered_bits,
+                    });
+                }
+                Err(reason) => self.declare_lost(id, dead, reason),
+            }
+        }
+    }
+
+    /// Restores a snapshot onto the best willing active shard other
+    /// than `exclude`. Failures are folded into the typed loss reason.
+    fn place_snapshot(
+        &mut self,
+        id: u64,
+        bytes: &[u8],
+        exclude: usize,
+    ) -> Result<(usize, u64), LossReason> {
+        let order: Vec<usize> = self
+            .placement
+            .ordered(id, &self.views())
+            .into_iter()
+            .filter(|&s| s != exclude)
+            .collect();
+        if order.is_empty() {
+            return Err(LossReason::NoCapacity);
+        }
+        let mut saw_capacity = false;
+        for shard in order {
+            match self.shards[shard].svc.restore(bytes) {
+                Ok(local) => return Ok((shard, local)),
+                Err(e) => match e.restore_disposition() {
+                    Some(RestoreDisposition::RetryTransfer) => return Err(LossReason::Corrupt),
+                    Some(RestoreDisposition::Incompatible) => {}
+                    None => saw_capacity = true,
+                },
+            }
+        }
+        Err(if saw_capacity {
+            LossReason::NoCapacity
+        } else {
+            LossReason::Incompatible
+        })
+    }
+
+    fn declare_lost(&mut self, id: u64, shard: usize, reason: LossReason) {
+        self.routes.remove(&id);
+        self.store.remove(&id);
+        self.losses.insert(id, StreamLoss { id, shard, reason });
+        self.registry.inc(self.ids.lost_streams);
+        self.record(
+            Some(id),
+            Some(shard),
+            EventKind::StreamLost {
+                shard: shard as u64,
+                reason: reason.label(),
+            },
+        );
+    }
+
+    // ----- the clock ----------------------------------------------------
+
+    /// Advances the whole cluster one tick: every serving shard's
+    /// service ticks (a shard whose tick *fails* is retired and failed
+    /// over instead of taking the cluster down), health monitors run,
+    /// draining shards shed a batch, and the periodic checkpoint sweep
+    /// fires. Never returns an error: shard failure is a handled event
+    /// here, not an exception.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        for shard in 0..self.shards.len() {
+            if matches!(self.shards[shard].state, ShardState::Down(_)) {
+                continue;
+            }
+            if self.shards[shard].svc.tick().is_err() {
+                self.retire(shard, DownReason::TickFailed);
+                continue;
+            }
+            let summary = self.shards[shard].svc.system().health_summary();
+            let verdict = self.shards[shard].monitor.observe(&summary, &self.health);
+            // Health-driven retirement never takes down the last
+            // active shard: a fabric-abandoned shard still serves
+            // correctly on its software kernels, and retiring it with
+            // nowhere to fail over to would turn a slow cluster into
+            // no cluster. Explicit kills are not subject to this —
+            // power loss cannot be refused.
+            if verdict == HealthVerdict::Dead && self.another_active(shard) {
+                self.retire(shard, DownReason::Abandoned);
+            }
+        }
+        self.drain_step();
+        if self.checkpoint_interval > 0 && self.now.is_multiple_of(self.checkpoint_interval) {
+            self.checkpoint_sweep();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_lfsr::FlowOptions;
+    use lfsr::crc::CrcSpec;
+    use stream::AdmissionConfig;
+
+    /// Marks every lane hosted on `shard` as fallen back, so the next
+    /// health observation sees an abandoned fabric.
+    fn abandon_fabric(cl: &mut Cluster, shard: usize) {
+        let lanes: Vec<String> = {
+            let svc = cl.shard_service(shard).expect("shard exists");
+            svc.system()
+                .health_summary()
+                .lanes
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect()
+        };
+        assert!(!lanes.is_empty(), "hosting must create fabric lanes");
+        let svc = cl.shard_service_mut(shard).expect("shard serving");
+        for lane in &lanes {
+            svc.system_mut()
+                .system_mut()
+                .set_health(lane, dream::Health::Fallback);
+        }
+    }
+
+    fn two_shard_cluster(abandoned_ticks: u32) -> Cluster {
+        let mut cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+        cfg.health = HealthPolicy { abandoned_ticks };
+        let mut cl = Cluster::new(&cfg);
+        let eth = *CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
+        cl.host_crc("crc", &eth, FlowOptions::dream_with_m(8))
+            .expect("host");
+        cl
+    }
+
+    #[test]
+    fn abandoned_shard_is_retired_while_survivors_remain() {
+        let mut cl = two_shard_cluster(2);
+        abandon_fabric(&mut cl, 0);
+        cl.tick();
+        assert_eq!(
+            cl.shard_state(0),
+            Some(ShardState::Active),
+            "one bad tick is only degraded"
+        );
+        cl.tick();
+        assert_eq!(
+            cl.shard_state(0),
+            Some(ShardState::Down(DownReason::Abandoned)),
+            "second consecutive abandoned tick crosses the threshold"
+        );
+        assert_eq!(cl.shard_state(1), Some(ShardState::Active));
+    }
+
+    #[test]
+    fn last_active_shard_is_never_health_retired() {
+        let mut cl = two_shard_cluster(2);
+        abandon_fabric(&mut cl, 0);
+        for _ in 0..3 {
+            cl.tick();
+        }
+        assert_eq!(
+            cl.shard_state(0),
+            Some(ShardState::Down(DownReason::Abandoned))
+        );
+        // Now abandon the sole survivor: the monitor keeps voting Dead,
+        // but the cluster refuses to retire its last active shard.
+        abandon_fabric(&mut cl, 1);
+        for _ in 0..10 {
+            cl.tick();
+        }
+        assert_eq!(
+            cl.shard_state(1),
+            Some(ShardState::Active),
+            "a degraded cluster beats no cluster"
+        );
+    }
+}

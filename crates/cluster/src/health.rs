@@ -1,0 +1,128 @@
+//! Shard health monitoring: when is a shard *dead* to the cluster?
+//!
+//! A shard's [`resilience::FabricHealthSummary`] already distinguishes
+//! lanes that still run on the fabric from lanes retired to the
+//! software kernel or sitting on an unresolved detection. The cluster
+//! adds the operator-level judgement on top: a shard whose fabric is
+//! *abandoned* — every hosted lane fallen back or suspect — still
+//! computes correct digests, but it has lost the accelerator the whole
+//! deployment exists for. The monitor counts consecutive abandoned
+//! observations and, past a configured threshold, tells the cluster to
+//! retire the shard and replay its streams onto survivors.
+
+use resilience::FabricHealthSummary;
+
+/// When the cluster declares a shard dead on health grounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive ticks the shard's fabric must be abandoned (every
+    /// lane fallen back to software or suspect) before the shard is
+    /// retired. `0` disables health-driven retirement entirely.
+    pub abandoned_ticks: u32,
+}
+
+impl HealthPolicy {
+    /// Health-driven retirement switched off; shards only leave the
+    /// cluster by explicit drain or kill.
+    #[must_use]
+    pub fn disabled() -> Self {
+        HealthPolicy { abandoned_ticks: 0 }
+    }
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy { abandoned_ticks: 8 }
+    }
+}
+
+/// What one observation concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// At least one lane still serves on the fabric.
+    Serving,
+    /// Fabric abandoned, but not yet for long enough to retire.
+    Degraded,
+    /// Abandoned past the policy threshold — retire the shard.
+    Dead,
+}
+
+/// Per-shard consecutive-observation counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardHealthMonitor {
+    bad_ticks: u32,
+}
+
+impl ShardHealthMonitor {
+    /// Feeds one per-tick summary; returns the verdict under `policy`.
+    pub fn observe(
+        &mut self,
+        summary: &FabricHealthSummary,
+        policy: &HealthPolicy,
+    ) -> HealthVerdict {
+        if !summary.fabric_abandoned() {
+            self.bad_ticks = 0;
+            return HealthVerdict::Serving;
+        }
+        self.bad_ticks = self.bad_ticks.saturating_add(1);
+        if policy.abandoned_ticks > 0 && self.bad_ticks >= policy.abandoned_ticks {
+            HealthVerdict::Dead
+        } else {
+            HealthVerdict::Degraded
+        }
+    }
+
+    /// Consecutive abandoned observations so far.
+    #[must_use]
+    pub fn bad_ticks(&self) -> u32 {
+        self.bad_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience::FabricHealthSummary;
+
+    fn abandoned() -> FabricHealthSummary {
+        FabricHealthSummary {
+            lanes: vec![("a".to_string(), dream::Health::Fallback)],
+            fallback: 1,
+            suspect: 0,
+            unrecovered: 0,
+            recoveries: 3,
+        }
+    }
+
+    fn serving() -> FabricHealthSummary {
+        FabricHealthSummary {
+            lanes: vec![("a".to_string(), dream::Health::Healthy)],
+            fallback: 0,
+            suspect: 0,
+            unrecovered: 0,
+            recoveries: 0,
+        }
+    }
+
+    #[test]
+    fn dead_only_after_consecutive_abandonment() {
+        let policy = HealthPolicy { abandoned_ticks: 3 };
+        let mut m = ShardHealthMonitor::default();
+        assert_eq!(m.observe(&abandoned(), &policy), HealthVerdict::Degraded);
+        assert_eq!(m.observe(&abandoned(), &policy), HealthVerdict::Degraded);
+        // A healthy observation resets the streak.
+        assert_eq!(m.observe(&serving(), &policy), HealthVerdict::Serving);
+        assert_eq!(m.observe(&abandoned(), &policy), HealthVerdict::Degraded);
+        assert_eq!(m.observe(&abandoned(), &policy), HealthVerdict::Degraded);
+        assert_eq!(m.observe(&abandoned(), &policy), HealthVerdict::Dead);
+    }
+
+    #[test]
+    fn disabled_policy_never_kills() {
+        let policy = HealthPolicy::disabled();
+        let mut m = ShardHealthMonitor::default();
+        for _ in 0..100 {
+            assert_ne!(m.observe(&abandoned(), &policy), HealthVerdict::Dead);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # cluster — sharded multi-fabric serving with migration and failover
+//!
+//! One DREAM fabric serves one device. A deployment serves a fleet:
+//! several fabrics (shards), each running the full resilient serving
+//! stack, behind one control plane that decides *where* every stream
+//! lives — and keeps it alive when a shard drains or dies. This crate
+//! is that control plane (DESIGN.md §11):
+//!
+//! * [`placement`] — deterministic rendezvous (highest-random-weight)
+//!   hashing with an optional least-loaded spill. Removing a shard
+//!   remaps only that shard's streams (a proptest pins this).
+//! * [`health`] — per-shard health monitoring over
+//!   [`resilience::FabricHealthSummary`]: a shard whose fabric is
+//!   abandoned (every lane fallen back to software or suspect) for too
+//!   many consecutive ticks is retired.
+//! * [`cluster`] — [`cluster::Cluster`]: global stream identity, the
+//!   route table, a periodic checkpoint sweep, and the three
+//!   robustness flows — digest-verified **live migration**, fenced
+//!   **shard drain**, and checkpoint-replay **whole-shard failover**
+//!   with typed (never silent) stream loss.
+//! * [`storm`] — the seeded cluster-wide stress harness behind the
+//!   `cluster_storm` binary: multi-shard traffic with random live
+//!   migrations, a mid-run forced kill and a planned drain, every
+//!   digest checked against a software oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod health;
+pub mod placement;
+pub mod storm;
+
+pub use cluster::{
+    transfer_digest, Cluster, ClusterConfig, ClusterCounters, ClusterError, DownReason,
+    FailoverResume, LossReason, ShardSpec, ShardState, StreamLoss,
+};
+pub use health::{HealthPolicy, HealthVerdict, ShardHealthMonitor};
+pub use placement::{mix64, shard_seed, PlacementPolicy, ShardView};
+pub use storm::{run_cluster_storm, ClusterStormConfig, ClusterStormReport};

@@ -1,0 +1,143 @@
+//! Property tests for the cluster control plane: live migration
+//! round-trips bit-exactly at every supported block width, and
+//! rendezvous placement only remaps the streams of a removed shard.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cluster::{shard_seed, Cluster, ClusterConfig, PlacementPolicy, ShardView};
+use dream_lfsr::FlowOptions;
+use lfsr::crc::{crc_bitwise, CrcSpec};
+use proptest::collection;
+use proptest::prelude::*;
+use stream::{AdmissionConfig, Priority, StreamOutput};
+
+/// One cached two-shard cluster per block width: personality synthesis
+/// on every shard dominates the cost of a case, so every case of a
+/// property reuses the same deployment (each case finishes the streams
+/// it opens).
+fn with_cluster<R>(m: usize, f: impl FnOnce(&mut Cluster) -> R) -> R {
+    thread_local! {
+        static CACHE: RefCell<HashMap<usize, Cluster>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        let cl = map.entry(m).or_insert_with(|| {
+            let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+            let mut cl = Cluster::new(&cfg);
+            let spec = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+            cl.host_crc("eth", &spec, FlowOptions::dream_with_m(m))
+                .unwrap();
+            cl
+        });
+        f(cl)
+    })
+}
+
+/// Open two identical streams, migrate one to the other shard at a
+/// random chunk boundary, feed the rest to both, and require both
+/// digests to equal the software oracle — the migrated stream must be
+/// indistinguishable from the one that never moved.
+fn migration_round_trip(m: usize, data: &[u8], cut_pct: usize) -> Result<(), TestCaseError> {
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    let oracle = crc_bitwise(spec, data);
+    let cut = data.len() * cut_pct / 100;
+    with_cluster(m, |cl| {
+        let moved = cl.open_crc("eth", Priority::High, 8).unwrap();
+        let pinned = cl.open_crc("eth", Priority::High, 8).unwrap();
+        if cut > 0 {
+            cl.feed(moved, &data[..cut]).unwrap();
+            cl.feed(pinned, &data[..cut]).unwrap();
+            cl.tick();
+        }
+        let from = cl.shard_of(moved).unwrap();
+        let to = 1 - from;
+        cl.migrate(moved, to).unwrap();
+        prop_assert_eq!(cl.shard_of(moved), Some(to), "migration moved the route");
+        if cut < data.len() {
+            cl.feed(moved, &data[cut..]).unwrap();
+            cl.feed(pinned, &data[cut..]).unwrap();
+            cl.tick();
+        }
+        for id in [moved, pinned] {
+            match cl.finish(id).unwrap() {
+                StreamOutput::Crc(got) => prop_assert_eq!(got, oracle),
+                other => panic!("CRC stream delivered {other:?}"),
+            }
+        }
+        Ok(())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn migration_round_trips_at_m8(
+        data in collection::vec(any::<u8>(), 1..96),
+        cut_pct in 0usize..100,
+    ) {
+        migration_round_trip(8, &data, cut_pct)?;
+    }
+
+    #[test]
+    fn migration_round_trips_at_m32(
+        data in collection::vec(any::<u8>(), 1..96),
+        cut_pct in 0usize..100,
+    ) {
+        migration_round_trip(32, &data, cut_pct)?;
+    }
+
+    #[test]
+    fn migration_round_trips_at_m128(
+        data in collection::vec(any::<u8>(), 1..96),
+        cut_pct in 0usize..100,
+    ) {
+        migration_round_trip(128, &data, cut_pct)?;
+    }
+}
+
+/// Shard views for `n` same-named shards, all eligible, equal load.
+fn views(n: usize) -> Vec<ShardView> {
+    (0..n)
+        .map(|i| ShardView {
+            index: i,
+            seed: shard_seed(&format!("shard{i}")),
+            eligible: true,
+            load: 0,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// The rendezvous minimal-disruption property: removing one shard
+    /// remaps only the keys that lived on it — every other key keeps
+    /// its placement exactly.
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(
+        keys in collection::vec(any::<u64>(), 1..64),
+        n_shards in 2usize..6,
+        removed_pick in any::<usize>(),
+    ) {
+        let policy = PlacementPolicy::default();
+        let all = views(n_shards);
+        let removed = removed_pick % n_shards;
+        let mut without = all.clone();
+        without[removed].eligible = false;
+
+        for &key in &keys {
+            let before = policy.place(key, &all).expect("all shards eligible");
+            let after = policy
+                .place(key, &without)
+                .expect("survivors remain eligible");
+            if before == removed {
+                prop_assert_ne!(after, removed);
+            } else {
+                prop_assert_eq!(
+                    after, before,
+                    "key on a surviving shard must not move"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Golden-byte corpus for cross-shard restore: checkpoints captured
+//! from a *hardware-lane* (fabric-hosted) stream, committed verbatim
+//! under `tests/corpus/`, and restored onto a shard whose every lane
+//! has fallen back to the software kernel — the worst-case failover
+//! target. The committed bytes pin the wire format a cluster transfer
+//! puts on the network; the restore tests pin that such a snapshot
+//! stays serveable across the hardware/software boundary *and* across
+//! shards.
+//!
+//! Regenerate (only after a deliberate, version-bumped format change)
+//! with `cargo test -p picolfsr-cluster --test restore_corpus -- --ignored`.
+
+use cluster::{Cluster, ClusterConfig};
+use dream::ControlModel;
+use dream_lfsr::FlowOptions;
+use gf2::BitVec;
+use lfsr::crc::{crc_bitwise, CrcSpec};
+use lfsr::scramble::{AdditiveScrambler, ScramblerSpec};
+use picoga::PicogaParams;
+use resilience::{RecoveryPolicy, ResilientSystem};
+use stream::{AdmissionConfig, Priority, StreamCheckpoint, StreamOutput, StreamService};
+
+/// Deterministic payload shared by capture and restore: the corpus
+/// snapshot holds the stream mid-way through exactly these bytes.
+fn payload() -> Vec<u8> {
+    (0..64u32).map(|i| (i * 7 + 3) as u8).collect()
+}
+
+/// The chunk boundary the snapshots were captured at.
+const CUT: usize = 29;
+
+/// The scrambler entry's seed (7-bit 802.11 state).
+const WIFI_SEED: u64 = 0x5A;
+
+fn golden(file: &str) -> &'static [u8] {
+    match file {
+        "crc_hw_lane_v1.bin" => include_bytes!("corpus/crc_hw_lane_v1.bin"),
+        "scrambler_hw_lane_v1.bin" => include_bytes!("corpus/scrambler_hw_lane_v1.bin"),
+        _ => unreachable!("unknown corpus file {file}"),
+    }
+}
+
+/// A fresh single-fabric service with both corpus personalities hosted
+/// on the fabric (the "hardware lane" the snapshots come from).
+fn hw_service() -> StreamService {
+    let rs = ResilientSystem::new(
+        PicogaParams::dream(),
+        ControlModel::default(),
+        RecoveryPolicy::stream_serving(),
+    );
+    let mut svc = StreamService::new(rs, AdmissionConfig::default());
+    let eth = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    svc.host_crc("eth32", &eth, FlowOptions::dream_with_m(32))
+        .unwrap();
+    svc.host_scrambler(
+        "wifi16",
+        ScramblerSpec::ieee80211(),
+        &FlowOptions::dream_with_m(16),
+    )
+    .unwrap();
+    svc
+}
+
+/// A two-shard cluster where shard 0 is killed and every lane of the
+/// surviving shard 1 has fallen back to software: the only place a
+/// restored snapshot can land is a software-fallback lane on a
+/// *different* shard than the one that produced it.
+fn fallback_cluster() -> Cluster {
+    let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+    let mut cl = Cluster::new(&cfg);
+    let eth = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    cl.host_crc("eth32", &eth, FlowOptions::dream_with_m(32))
+        .unwrap();
+    cl.host_scrambler(
+        "wifi16",
+        ScramblerSpec::ieee80211(),
+        &FlowOptions::dream_with_m(16),
+    )
+    .unwrap();
+    let lanes: Vec<String> = cl
+        .shard_service(1)
+        .unwrap()
+        .system()
+        .health_summary()
+        .lanes
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    assert!(!lanes.is_empty(), "hosting must create fabric lanes");
+    let svc = cl.shard_service_mut(1).unwrap();
+    for lane in &lanes {
+        svc.system_mut()
+            .system_mut()
+            .set_health(lane, dream::Health::Fallback);
+    }
+    cl.kill_shard(0).unwrap();
+    cl
+}
+
+#[test]
+fn golden_bytes_decode_and_roundtrip() {
+    for file in ["crc_hw_lane_v1.bin", "scrambler_hw_lane_v1.bin"] {
+        let bytes = golden(file);
+        let cp = StreamCheckpoint::decode(bytes)
+            .unwrap_or_else(|e| panic!("{file}: golden bytes must decode: {e}"));
+        assert_eq!(
+            cp.encode(),
+            bytes,
+            "{file}: encoder no longer produces the committed bytes — \
+             this is a wire-format break; bump the checkpoint VERSION instead"
+        );
+        assert_eq!(
+            cp.bytes_fed as usize, CUT,
+            "{file}: captured at the wrong cut"
+        );
+    }
+}
+
+/// The CRC snapshot, captured on shard-style hardware, adopts onto the
+/// software-fallback survivor shard and still finishes with the oracle
+/// digest over the whole logical stream.
+#[test]
+fn crc_hw_checkpoint_restores_onto_fallback_shard() {
+    let data = payload();
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    let oracle = crc_bitwise(spec, &data);
+
+    let mut cl = fallback_cluster();
+    let id = cl
+        .adopt(golden("crc_hw_lane_v1.bin"))
+        .expect("golden snapshot must adopt onto the survivor");
+    assert_eq!(cl.shard_of(id), Some(1), "must land on the fallback shard");
+    cl.feed(id, &data[CUT..]).unwrap();
+    cl.tick();
+    match cl.finish(id).unwrap() {
+        StreamOutput::Crc(got) => assert_eq!(got, oracle, "digest must survive the crossing"),
+        other => panic!("CRC stream delivered {other:?}"),
+    }
+}
+
+/// The scrambler snapshot restores cross-shard onto software fallback;
+/// the output bits delivered after the crossing must equal the oracle's
+/// suffix from the snapshot's delivered position.
+#[test]
+fn scrambler_hw_checkpoint_restores_onto_fallback_shard() {
+    let data = payload();
+    let frame = BitVec::from_le_bytes(&data, data.len() * 8);
+    let mut oracle = AdditiveScrambler::with_seed(ScramblerSpec::ieee80211(), WIFI_SEED).unwrap();
+    let want = oracle.scramble(&frame);
+
+    let bytes = golden("scrambler_hw_lane_v1.bin");
+    let cp = StreamCheckpoint::decode(bytes).unwrap();
+    let delivered = cp.bytes_fed as usize * 8 - cp.staged.len() - cp.out_pending.len();
+
+    let mut cl = fallback_cluster();
+    let id = cl.adopt(bytes).expect("golden snapshot must adopt");
+    assert_eq!(cl.shard_of(id), Some(1), "must land on the fallback shard");
+    cl.feed(id, &data[CUT..]).unwrap();
+    cl.tick();
+    let mut got = cl.collect(id).unwrap();
+    if let StreamOutput::Scrambled(rest) = cl.finish(id).unwrap() {
+        got = got.concat(&rest);
+    }
+    assert_eq!(
+        got,
+        want.slice(delivered, want.len() - delivered),
+        "post-crossing output must continue the oracle stream exactly"
+    );
+}
+
+/// Captures the corpus snapshots from a live hardware-lane service.
+/// Run only after a deliberate format change (and bump the checkpoint
+/// VERSION when the bytes move).
+#[test]
+#[ignore = "regenerates the committed golden corpus"]
+fn regenerate_corpus() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    std::fs::create_dir_all(dir).unwrap();
+    let data = payload();
+    let mut svc = hw_service();
+
+    let crc = svc.open_crc("eth32", Priority::High, 8).unwrap();
+    svc.feed(crc, &data[..CUT]).unwrap();
+    svc.tick().unwrap();
+    std::fs::write(
+        format!("{dir}/crc_hw_lane_v1.bin"),
+        svc.checkpoint(crc).unwrap(),
+    )
+    .unwrap();
+
+    let wifi = svc
+        .open_scrambler("wifi16", WIFI_SEED, Priority::High, 8)
+        .unwrap();
+    svc.feed(wifi, &data[..CUT]).unwrap();
+    svc.tick().unwrap();
+    std::fs::write(
+        format!("{dir}/scrambler_hw_lane_v1.bin"),
+        svc.checkpoint(wifi).unwrap(),
+    )
+    .unwrap();
+}

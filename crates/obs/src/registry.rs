@@ -225,6 +225,35 @@ impl MetricsRegistry {
 }
 
 impl MetricsSnapshot {
+    /// A copy of this snapshot with every metric name prefixed by
+    /// `scope` and a `/` separator — how a cluster scopes the private
+    /// registries of its shards into one namespaced report
+    /// (`shard3/service.opened`). Ordering stays deterministic: the
+    /// result is name-ordered like every snapshot.
+    #[must_use]
+    pub fn scoped(&self, scope: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, v)| (format!("{scope}/{name}"), *v))
+                .collect(),
+        }
+    }
+
+    /// Merges `other`'s metrics into this snapshot. Names must not
+    /// collide (scope shards first — see [`MetricsSnapshot::scoped`]).
+    ///
+    /// # Panics
+    ///
+    /// If a metric name exists in both snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.entries {
+            let prev = self.entries.insert(name.clone(), *v);
+            assert!(prev.is_none(), "metric {name} present in both snapshots");
+        }
+    }
+
     /// The value recorded under `name`, if any.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&MetricValue> {

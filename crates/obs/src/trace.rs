@@ -87,6 +87,42 @@ pub enum EventKind {
         /// Streams whose chunks were re-queued.
         streams: u64,
     },
+    /// A session was checkpointed out of this node for cross-shard
+    /// migration (the snapshot leaves with the caller).
+    StreamDetach,
+    /// Cluster-level: a shard changed lifecycle state.
+    ShardState {
+        /// The shard's index in the cluster.
+        shard: u64,
+        /// State before (`active`, `draining`, `down`).
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
+    /// Cluster-level: a stream migrated between shards (checkpoint →
+    /// transfer → restore, digest-verified).
+    StreamMigrate {
+        /// Source shard index.
+        from_shard: u64,
+        /// Target shard index.
+        to_shard: u64,
+    },
+    /// Cluster-level: a stream was replayed from its last known
+    /// checkpoint onto a survivor after its shard died.
+    StreamFailover {
+        /// The dead shard's index.
+        from_shard: u64,
+        /// The surviving shard now serving the stream.
+        to_shard: u64,
+    },
+    /// Cluster-level: a stream on a dead shard could not be recovered
+    /// and was declared lost (typed, never silent).
+    StreamLost {
+        /// The dead shard's index.
+        shard: u64,
+        /// Why: `no_checkpoint` or `incompatible`.
+        reason: &'static str,
+    },
 }
 
 impl EventKind {
@@ -111,6 +147,11 @@ impl EventKind {
             EventKind::Degrade => "degrade",
             EventKind::LevelTransition { .. } => "level_transition",
             EventKind::BatchRollback { .. } => "batch_rollback",
+            EventKind::StreamDetach => "stream_detach",
+            EventKind::ShardState { .. } => "shard_state",
+            EventKind::StreamMigrate { .. } => "stream_migrate",
+            EventKind::StreamFailover { .. } => "stream_failover",
+            EventKind::StreamLost { .. } => "stream_lost",
         }
     }
 
@@ -132,12 +173,33 @@ impl EventKind {
                 vec![("from", (*from).to_string()), ("to", (*to).to_string())]
             }
             EventKind::BatchRollback { streams } => vec![("streams", streams.to_string())],
+            EventKind::ShardState { shard, from, to } => vec![
+                ("shard", shard.to_string()),
+                ("from", (*from).to_string()),
+                ("to", (*to).to_string()),
+            ],
+            EventKind::StreamMigrate {
+                from_shard,
+                to_shard,
+            }
+            | EventKind::StreamFailover {
+                from_shard,
+                to_shard,
+            } => vec![
+                ("from_shard", from_shard.to_string()),
+                ("to_shard", to_shard.to_string()),
+            ],
+            EventKind::StreamLost { shard, reason } => vec![
+                ("shard", shard.to_string()),
+                ("reason", (*reason).to_string()),
+            ],
             EventKind::Detection
             | EventKind::RecoveryStart
             | EventKind::StreamAdmit
             | EventKind::StreamResume
             | EventKind::StreamComplete
-            | EventKind::Degrade => Vec::new(),
+            | EventKind::Degrade
+            | EventKind::StreamDetach => Vec::new(),
         }
     }
 }

@@ -32,7 +32,7 @@ pub mod rng;
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignRow};
 pub use inject::{classify, classify_load, FaultEffect, FaultInjector};
 pub use policy::{
-    shadow_name, GuardedRun, MigrationAdvice, RecoveryOutcome, RecoveryPolicy, ResilienceError,
-    ResilientSystem,
+    shadow_name, FabricHealthSummary, GuardedRun, MigrationAdvice, RecoveryOutcome, RecoveryPolicy,
+    ResilienceError, ResilientSystem,
 };
 pub use rng::SplitMix64;

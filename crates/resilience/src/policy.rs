@@ -254,6 +254,33 @@ pub struct ResilientSystem {
     ids: ResIds,
 }
 
+/// Coarse per-fabric health, aggregated from lane health and the
+/// recovery ladder's terminal counters (see
+/// [`ResilientSystem::health_summary`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricHealthSummary {
+    /// Every hosted lane (shadow lanes included) with its health.
+    pub lanes: Vec<(String, Health)>,
+    /// Lanes retired to the software kernel.
+    pub fallback: usize,
+    /// Lanes with an outstanding detection.
+    pub suspect: usize,
+    /// Recovery-ladder runs that ended [`RecoveryOutcome::Unrecovered`].
+    pub unrecovered: u64,
+    /// Recovery-ladder runs started (any outcome).
+    pub recoveries: u64,
+}
+
+impl FabricHealthSummary {
+    /// `true` when no hosted lane still runs on the fabric — every lane
+    /// is in software fallback or suspect. An empty fabric (nothing
+    /// hosted) is *not* degraded.
+    #[must_use]
+    pub fn fabric_abandoned(&self) -> bool {
+        !self.lanes.is_empty() && self.fallback + self.suspect == self.lanes.len()
+    }
+}
+
 /// Registry handles for the recovery ladder's metrics.
 #[derive(Debug, Clone, Copy)]
 struct ResIds {
@@ -334,6 +361,34 @@ impl ResilientSystem {
     /// (shadow lanes included).
     pub fn hosted(&self) -> &[String] {
         &self.order
+    }
+
+    /// A coarse health summary of every hosted lane plus the ladder's
+    /// terminal-outcome counters — the signal a cluster-level shard
+    /// health monitor aggregates to decide whether an entire fabric
+    /// should be declared dead (all lanes off the fabric, or recoveries
+    /// that ended unrecovered).
+    #[must_use]
+    pub fn health_summary(&self) -> FabricHealthSummary {
+        let mut lanes = Vec::with_capacity(self.order.len());
+        let (mut fallback, mut suspect) = (0usize, 0usize);
+        for name in &self.order {
+            let h = self.sys.health(name);
+            match h {
+                Health::Fallback => fallback += 1,
+                Health::Suspect => suspect += 1,
+                _ => {}
+            }
+            lanes.push((name.clone(), h));
+        }
+        let reg = &self.sys.obs().registry;
+        FabricHealthSummary {
+            lanes,
+            fallback,
+            suspect,
+            unrecovered: reg.counter_value(self.ids.unrecovered),
+            recoveries: reg.counter_value(self.ids.recoveries),
+        }
     }
 
     /// Builds `spec` through the flow and registers it under `name`; in

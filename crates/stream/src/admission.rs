@@ -232,6 +232,9 @@ pub struct ServiceCounters {
     pub chunks_processed: u64,
     /// Overload level escalations and de-escalations.
     pub level_transitions: u64,
+    /// Streams checkpointed out for cross-shard migration (live
+    /// detaches and parked-snapshot exports alike).
+    pub detached: u64,
 }
 
 #[cfg(test)]

@@ -132,6 +132,42 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// What a higher layer should do about a failed restore. Cluster
+/// migration reacts differently to damaged bytes (retransfer the
+/// snapshot and retry) than to an intact-but-unrunnable snapshot
+/// (route it to a compatible shard or declare the stream lost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreDisposition {
+    /// The bytes were damaged in transit or storage (truncation, bad
+    /// magic, envelope CRC mismatch): the original snapshot may still
+    /// be intact at the source — retransfer and retry.
+    RetryTransfer,
+    /// The snapshot decoded (or failed) with a valid envelope but
+    /// cannot run here: wrong version, wrong Derby transform, wrong
+    /// widths. Retrying the same bytes on the same host cannot succeed.
+    Incompatible,
+}
+
+impl CheckpointError {
+    /// Classifies this failure for retry-vs-declare-lost decisions
+    /// (see [`RestoreDisposition`]).
+    ///
+    /// `Malformed` classifies as [`RestoreDisposition::Incompatible`]:
+    /// it is only reachable *after* the envelope CRC verified, so the
+    /// bytes arrived exactly as encoded and retrying cannot help.
+    #[must_use]
+    pub fn disposition(&self) -> RestoreDisposition {
+        match self {
+            CheckpointError::Truncated { .. }
+            | CheckpointError::BadMagic(_)
+            | CheckpointError::CrcMismatch { .. } => RestoreDisposition::RetryTransfer,
+            CheckpointError::BadVersion(_)
+            | CheckpointError::Malformed(_)
+            | CheckpointError::TransformMismatch { .. } => RestoreDisposition::Incompatible,
+        }
+    }
+}
+
 fn envelope_crc(bytes: &[u8]) -> u64 {
     let spec = CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
     crc_bitwise(spec, bytes)

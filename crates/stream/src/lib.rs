@@ -23,6 +23,10 @@
 //!   global queues, and a typed overload ladder (reject new work →
 //!   degrade low-priority streams to software → checkpoint-and-park
 //!   idle streams) with hysteresis so the service doesn't flap.
+//! * [`pump`] — the pump scheduling policy behind the
+//!   [`pump::BatchScheduler`] trait (EDF by default), extracted so
+//!   every shard of a multi-fabric cluster shares one pump
+//!   implementation.
 //! * [`service`] — [`service::StreamService`]: the deadline-aware pump
 //!   that drains queues through the fabric in transactional batches.
 //!   Every batch is guarded by a scrub + probe; on detection the batch
@@ -39,12 +43,14 @@
 
 pub mod admission;
 pub mod checkpoint;
+pub mod pump;
 pub mod service;
 pub mod session;
 pub mod storm;
 
 pub use admission::{AdmissionConfig, OverloadLevel, ServiceCounters, TokenBucket};
-pub use checkpoint::{CheckpointError, StreamCheckpoint};
-pub use service::{ServiceError, StreamOutput, StreamService};
+pub use checkpoint::{CheckpointError, RestoreDisposition, StreamCheckpoint};
+pub use pump::{BatchScheduler, EdfScheduler, PumpCandidate};
+pub use service::{ServiceError, StreamOutput, StreamProgress, StreamService};
 pub use session::{Priority, StreamKind};
 pub use storm::{run_storm, StormConfig, StormReport};

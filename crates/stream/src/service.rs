@@ -22,7 +22,8 @@
 //! is what makes the storm campaign's digest-mismatch count stay zero.
 
 use crate::admission::{AdmissionConfig, OverloadLevel, ServiceCounters, TokenBucket};
-use crate::checkpoint::{CheckpointError, StreamCheckpoint, NO_TRANSFORM};
+use crate::checkpoint::{CheckpointError, RestoreDisposition, StreamCheckpoint, NO_TRANSFORM};
+use crate::pump::{BatchScheduler, EdfScheduler, PumpCandidate};
 use crate::session::{Domain, Priority, StreamKind, StreamSession};
 use dream::{Health, SystemError};
 use dream_lfsr::{build_scrambler_personality, FlowOptions};
@@ -51,6 +52,27 @@ pub enum StreamOutput {
     /// The remaining scrambled bits of a scrambler stream (output
     /// already taken via [`StreamService::collect`] is not repeated).
     Scrambled(BitVec),
+}
+
+/// How far a live stream has progressed (see
+/// [`StreamService::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Payload bytes already absorbed into the stream's state (pumped
+    /// chunks; a snapshot taken now would resume *after* these).
+    pub bytes_fed: u64,
+    /// Payload bytes accepted but still queued (these travel inside a
+    /// snapshot and replay on restore).
+    pub queued_bytes: usize,
+}
+
+impl StreamProgress {
+    /// Total payload bytes a snapshot taken now would carry: a client
+    /// replaying the stream re-offers data from this byte offset.
+    #[must_use]
+    pub fn fed_through(&self) -> u64 {
+        self.bytes_fed + self.queued_bytes as u64
+    }
 }
 
 /// Typed refusals and failures of the serving layer.
@@ -149,6 +171,30 @@ impl std::error::Error for ServiceError {
     }
 }
 
+impl ServiceError {
+    /// How a failed [`StreamService::restore`] should be handled by a
+    /// higher layer (a cluster migrating streams between shards).
+    ///
+    /// All snapshot-validation failures flow through the single typed
+    /// [`ServiceError::Checkpoint`] variant and classify as either
+    /// [`RestoreDisposition::RetryTransfer`] (the bytes were damaged —
+    /// retransfer the original snapshot) or
+    /// [`RestoreDisposition::Incompatible`] (the snapshot is intact but
+    /// cannot run on this host — route it elsewhere or declare the
+    /// stream lost). A personality this host does not serve is likewise
+    /// `Incompatible`. Returns `None` for errors that are not about the
+    /// snapshot at all (capacity refusals, unknown ids), which the
+    /// caller handles through its own admission logic.
+    #[must_use]
+    pub fn restore_disposition(&self) -> Option<RestoreDisposition> {
+        match self {
+            ServiceError::Checkpoint(e) => Some(e.disposition()),
+            ServiceError::UnknownPersonality(_) => Some(RestoreDisposition::Incompatible),
+            _ => None,
+        }
+    }
+}
+
 impl From<SystemError> for ServiceError {
     fn from(e: SystemError) -> Self {
         ServiceError::System(e)
@@ -218,7 +264,10 @@ struct SvcIds {
     migrated_to_software: CounterId,
     chunks_processed: CounterId,
     level_transitions: CounterId,
+    detached: CounterId,
     queue_depth: HistogramId,
+    live_sessions: obs::GaugeId,
+    queued_bytes: obs::GaugeId,
 }
 
 impl SvcIds {
@@ -242,7 +291,10 @@ impl SvcIds {
             migrated_to_software: reg.counter("service.migrated_to_software"),
             chunks_processed: reg.counter("service.chunks_processed"),
             level_transitions: reg.counter("service.level_transitions"),
+            detached: reg.counter("service.detached"),
             queue_depth: reg.histogram("service.queue_depth", &obs::Histogram::pow2_bounds(16)),
+            live_sessions: reg.gauge("service.live_sessions"),
+            queued_bytes: reg.gauge("service.queued_bytes"),
         }
     }
 }
@@ -267,12 +319,25 @@ pub struct StreamService {
     now: u64,
     global_queued_bytes: usize,
     ids: SvcIds,
+    sched: Box<dyn BatchScheduler>,
 }
 
 impl StreamService {
-    /// A service over `rs` with the given admission configuration.
+    /// A service over `rs` with the given admission configuration and
+    /// the default EDF pump scheduler.
     #[must_use]
-    pub fn new(mut rs: ResilientSystem, cfg: AdmissionConfig) -> Self {
+    pub fn new(rs: ResilientSystem, cfg: AdmissionConfig) -> Self {
+        Self::with_scheduler(rs, cfg, Box::new(EdfScheduler))
+    }
+
+    /// A service with an explicit pump scheduling policy (see
+    /// [`BatchScheduler`]).
+    #[must_use]
+    pub fn with_scheduler(
+        mut rs: ResilientSystem,
+        cfg: AdmissionConfig,
+        sched: Box<dyn BatchScheduler>,
+    ) -> Self {
         let bucket = TokenBucket::new(cfg.bucket_capacity, cfg.bucket_refill);
         let ids = SvcIds::register(&mut rs.obs_mut().registry);
         StreamService {
@@ -288,7 +353,14 @@ impl StreamService {
             now: 0,
             global_queued_bytes: 0,
             ids,
+            sched,
         }
+    }
+
+    /// The active pump scheduling policy's name.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
     }
 
     /// The wrapped resilient system.
@@ -324,6 +396,7 @@ impl StreamService {
             migrated_to_software: reg.counter_value(self.ids.migrated_to_software),
             chunks_processed: reg.counter_value(self.ids.chunks_processed),
             level_transitions: reg.counter_value(self.ids.level_transitions),
+            detached: reg.counter_value(self.ids.detached),
         }
     }
 
@@ -365,6 +438,23 @@ impl StreamService {
     /// Ids of parked streams, ascending.
     pub fn parked_ids(&self) -> Vec<u64> {
         self.parked.keys().copied().collect()
+    }
+
+    /// Ids of live (non-parked) sessions, ascending.
+    pub fn stream_ids(&self) -> Vec<u64> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Whether `id` names a live (non-parked) session.
+    #[must_use]
+    pub fn is_live(&self, id: u64) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// Whether `id` names a parked snapshot.
+    #[must_use]
+    pub fn is_parked(&self, id: u64) -> bool {
+        self.parked.contains_key(&id)
     }
 
     /// Total queued chunks across all live sessions.
@@ -664,6 +754,11 @@ impl StreamService {
         let depth = self.queue_depth_total() as u64;
         let queue_depth = self.ids.queue_depth;
         self.rs.obs_mut().registry.observe(queue_depth, depth);
+        let (live_g, bytes_g) = (self.ids.live_sessions, self.ids.queued_bytes);
+        let (live, queued) = (self.sessions.len(), self.global_queued_bytes);
+        let reg = &mut self.rs.obs_mut().registry;
+        reg.set_gauge(live_g, i64::try_from(live).unwrap_or(i64::MAX));
+        reg.set_gauge(bytes_g, i64::try_from(queued).unwrap_or(i64::MAX));
         let occupancy_pct = u32::try_from(
             (self.global_queued_bytes as u64) * 100 / (self.cfg.global_queue_bytes as u64).max(1),
         )
@@ -890,6 +985,68 @@ impl StreamService {
         Ok(cp.encode())
     }
 
+    /// Progress marker of a live stream: how many payload bytes a
+    /// client would have to re-offer if the stream were resumed from a
+    /// snapshot taken *right now* (`bytes_fed` are absorbed into the
+    /// state, queued bytes travel inside the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`].
+    pub fn progress(&self, id: u64) -> Result<StreamProgress, ServiceError> {
+        let s = self
+            .sessions
+            .get(&id)
+            .ok_or(ServiceError::UnknownStream(id))?;
+        Ok(StreamProgress {
+            bytes_fed: s.bytes_fed,
+            queued_bytes: s.queued_bytes,
+        })
+    }
+
+    /// Checkpoints a live stream, removes its session (freeing
+    /// capacity), and returns the snapshot bytes — the source half of a
+    /// cross-shard migration. Unlike [`StreamService::park`], the
+    /// snapshot is **not** retained here; the caller owns it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`].
+    pub fn detach(&mut self, id: u64) -> Result<Vec<u8>, ServiceError> {
+        let bytes = self.checkpoint(id)?;
+        let session = self.sessions.remove(&id).expect("checkpoint proved it");
+        self.global_queued_bytes -= session.queued_bytes;
+        self.bump(self.ids.detached);
+        self.rs
+            .obs_mut()
+            .event_for(Some(id), Some(&session.name), EventKind::StreamDetach);
+        Ok(bytes)
+    }
+
+    /// The retained snapshot of a parked stream, if `id` is parked.
+    #[must_use]
+    pub fn parked_snapshot(&self, id: u64) -> Option<&[u8]> {
+        self.parked.get(&id).map(Vec::as_slice)
+    }
+
+    /// Removes a parked stream's snapshot and returns it — the source
+    /// half of migrating a *parked* stream to another shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownParked`].
+    pub fn take_parked(&mut self, id: u64) -> Result<Vec<u8>, ServiceError> {
+        let bytes = self
+            .parked
+            .remove(&id)
+            .ok_or(ServiceError::UnknownParked(id))?;
+        self.bump(self.ids.detached);
+        self.rs
+            .obs_mut()
+            .event_for(Some(id), None, EventKind::StreamDetach);
+        Ok(bytes)
+    }
+
     /// Checkpoints a stream and parks it: the session leaves the live
     /// set (freeing capacity) and its snapshot is retained for
     /// [`StreamService::resume`].
@@ -959,8 +1116,11 @@ impl StreamService {
     pub fn restore(&mut self, bytes: &[u8]) -> Result<u64, ServiceError> {
         let cp = StreamCheckpoint::decode(bytes)?;
         let id = self.next_id;
-        self.next_id += 1;
+        // Allocate the id only once rehydration succeeds, so failed
+        // restores (corrupt or incompatible snapshots) don't burn ids
+        // and a retry lands on the id the caller expects.
         self.rehydrate(cp, id)?;
+        self.next_id += 1;
         Ok(id)
     }
 
@@ -1021,39 +1181,33 @@ impl StreamService {
         Ok(())
     }
 
-    /// Pumps up to `budget` chunks, earliest deadline first, one chunk
-    /// per stream per round, grouped into per-personality transactional
-    /// batches.
+    /// Pumps up to `budget` chunks in the order the configured
+    /// [`BatchScheduler`] plans (EDF by default), grouped into
+    /// per-personality transactional batches.
     fn pump(&mut self, budget: usize) -> Result<(), ServiceError> {
-        let mut remaining = budget;
+        let candidates: Vec<PumpCandidate> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| !s.queue.is_empty())
+            .map(|(id, s)| PumpCandidate {
+                id: *id,
+                deadline: s.deadline,
+                queued_chunks: s.queue.len(),
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let picks = self.sched.plan(&candidates, budget);
         let mut batch: Vec<(u64, Vec<u8>)> = Vec::new();
-        while remaining > 0 {
-            let mut order: Vec<(u64, u64)> = self
-                .sessions
-                .iter()
-                .filter(|(_, s)| !s.queue.is_empty())
-                .map(|(id, s)| (s.deadline, *id))
-                .collect();
-            if order.is_empty() {
-                break;
-            }
-            order.sort_unstable();
-            let mut popped = false;
-            for (_, id) in order {
-                if remaining == 0 {
-                    break;
-                }
-                let session = self.sessions.get_mut(&id).expect("listed above");
-                if let Some(chunk) = session.queue.pop_front() {
-                    session.queued_bytes -= chunk.len();
-                    self.global_queued_bytes -= chunk.len();
-                    batch.push((id, chunk));
-                    remaining -= 1;
-                    popped = true;
-                }
-            }
-            if !popped {
-                break;
+        for id in picks.into_iter().take(budget) {
+            let Some(session) = self.sessions.get_mut(&id) else {
+                continue; // scheduler named a stream that is not live
+            };
+            if let Some(chunk) = session.queue.pop_front() {
+                session.queued_bytes -= chunk.len();
+                self.global_queued_bytes -= chunk.len();
+                batch.push((id, chunk));
             }
         }
         if batch.is_empty() {

@@ -35,8 +35,13 @@
 //!   linearity/affineness prover (certifying the runtime basis probe's
 //!   soundness), the static timing/resource analyzer cross-checked
 //!   against the fabric profiler, and the bounded model checker for
-//!   the serving/recovery state machines (exported by the
-//!   `fabric_analyze` bench binary as `BENCH_analyze.json`).
+//!   the serving/recovery/cluster state machines (exported by the
+//!   `fabric_analyze` bench binary as `BENCH_analyze.json`);
+//! * [`cluster`] — sharded multi-fabric serving: a control plane over
+//!   N independent shard stacks with rendezvous placement, a periodic
+//!   checkpoint sweep, digest-verified live migration, fenced shard
+//!   drain, and checkpoint-replay whole-shard failover with typed
+//!   stream loss (stressed by the seeded `cluster_storm` bench binary).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +62,7 @@
 
 pub use analyze;
 pub use asic;
+pub use cluster;
 pub use dream;
 pub use dream_lfsr as flow;
 pub use gf2;
