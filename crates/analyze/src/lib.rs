@@ -41,7 +41,10 @@ pub mod timing;
 pub use ir::{CellFunc, CellIr, FabricConfig, LutTable, SignalId, MAX_LUT_INPUTS};
 pub use linearity::{certify, CellClass, LinearityCert};
 pub use mc::{explore, Exploration, ExploreLimits, Model, Violation};
-pub use models::{ClusterModel, LadderParams, RecoveryModel, ServiceModel};
+pub use models::{
+    BreakerModel, BreakerParams, ClusterModel, LadderParams, RecoveryModel, ServiceModel,
+    BRK_FAILURE, BRK_SUCCESS, BRK_TICK,
+};
 pub use timing::{analyze_timing, cross_check, StaticTiming, TimingMismatch};
 
 use picoga::PicogaParams;

@@ -1156,6 +1156,329 @@ impl Model for ClusterModel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------
+
+/// Circuit-breaker thresholds, mirroring `cluster::BreakerConfig`.
+///
+/// [`BreakerParams::step`] must stay pointwise identical to
+/// `cluster::BreakerConfig::step`; the `breaker_mirror` test in the
+/// cluster crate proves it exhaustively, so the model cannot silently
+/// drift from the implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerParams {
+    /// Consecutive failures that trip Closed → Open (≥ 1).
+    pub trip_failures: u32,
+    /// Ticks an Open breaker dwells before probing.
+    pub cool_ticks: u32,
+    /// Consecutive HalfOpen probe successes that close it (≥ 1).
+    pub close_successes: u32,
+}
+
+/// Input codes for [`BreakerParams::step`] (matching
+/// `cluster::BreakerInput::code`).
+pub const BRK_SUCCESS: u8 = 0;
+/// A guarded-operation failure.
+pub const BRK_FAILURE: u8 = 1;
+/// One elapsed tick.
+pub const BRK_TICK: u8 = 2;
+
+impl BreakerParams {
+    /// The cluster's default thresholds.
+    #[must_use]
+    pub fn serving_defaults() -> Self {
+        BreakerParams {
+            trip_failures: 3,
+            cool_ticks: 6,
+            close_successes: 2,
+        }
+    }
+
+    /// The pure transition function over `(rank, count)`: rank 0 =
+    /// Closed (count = consecutive failures), 1 = Open (count =
+    /// cooldown ticks), 2 = HalfOpen (count = consecutive probe
+    /// successes). Escalation is instant, de-escalation deliberate —
+    /// the breaker's hysteresis. Inputs are the
+    /// [`BRK_SUCCESS`]/[`BRK_FAILURE`]/[`BRK_TICK`] codes.
+    #[must_use]
+    pub fn step(&self, rank: u8, count: u32, input: u8) -> (u8, u32) {
+        let trip = self.trip_failures.max(1);
+        let close = self.close_successes.max(1);
+        match (rank, input) {
+            (0, BRK_SUCCESS) => (0, 0),
+            (0, BRK_FAILURE) => {
+                let f = count.saturating_add(1);
+                if f >= trip {
+                    (1, 0)
+                } else {
+                    (0, f)
+                }
+            }
+            (0, BRK_TICK) => (0, count),
+            (1, BRK_SUCCESS) => (1, count),
+            (1, BRK_FAILURE) => (1, 0),
+            (1, BRK_TICK) => {
+                let c = count.saturating_add(1);
+                if c >= self.cool_ticks {
+                    (2, 0)
+                } else {
+                    (1, c)
+                }
+            }
+            (2, BRK_SUCCESS) => {
+                let s = count.saturating_add(1);
+                if s >= close {
+                    (0, 0)
+                } else {
+                    (2, s)
+                }
+            }
+            (2, BRK_FAILURE) => (1, 0),
+            (2, BRK_TICK) => (2, count),
+            _ => (0, 0),
+        }
+    }
+}
+
+/// A breaker-model state: the `(rank, count)` pair of the pure step
+/// function plus the wrapper's single-probe slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BreakerSt {
+    /// Breaker rank 0..=2 (Closed/Open/HalfOpen).
+    pub rank: u8,
+    /// The rank's streak counter.
+    pub count: u32,
+    /// A HalfOpen probe is outstanding.
+    pub probe_out: bool,
+    /// Times the breaker has tripped (scope bound).
+    pub trips: u8,
+    /// Set when an operation hit a state it must never see.
+    pub poison: Option<&'static str>,
+}
+
+/// Events of the breaker model. Guarded-operation verdicts are only
+/// enabled where the wrapper's `admits()` would have let the operation
+/// through — that enabledness *is* the property under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// An admitted guarded operation succeeded.
+    OpSuccess,
+    /// A failure was observed (an admitted operation failed, or
+    /// external evidence like a missed tick arrived).
+    OpFailure,
+    /// One cluster tick elapsed.
+    Tick,
+    /// The HalfOpen probe slot was taken by an admitted operation.
+    BeginProbe,
+}
+
+/// The abstract per-shard circuit breaker (`cluster::CircuitBreaker`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerModel {
+    /// The thresholds under test.
+    pub params: BreakerParams,
+    /// Trips before the scope ends (bounds exploration).
+    pub max_trips: u8,
+    /// Seeded bug: HalfOpen admits any number of concurrent probes
+    /// (the wrapper forgets to mark the slot taken).
+    pub probe_flood_bug: bool,
+    /// Seeded bug: the first HalfOpen probe success closes the breaker
+    /// regardless of `close_successes`.
+    pub early_close_bug: bool,
+    /// Seeded bug: the Open cooldown comparison is off by one, so the
+    /// breaker dwells past `cool_ticks`.
+    pub sticky_open_bug: bool,
+}
+
+impl BreakerModel {
+    /// The default small scope: tight thresholds, three trips.
+    #[must_use]
+    pub fn small() -> Self {
+        BreakerModel {
+            params: BreakerParams {
+                trip_failures: 2,
+                cool_ticks: 2,
+                close_successes: 2,
+            },
+            max_trips: 3,
+            probe_flood_bug: false,
+            early_close_bug: false,
+            sticky_open_bug: false,
+        }
+    }
+
+    /// The same scope with the unlimited-probe bug seeded.
+    #[must_use]
+    pub fn probe_flood_bug() -> Self {
+        BreakerModel {
+            probe_flood_bug: true,
+            ..BreakerModel::small()
+        }
+    }
+
+    /// The same scope with the early-close bug seeded.
+    #[must_use]
+    pub fn early_close_bug() -> Self {
+        BreakerModel {
+            early_close_bug: true,
+            ..BreakerModel::small()
+        }
+    }
+
+    /// The same scope with the off-by-one cooldown bug seeded.
+    #[must_use]
+    pub fn sticky_open_bug() -> Self {
+        BreakerModel {
+            sticky_open_bug: true,
+            ..BreakerModel::small()
+        }
+    }
+}
+
+impl Model for BreakerModel {
+    type State = BreakerSt;
+    type Event = BreakerEvent;
+
+    fn initial(&self) -> BreakerSt {
+        BreakerSt {
+            rank: 0,
+            count: 0,
+            probe_out: false,
+            trips: 0,
+            poison: None,
+        }
+    }
+
+    fn events(&self, s: &BreakerSt) -> Vec<BreakerEvent> {
+        if s.poison.is_some() || s.trips >= self.max_trips {
+            return Vec::new(); // terminal: poisoned, or scope spent
+        }
+        let mut ev = Vec::new();
+        // A guarded operation's verdict can only arrive where admits()
+        // let the operation through: always in Closed, via the probe
+        // slot in HalfOpen, never in Open.
+        if s.rank == 0 || (s.rank == 2 && s.probe_out) {
+            ev.push(BreakerEvent::OpSuccess);
+        }
+        // Failures additionally arrive as external evidence (a chaos
+        // slowdown missing the shard's tick) in any state.
+        ev.push(BreakerEvent::OpFailure);
+        ev.push(BreakerEvent::Tick);
+        // The probe slot: one at a time — unless the flood bug forgot
+        // to mark it taken.
+        if s.rank == 2 && (!s.probe_out || self.probe_flood_bug) {
+            ev.push(BreakerEvent::BeginProbe);
+        }
+        ev
+    }
+
+    fn apply(&self, s: &BreakerSt, e: &BreakerEvent) -> Option<BreakerSt> {
+        let mut n = *s;
+        match e {
+            BreakerEvent::BeginProbe => {
+                if s.rank != 2 {
+                    return None;
+                }
+                if s.probe_out {
+                    // Two probes outstanding at once: exactly what the
+                    // single-probe discipline forbids.
+                    n.poison = Some("half-open-single-probe");
+                    return Some(n);
+                }
+                n.probe_out = true;
+                return Some(n);
+            }
+            BreakerEvent::OpSuccess => {
+                let (rank, count) = self.params.step(s.rank, s.count, BRK_SUCCESS);
+                if self.early_close_bug && s.rank == 2 {
+                    // The seeded bug: one success closes it outright.
+                    n.rank = 0;
+                    n.count = 0;
+                } else {
+                    n.rank = rank;
+                    n.count = count;
+                }
+                n.probe_out = false;
+                if s.rank == 2 && n.rank == 0 && s.count + 1 < self.params.close_successes.max(1) {
+                    n.poison = Some("half-open-early-close");
+                }
+            }
+            BreakerEvent::OpFailure => {
+                let (rank, count) = self.params.step(s.rank, s.count, BRK_FAILURE);
+                n.rank = rank;
+                n.count = count;
+                n.probe_out = false;
+            }
+            BreakerEvent::Tick => {
+                let (rank, count) = if self.sticky_open_bug && s.rank == 1 {
+                    // The seeded off-by-one: dwells one tick too long.
+                    let c = s.count + 1;
+                    if c > self.params.cool_ticks {
+                        (2, 0)
+                    } else {
+                        (1, c)
+                    }
+                } else {
+                    self.params.step(s.rank, s.count, BRK_TICK)
+                };
+                n.rank = rank;
+                n.count = count;
+            }
+        }
+        if n.rank == 1 && s.rank != 1 {
+            n.trips = s.trips.saturating_add(1);
+        }
+        Some(n)
+    }
+
+    fn violations(&self, s: &BreakerSt) -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        if let Some(p) = s.poison {
+            v.push((p.to_string(), "poisoned state reached".into()));
+        }
+        // Closed must have tripped at the threshold, never counted past
+        // it.
+        if s.rank == 0 && s.count >= self.params.trip_failures.max(1) {
+            v.push((
+                "trip-threshold".into(),
+                format!(
+                    "closed with {} consecutive failures (trip at {})",
+                    s.count, self.params.trip_failures
+                ),
+            ));
+        }
+        // Open must hand over to HalfOpen the moment the dwell elapses.
+        if s.rank == 1 && s.count >= self.params.cool_ticks.max(1) {
+            v.push((
+                "open-dwell-bound".into(),
+                format!(
+                    "open for {} ticks (cooldown is {})",
+                    s.count, self.params.cool_ticks
+                ),
+            ));
+        }
+        // HalfOpen must close at the threshold, never count past it.
+        if s.rank == 2 && s.count >= self.params.close_successes.max(1) {
+            v.push((
+                "close-threshold".into(),
+                format!(
+                    "half-open with {} successes (close at {})",
+                    s.count, self.params.close_successes
+                ),
+            ));
+        }
+        // The probe slot only exists in HalfOpen.
+        if s.probe_out && s.rank != 2 {
+            v.push((
+                "probe-only-half-open".into(),
+                format!("probe outstanding at rank {}", s.rank),
+            ));
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1259,6 +1582,80 @@ mod tests {
             .iter()
             .any(|e| matches!(e, ClusterEvent::MigrateStart { .. })));
         assert!(v.trace.iter().any(|e| matches!(e, ClusterEvent::Kill(_))));
+    }
+
+    #[test]
+    fn fixed_breaker_model_holds_all_invariants() {
+        let r = explore(&BreakerModel::small(), &ExploreLimits::default());
+        assert!(
+            r.passed(),
+            "fixed breaker must satisfy every invariant:\n{}",
+            r.violations
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(!r.truncated, "small scope must be exhausted");
+        assert!(r.states > 15, "scope is non-trivial: {} states", r.states);
+        assert!(
+            r.transitions > r.states,
+            "the scope must revisit states, not just walk a line"
+        );
+    }
+
+    #[test]
+    fn probe_flood_bug_model_overlaps_probes() {
+        let r = explore(&BreakerModel::probe_flood_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "half-open-single-probe")
+            .expect("unlimited probes must overlap in HalfOpen");
+        // Needs a trip, the cooldown, then two BeginProbes back to back.
+        assert!(
+            v.trace
+                .iter()
+                .filter(|e| matches!(e, BreakerEvent::BeginProbe))
+                .count()
+                >= 2,
+            "trace: {:?}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn early_close_bug_model_closes_below_threshold() {
+        let r = explore(&BreakerModel::early_close_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "half-open-early-close")
+            .expect("one probe success must not close a close_successes=2 breaker");
+        assert!(
+            v.trace.contains(&BreakerEvent::OpSuccess),
+            "trace: {:?}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn sticky_open_bug_model_overstays_the_cooldown() {
+        let r = explore(&BreakerModel::sticky_open_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "open-dwell-bound")
+            .expect("the off-by-one cooldown must dwell past cool_ticks");
+        assert!(
+            v.trace
+                .iter()
+                .filter(|e| matches!(e, BreakerEvent::Tick))
+                .count() as u32
+                >= BreakerModel::small().params.cool_ticks,
+            "trace: {:?}",
+            v.trace
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Cross-PR trend table: committed baselines vs freshly generated
-//! reports, one line per headline metric.
+//! reports, one line per headline metric — plus an append-only history
+//! of those metrics across PRs.
 //!
-//! Reads up to four report pairs — `BENCH_obs.json`,
-//! `BENCH_analyze.json`, `BENCH_storm.json`, `BENCH_cluster.json` —
-//! from `baselines/` (the values committed by past PRs) and from the
+//! Reads up to seven report pairs — `BENCH_obs.json`,
+//! `BENCH_analyze.json`, `BENCH_storm.json`, `BENCH_cluster.json`,
+//! `BENCH_chaos.json`, `BENCH_lint.json`, `BENCH_fault.json` — from
+//! `baselines/` (the values committed by past PRs) and from the
 //! working directory (this build), and prints an aligned table with
 //! signed deltas. Purely informational: missing files render as `-`
 //! and never fail the run; the gating lives in the `*_baseline`
@@ -11,12 +13,27 @@
 //! at a glance what a PR did to throughput, fabric depth, state-space
 //! coverage and cluster robustness.
 //!
-//! Usage: `bench_trend [--baseline-dir DIR] [--current-dir DIR]`
+//! `--append LABEL` additionally snapshots the current-build metrics
+//! as one flat JSON line appended to `baselines/trend.jsonl` (keys in
+//! fixed order, integers only — the file is append-only and diffs as
+//! exactly one line per PR). `--history` prints the cross-PR table
+//! from that file instead: one row per metric, one column per recorded
+//! label (the most recent six).
+//!
+//! Usage: `bench_trend [--baseline-dir DIR] [--current-dir DIR]
+//!         [--append LABEL] [--history]`
 
 use obs::{json_objects, json_section, json_u64};
+use std::fmt::Write as _;
 
-/// One metric extractor: file stem, metric label, closure over the doc.
-type Extract = (&'static str, &'static str, fn(&str) -> Option<u64>);
+/// One metric extractor: file stem, human label, history slug (the
+/// key the metric is stored under in `trend.jsonl`), closure.
+type Extract = (
+    &'static str,
+    &'static str,
+    &'static str,
+    fn(&str) -> Option<u64>,
+);
 
 fn obs_peak_throughput(doc: &str) -> Option<u64> {
     let cat = json_section(doc, "catalogue")?;
@@ -56,45 +73,159 @@ fn mc_models(doc: &str) -> Option<u64> {
 }
 
 const METRICS: &[Extract] = &[
-    ("BENCH_obs", "peak throughput (b/s)", obs_peak_throughput),
-    ("BENCH_obs", "storm queue p99 (chunks)", obs_queue_p99),
-    ("BENCH_analyze", "catalogue points analysed", analyze_points),
+    (
+        "BENCH_obs",
+        "peak throughput (b/s)",
+        "obs_peak_bps",
+        obs_peak_throughput,
+    ),
+    (
+        "BENCH_obs",
+        "storm queue p99 (chunks)",
+        "obs_queue_p99",
+        obs_queue_p99,
+    ),
+    (
+        "BENCH_analyze",
+        "catalogue points analysed",
+        "analyze_points",
+        analyze_points,
+    ),
     (
         "BENCH_analyze",
         "max critical path (levels)",
+        "analyze_crit_path",
         analyze_max_critical_path,
     ),
-    ("BENCH_analyze", "models checked", mc_models),
-    ("BENCH_analyze", "model states explored", mc_total_states),
-    ("BENCH_storm", "streams completed", |d| {
+    ("BENCH_analyze", "models checked", "mc_models", mc_models),
+    (
+        "BENCH_analyze",
+        "model states explored",
+        "mc_states",
+        mc_total_states,
+    ),
+    ("BENCH_storm", "streams completed", "storm_completed", |d| {
         json_u64(d, "completed")
     }),
-    ("BENCH_storm", "faults injected", |d| {
+    ("BENCH_storm", "faults injected", "storm_faults", |d| {
         json_u64(d, "faults_injected")
     }),
-    ("BENCH_storm", "queue p99 (chunks)", |d| {
-        json_u64(d, "p99_queue_depth")
-    }),
-    ("BENCH_cluster", "streams completed", |d| {
-        json_u64(d, "completed")
-    }),
-    ("BENCH_cluster", "live migrations", |d| {
-        json_u64(d, "migrations")
-    }),
-    ("BENCH_cluster", "failover replays", |d| {
-        json_u64(d, "failovers")
-    }),
-    ("BENCH_cluster", "typed losses", |d| {
+    (
+        "BENCH_storm",
+        "queue p99 (chunks)",
+        "storm_queue_p99",
+        |d| json_u64(d, "p99_queue_depth"),
+    ),
+    (
+        "BENCH_cluster",
+        "streams completed",
+        "cluster_completed",
+        |d| json_u64(d, "completed"),
+    ),
+    (
+        "BENCH_cluster",
+        "live migrations",
+        "cluster_migrations",
+        |d| json_u64(d, "migrations"),
+    ),
+    (
+        "BENCH_cluster",
+        "failover replays",
+        "cluster_failovers",
+        |d| json_u64(d, "failovers"),
+    ),
+    ("BENCH_cluster", "typed losses", "cluster_losses", |d| {
         json_u64(d, "lost_streams")
     }),
-    ("BENCH_cluster", "checkpoints swept", |d| {
-        json_u64(d, "checkpoints_stored")
+    (
+        "BENCH_cluster",
+        "checkpoints swept",
+        "cluster_checkpoints",
+        |d| json_u64(d, "checkpoints_stored"),
+    ),
+    ("BENCH_chaos", "streams completed", "chaos_completed", |d| {
+        json_u64(d, "completed")
+    }),
+    ("BENCH_chaos", "breaker trips", "chaos_breaker_trips", |d| {
+        json_u64(d, "breaker_trips")
+    }),
+    (
+        "BENCH_chaos",
+        "healing probe migrations",
+        "chaos_probes",
+        |d| json_u64(d, "probe_migrations"),
+    ),
+    ("BENCH_chaos", "shards upgraded", "chaos_upgraded", |d| {
+        json_u64(d, "upgraded")
+    }),
+    (
+        "BENCH_chaos",
+        "duplicates suppressed",
+        "chaos_dups_suppressed",
+        |d| json_u64(d, "dups_suppressed"),
+    ),
+    ("BENCH_lint", "mappings verified", "lint_mapped", |d| {
+        json_u64(d, "mapped")
+    }),
+    ("BENCH_lint", "lint warnings", "lint_warnings", |d| {
+        json_u64(d, "warnings")
+    }),
+    (
+        "BENCH_fault",
+        "coverage (basis points)",
+        "fault_coverage_bp",
+        |d| json_u64(d, "coverage_bp_standard"),
+    ),
+    ("BENCH_fault", "semantic faults", "fault_semantic", |d| {
+        json_u64(d, "semantic")
     }),
 ];
+
+/// Pulls `"label":"…"` out of one trend line (labels never contain
+/// escapes — `--append` rejects quotes and backslashes on the way in).
+fn line_label(line: &str) -> Option<&str> {
+    let rest = line.split("\"label\":\"").nth(1)?;
+    rest.split('"').next()
+}
+
+fn print_history(trend_path: &str) {
+    let Ok(body) = std::fs::read_to_string(trend_path) else {
+        println!("no history at {trend_path} yet (run with --append LABEL to start one)");
+        return;
+    };
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        println!("no history at {trend_path} yet (run with --append LABEL to start one)");
+        return;
+    }
+    // The most recent six snapshots, oldest first.
+    let shown = &lines[lines.len().saturating_sub(6)..];
+    let labels: Vec<&str> = shown.iter().map(|l| line_label(l).unwrap_or("?")).collect();
+    let mut header = format!("| {:<28} |", "metric");
+    for l in &labels {
+        let _ = write!(header, " {l:>12} |");
+    }
+    println!("{header}");
+    let mut rule = format!("|{:-<30}|", "");
+    for _ in &labels {
+        let _ = write!(rule, "{:-<14}|", "");
+    }
+    println!("{rule}");
+    for &(_, label, slug, _) in METRICS {
+        let mut row = format!("| {label:<28} |");
+        for line in shown {
+            let cell = json_u64(line, slug).map_or_else(|| "-".to_string(), |v| v.to_string());
+            let _ = write!(row, " {cell:>12} |");
+        }
+        println!("{row}");
+    }
+}
 
 fn main() {
     let mut baseline_dir = String::from("baselines");
     let mut current_dir = String::from(".");
+    let mut append_label: Option<String> = None;
+    let mut history = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |flag: &str| {
@@ -106,17 +237,50 @@ fn main() {
         match a.as_str() {
             "--baseline-dir" => baseline_dir = val("--baseline-dir"),
             "--current-dir" => current_dir = val("--current-dir"),
+            "--append" => append_label = Some(val("--append")),
+            "--history" => history = true,
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: bench_trend \
-                     [--baseline-dir DIR] [--current-dir DIR]"
+                     [--baseline-dir DIR] [--current-dir DIR] \
+                     [--append LABEL] [--history]"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    let trend_path = format!("{baseline_dir}/trend.jsonl");
+    if history {
+        print_history(&trend_path);
+        return;
+    }
+
     let load = |dir: &str, stem: &str| std::fs::read_to_string(format!("{dir}/{stem}.json")).ok();
+
+    if let Some(label) = append_label {
+        if label.is_empty() || label.contains(['"', '\\']) || label.len() > 64 {
+            eprintln!("--append label must be 1..=64 chars without quotes or backslashes");
+            std::process::exit(2);
+        }
+        let mut line = format!("{{\"label\":\"{label}\"");
+        let mut captured = 0usize;
+        for &(stem, _, slug, extract) in METRICS {
+            if let Some(v) = load(&current_dir, stem).as_deref().and_then(extract) {
+                let _ = write!(line, ",\"{slug}\":{v}");
+                captured += 1;
+            }
+        }
+        line.push_str("}\n");
+        let prior = std::fs::read_to_string(&trend_path).unwrap_or_default();
+        if let Err(e) = std::fs::write(&trend_path, prior + &line) {
+            eprintln!("cannot append to {trend_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench_trend: appended {captured} metric(s) as \"{label}\" -> {trend_path}");
+        return;
+    }
+
     println!(
         "| {:<14} | {:<28} | {:>14} | {:>14} | {:>8} |",
         "report", "metric", "baseline", "current", "delta"
@@ -125,7 +289,7 @@ fn main() {
         "|{:-<16}|{:-<30}|{:-<16}|{:-<16}|{:-<10}|",
         "", "", "", "", ""
     );
-    for &(stem, label, extract) in METRICS {
+    for &(stem, label, _, extract) in METRICS {
         let base = load(&baseline_dir, stem).as_deref().and_then(extract);
         let cur = load(&current_dir, stem).as_deref().and_then(extract);
         let cell = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());

@@ -88,6 +88,10 @@ fn main() {
          \"migrations\":{},\"migration_retries\":{},\"drains_started\":{},\
          \"shards_drained\":{},\"shards_down\":{},\"failovers\":{},\
          \"lost_streams\":{},\"checkpoints_stored\":{},\
+         \"breaker_trips\":{},\"retry_attempts\":{},\
+         \"retry_backoff_ticks\":{},\"rebalance_moves\":{},\
+         \"retire_vetoes\":{},\"shards_reopened\":{},\
+         \"probe_migrations\":{},\
          \"shard_lines\":[{}],\"passed\":{}}}",
         report.seed,
         report.shards,
@@ -111,6 +115,13 @@ fn main() {
         c.failovers,
         c.lost_streams,
         c.checkpoints_stored,
+        c.breaker_trips,
+        c.retry_attempts,
+        c.retry_backoff_ticks,
+        c.rebalance_moves,
+        c.retire_vetoes,
+        c.shards_reopened,
+        c.probe_migrations,
         shard_lines.join(","),
         report.passed(),
     );

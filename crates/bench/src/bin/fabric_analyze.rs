@@ -32,8 +32,8 @@
 //! Usage: `fabric_analyze [--smoke] [--seed N] [--out PATH]`
 
 use analyze::{
-    analyze_timing, check_config, explore, AnalysisParams, AnalyzeCode, ClusterModel, Exploration,
-    ExploreLimits, FabricConfig, Model, RecoveryModel, ServiceModel, Severity,
+    analyze_timing, check_config, explore, AnalysisParams, AnalyzeCode, BreakerModel, ClusterModel,
+    Exploration, ExploreLimits, FabricConfig, Model, RecoveryModel, ServiceModel, Severity,
 };
 use dream_lfsr::{build_crc_app, build_scrambler_app, FlowOptions};
 use gf2::BitVec;
@@ -324,6 +324,31 @@ fn mc_section(out: &mut String) -> bool {
         ),
     ] {
         let (e, ok) = mc_entry::<ClusterModel>(name, &explore(&model, &limits), expect);
+        entries.push(e);
+        all_ok &= ok;
+    }
+
+    // The per-shard circuit breaker: the fixed model must pass; each
+    // seeded bug must be rediscovered with its counterexample trace.
+    for (name, model, expect) in [
+        ("breaker-fixed", BreakerModel::small(), None),
+        (
+            "breaker-probe-flood-bug",
+            BreakerModel::probe_flood_bug(),
+            Some("half-open-single-probe"),
+        ),
+        (
+            "breaker-early-close-bug",
+            BreakerModel::early_close_bug(),
+            Some("half-open-early-close"),
+        ),
+        (
+            "breaker-sticky-open-bug",
+            BreakerModel::sticky_open_bug(),
+            Some("open-dwell-bound"),
+        ),
+    ] {
+        let (e, ok) = mc_entry::<BreakerModel>(name, &explore(&model, &limits), expect);
         entries.push(e);
         all_ok &= ok;
     }

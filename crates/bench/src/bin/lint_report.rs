@@ -1,10 +1,58 @@
 //! Prints the fabric-lint sweep (every catalogue CRC x every paper M)
 //! and exits nonzero if any mapping carries an Error-severity finding.
+//!
+//! With `--out PATH` also writes a flat JSON summary of the sweep
+//! totals. The sweep is completely deterministic (there is no seed),
+//! so the JSON is byte-identical across runs and is committed under
+//! `baselines/BENCH_lint.json` as a ratchet: the number of verified
+//! mappings may only grow, errors must stay zero.
+//!
+//! Usage: `lint_report [--out PATH]`
+
+use std::fmt::Write as _;
 
 fn main() {
-    let (report, errors) = bench::lint_report();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: lint_report [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (report, summary) = bench::lint_report();
     print!("{report}");
-    if errors > 0 {
+
+    if let Some(path) = out_path {
+        let mut doc = String::new();
+        let _ = write!(
+            doc,
+            "{{\"bench\":\"lint_report\",\"mapped\":{},\"skipped\":{},\
+             \"errors\":{},\"warnings\":{},\"passed\":{}}}",
+            summary.mapped,
+            summary.skipped,
+            summary.errors,
+            summary.warnings,
+            summary.errors == 0,
+        );
+        doc.push('\n');
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("lint_report: JSON summary -> {path}");
+    }
+
+    if summary.errors > 0 {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,188 @@
+//! Tolerance-based comparator between committed quality baselines
+//! (`BENCH_lint.json`, `BENCH_fault.json`) and freshly generated
+//! reports — the verification rung of the regression ratchet.
+//!
+//! Lint gates (vs `--lint-baseline`):
+//!
+//! * `errors` must be zero (absolute, no tolerance).
+//! * `mapped` may not drop below the baseline — a catalogue point that
+//!   stops verifying is a regression even if nothing "fails".
+//! * `warnings` may not exceed `baseline × (100 + tol)% + 2`.
+//!
+//! Fault-campaign gates (vs `--fault-baseline`):
+//!
+//! * `coverage_bp_standard` must stay ≥ 9900 (99%) absolutely and may
+//!   not drop below the committed baseline minus tolerance.
+//! * `wrong_answers_dmr` must be zero.
+//! * `faulted` and `semantic` must stay within tolerance of the
+//!   baseline floor — a campaign that stops injecting semantic faults
+//!   is no longer measuring coverage.
+//!
+//! Usage: `quality_baseline [--lint-baseline PATH] [--lint-current PATH]
+//!         [--fault-baseline PATH] [--fault-current PATH]
+//!         [--tolerance-pct N]`
+
+use obs::json_u64;
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn field(doc: &str, what: &str, key: &str) -> u64 {
+    json_u64(doc, key).unwrap_or_else(|| {
+        eprintln!("{what}: missing \"{key}\"");
+        std::process::exit(2);
+    })
+}
+
+/// `current ≥ baseline × (100 − tol)%`, else a regression line.
+fn gate_floor(reg: &mut Vec<String>, what: &str, key: &str, base: u64, cur: u64, tol: u64) {
+    let floor = base * (100 - tol.min(100)) / 100;
+    if cur < floor {
+        reg.push(format!(
+            "{what}: {key} {cur} below floor {floor} (baseline {base}, tolerance {tol}%)"
+        ));
+    }
+}
+
+/// `current ≤ baseline × (100 + tol)% + slack`, else a regression line.
+fn gate_ceiling(
+    reg: &mut Vec<String>,
+    what: &str,
+    key: &str,
+    base: u64,
+    cur: u64,
+    tol: u64,
+    slack: u64,
+) {
+    let ceiling = base * (100 + tol) / 100 + slack;
+    if cur > ceiling {
+        reg.push(format!(
+            "{what}: {key} {cur} above ceiling {ceiling} (baseline {base}, tolerance {tol}%)"
+        ));
+    }
+}
+
+fn gate_zero(reg: &mut Vec<String>, what: &str, key: &str, cur: u64) {
+    if cur != 0 {
+        reg.push(format!("{what}: {key} is {cur}, must be 0"));
+    }
+}
+
+fn main() {
+    let mut lint_baseline_path = String::from("baselines/BENCH_lint.json");
+    let mut lint_current_path = String::from("BENCH_lint.json");
+    let mut fault_baseline_path = String::from("baselines/BENCH_fault.json");
+    let mut fault_current_path = String::from("BENCH_fault.json");
+    let mut tol: u64 = 10;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} expects a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--lint-baseline" => lint_baseline_path = val("--lint-baseline"),
+            "--lint-current" => lint_current_path = val("--lint-current"),
+            "--fault-baseline" => fault_baseline_path = val("--fault-baseline"),
+            "--fault-current" => fault_current_path = val("--fault-current"),
+            "--tolerance-pct" => {
+                let v = val("--tolerance-pct");
+                tol = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance-pct expects an unsigned integer, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: quality_baseline \
+                     [--lint-baseline PATH] [--lint-current PATH] \
+                     [--fault-baseline PATH] [--fault-current PATH] \
+                     [--tolerance-pct N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut regressions: Vec<String> = Vec::new();
+
+    let base = read(&lint_baseline_path);
+    let cur = read(&lint_current_path);
+    let what = "fabric lint";
+    gate_zero(
+        &mut regressions,
+        what,
+        "errors",
+        field(&cur, "lint current", "errors"),
+    );
+    // The verified-mapping count is a pure ratchet: no tolerance, a
+    // point may never silently stop verifying.
+    gate_floor(
+        &mut regressions,
+        what,
+        "mapped",
+        field(&base, "lint baseline", "mapped"),
+        field(&cur, "lint current", "mapped"),
+        0,
+    );
+    gate_ceiling(
+        &mut regressions,
+        what,
+        "warnings",
+        field(&base, "lint baseline", "warnings"),
+        field(&cur, "lint current", "warnings"),
+        tol,
+        2,
+    );
+
+    let base = read(&fault_baseline_path);
+    let cur = read(&fault_current_path);
+    let what = "fault campaign";
+    let cov = field(&cur, "fault current", "coverage_bp_standard");
+    if cov < 9900 {
+        regressions.push(format!(
+            "{what}: coverage_bp_standard {cov} below the absolute 9900 floor"
+        ));
+    }
+    gate_floor(
+        &mut regressions,
+        what,
+        "coverage_bp_standard",
+        field(&base, "fault baseline", "coverage_bp_standard"),
+        cov,
+        tol.min(1),
+    );
+    gate_zero(
+        &mut regressions,
+        what,
+        "wrong_answers_dmr",
+        field(&cur, "fault current", "wrong_answers_dmr"),
+    );
+    for key in ["faulted", "semantic"] {
+        gate_floor(
+            &mut regressions,
+            what,
+            key,
+            field(&base, "fault baseline", key),
+            field(&cur, "fault current", key),
+            tol.max(25),
+        );
+    }
+
+    println!("quality_baseline: lint + fault reports compared (tolerance {tol}%)");
+    if regressions.is_empty() {
+        println!("no regressions against {lint_baseline_path} / {fault_baseline_path}");
+    } else {
+        eprintln!("{} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -19,8 +19,18 @@
 //!   a cluster campaign that stops failing over or migrating is no
 //!   longer testing the control plane.
 //!
+//! Chaos-storm gates (vs `--chaos-baseline`):
+//!
+//! * `completed` floor and zero `mismatches` / `losses_unaccounted` /
+//!   `unfinished` / `dup_violations`, as above.
+//! * `migrations`, `breaker_trips`, `upgraded` and `faults_injected`
+//!   may not drop below their floors — a chaos campaign whose
+//!   adversary stops tripping breakers or whose upgrade stops rolling
+//!   is no longer exercising the self-healing loop.
+//!
 //! Usage: `storm_baseline [--baseline PATH] [--current PATH]
 //!         [--cluster-baseline PATH] [--cluster-current PATH]
+//!         [--chaos-baseline PATH] [--chaos-current PATH]
 //!         [--tolerance-pct N]`
 
 use obs::json_u64;
@@ -78,6 +88,8 @@ fn main() {
     let mut current_path = String::from("BENCH_storm.json");
     let mut cluster_baseline_path = String::from("baselines/BENCH_cluster.json");
     let mut cluster_current_path = String::from("BENCH_cluster.json");
+    let mut chaos_baseline_path = String::from("baselines/BENCH_chaos.json");
+    let mut chaos_current_path = String::from("BENCH_chaos.json");
     let mut tol: u64 = 10;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -92,6 +104,8 @@ fn main() {
             "--current" => current_path = val("--current"),
             "--cluster-baseline" => cluster_baseline_path = val("--cluster-baseline"),
             "--cluster-current" => cluster_current_path = val("--cluster-current"),
+            "--chaos-baseline" => chaos_baseline_path = val("--chaos-baseline"),
+            "--chaos-current" => chaos_current_path = val("--chaos-current"),
             "--tolerance-pct" => {
                 let v = val("--tolerance-pct");
                 tol = v.parse().unwrap_or_else(|_| {
@@ -104,6 +118,7 @@ fn main() {
                     "unknown argument {other:?}; usage: storm_baseline \
                      [--baseline PATH] [--current PATH] \
                      [--cluster-baseline PATH] [--cluster-current PATH] \
+                     [--chaos-baseline PATH] [--chaos-current PATH] \
                      [--tolerance-pct N]"
                 );
                 std::process::exit(2);
@@ -195,9 +210,46 @@ fn main() {
         );
     }
 
-    println!("storm_baseline: stream + cluster reports compared (tolerance {tol}%)");
+    let xbase = read(&chaos_baseline_path);
+    let xcur = read(&chaos_current_path);
+    let what = "chaos storm";
+    gate_floor(
+        &mut regressions,
+        what,
+        "completed",
+        field(&xbase, "chaos baseline", "completed"),
+        field(&xcur, "chaos current", "completed"),
+        tol,
+    );
+    for key in [
+        "mismatches",
+        "losses_unaccounted",
+        "unfinished",
+        "dup_violations",
+    ] {
+        gate_zero(
+            &mut regressions,
+            what,
+            key,
+            field(&xcur, "chaos current", key),
+        );
+    }
+    for key in ["migrations", "breaker_trips", "upgraded", "faults_injected"] {
+        gate_floor(
+            &mut regressions,
+            what,
+            key,
+            field(&xbase, "chaos baseline", key),
+            field(&xcur, "chaos current", key),
+            tol.max(25),
+        );
+    }
+
+    println!("storm_baseline: stream + cluster + chaos reports compared (tolerance {tol}%)");
     if regressions.is_empty() {
-        println!("no regressions against {baseline_path} / {cluster_baseline_path}");
+        println!(
+            "no regressions against {baseline_path} / {cluster_baseline_path} / {chaos_baseline_path}"
+        );
     } else {
         eprintln!("{} regression(s):", regressions.len());
         for r in &regressions {

@@ -316,13 +316,29 @@ pub fn default_control() -> ControlModel {
     ControlModel::default()
 }
 
+/// Machine-readable totals from the fabric-lint sweep, alongside the
+/// rendered text of [`lint_report`]. Fully deterministic — the sweep
+/// has no randomness — so the derived `BENCH_lint.json` is
+/// byte-identical across runs and can be committed as a baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintSummary {
+    /// Catalogue points successfully mapped and verified.
+    pub mapped: usize,
+    /// Points the flow declined to map (reported, not counted failed).
+    pub skipped: usize,
+    /// Total `Error`-severity findings across all mappings.
+    pub errors: usize,
+    /// Total `Warning`-severity findings across all mappings.
+    pub warnings: usize,
+}
+
 /// Runs the fabric-lint sweep: every catalogue CRC standard at every
 /// paper look-ahead factor M ∈ {8, 16, 32, 64, 128}, each mapped
 /// operation proven equivalent to its source matrix and run through the
-/// structural linter. Returns the rendered report and the total number
-/// of `Error`-severity findings (which should be zero — every artifact
-/// the flow emits is supposed to verify).
-pub fn lint_report() -> (String, usize) {
+/// structural linter. Returns the rendered report and the sweep totals
+/// (`errors` should be zero — every artifact the flow emits is
+/// supposed to verify).
+pub fn lint_report() -> (String, LintSummary) {
     use verify::{verify_mapping, LintConfig, Report};
 
     let params = PicogaParams::dream();
@@ -401,7 +417,15 @@ pub fn lint_report() -> (String, usize) {
         "{mapped} mapping(s) verified, {skipped} unmappable point(s) skipped: \
          {total_errors} error(s), {total_warnings} warning(s)"
     );
-    (out, total_errors)
+    (
+        out,
+        LintSummary {
+            mapped,
+            skipped,
+            errors: total_errors,
+            warnings: total_warnings,
+        },
+    )
 }
 
 #[cfg(test)]

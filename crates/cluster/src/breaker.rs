@@ -1,0 +1,334 @@
+//! Per-shard circuit breakers: Closed → Open → HalfOpen with
+//! hysteresis, mirroring the admission-ladder pattern.
+//!
+//! The breaker guards *control-plane* traffic to a shard (new
+//! placements, migration restores): consecutive operation failures trip
+//! it Open immediately, after which the shard is fenced from placement;
+//! an Open breaker dwells for a cooldown before moving to HalfOpen,
+//! where a **single probe at a time** is admitted and only a run of
+//! consecutive probe successes closes it again. The asymmetry is the
+//! same hysteresis the overload ladder uses: escalate instantly,
+//! de-escalate deliberately.
+//!
+//! Like `AdmissionConfig::next_level`, the whole transition relation is
+//! one pure integer function — [`BreakerConfig::step`] — so the bounded
+//! model checker's `analyze::BreakerParams` can be proven pointwise
+//! identical to this implementation (`tests/breaker_mirror.rs`).
+
+/// Breaker rank for [`BreakerConfig::step`]: Closed.
+pub const RANK_CLOSED: u8 = 0;
+/// Breaker rank for [`BreakerConfig::step`]: Open.
+pub const RANK_OPEN: u8 = 1;
+/// Breaker rank for [`BreakerConfig::step`]: HalfOpen.
+pub const RANK_HALF_OPEN: u8 = 2;
+
+/// One observation fed to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerInput {
+    /// A guarded operation against the shard succeeded.
+    Success,
+    /// A guarded operation against the shard failed (or the shard
+    /// visibly misbehaved, e.g. a chaos slowdown skipped its tick).
+    Failure,
+    /// One cluster tick elapsed (drives the Open cooldown only).
+    Tick,
+}
+
+impl BreakerInput {
+    /// Stable numeric encoding for the model mirror (0/1/2).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            BreakerInput::Success => 0,
+            BreakerInput::Failure => 1,
+            BreakerInput::Tick => 2,
+        }
+    }
+}
+
+/// Thresholds of the breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open (≥ 1).
+    pub trip_failures: u32,
+    /// Ticks an Open breaker dwells before probing (Open → HalfOpen).
+    pub cool_ticks: u32,
+    /// Consecutive HalfOpen probe successes that close it (≥ 1).
+    pub close_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_failures: 3,
+            cool_ticks: 6,
+            close_successes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// The pure transition function over `(rank, count)`:
+    ///
+    /// * rank 0 = Closed, `count` = consecutive failures so far;
+    /// * rank 1 = Open, `count` = cooldown ticks elapsed;
+    /// * rank 2 = HalfOpen, `count` = consecutive probe successes.
+    ///
+    /// Closed trips to Open the instant `trip_failures` consecutive
+    /// failures accumulate. Open ignores successes, restarts its
+    /// cooldown on a failure, and moves to HalfOpen only after
+    /// `cool_ticks` quiet ticks. HalfOpen re-opens (cooldown restarted)
+    /// on any failure and closes only after `close_successes`
+    /// consecutive successes; ticks leave it unchanged.
+    ///
+    /// Out-of-range ranks normalize to Closed with the streak reset —
+    /// the same defensive convention `OverloadLevel::from_rank` uses.
+    #[must_use]
+    pub fn step(&self, rank: u8, count: u32, input: BreakerInput) -> (u8, u32) {
+        let trip = self.trip_failures.max(1);
+        let close = self.close_successes.max(1);
+        match (rank, input) {
+            (RANK_CLOSED, BreakerInput::Success) => (RANK_CLOSED, 0),
+            (RANK_CLOSED, BreakerInput::Failure) => {
+                let f = count.saturating_add(1);
+                if f >= trip {
+                    (RANK_OPEN, 0)
+                } else {
+                    (RANK_CLOSED, f)
+                }
+            }
+            (RANK_CLOSED, BreakerInput::Tick) => (RANK_CLOSED, count),
+            (RANK_OPEN, BreakerInput::Success) => (RANK_OPEN, count),
+            (RANK_OPEN, BreakerInput::Failure) => (RANK_OPEN, 0),
+            (RANK_OPEN, BreakerInput::Tick) => {
+                let c = count.saturating_add(1);
+                if c >= self.cool_ticks {
+                    (RANK_HALF_OPEN, 0)
+                } else {
+                    (RANK_OPEN, c)
+                }
+            }
+            (RANK_HALF_OPEN, BreakerInput::Success) => {
+                let s = count.saturating_add(1);
+                if s >= close {
+                    (RANK_CLOSED, 0)
+                } else {
+                    (RANK_HALF_OPEN, s)
+                }
+            }
+            (RANK_HALF_OPEN, BreakerInput::Failure) => (RANK_OPEN, 0),
+            (RANK_HALF_OPEN, BreakerInput::Tick) => (RANK_HALF_OPEN, count),
+            _ => (RANK_CLOSED, 0),
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every guarded operation is admitted.
+    Closed,
+    /// Tripped: nothing is admitted until the cooldown elapses.
+    Open,
+    /// Probing: one guarded operation at a time is admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    fn from_rank(rank: u8) -> Self {
+        match rank {
+            RANK_OPEN => BreakerState::Open,
+            RANK_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+}
+
+/// A stateful per-shard breaker over [`BreakerConfig::step`], plus the
+/// single-probe bookkeeping HalfOpen needs.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    rank: u8,
+    count: u32,
+    probe_out: bool,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A fresh Closed breaker.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            rank: RANK_CLOSED,
+            count: 0,
+            probe_out: false,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        BreakerState::from_rank(self.rank)
+    }
+
+    /// Raw `(rank, count)` pair (the mirror test compares this against
+    /// the model's).
+    #[must_use]
+    pub fn raw(&self) -> (u8, u32) {
+        (self.rank, self.count)
+    }
+
+    /// Times the breaker has tripped (entered Open from elsewhere).
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether a guarded operation may proceed right now: always when
+    /// Closed, never when Open, and in HalfOpen only while no probe is
+    /// outstanding.
+    #[must_use]
+    pub fn admits(&self) -> bool {
+        match self.state() {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => !self.probe_out,
+        }
+    }
+
+    /// Marks the HalfOpen probe slot taken. Call after [`Self::admits`]
+    /// allowed an operation in HalfOpen; the matching
+    /// [`Self::on_success`]/[`Self::on_failure`] releases it.
+    pub fn begin_probe(&mut self) {
+        if self.state() == BreakerState::HalfOpen {
+            self.probe_out = true;
+        }
+    }
+
+    /// Releases the probe slot without a verdict — the guarded
+    /// operation never actually reached the shard (e.g. the source
+    /// side of a migration failed first).
+    pub fn cancel_probe(&mut self) {
+        self.probe_out = false;
+    }
+
+    fn apply(&mut self, input: BreakerInput) -> Option<(&'static str, &'static str)> {
+        let from = self.state();
+        let (rank, count) = self.cfg.step(self.rank, self.count, input);
+        self.rank = rank;
+        self.count = count;
+        let to = self.state();
+        if from != to {
+            if to == BreakerState::Open {
+                self.trips += 1;
+            }
+            Some((from.label(), to.label()))
+        } else {
+            None
+        }
+    }
+
+    /// Feeds a guarded-operation success; returns the `(from, to)`
+    /// labels when the state changed (for tracing).
+    pub fn on_success(&mut self) -> Option<(&'static str, &'static str)> {
+        self.probe_out = false;
+        self.apply(BreakerInput::Success)
+    }
+
+    /// Feeds a guarded-operation failure (see [`Self::on_success`]).
+    pub fn on_failure(&mut self) -> Option<(&'static str, &'static str)> {
+        self.probe_out = false;
+        self.apply(BreakerInput::Failure)
+    }
+
+    /// Feeds one elapsed tick (see [`Self::on_success`]).
+    pub fn on_tick(&mut self) -> Option<(&'static str, &'static str)> {
+        self.apply(BreakerInput::Tick)
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_immediately_at_threshold_and_cools_down_gradually() {
+        let cfg = BreakerConfig {
+            trip_failures: 2,
+            cool_ticks: 3,
+            close_successes: 2,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert!(b.admits());
+        assert!(b.on_failure().is_none(), "first failure only counts");
+        assert_eq!(
+            b.on_failure(),
+            Some(("closed", "open")),
+            "threshold trips instantly"
+        );
+        assert!(!b.admits());
+        assert!(b.on_tick().is_none());
+        assert!(b.on_tick().is_none());
+        assert_eq!(b.on_tick(), Some(("open", "half_open")));
+        assert!(b.admits(), "half-open admits one probe");
+        b.begin_probe();
+        assert!(!b.admits(), "single probe at a time");
+        assert!(b.on_success().is_none(), "one success is not enough");
+        assert!(b.admits());
+        b.begin_probe();
+        assert_eq!(b.on_success(), Some(("half_open", "closed")));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn failure_while_cooling_restarts_the_dwell() {
+        let cfg = BreakerConfig {
+            trip_failures: 1,
+            cool_ticks: 2,
+            close_successes: 1,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.on_failure(), Some(("closed", "open")));
+        assert!(b.on_tick().is_none());
+        assert!(b.on_failure().is_none(), "still open");
+        assert_eq!(b.raw(), (RANK_OPEN, 0), "cooldown restarted");
+        assert!(b.on_tick().is_none());
+        assert_eq!(b.on_tick(), Some(("open", "half_open")));
+        b.begin_probe();
+        assert_eq!(b.on_failure(), Some(("half_open", "open")), "probe failed");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn closed_success_resets_the_failure_streak() {
+        let cfg = BreakerConfig {
+            trip_failures: 2,
+            cool_ticks: 1,
+            close_successes: 1,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert!(b.on_failure().is_none());
+        assert!(b.on_success().is_none());
+        assert!(b.on_failure().is_none(), "streak was reset");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

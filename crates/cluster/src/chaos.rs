@@ -1,0 +1,902 @@
+//! Deterministic chaos harness: seeded adversity against the
+//! self-healing cluster control loop.
+//!
+//! The chaos storm runs the exact traffic shape of the cluster storm
+//! ([`crate::storm`]) while a seeded [`ChaosScheduler`] injects typed
+//! disturbances — shard slowdowns, corrupted and truncated migration
+//! transfers, byzantine health probes, flapping fabric-fault bursts,
+//! admission storms — and a rolling personality upgrade walks the
+//! fleet mid-run. Every injection is a typed [`ChaosEvent`], mirrored
+//! into the cluster's obs trace as a `chaos_inject` event, and all
+//! randomness flows from one [`SplitMix64`]: the same seed replays the
+//! same campaign byte for byte (CI compares two runs with `cmp`).
+//!
+//! The gates are absolute: zero oracle digest mismatches, zero
+//! unaccounted stream losses, zero double-applied tokenized
+//! operations, nothing stranded. Chaos may slow the cluster; it must
+//! never make it wrong.
+
+use crate::breaker::BreakerState;
+use crate::cluster::{
+    Cluster, ClusterConfig, ClusterCounters, ClusterError, DownReason, ShardState,
+};
+use crate::placement::mix64;
+use crate::rebalance::RebalancePolicy;
+use crate::retry::{OpApply, OpToken};
+use crate::storm::{
+    apply_resumes, gen_plans, inject_random_fault, oracle_matches, Client, ClusterStormConfig,
+    ShardSummary,
+};
+use crate::upgrade::{RollingUpgrade, UpgradeStatus};
+use dream_lfsr::FlowOptions;
+use gf2::BitVec;
+use lfsr::crc::CrcSpec;
+use lfsr::scramble::ScramblerSpec;
+use resilience::rng::SplitMix64;
+use resilience::FaultInjector;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt::Write as _;
+use stream::ServiceError;
+
+/// How the chaos channel sabotages one migration transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferChaos {
+    /// A byte of the wire copy is bit-flipped in flight.
+    Corrupt,
+    /// The wire copy is cut off mid-transfer (the tail half is lost).
+    Truncate,
+}
+
+impl TransferChaos {
+    /// Stable label for traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferChaos::Corrupt => "transfer_corrupt",
+            TransferChaos::Truncate => "transfer_truncate",
+        }
+    }
+
+    /// Applies the sabotage to a wire copy of the snapshot bytes. The
+    /// source's pristine copy is untouched — a lossy channel can
+    /// damage what travels, never what stayed behind.
+    #[must_use]
+    pub fn mangle(self, bytes: &[u8]) -> Vec<u8> {
+        let mut wire = bytes.to_vec();
+        match self {
+            TransferChaos::Corrupt => {
+                if let Some(b) = wire.get_mut(bytes.len() / 2) {
+                    *b ^= 0x20;
+                }
+            }
+            TransferChaos::Truncate => {
+                wire.truncate(bytes.len() / 2);
+            }
+        }
+        wire
+    }
+}
+
+/// One typed disturbance drawn by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// A shard misses its next `ticks` cluster ticks.
+    Slowdown {
+        /// The slowed shard.
+        shard: usize,
+        /// Ticks it will miss.
+        ticks: u32,
+    },
+    /// The next migration transfer is sabotaged.
+    TransferFault(
+        /// How the wire copy is mangled.
+        TransferChaos,
+    ),
+    /// A shard's routine health probe lies (reports a fully abandoned
+    /// fabric) for `ticks` ticks.
+    ByzantineHealth {
+        /// The shard whose probe channel lies.
+        shard: usize,
+        /// Ticks the lie persists.
+        ticks: u32,
+    },
+    /// A burst of transient fabric faults lands on one shard at once
+    /// (a flapping component).
+    FaultFlap {
+        /// The flapping shard.
+        shard: usize,
+        /// Faults injected in the burst.
+        burst: u32,
+    },
+    /// A surge of stream arrivals is pulled forward into this tick.
+    AdmissionStorm {
+        /// Extra arrivals offered at once.
+        extra: usize,
+    },
+}
+
+impl ChaosEvent {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosEvent::Slowdown { .. } => "slowdown",
+            ChaosEvent::TransferFault(mode) => mode.label(),
+            ChaosEvent::ByzantineHealth { .. } => "byzantine_health",
+            ChaosEvent::FaultFlap { .. } => "fault_flap",
+            ChaosEvent::AdmissionStorm { .. } => "admission_storm",
+        }
+    }
+}
+
+/// Per-tick injection probabilities and magnitudes. All draws come
+/// from the scheduler's own forked rng, so enabling or disabling one
+/// disturbance kind never perturbs the others' schedules relative to
+/// the traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Per-tick probability of slowing one shard.
+    pub slow_prob: f64,
+    /// Slowdown length drawn uniformly from this inclusive range.
+    pub slow_ticks: (u32, u32),
+    /// Per-tick probability of arming a transfer sabotage.
+    pub transfer_prob: f64,
+    /// Per-tick probability of starting a byzantine health lie.
+    pub lie_prob: f64,
+    /// Lie length drawn uniformly from this inclusive range.
+    pub lie_ticks: (u32, u32),
+    /// Per-tick probability of a fabric-fault flap burst.
+    pub flap_prob: f64,
+    /// Burst size drawn uniformly from this inclusive range.
+    pub flap_burst: (u32, u32),
+    /// Per-tick probability of an admission storm.
+    pub storm_prob: f64,
+    /// Arrivals pulled forward, drawn uniformly from this range.
+    pub storm_extra: (usize, usize),
+}
+
+impl ChaosConfig {
+    /// No chaos at all (the control experiment).
+    #[must_use]
+    pub fn quiet() -> Self {
+        ChaosConfig {
+            slow_prob: 0.0,
+            slow_ticks: (0, 0),
+            transfer_prob: 0.0,
+            lie_prob: 0.0,
+            lie_ticks: (0, 0),
+            flap_prob: 0.0,
+            flap_burst: (0, 0),
+            storm_prob: 0.0,
+            storm_extra: (0, 0),
+        }
+    }
+
+    /// The CI smoke schedule: every disturbance kind fires many times
+    /// over a few hundred ticks.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ChaosConfig {
+            slow_prob: 0.10,
+            slow_ticks: (2, 5),
+            transfer_prob: 0.12,
+            lie_prob: 0.04,
+            lie_ticks: (14, 20),
+            flap_prob: 0.05,
+            flap_burst: (1, 2),
+            storm_prob: 0.05,
+            storm_extra: (6, 12),
+        }
+    }
+}
+
+/// Cumulative injection counts, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Shard slowdowns injected.
+    pub slowdowns: u64,
+    /// Transfers corrupted in flight.
+    pub transfers_corrupted: u64,
+    /// Transfers truncated in flight.
+    pub transfers_truncated: u64,
+    /// Byzantine health lies started.
+    pub byzantine_lies: u64,
+    /// Fabric-fault flap bursts.
+    pub fault_flaps: u64,
+    /// Admission storms.
+    pub admission_storms: u64,
+}
+
+/// Seeded per-tick disturbance drawer. Decisions are a pure function
+/// of the scheduler's rng stream and the shard sets it is shown, so a
+/// campaign replays exactly.
+#[derive(Debug)]
+pub struct ChaosScheduler {
+    cfg: ChaosConfig,
+    rng: SplitMix64,
+    counts: ChaosCounts,
+}
+
+fn draw_u32(rng: &mut SplitMix64, range: (u32, u32)) -> u32 {
+    let (lo, hi) = range;
+    if hi <= lo {
+        return lo;
+    }
+    lo + rng.below((hi - lo + 1) as usize) as u32
+}
+
+impl ChaosScheduler {
+    /// A scheduler drawing from its own seed.
+    #[must_use]
+    pub fn new(cfg: ChaosConfig, seed: u64) -> Self {
+        ChaosScheduler {
+            cfg,
+            rng: SplitMix64::new(seed),
+            counts: ChaosCounts::default(),
+        }
+    }
+
+    /// Injection counts so far.
+    #[must_use]
+    pub fn counts(&self) -> ChaosCounts {
+        self.counts
+    }
+
+    /// Draws this tick's disturbances (at most one per kind).
+    ///
+    /// `eligible` are the shards placement currently trusts (Active
+    /// with a Closed breaker); slowdowns only fire while at least two
+    /// remain, so chaos can degrade the fleet but never fence the last
+    /// shard new traffic could land on. `active` are all serving
+    /// shards (lie/flap targets).
+    pub fn draw(&mut self, eligible: &[usize], active: &[usize]) -> Vec<ChaosEvent> {
+        let cfg = self.cfg;
+        let mut events = Vec::new();
+        if eligible.len() >= 2 && self.rng.chance(cfg.slow_prob) {
+            let shard = eligible[self.rng.below(eligible.len())];
+            let ticks = draw_u32(&mut self.rng, cfg.slow_ticks);
+            self.counts.slowdowns += 1;
+            events.push(ChaosEvent::Slowdown { shard, ticks });
+        }
+        if self.rng.chance(cfg.transfer_prob) {
+            let mode = if self.rng.chance(0.5) {
+                TransferChaos::Corrupt
+            } else {
+                TransferChaos::Truncate
+            };
+            match mode {
+                TransferChaos::Corrupt => self.counts.transfers_corrupted += 1,
+                TransferChaos::Truncate => self.counts.transfers_truncated += 1,
+            }
+            events.push(ChaosEvent::TransferFault(mode));
+        }
+        if !active.is_empty() && self.rng.chance(cfg.lie_prob) {
+            let shard = active[self.rng.below(active.len())];
+            let ticks = draw_u32(&mut self.rng, cfg.lie_ticks);
+            self.counts.byzantine_lies += 1;
+            events.push(ChaosEvent::ByzantineHealth { shard, ticks });
+        }
+        if !active.is_empty() && self.rng.chance(cfg.flap_prob) {
+            let shard = active[self.rng.below(active.len())];
+            let burst = draw_u32(&mut self.rng, cfg.flap_burst);
+            self.counts.fault_flaps += 1;
+            events.push(ChaosEvent::FaultFlap { shard, burst });
+        }
+        if self.rng.chance(cfg.storm_prob) {
+            let (lo, hi) = cfg.storm_extra;
+            let extra = if hi <= lo {
+                lo
+            } else {
+                lo + self.rng.below(hi - lo + 1)
+            };
+            self.counts.admission_storms += 1;
+            events.push(ChaosEvent::AdmissionStorm { extra });
+        }
+        events
+    }
+}
+
+/// Shape of one chaos storm campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosStormConfig {
+    /// The underlying traffic shape (seed, shards, streams, scheduled
+    /// drain/kill, personalities, admission).
+    pub storm: ClusterStormConfig,
+    /// The disturbance schedule.
+    pub chaos: ChaosConfig,
+    /// Tick the rolling personality upgrade starts (0 = never).
+    pub upgrade_tick: u64,
+    /// Shards the rolling upgrade walks, in order.
+    pub upgrade_shards: Vec<usize>,
+    /// Probability that an applied tokenized migration is immediately
+    /// redelivered with the same token (duplicate-delivery chaos; the
+    /// duplicate must be suppressed).
+    pub dup_prob: f64,
+    /// Rebalancer policy for the run.
+    pub rebalance: RebalancePolicy,
+}
+
+impl ChaosStormConfig {
+    /// The CI smoke campaign: the cluster-storm smoke traffic over 5
+    /// shards with the full disturbance schedule, health-driven
+    /// retirement armed, the rebalancer on, and a mid-run rolling
+    /// upgrade of two shards.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        let mut storm = ClusterStormConfig::smoke(seed);
+        storm.shards = 5;
+        // Armed (unlike the plain storm): byzantine lies must be able
+        // to produce death verdicts for the veto path to matter. Real
+        // abandonment still retires — failover is part of the chaos.
+        storm.abandoned_ticks = 10;
+        // The storm's scripted kill/drain stay (shards 0 and 1); the
+        // upgrade walks two of the untouched shards.
+        ChaosStormConfig {
+            storm,
+            chaos: ChaosConfig::smoke(),
+            upgrade_tick: 40,
+            upgrade_shards: vec![2, 3],
+            dup_prob: 0.5,
+            rebalance: RebalancePolicy::serving_defaults(),
+        }
+    }
+}
+
+/// What one chaos storm campaign did and found.
+#[derive(Debug, Clone)]
+pub struct ChaosStormReport {
+    /// The seed the campaign ran under.
+    pub seed: u64,
+    /// Shards in the cluster.
+    pub shards: usize,
+    /// Logical streams planned.
+    pub planned: u64,
+    /// Logical streams completed with a verified digest.
+    pub completed: u64,
+    /// Typed-loss restarts.
+    pub restarts: u64,
+    /// Completed streams whose digest differed from the oracle (must
+    /// be zero).
+    pub mismatches: u64,
+    /// Losses the cluster recorded that the harness never observed
+    /// (must be zero).
+    pub losses_unaccounted: u64,
+    /// Logical streams still unfinished at the drain budget (must be
+    /// zero).
+    pub unfinished: u64,
+    /// Tokenized duplicates that were double-applied (must be zero).
+    pub dup_violations: u64,
+    /// Tokenized duplicates correctly suppressed.
+    pub dups_suppressed: u64,
+    /// Injection counts by kind.
+    pub chaos: ChaosCounts,
+    /// Background fabric faults injected (the storm's baseline noise
+    /// plus flap bursts).
+    pub faults_injected: u64,
+    /// Shards the rolling upgrade drained, rebuilt and re-hosted.
+    pub upgraded: u64,
+    /// Shards the rolling upgrade had to skip.
+    pub upgrade_skipped: u64,
+    /// Ticks simulated (main phase + drain).
+    pub ticks_run: u64,
+    /// Cluster-level decision counters.
+    pub counters: ClusterCounters,
+    /// Per-shard end-of-campaign summaries.
+    pub shard_lines: Vec<ShardSummary>,
+    /// Merged deployment-wide metrics snapshot.
+    pub metrics: obs::MetricsSnapshot,
+    /// Rendered cluster-level event trace (chaos injections included).
+    pub trace_log: String,
+}
+
+impl ChaosStormReport {
+    /// Chaos may slow the cluster, never make it wrong: zero
+    /// mismatches, zero silent losses, zero double-applies, nothing
+    /// stranded.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatches == 0
+            && self.losses_unaccounted == 0
+            && self.unfinished == 0
+            && self.dup_violations == 0
+    }
+
+    /// Deterministic text rendering — byte-identical across runs with
+    /// the same seed.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let c = &self.counters;
+        let ch = &self.chaos;
+        let _ = writeln!(s, "chaos storm   seed={} shards={}", self.seed, self.shards);
+        let _ = writeln!(
+            s,
+            "streams       planned={} completed={} restarts={} unfinished={}",
+            self.planned, self.completed, self.restarts, self.unfinished
+        );
+        let _ = writeln!(
+            s,
+            "correctness   mismatches={} silent_losses={} dup_violations={} dups_suppressed={}",
+            self.mismatches, self.losses_unaccounted, self.dup_violations, self.dups_suppressed
+        );
+        let _ = writeln!(
+            s,
+            "chaos         slowdowns={} corrupt={} truncate={} byzantine={} flaps={} adm_storms={}",
+            ch.slowdowns,
+            ch.transfers_corrupted,
+            ch.transfers_truncated,
+            ch.byzantine_lies,
+            ch.fault_flaps,
+            ch.admission_storms
+        );
+        let _ = writeln!(
+            s,
+            "healing       breaker_trips={} probes={} retries={} backoff_ticks={} vetoes={}",
+            c.breaker_trips,
+            c.probe_migrations,
+            c.retry_attempts,
+            c.retry_backoff_ticks,
+            c.retire_vetoes
+        );
+        let _ = writeln!(
+            s,
+            "fleet         migrations={} rebalanced={} failovers={} upgraded={} skipped={} reopened={}",
+            c.migrations,
+            c.rebalance_moves,
+            c.failovers,
+            self.upgraded,
+            self.upgrade_skipped,
+            c.shards_reopened
+        );
+        let _ = writeln!(
+            s,
+            "background    faults_injected={} sweeps_stored={}",
+            self.faults_injected, c.checkpoints_stored
+        );
+        for line in &self.shard_lines {
+            let _ = writeln!(
+                s,
+                "shard {:<8} state={:<8} opened={} completed={} chunks={}",
+                line.name, line.state, line.opened, line.completed, line.chunks
+            );
+        }
+        let _ = writeln!(s, "ticks         {}", self.ticks_run);
+        let _ = writeln!(
+            s,
+            "verdict       {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        s
+    }
+}
+
+fn rehost_all(
+    cl: &mut Cluster,
+    cfg: &ClusterStormConfig,
+    shard: usize,
+) -> Result<(), ClusterError> {
+    let eth = *CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
+    for &m in &cfg.crc_ms {
+        cl.host_crc_on(
+            shard,
+            &format!("eth{m}"),
+            &eth,
+            FlowOptions::dream_with_m(m),
+        )?;
+    }
+    if cfg.scrambler_m > 0 {
+        cl.host_scrambler_on(
+            shard,
+            &format!("wifi{}", cfg.scrambler_m),
+            ScramblerSpec::ieee80211(),
+            &FlowOptions::dream_with_m(cfg.scrambler_m),
+        )?;
+    }
+    Ok(())
+}
+
+/// Shards placement currently trusts: Active with a Closed breaker.
+fn eligible_shards(cl: &Cluster) -> Vec<usize> {
+    (0..cl.shard_count())
+        .filter(|&i| {
+            cl.shard_state(i) == Some(ShardState::Active)
+                && cl.breaker_state(i) == Some(BreakerState::Closed)
+        })
+        .collect()
+}
+
+/// Runs one chaos storm campaign.
+///
+/// # Errors
+///
+/// Propagates hosting and unexpected shard errors; everything chaos
+/// can cause (refusals, corrupt transfers, typed losses, parked or
+/// migrating streams) is handled and counted by the harness.
+///
+/// # Panics
+///
+/// Panics if the configuration hosts no personalities.
+#[allow(clippy::too_many_lines)]
+pub fn run_chaos_storm(cfg: &ChaosStormConfig) -> Result<ChaosStormReport, ClusterError> {
+    let base = &cfg.storm;
+    let mut rng = SplitMix64::new(base.seed);
+    let mut injectors: Vec<FaultInjector> = (0..base.shards)
+        .map(|_| FaultInjector::new(rng.fork().next_u64()))
+        .collect();
+    let mut scheduler = ChaosScheduler::new(cfg.chaos, rng.fork().next_u64());
+
+    let mut ccfg = ClusterConfig::homogeneous(base.shards, base.admission);
+    ccfg.checkpoint_interval = base.checkpoint_interval;
+    ccfg.health = crate::HealthPolicy {
+        abandoned_ticks: base.abandoned_ticks,
+    };
+    ccfg.rebalance = cfg.rebalance;
+    let mut cl = Cluster::new(&ccfg);
+    let eth = *CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
+    let mut names: Vec<(String, bool)> = Vec::new();
+    for &m in &base.crc_ms {
+        let name = format!("eth{m}");
+        cl.host_crc(&name, &eth, FlowOptions::dream_with_m(m))?;
+        names.push((name, true));
+    }
+    if base.scrambler_m > 0 {
+        let name = format!("wifi{}", base.scrambler_m);
+        cl.host_scrambler(
+            &name,
+            ScramblerSpec::ieee80211(),
+            &FlowOptions::dream_with_m(base.scrambler_m),
+        )?;
+        names.push((name, false));
+    }
+    assert!(!names.is_empty(), "chaos storm needs personalities");
+
+    let plans = gen_plans(base, &mut rng, &names);
+    let mut next_plan = 0usize;
+    let mut due: VecDeque<usize> = VecDeque::new();
+    let mut clients: Vec<Client> = Vec::new();
+    let mut seen_losses: BTreeSet<u64> = BTreeSet::new();
+    let mut completed = 0u64;
+    let mut mismatches = 0u64;
+    let mut restarts = 0u64;
+    let mut faults_injected = 0u64;
+    let mut dup_violations = 0u64;
+    let mut dups_suppressed = 0u64;
+    let mut upgrade: Option<RollingUpgrade> = None;
+    let mut upgraded = 0u64;
+    let mut upgrade_skipped = 0u64;
+    let mut tick = 0u64;
+    let drain_budget = base.ticks + 2000;
+
+    // A tokenized migration with optional duplicate redelivery; both
+    // deliveries carry the same token, so exactly one may apply.
+    let mut token_migrate =
+        |cl: &mut Cluster, rng: &mut SplitMix64, gid: u64, target: usize, tick: u64| -> bool {
+            let token = OpToken(mix64(base.seed ^ (tick << 20) ^ gid));
+            match cl.migrate_with_token(token, gid, target) {
+                Ok(OpApply::Applied) => {
+                    if rng.chance(cfg.dup_prob) {
+                        match cl.migrate_with_token(token, gid, target) {
+                            Ok(OpApply::Duplicate) => dups_suppressed += 1,
+                            _ => dup_violations += 1,
+                        }
+                    }
+                    true
+                }
+                Ok(OpApply::Duplicate) | Err(_) => false,
+            }
+        };
+
+    while completed < plans.len() as u64 && tick < drain_budget {
+        tick += 1;
+        let draining = tick > base.ticks;
+
+        // Entering the recovery phase, capacity drained for
+        // maintenance comes back: every shard parked in Down(Drained)
+        // is reopened and rehosted so the backlog has somewhere to
+        // land. Killed and health-retired shards stay down — their
+        // streams already failed over.
+        if tick == base.ticks + 1 {
+            for shard in 0..cl.shard_count() {
+                if cl.shard_state(shard) == Some(ShardState::Down(DownReason::Drained))
+                    && cl.reopen_shard(shard).is_ok()
+                {
+                    rehost_all(&mut cl, base, shard)?;
+                }
+            }
+        }
+
+        // The disturbance schedule runs through the main phase only:
+        // the drain phase is chaos-free so the campaign converges and
+        // the gates measure recovery, not an endless siege.
+        if !draining {
+            let eligible = eligible_shards(&cl);
+            let active = cl.active_shards();
+            for event in scheduler.draw(&eligible, &active) {
+                match event {
+                    ChaosEvent::Slowdown { shard, ticks } => cl.chaos_slow_shard(shard, ticks),
+                    ChaosEvent::TransferFault(mode) => {
+                        cl.chaos_arm_transfer(mode);
+                        // Force a migration through the sabotaged
+                        // channel right now: detach, digest mismatch,
+                        // typed undo, tokenized retry.
+                        let routed = cl.route_ids();
+                        let targets = cl.active_shards();
+                        if !routed.is_empty() && !targets.is_empty() {
+                            let gid = routed[rng.below(routed.len())];
+                            let target = targets[rng.below(targets.len())];
+                            token_migrate(&mut cl, &mut rng, gid, target, tick);
+                        }
+                    }
+                    ChaosEvent::ByzantineHealth { shard, ticks } => {
+                        cl.chaos_lie_health(shard, ticks);
+                    }
+                    ChaosEvent::FaultFlap { shard, burst } => {
+                        for _ in 0..burst {
+                            if let Some(svc) = cl.shard_service_mut(shard) {
+                                if inject_random_fault(svc, &mut injectors[shard]) {
+                                    faults_injected += 1;
+                                }
+                            }
+                        }
+                    }
+                    ChaosEvent::AdmissionStorm { extra } => {
+                        let mut pulled = 0usize;
+                        while pulled < extra && next_plan < plans.len() {
+                            due.push_back(next_plan);
+                            next_plan += 1;
+                            pulled += 1;
+                        }
+                    }
+                }
+            }
+
+            // Baseline background fault noise, same as the storm.
+            for (shard, injector) in injectors.iter_mut().enumerate() {
+                if rng.chance(base.fault_prob) {
+                    if let Some(svc) = cl.shard_service_mut(shard) {
+                        if inject_random_fault(svc, injector) {
+                            faults_injected += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scripted lifecycle events and the rolling upgrade kickoff.
+        // Unlike the plain storm these tolerate failure: the chaos
+        // schedule may already have flapped the shard to death (the
+        // auto-retire path) before the script gets to it.
+        if base.drain_tick > 0 && tick == base.drain_tick {
+            let _ = cl.drain_shard(base.drain_shard);
+        }
+        if base.kill_tick > 0 && tick == base.kill_tick {
+            let _ = cl.kill_shard(base.kill_shard);
+        }
+        if cfg.upgrade_tick > 0 && tick == cfg.upgrade_tick {
+            upgrade = Some(RollingUpgrade::new(cfg.upgrade_shards.clone()));
+        }
+        if let Some(up) = upgrade.as_mut() {
+            match up.step(&mut cl) {
+                UpgradeStatus::NeedsRehost(shard) => {
+                    rehost_all(&mut cl, base, shard)?;
+                    upgraded += 1;
+                }
+                UpgradeStatus::Skipped(_) => upgrade_skipped += 1,
+                UpgradeStatus::Draining(_) => {}
+                UpgradeStatus::Done => upgrade = None,
+            }
+        }
+        apply_resumes(&mut cl, &mut clients, &plans);
+
+        while next_plan < plans.len() && (plans[next_plan].arrive_tick <= tick || draining) {
+            due.push_back(next_plan);
+            next_plan += 1;
+        }
+        while let Some(&pi) = due.front() {
+            let plan = &plans[pi];
+            let opened = if plan.is_crc {
+                cl.open_crc(&plan.personality, plan.priority, 4 + rng.below(8) as u64)
+            } else {
+                cl.open_scrambler(
+                    &plan.personality,
+                    plan.seed,
+                    plan.priority,
+                    4 + rng.below(8) as u64,
+                )
+            };
+            match opened {
+                Ok(gid) => {
+                    due.pop_front();
+                    clients.push(Client {
+                        plan: pi,
+                        gid,
+                        next_cut: 0,
+                        fed_all: false,
+                        parked: false,
+                        collected: BitVec::zeros(0),
+                    });
+                }
+                Err(ClusterError::NoEligibleShard) => break,
+                Err(e) => return Err(e),
+            }
+        }
+
+        for client in &mut clients {
+            if client.fed_all || client.parked {
+                continue;
+            }
+            if !draining && !rng.chance(0.8) {
+                continue;
+            }
+            let plan = &plans[client.plan];
+            let start = if client.next_cut == 0 {
+                0
+            } else {
+                plan.cuts[client.next_cut - 1]
+            };
+            let end = plan.cuts[client.next_cut];
+            match cl.feed(client.gid, &plan.data[start..end]) {
+                Ok(()) => {
+                    client.next_cut += 1;
+                    client.fed_all = client.next_cut == plan.cuts.len();
+                }
+                Err(ClusterError::Shard(
+                    ServiceError::StreamQueueFull { .. } | ServiceError::GlobalQueueFull { .. },
+                )) => {}
+                Err(ClusterError::Shard(ServiceError::StreamParked(_))) => client.parked = true,
+                Err(ClusterError::StreamLost { .. } | ClusterError::ShardDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Random live migration under traffic — tokenized, with
+        // duplicate-delivery chaos.
+        if rng.chance(base.migrate_prob) {
+            let routed = cl.route_ids();
+            let targets = cl.active_shards();
+            if !routed.is_empty() && !targets.is_empty() {
+                let gid = routed[rng.below(routed.len())];
+                let target = targets[rng.below(targets.len())];
+                token_migrate(&mut cl, &mut rng, gid, target, tick | (1 << 63));
+            }
+        }
+
+        cl.tick();
+        apply_resumes(&mut cl, &mut clients, &plans);
+
+        for loss in cl.losses() {
+            if !seen_losses.insert(loss.id) {
+                continue;
+            }
+            if let Some(pos) = clients.iter().position(|c| c.gid == loss.id) {
+                let client = clients.swap_remove(pos);
+                due.push_back(client.plan);
+                restarts += 1;
+            }
+        }
+
+        for client in &mut clients {
+            if client.parked {
+                if cl.resume(client.gid).is_ok() {
+                    client.parked = false;
+                } else {
+                    continue;
+                }
+            }
+            if !plans[client.plan].is_crc {
+                if let Ok(bits) = cl.collect(client.gid) {
+                    client.collected = client.collected.concat(&bits);
+                }
+            }
+        }
+
+        let mut finished: Vec<usize> = Vec::new();
+        for (ci, client) in clients.iter_mut().enumerate() {
+            if !client.fed_all || client.parked {
+                continue;
+            }
+            match cl.finish(client.gid) {
+                Ok(out) => {
+                    if !oracle_matches(&plans[client.plan], &client.collected, &out) {
+                        mismatches += 1;
+                    }
+                    completed += 1;
+                    finished.push(ci);
+                }
+                Err(ClusterError::Shard(ServiceError::StreamParked(_))) => client.parked = true,
+                Err(ClusterError::StreamLost { .. } | ClusterError::ShardDown(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for ci in finished.into_iter().rev() {
+            clients.swap_remove(ci);
+        }
+    }
+
+    let losses_total = cl.losses().len() as u64;
+    let losses_unaccounted = losses_total - seen_losses.len() as u64;
+    let shard_lines = (0..base.shards)
+        .map(|i| {
+            let svc = cl.shard_service(i).expect("index in range");
+            let sc = svc.counters();
+            ShardSummary {
+                name: cl.shard_name(i).expect("index in range").to_string(),
+                state: cl.shard_state(i).map_or("?", |s| match s {
+                    ShardState::Active => "active",
+                    ShardState::Draining => "draining",
+                    ShardState::Down(r) => r.label(),
+                }),
+                opened: sc.opened,
+                completed: sc.completed,
+                chunks: sc.chunks_processed,
+            }
+        })
+        .collect();
+    Ok(ChaosStormReport {
+        seed: base.seed,
+        shards: base.shards,
+        planned: plans.len() as u64,
+        completed,
+        restarts,
+        mismatches,
+        losses_unaccounted,
+        unfinished: plans.len() as u64 - completed,
+        dup_violations,
+        dups_suppressed,
+        chaos: scheduler.counts(),
+        faults_injected,
+        upgraded,
+        upgrade_skipped,
+        ticks_run: tick,
+        counters: cl.counters(),
+        shard_lines,
+        metrics: cl.metrics_merged(),
+        trace_log: cl.trace().render(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_chaos_mangles_only_the_wire_copy() {
+        let bytes = vec![1u8, 2, 3, 4, 5, 6];
+        let corrupted = TransferChaos::Corrupt.mangle(&bytes);
+        assert_eq!(corrupted.len(), bytes.len());
+        assert_ne!(corrupted, bytes);
+        let truncated = TransferChaos::Truncate.mangle(&bytes);
+        assert_eq!(truncated, vec![1u8, 2, 3]);
+        assert_eq!(bytes, vec![1u8, 2, 3, 4, 5, 6], "pristine untouched");
+    }
+
+    #[test]
+    fn scheduler_is_deterministic() {
+        let mut a = ChaosScheduler::new(ChaosConfig::smoke(), 77);
+        let mut b = ChaosScheduler::new(ChaosConfig::smoke(), 77);
+        for _ in 0..200 {
+            assert_eq!(
+                a.draw(&[0, 1, 2], &[0, 1, 2]),
+                b.draw(&[0, 1, 2], &[0, 1, 2])
+            );
+        }
+        let quiet = ChaosScheduler::new(ChaosConfig::quiet(), 77).draw(&[0, 1], &[0, 1]);
+        assert!(quiet.is_empty());
+    }
+
+    #[test]
+    fn tiny_chaos_storm_is_exact_and_deterministic() {
+        let mut cfg = ChaosStormConfig::smoke(2008);
+        cfg.storm.streams = 60;
+        cfg.storm.ticks = 120;
+        cfg.storm.drain_tick = 25;
+        cfg.storm.kill_tick = 50;
+        cfg.storm.crc_ms = vec![8];
+        cfg.upgrade_tick = 60;
+        cfg.upgrade_shards = vec![2];
+        let a = run_chaos_storm(&cfg).unwrap();
+        assert!(a.passed(), "chaos storm must pass:\n{}", a.render());
+        let b = run_chaos_storm(&cfg).unwrap();
+        assert_eq!(a.render(), b.render(), "same seed, same campaign");
+    }
+}

@@ -23,8 +23,12 @@
 //!   survivors; streams without a usable checkpoint become **typed
 //!   losses**, never silent ones.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::chaos::TransferChaos;
 use crate::health::{HealthPolicy, HealthVerdict, ShardHealthMonitor};
-use crate::placement::{shard_seed, PlacementPolicy, ShardView};
+use crate::placement::{mix64, shard_seed, PlacementPolicy, ShardView};
+use crate::rebalance::{plan_moves, RebalancePolicy};
+use crate::retry::{OpApply, OpToken, RetryPolicy};
 use dream::ControlModel;
 use dream_lfsr::FlowOptions;
 use gf2::BitVec;
@@ -32,6 +36,7 @@ use lfsr::crc::CrcSpec;
 use lfsr::scramble::ScramblerSpec;
 use obs::EventKind;
 use picoga::PicogaParams;
+use resilience::FabricHealthSummary;
 use resilience::{RecoveryPolicy, ResilientSystem};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -81,6 +86,12 @@ pub struct ClusterConfig {
     pub checkpoint_interval: u64,
     /// Streams migrated off each draining shard per tick.
     pub drain_batch: usize,
+    /// Per-shard circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Retry schedule for tokenized control-plane operations.
+    pub retry: RetryPolicy,
+    /// Load-driven rebalancing policy (disabled by default).
+    pub rebalance: RebalancePolicy,
 }
 
 impl ClusterConfig {
@@ -99,6 +110,9 @@ impl ClusterConfig {
             health: HealthPolicy::default(),
             checkpoint_interval: 8,
             drain_batch: 4,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            rebalance: RebalancePolicy::disabled(),
         }
     }
 }
@@ -236,9 +250,15 @@ pub enum ClusterError {
         usize,
     ),
     /// Migration target refused by the admission fence: the shard is
-    /// draining or down.
+    /// draining, down, or its circuit breaker is not admitting.
     NotAccepting(
         /// The fenced shard.
+        usize,
+    ),
+    /// [`Cluster::reopen_shard`] on a shard that is not cleanly drained
+    /// — only a `Down(Drained)` shard can be rebuilt and rehosted.
+    NotReopenable(
+        /// The shard requested.
         usize,
     ),
     /// No active shard could take the stream.
@@ -273,6 +293,9 @@ impl fmt::Display for ClusterError {
             ClusterError::UnknownShard(s) => write!(f, "unknown shard {s}"),
             ClusterError::ShardDown(s) => write!(f, "shard {s} is down"),
             ClusterError::NotAccepting(s) => write!(f, "shard {s} is not accepting streams"),
+            ClusterError::NotReopenable(s) => {
+                write!(f, "shard {s} is not cleanly drained; cannot reopen")
+            }
             ClusterError::NoEligibleShard => write!(f, "no active shard can take this stream"),
             ClusterError::StreamLost { id, shard, reason } => write!(
                 f,
@@ -333,13 +356,20 @@ impl CheckpointRecord {
     }
 }
 
-/// One shard: its service, lifecycle state and health streak.
+/// One shard: its service, lifecycle state, health streak, circuit
+/// breaker, and any chaos disturbances currently applied to it.
 struct Shard {
     name: String,
     seed: u64,
     state: ShardState,
     svc: StreamService,
     monitor: ShardHealthMonitor,
+    breaker: CircuitBreaker,
+    /// Chaos: ticks this shard still misses entirely (slowdown/skew).
+    slow_ticks: u32,
+    /// Chaos: ticks the health channel still reports a fabricated
+    /// abandoned summary (byzantine probe).
+    lie_ticks: u32,
 }
 
 /// Registry handles for the cluster's own decision counters (kept in a
@@ -356,6 +386,13 @@ struct ClusterIds {
     failovers: obs::CounterId,
     lost_streams: obs::CounterId,
     checkpoints_stored: obs::CounterId,
+    breaker_trips: obs::CounterId,
+    retry_attempts: obs::CounterId,
+    retry_backoff_ticks: obs::CounterId,
+    rebalance_moves: obs::CounterId,
+    retire_vetoes: obs::CounterId,
+    shards_reopened: obs::CounterId,
+    probe_migrations: obs::CounterId,
 }
 
 impl ClusterIds {
@@ -371,6 +408,13 @@ impl ClusterIds {
             failovers: reg.counter("cluster.failovers"),
             lost_streams: reg.counter("cluster.lost_streams"),
             checkpoints_stored: reg.counter("cluster.checkpoints_stored"),
+            breaker_trips: reg.counter("cluster.breaker_trips"),
+            retry_attempts: reg.counter("cluster.retry_attempts"),
+            retry_backoff_ticks: reg.counter("cluster.retry_backoff_ticks"),
+            rebalance_moves: reg.counter("cluster.rebalance_moves"),
+            retire_vetoes: reg.counter("cluster.retire_vetoes"),
+            shards_reopened: reg.counter("cluster.shards_reopened"),
+            probe_migrations: reg.counter("cluster.probe_migrations"),
         }
     }
 }
@@ -399,19 +443,43 @@ pub struct ClusterCounters {
     pub lost_streams: u64,
     /// Snapshots captured into the checkpoint store by sweeps.
     pub checkpoints_stored: u64,
+    /// Circuit-breaker trips (any shard entering Open).
+    pub breaker_trips: u64,
+    /// Tokenized-operation retry attempts performed.
+    pub retry_attempts: u64,
+    /// Total backoff (ticks) charged across those retries.
+    pub retry_backoff_ticks: u64,
+    /// Streams moved by the load rebalancer.
+    pub rebalance_moves: u64,
+    /// Health death-verdicts vetoed by the direct confirmation probe.
+    pub retire_vetoes: u64,
+    /// Drained shards rebuilt and reopened (rolling upgrades).
+    pub shards_reopened: u64,
+    /// Probe migrations sent to HalfOpen shards by the healing loop.
+    pub probe_migrations: u64,
 }
 
 /// The sharded control plane. See the module docs for the three flows.
 pub struct Cluster {
     shards: Vec<Shard>,
+    specs: Vec<ShardSpec>,
+    recovery: RecoveryPolicy,
     placement: PlacementPolicy,
     health: HealthPolicy,
     checkpoint_interval: u64,
     drain_batch: usize,
+    breaker_cfg: BreakerConfig,
+    retry: RetryPolicy,
+    rebalance: RebalancePolicy,
     routes: BTreeMap<u64, Route>,
     store: BTreeMap<u64, CheckpointRecord>,
     losses: BTreeMap<u64, StreamLoss>,
     resumes: Vec<FailoverResume>,
+    /// Idempotency ledger: applied operation token → committed payload
+    /// (the stream id the operation concerned).
+    ledger: BTreeMap<u64, u64>,
+    /// Chaos: the next migration's transfer channel is sabotaged.
+    armed_transfer: Option<TransferChaos>,
     next_id: u64,
     now: u64,
     registry: obs::MetricsRegistry,
@@ -451,19 +519,29 @@ impl Cluster {
                     state: ShardState::Active,
                     svc: StreamService::new(rs, spec.admission),
                     monitor: ShardHealthMonitor::default(),
+                    breaker: CircuitBreaker::new(cfg.breaker),
+                    slow_ticks: 0,
+                    lie_ticks: 0,
                 }
             })
             .collect();
         Cluster {
             shards,
+            specs: cfg.shards.clone(),
+            recovery: cfg.recovery,
             placement: cfg.placement,
             health: cfg.health,
             checkpoint_interval: cfg.checkpoint_interval,
             drain_batch: cfg.drain_batch.max(1),
+            breaker_cfg: cfg.breaker,
+            retry: cfg.retry,
+            rebalance: cfg.rebalance,
             routes: BTreeMap::new(),
             store: BTreeMap::new(),
             losses: BTreeMap::new(),
             resumes: Vec::new(),
+            ledger: BTreeMap::new(),
+            armed_transfer: None,
             next_id: 1,
             now: 0,
             registry,
@@ -527,6 +605,27 @@ impl Cluster {
             .get_mut(shard)
             .ok_or(ClusterError::UnknownShard(shard))?;
         sh.svc.host_crc(name, spec, opts)?;
+        Ok(())
+    }
+
+    /// Hosts a scrambler personality on one shard only (see
+    /// [`Cluster::host_crc_on`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownShard`] or the hosting failure.
+    pub fn host_scrambler_on(
+        &mut self,
+        shard: usize,
+        name: &str,
+        spec: &ScramblerSpec,
+        opts: &FlowOptions,
+    ) -> Result<(), ClusterError> {
+        let sh = self
+            .shards
+            .get_mut(shard)
+            .ok_or(ClusterError::UnknownShard(shard))?;
+        sh.svc.host_scrambler(name, spec, opts)?;
         Ok(())
     }
 
@@ -614,6 +713,61 @@ impl Cluster {
         self.now
     }
 
+    /// A shard's circuit-breaker state.
+    #[must_use]
+    pub fn breaker_state(&self, shard: usize) -> Option<BreakerState> {
+        self.shards.get(shard).map(|s| s.breaker.state())
+    }
+
+    // ----- chaos hooks --------------------------------------------------
+    //
+    // Deterministic disturbance injection for the chaos harness (see
+    // [`crate::chaos`]). Each hook records a typed `ChaosInject` event
+    // in the cluster trace so every run is byte-reproducible and
+    // explainable. The hooks model *external* adversity — a slow or
+    // power-starved shard, a lossy transfer channel, a lying health
+    // probe — never reach into stream state directly.
+
+    /// Chaos: the shard misses its next `ticks` cluster ticks entirely
+    /// (its service neither pumps nor ages; the breaker sees each
+    /// missed tick as a failure).
+    pub fn chaos_slow_shard(&mut self, shard: usize, ticks: u32) {
+        if let Some(sh) = self.shards.get_mut(shard) {
+            sh.slow_ticks = sh.slow_ticks.saturating_add(ticks);
+            self.record(
+                None,
+                Some(shard),
+                EventKind::ChaosInject { what: "slowdown" },
+            );
+        }
+    }
+
+    /// Chaos: for the next `ticks` ticks the shard's routine health
+    /// probe reports a fabricated fully-abandoned fabric (a byzantine
+    /// probe). The direct confirmation probe is unaffected — that is
+    /// precisely the defense under test.
+    pub fn chaos_lie_health(&mut self, shard: usize, ticks: u32) {
+        if let Some(sh) = self.shards.get_mut(shard) {
+            sh.lie_ticks = sh.lie_ticks.saturating_add(ticks);
+            self.record(
+                None,
+                Some(shard),
+                EventKind::ChaosInject {
+                    what: "byzantine_health",
+                },
+            );
+        }
+    }
+
+    /// Chaos: sabotages the transfer channel of the *next* migration
+    /// (corrupt or truncate). The source keeps its pristine snapshot,
+    /// so the typed undo path restores the stream; a tokenized retry
+    /// then succeeds.
+    pub fn chaos_arm_transfer(&mut self, mode: TransferChaos) {
+        self.armed_transfer = Some(mode);
+        self.record(None, None, EventKind::ChaosInject { what: mode.label() });
+    }
+
     /// Cluster-level decision counters.
     #[must_use]
     pub fn counters(&self) -> ClusterCounters {
@@ -629,6 +783,13 @@ impl Cluster {
             failovers: reg.counter_value(self.ids.failovers),
             lost_streams: reg.counter_value(self.ids.lost_streams),
             checkpoints_stored: reg.counter_value(self.ids.checkpoints_stored),
+            breaker_trips: reg.counter_value(self.ids.breaker_trips),
+            retry_attempts: reg.counter_value(self.ids.retry_attempts),
+            retry_backoff_ticks: reg.counter_value(self.ids.retry_backoff_ticks),
+            rebalance_moves: reg.counter_value(self.ids.rebalance_moves),
+            retire_vetoes: reg.counter_value(self.ids.retire_vetoes),
+            shards_reopened: reg.counter_value(self.ids.shards_reopened),
+            probe_migrations: reg.counter_value(self.ids.probe_migrations),
         }
     }
 
@@ -666,10 +827,25 @@ impl Cluster {
             .map(|(i, s)| ShardView {
                 index: i,
                 seed: s.seed,
-                eligible: s.state == ShardState::Active,
+                // Placement only trusts shards whose breaker is fully
+                // Closed; a HalfOpen shard is probed by explicit
+                // migrations, not by fresh traffic.
+                eligible: s.state == ShardState::Active
+                    && s.breaker.state() == BreakerState::Closed,
                 load: s.svc.live_streams() as u64,
             })
             .collect()
+    }
+
+    /// Applies a breaker transition's bookkeeping: the trip counter and
+    /// the `breaker_state` trace event.
+    fn note_breaker(&mut self, shard: usize, transition: Option<(&'static str, &'static str)>) {
+        if let Some((from, to)) = transition {
+            if to == "open" {
+                self.registry.inc(self.ids.breaker_trips);
+            }
+            self.record(None, Some(shard), EventKind::BreakerState { from, to });
+        }
     }
 
     fn route_of(&self, id: u64) -> Result<Route, ClusterError> {
@@ -704,6 +880,11 @@ impl Cluster {
     fn record(&mut self, stream: Option<u64>, shard: Option<usize>, kind: EventKind) {
         let lane = shard.map(|i| self.shards[i].name.clone());
         self.tracer.record(self.now, stream, lane.as_deref(), kind);
+    }
+
+    /// Records a rolling-upgrade stage transition in the cluster trace.
+    pub(crate) fn note_upgrade(&mut self, shard: usize, stage: &'static str) {
+        self.record(None, Some(shard), EventKind::UpgradeStage { stage });
     }
 
     // ----- stream lifecycle ---------------------------------------------
@@ -919,48 +1100,92 @@ impl Cluster {
         if self.shards[target].state != ShardState::Active {
             return Err(ClusterError::NotAccepting(target));
         }
+        if !self.shards[target].breaker.admits() {
+            return Err(ClusterError::NotAccepting(target));
+        }
         if matches!(self.shards[r.shard].state, ShardState::Down(_)) {
             return Err(ClusterError::ShardDown(r.shard));
         }
-        let src = &mut self.shards[r.shard].svc;
-        let bytes = if src.is_live(r.local) {
-            src.detach(r.local).map_err(|e| Self::remap(e, id))?
-        } else {
-            src.take_parked(r.local).map_err(|e| Self::remap(e, id))?
-        };
-        let sum = transfer_digest(&bytes);
-        self.transfer_restore(id, r.shard, target, &bytes, sum)
+        self.probe_transfer(id, r.shard, target)
     }
 
-    /// The receive half of a migration: verify the transfer digest,
-    /// restore, classify failures. On `Incompatible` the snapshot is
-    /// restored back onto the source shard (which just held it, so
-    /// capacity is there).
+    /// The moving half of a migration: probe the target's breaker,
+    /// detach on the source, digest, push the (possibly sabotaged) wire
+    /// copy through [`Self::transfer_restore`]. Callers have already
+    /// validated both shards; `source == target` is allowed — that is
+    /// the self-probe a half-open shard runs when it is the only one
+    /// left to donate a stream.
+    fn probe_transfer(
+        &mut self,
+        id: u64,
+        source: usize,
+        target: usize,
+    ) -> Result<(), ClusterError> {
+        let local = self.route_of(id)?.local;
+        // Restoring onto a HalfOpen shard is its one allowed probe.
+        self.shards[target].breaker.begin_probe();
+        let src = &mut self.shards[source].svc;
+        let detached = if src.is_live(local) {
+            src.detach(local)
+        } else {
+            src.take_parked(local)
+        };
+        let bytes = match detached {
+            Ok(b) => b,
+            Err(e) => {
+                // The source never produced a snapshot: the target was
+                // not actually probed, so release its slot unjudged.
+                self.shards[target].breaker.cancel_probe();
+                return Err(Self::remap(e, id));
+            }
+        };
+        let sum = transfer_digest(&bytes);
+        // The simulated channel: chaos may corrupt or truncate what
+        // the target receives; the source's copy stays pristine until
+        // the hand-off commits.
+        let wire = match self.armed_transfer.take() {
+            Some(mode) => mode.mangle(&bytes),
+            None => bytes.clone(),
+        };
+        self.transfer_restore(id, source, target, &wire, sum, &bytes)
+    }
+
+    /// The receive half of a migration: verify the transfer digest over
+    /// what the channel delivered (`wire`), restore, classify failures.
+    /// On `Incompatible` the snapshot is restored back onto the source
+    /// shard (which just held it, so capacity is there); every undo
+    /// uses the source's `pristine` copy, never the wire bytes — a
+    /// corrupted channel must not be able to destroy the original.
     fn transfer_restore(
         &mut self,
         id: u64,
         source: usize,
         target: usize,
-        bytes: &[u8],
+        wire: &[u8],
         sum: u64,
+        pristine: &[u8],
     ) -> Result<(), ClusterError> {
-        if transfer_digest(bytes) != sum {
+        if transfer_digest(wire) != sum {
             // The simulated channel handed over different bytes than
-            // the source digested — retransfer is the only option, and
-            // in-process there is nothing better to retransfer.
-            return self.undo_detach(id, source, bytes, ClusterError::SnapshotCorrupt);
+            // the source digested — retransfer is the only option; the
+            // caller's tokenized retry re-runs the whole hand-off.
+            let tr = self.shards[target].breaker.on_failure();
+            self.note_breaker(target, tr);
+            return self.undo_detach(id, source, pristine, ClusterError::SnapshotCorrupt);
         }
-        let mut attempt = self.shards[target].svc.restore(bytes);
+        let mut attempt = self.shards[target].svc.restore(wire);
         if matches!(
             attempt.as_ref().map_err(ServiceError::restore_disposition),
             Err(Some(RestoreDisposition::RetryTransfer))
         ) {
             // Typed contract: damaged bytes are worth one retransfer.
             self.registry.inc(self.ids.migration_retries);
-            attempt = self.shards[target].svc.restore(bytes);
+            attempt = self.shards[target].svc.restore(wire);
         }
         match attempt {
             Ok(local) => {
+                let tr = self.shards[target].breaker.on_success();
+                self.note_breaker(target, tr);
                 self.routes.insert(
                     id,
                     Route {
@@ -968,7 +1193,7 @@ impl Cluster {
                         local,
                     },
                 );
-                if let Some(rec) = CheckpointRecord::from_snapshot(bytes.to_vec()) {
+                if let Some(rec) = CheckpointRecord::from_snapshot(wire.to_vec()) {
                     self.store.insert(id, rec);
                 }
                 self.registry.inc(self.ids.migrations);
@@ -988,7 +1213,16 @@ impl Cluster {
                     Some(RestoreDisposition::Incompatible) => ClusterError::Incompatible { id },
                     None => Self::remap(e, id),
                 };
-                self.undo_detach(id, source, bytes, err)
+                // A damaged restore is target-side evidence; a clean
+                // refusal (incompatible/capacity) still proves the
+                // shard is answering correctly.
+                let tr = if matches!(err, ClusterError::SnapshotCorrupt) {
+                    self.shards[target].breaker.on_failure()
+                } else {
+                    self.shards[target].breaker.on_success()
+                };
+                self.note_breaker(target, tr);
+                self.undo_detach(id, source, pristine, err)
             }
         }
     }
@@ -1026,6 +1260,107 @@ impl Cluster {
                 })
             }
         }
+    }
+
+    // ----- tokenized operations -----------------------------------------
+
+    /// Whether a failed control-plane operation is worth retrying: only
+    /// transfer damage is transient; refusals and losses are final.
+    fn retryable(e: &ClusterError) -> bool {
+        matches!(e, ClusterError::SnapshotCorrupt)
+    }
+
+    /// Charges one retry: counters, backoff, trace. Returns the delay.
+    fn charge_retry(&mut self, id: Option<u64>, token: OpToken, attempt: u32) -> u64 {
+        let delay = self.retry.backoff_ticks(token, attempt);
+        self.registry.inc(self.ids.retry_attempts);
+        self.registry.add(self.ids.retry_backoff_ticks, delay);
+        self.record(
+            id,
+            None,
+            EventKind::OpRetry {
+                attempt: u64::from(attempt),
+                delay,
+            },
+        );
+        delay
+    }
+
+    /// [`Cluster::migrate`] under an idempotency token, with bounded
+    /// deterministic-jitter retry on transient transfer damage. A
+    /// duplicate delivery of an already-applied token returns
+    /// [`OpApply::Duplicate`] without touching any state — retries can
+    /// never double-apply a migration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::migrate`], after the retry budget is spent. A
+    /// failed call leaves the token unrecorded, so the caller may
+    /// safely re-deliver it.
+    pub fn migrate_with_token(
+        &mut self,
+        token: OpToken,
+        id: u64,
+        target: usize,
+    ) -> Result<OpApply, ClusterError> {
+        if self.ledger.contains_key(&token.0) {
+            return Ok(OpApply::Duplicate);
+        }
+        let mut attempt = 1u32;
+        loop {
+            match self.migrate(id, target) {
+                Ok(()) => {
+                    self.ledger.insert(token.0, id);
+                    return Ok(OpApply::Applied);
+                }
+                Err(e) if Self::retryable(&e) && attempt < self.retry.max_attempts.max(1) => {
+                    self.charge_retry(Some(id), token, attempt);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// [`Cluster::checkpoint_now`] under an idempotency token: a
+    /// duplicate delivery does not re-capture (the store would
+    /// otherwise silently advance the resume point a second time).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::checkpoint_now`]; failure leaves the token
+    /// unrecorded.
+    pub fn checkpoint_with_token(
+        &mut self,
+        token: OpToken,
+        id: u64,
+    ) -> Result<OpApply, ClusterError> {
+        if self.ledger.contains_key(&token.0) {
+            return Ok(OpApply::Duplicate);
+        }
+        self.checkpoint_now(id)?;
+        self.ledger.insert(token.0, id);
+        Ok(OpApply::Applied)
+    }
+
+    /// [`Cluster::adopt`] under an idempotency token: a duplicate
+    /// delivery returns the id the first delivery created instead of
+    /// restoring a second copy of the stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::adopt`]; failure leaves the token unrecorded.
+    pub fn adopt_with_token(
+        &mut self,
+        token: OpToken,
+        bytes: &[u8],
+    ) -> Result<(u64, OpApply), ClusterError> {
+        if let Some(&id) = self.ledger.get(&token.0) {
+            return Ok((id, OpApply::Duplicate));
+        }
+        let id = self.adopt(bytes)?;
+        self.ledger.insert(token.0, id);
+        Ok((id, OpApply::Applied))
     }
 
     /// Adopts an external snapshot (from another cluster, or storage)
@@ -1141,6 +1476,170 @@ impl Cluster {
                         to: "down",
                     },
                 );
+            }
+        }
+    }
+
+    // ----- reopen (rolling upgrades) ------------------------------------
+
+    /// Rebuilds a cleanly drained shard from scratch and returns it to
+    /// Active: a fresh fabric stack, an empty service, a reset health
+    /// monitor and breaker. The rehost half of a rolling personality
+    /// upgrade — the caller re-hosts personalities (its new generation)
+    /// before traffic lands, via [`Cluster::host_crc_on`] /
+    /// [`Cluster::host_scrambler_on`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownShard`]; [`ClusterError::NotReopenable`]
+    /// unless the shard is `Down(Drained)` — a killed or abandoned
+    /// shard's hardware is gone, only a planned drain leaves it
+    /// rebuildable.
+    pub fn reopen_shard(&mut self, shard: usize) -> Result<(), ClusterError> {
+        match self.shards.get(shard).map(|s| s.state) {
+            None => Err(ClusterError::UnknownShard(shard)),
+            Some(ShardState::Down(DownReason::Drained)) => {
+                let rs = ResilientSystem::new(
+                    PicogaParams::dream(),
+                    ControlModel::default(),
+                    self.recovery,
+                );
+                let admission = self.specs[shard].admission;
+                let sh = &mut self.shards[shard];
+                sh.svc = StreamService::new(rs, admission);
+                sh.monitor = ShardHealthMonitor::default();
+                sh.breaker = CircuitBreaker::new(self.breaker_cfg);
+                sh.slow_ticks = 0;
+                sh.lie_ticks = 0;
+                sh.state = ShardState::Active;
+                self.registry.inc(self.ids.shards_reopened);
+                self.record(None, Some(shard), EventKind::ShardReopen);
+                self.record(
+                    None,
+                    Some(shard),
+                    EventKind::ShardState {
+                        shard: shard as u64,
+                        from: "down",
+                        to: "active",
+                    },
+                );
+                Ok(())
+            }
+            Some(_) => Err(ClusterError::NotReopenable(shard)),
+        }
+    }
+
+    // ----- rebalancing --------------------------------------------------
+
+    /// One pass of the load-driven rebalancer (called from
+    /// [`Cluster::tick`] on the policy's cadence): compares the live
+    /// load of healthy shards and token-migrates streams hottest →
+    /// coldest when the gap exceeds the policy threshold.
+    fn rebalance_step(&mut self) {
+        let pol = self.rebalance;
+        if pol.every_ticks == 0 || !self.now.is_multiple_of(pol.every_ticks) {
+            return;
+        }
+        let loads: Vec<(usize, u64)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.state == ShardState::Active && s.breaker.state() == BreakerState::Closed
+            })
+            .map(|(i, s)| (i, s.svc.live_streams() as u64))
+            .collect();
+        let Some((hot, cold, budget)) = plan_moves(&pol, &loads) else {
+            return;
+        };
+        let residents: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.shard == hot)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut moved = 0u64;
+        for id in residents {
+            if moved >= budget {
+                break;
+            }
+            // Deterministic per-(pass, stream) token, salted so it can
+            // never collide with harness-chosen tokens.
+            let token = OpToken(mix64((self.now << 24) ^ id) ^ 0x5EBA_1A4C_0000_0000);
+            if matches!(
+                self.migrate_with_token(token, id, cold),
+                Ok(OpApply::Applied)
+            ) {
+                self.registry.inc(self.ids.rebalance_moves);
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            self.record(None, Some(hot), EventKind::RebalanceRun { moved });
+        }
+    }
+
+    /// One pass of the breaker-healing probe loop (called from
+    /// [`Cluster::tick`]): every HalfOpen shard with a free probe slot
+    /// gets one token-fenced migration from the most loaded donor
+    /// shard. A successful restore counts toward closing the breaker;
+    /// a failure re-opens it. Without chaos every breaker stays Closed
+    /// and this is a no-op.
+    fn probe_step(&mut self) {
+        for shard in 0..self.shards.len() {
+            let s = &self.shards[shard];
+            if s.state != ShardState::Active
+                || s.breaker.state() != BreakerState::HalfOpen
+                || !s.breaker.admits()
+            {
+                continue;
+            }
+            // Donor: the most loaded shard that still serves (ties to
+            // the lowest index). Its breaker state is irrelevant — the
+            // breaker guards *inbound* restores, not outbound detaches.
+            let donor = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(i, d)| *i != shard && d.state == ShardState::Active)
+                .max_by_key(|(i, d)| (d.svc.live_streams(), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i);
+            let donor_stream = donor.and_then(|d| {
+                self.routes
+                    .iter()
+                    .find(|(_, r)| r.shard == d)
+                    .map(|(id, _)| *id)
+            });
+            if let Some(id) = donor_stream {
+                let token = OpToken(mix64((self.now << 24) ^ id) ^ 0x9B0B_E500_0000_0000);
+                if matches!(
+                    self.migrate_with_token(token, id, shard),
+                    Ok(OpApply::Applied)
+                ) {
+                    self.registry.inc(self.ids.probe_migrations);
+                }
+            } else if let Some(id) = self
+                .routes
+                .iter()
+                .find(|(_, r)| r.shard == shard)
+                .map(|(id, _)| *id)
+            {
+                // No other shard can donate (this may be the last one
+                // standing): self-probe with a detach/restore
+                // round-trip of one resident stream — the exact path
+                // the breaker guards.
+                if self.probe_transfer(id, shard, shard).is_ok() {
+                    self.registry.inc(self.ids.probe_migrations);
+                }
+            } else {
+                // Nothing to restore anywhere in the cluster: an idle
+                // shard's probe degenerates to a trivial no-op
+                // round-trip, which always succeeds.
+                let s = &mut self.shards[shard];
+                s.breaker.begin_probe();
+                let tr = s.breaker.on_success();
+                self.note_breaker(shard, tr);
+                self.registry.inc(self.ids.probe_migrations);
             }
         }
     }
@@ -1293,11 +1792,28 @@ impl Cluster {
             if matches!(self.shards[shard].state, ShardState::Down(_)) {
                 continue;
             }
+            // Chaos slowdown: the shard misses this tick entirely. The
+            // breaker counts every missed tick as a failure, so a
+            // sustained slowdown trips it and placement routes around
+            // the shard until it proves itself again.
+            if self.shards[shard].slow_ticks > 0 {
+                self.shards[shard].slow_ticks -= 1;
+                let tr = self.shards[shard].breaker.on_failure();
+                self.note_breaker(shard, tr);
+                continue;
+            }
             if self.shards[shard].svc.tick().is_err() {
                 self.retire(shard, DownReason::TickFailed);
                 continue;
             }
-            let summary = self.shards[shard].svc.system().health_summary();
+            let summary = if self.shards[shard].lie_ticks > 0 {
+                // Byzantine probe: the routine health channel reports a
+                // fabricated, fully abandoned fabric.
+                self.shards[shard].lie_ticks -= 1;
+                Self::fabricated_abandoned(&self.shards[shard].svc.system().health_summary())
+            } else {
+                self.shards[shard].svc.system().health_summary()
+            };
             let verdict = self.shards[shard].monitor.observe(&summary, &self.health);
             // Health-driven retirement never takes down the last
             // active shard: a fabric-abandoned shard still serves
@@ -1306,12 +1822,43 @@ impl Cluster {
             // no cluster. Explicit kills are not subject to this —
             // power loss cannot be refused.
             if verdict == HealthVerdict::Dead && self.another_active(shard) {
-                self.retire(shard, DownReason::Abandoned);
+                // Trust, but verify: a death verdict built from routine
+                // probes must be corroborated by a direct, synchronous
+                // probe of the shard before anything is retired — a
+                // lying probe channel alone can never kill a healthy
+                // shard.
+                let direct = self.shards[shard].svc.system().health_summary();
+                if direct.fabric_abandoned() {
+                    self.retire(shard, DownReason::Abandoned);
+                } else {
+                    self.registry.inc(self.ids.retire_vetoes);
+                    self.record(None, Some(shard), EventKind::RetireVeto);
+                }
             }
+            let tr = self.shards[shard].breaker.on_tick();
+            self.note_breaker(shard, tr);
         }
         self.drain_step();
+        self.rebalance_step();
+        self.probe_step();
         if self.checkpoint_interval > 0 && self.now.is_multiple_of(self.checkpoint_interval) {
             self.checkpoint_sweep();
+        }
+    }
+
+    /// What a byzantine probe fabricates: the shard's real lane list,
+    /// every lane reported fallen back.
+    fn fabricated_abandoned(real: &FabricHealthSummary) -> FabricHealthSummary {
+        FabricHealthSummary {
+            lanes: real
+                .lanes
+                .iter()
+                .map(|(name, _)| (name.clone(), dream::Health::Fallback))
+                .collect(),
+            fallback: real.lanes.len(),
+            suspect: 0,
+            unrecovered: real.unrecovered,
+            recoveries: real.recoveries,
         }
     }
 }

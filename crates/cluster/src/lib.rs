@@ -22,19 +22,51 @@
 //!   `cluster_storm` binary: multi-shard traffic with random live
 //!   migrations, a mid-run forced kill and a planned drain, every
 //!   digest checked against a software oracle.
+//! * [`breaker`] — per-shard circuit breakers (Closed → Open →
+//!   HalfOpen with hysteresis) fencing control-plane traffic to
+//!   misbehaving shards; the pure transition function is mirrored by
+//!   `analyze::BreakerParams` and proven identical by
+//!   `tests/breaker_mirror.rs`.
+//! * [`retry`] — bounded exponential retry with deterministic jitter,
+//!   plus the idempotent operation tokens that make retries (and
+//!   duplicate deliveries) unable to double-apply.
+//! * [`rebalance`] — the load-driven automatic rebalancer: hottest →
+//!   coldest token-fenced migrations on a fixed cadence.
+//! * [`upgrade`] — rolling personality upgrades: drain → rehost →
+//!   undrain, one shard at a time, under live traffic.
+//! * [`chaos`] — the deterministic chaos harness behind the
+//!   `chaos_storm` binary: seeded slowdowns, corrupted/truncated
+//!   transfers, byzantine health probes, fault flaps and admission
+//!   storms against the self-healing control loop (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod cluster;
 pub mod health;
 pub mod placement;
+pub mod rebalance;
+pub mod retry;
 pub mod storm;
+pub mod upgrade;
 
+pub use breaker::{
+    BreakerConfig, BreakerInput, BreakerState, CircuitBreaker, RANK_CLOSED, RANK_HALF_OPEN,
+    RANK_OPEN,
+};
+pub use chaos::{
+    run_chaos_storm, ChaosConfig, ChaosCounts, ChaosEvent, ChaosScheduler, ChaosStormConfig,
+    ChaosStormReport, TransferChaos,
+};
 pub use cluster::{
     transfer_digest, Cluster, ClusterConfig, ClusterCounters, ClusterError, DownReason,
     FailoverResume, LossReason, ShardSpec, ShardState, StreamLoss,
 };
 pub use health::{HealthPolicy, HealthVerdict, ShardHealthMonitor};
 pub use placement::{mix64, shard_seed, PlacementPolicy, ShardView};
+pub use rebalance::{plan_moves, RebalancePolicy};
+pub use retry::{OpApply, OpToken, RetryPolicy};
 pub use storm::{run_cluster_storm, ClusterStormConfig, ClusterStormReport};
+pub use upgrade::{RollingUpgrade, UpgradeStatus};

@@ -1,0 +1,128 @@
+//! Load-driven automatic rebalancing policy.
+//!
+//! The placement layer already spreads *new* streams by rendezvous hash
+//! with a least-loaded spill; long-lived streams still pile up when
+//! shards come and go (drain, failover, reopen). The rebalancer closes
+//! that gap: every `every_ticks` cluster ticks it compares the live
+//! load of healthy shards and, when the hottest exceeds the coldest by
+//! more than `min_gap`, live-migrates up to `max_moves` streams from
+//! hottest to coldest — each move token-fenced and digest-verified like
+//! any other migration.
+//!
+//! The decision itself is a pure function ([`plan_moves`]) over the
+//! observed loads, so it is unit-testable without a cluster.
+
+/// When and how hard the rebalancer acts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalancePolicy {
+    /// Run every this many cluster ticks (`0` disables rebalancing).
+    pub every_ticks: u64,
+    /// Minimum hottest−coldest live-stream gap before anything moves.
+    pub min_gap: u64,
+    /// Streams moved per rebalancing pass.
+    pub max_moves: usize,
+}
+
+impl RebalancePolicy {
+    /// Rebalancing switched off (the default for existing harnesses).
+    #[must_use]
+    pub fn disabled() -> Self {
+        RebalancePolicy {
+            every_ticks: 0,
+            min_gap: 0,
+            max_moves: 0,
+        }
+    }
+
+    /// A reasonable serving default: every 16 ticks, act on a gap of
+    /// more than 4 streams, moving at most 2 per pass.
+    #[must_use]
+    pub fn serving_defaults() -> Self {
+        RebalancePolicy {
+            every_ticks: 16,
+            min_gap: 4,
+            max_moves: 2,
+        }
+    }
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy::disabled()
+    }
+}
+
+/// Plans one rebalancing pass over `(shard, load)` observations of the
+/// *healthy* shards (callers pre-filter by state and breaker). Returns
+/// `Some((hottest, coldest, moves))` when the gap exceeds `min_gap`;
+/// moves never exceed `max_moves` nor half the gap (rounded up), so a
+/// pass can only narrow the imbalance, never invert it. Ties break
+/// toward the lowest shard index, keeping runs deterministic.
+#[must_use]
+pub fn plan_moves(policy: &RebalancePolicy, loads: &[(usize, u64)]) -> Option<(usize, usize, u64)> {
+    if policy.every_ticks == 0 || policy.max_moves == 0 || loads.len() < 2 {
+        return None;
+    }
+    let mut hottest = loads[0];
+    let mut coldest = loads[0];
+    for &(shard, load) in &loads[1..] {
+        if load > hottest.1 {
+            hottest = (shard, load);
+        }
+        if load < coldest.1 {
+            coldest = (shard, load);
+        }
+    }
+    let gap = hottest.1 - coldest.1;
+    if gap <= policy.min_gap || hottest.0 == coldest.0 {
+        return None;
+    }
+    let moves = (policy.max_moves as u64).min(gap.div_ceil(2));
+    Some((hottest.0, coldest.0, moves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RebalancePolicy {
+        RebalancePolicy {
+            every_ticks: 8,
+            min_gap: 2,
+            max_moves: 3,
+        }
+    }
+
+    #[test]
+    fn balanced_loads_plan_nothing() {
+        assert_eq!(plan_moves(&policy(), &[(0, 5), (1, 5), (2, 6)]), None);
+        assert_eq!(plan_moves(&policy(), &[(0, 5)]), None);
+        assert_eq!(
+            plan_moves(&RebalancePolicy::disabled(), &[(0, 9), (1, 0)]),
+            None
+        );
+    }
+
+    #[test]
+    fn hot_shard_sheds_toward_the_cold_one() {
+        assert_eq!(
+            plan_moves(&policy(), &[(0, 2), (1, 9), (2, 4)]),
+            Some((1, 0, 3)),
+            "gap 7: capped at max_moves"
+        );
+        assert_eq!(
+            plan_moves(&policy(), &[(0, 2), (1, 5)]),
+            Some((1, 0, 2)),
+            "gap 3: half the gap rounded up"
+        );
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_index() {
+        assert_eq!(
+            plan_moves(&policy(), &[(3, 9), (1, 9), (2, 0), (4, 0)]),
+            Some((3, 2, 3)),
+            "first-seen max and min win"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Bounded exponential retry with deterministic jitter, and the
+//! idempotent operation tokens that make retrying safe.
+//!
+//! A control-plane operation (migrate, checkpoint, adopt) can fail
+//! transiently — a chaos-corrupted transfer, a racing fence. The caller
+//! retries; but a retry that arrives *after* the original finally
+//! landed must not apply the operation twice. The token closes that
+//! hole: every tokenized call carries an [`OpToken`], the cluster
+//! records the token the moment an operation's effect commits, and a
+//! duplicate delivery of the same token returns the recorded outcome
+//! without touching any state.
+//!
+//! Backoff is exponential, capped, and jittered *deterministically*:
+//! the jitter derives from `mix64(token ^ attempt)`, so the same seed
+//! replays the exact same retry schedule — the property every harness
+//! in this stack is built on.
+
+use crate::placement::mix64;
+
+/// An idempotency token: any unique 64-bit value the caller picks
+/// (deterministic harnesses derive it from their seed). Two calls with
+/// the same token are the *same operation* delivered twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpToken(
+    /// The raw token value.
+    pub u64,
+);
+
+/// How a tokenized call was disposed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpApply {
+    /// The operation's effect was applied by this call.
+    Applied,
+    /// The token was already in the ledger: a duplicate delivery.
+    /// Nothing was re-applied.
+    Duplicate,
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per tokenized call (≥ 1; 1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in ticks.
+    pub base_delay_ticks: u32,
+    /// Cap on any single backoff, in ticks.
+    pub max_delay_ticks: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ticks: 1,
+            max_delay_ticks: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retrying disabled: every operation gets exactly one attempt.
+    #[must_use]
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ticks: 0,
+            max_delay_ticks: 0,
+        }
+    }
+
+    /// The backoff charged before retry `attempt` (1-based: attempt 1
+    /// is the first *retry*): `min(base << (attempt-1), max)` plus a
+    /// deterministic jitter of up to half the exponential step, drawn
+    /// from `mix64(token ^ attempt)`.
+    #[must_use]
+    pub fn backoff_ticks(&self, token: OpToken, attempt: u32) -> u64 {
+        let exp = u64::from(self.base_delay_ticks) << attempt.saturating_sub(1).min(32);
+        let capped = exp.min(u64::from(self.max_delay_ticks));
+        let jitter_span = capped / 2;
+        let jitter = if jitter_span == 0 {
+            0
+        } else {
+            mix64(token.0 ^ u64::from(attempt)) % (jitter_span + 1)
+        };
+        capped + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_ticks: 2,
+            max_delay_ticks: 8,
+        };
+        let t = OpToken(0xD1EA_2008);
+        for attempt in 1..=6 {
+            let a = p.backoff_ticks(t, attempt);
+            let b = p.backoff_ticks(t, attempt);
+            assert_eq!(a, b, "same token+attempt, same backoff");
+            assert!(a <= 12, "capped at max + half-step jitter, got {a}");
+        }
+        // The exponential floor holds under the cap.
+        assert!(p.backoff_ticks(t, 1) >= 2);
+        assert!(p.backoff_ticks(t, 3) >= 8);
+    }
+
+    #[test]
+    fn different_tokens_jitter_apart() {
+        let p = RetryPolicy::default();
+        let spread: std::collections::BTreeSet<u64> =
+            (0..64).map(|i| p.backoff_ticks(OpToken(i), 4)).collect();
+        assert!(spread.len() > 1, "jitter must actually spread schedules");
+    }
+
+    #[test]
+    fn disabled_policy_has_one_attempt() {
+        let p = RetryPolicy::disabled();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_ticks(OpToken(7), 1), 0);
+    }
+}

@@ -229,29 +229,31 @@ impl ClusterStormReport {
     }
 }
 
-/// One planned logical stream.
-struct Plan {
-    personality: String,
-    is_crc: bool,
-    seed: u64,
-    priority: Priority,
-    data: Vec<u8>,
+/// One planned logical stream. Shared with the chaos harness
+/// ([`crate::chaos`]), which runs the same traffic under injected
+/// adversity.
+pub(crate) struct Plan {
+    pub(crate) personality: String,
+    pub(crate) is_crc: bool,
+    pub(crate) seed: u64,
+    pub(crate) priority: Priority,
+    pub(crate) data: Vec<u8>,
     /// Chunk boundaries (prefix sums, last == data.len()).
-    cuts: Vec<usize>,
-    arrive_tick: u64,
+    pub(crate) cuts: Vec<usize>,
+    pub(crate) arrive_tick: u64,
 }
 
 /// Live client-side bookkeeping for an opened stream.
-struct Client {
-    plan: usize,
-    gid: u64,
-    next_cut: usize,
-    fed_all: bool,
-    parked: bool,
-    collected: BitVec,
+pub(crate) struct Client {
+    pub(crate) plan: usize,
+    pub(crate) gid: u64,
+    pub(crate) next_cut: usize,
+    pub(crate) fed_all: bool,
+    pub(crate) parked: bool,
+    pub(crate) collected: BitVec,
 }
 
-fn gen_plans(
+pub(crate) fn gen_plans(
     cfg: &ClusterStormConfig,
     rng: &mut SplitMix64,
     names: &[(String, bool)],
@@ -288,7 +290,7 @@ fn gen_plans(
     plans
 }
 
-fn inject_random_fault(svc: &mut StreamService, inj: &mut FaultInjector) -> bool {
+pub(crate) fn inject_random_fault(svc: &mut StreamService, inj: &mut FaultInjector) -> bool {
     let stuck = inj.rng().chance(0.15);
     let resident: Vec<usize> = (0..16)
         .filter(|&slot| svc.system().system().fabric().context(slot).is_some())
@@ -322,7 +324,7 @@ fn inject_random_fault(svc: &mut StreamService, inj: &mut FaultInjector) -> bool
 /// checkpoint's re-feed offset and drop scrambler output the replayed
 /// stream will regenerate. Must run before the client feeds again —
 /// a chunk offered at the old position would skip the replay window.
-fn apply_resumes(cl: &mut Cluster, clients: &mut [Client], plans: &[Plan]) {
+pub(crate) fn apply_resumes(cl: &mut Cluster, clients: &mut [Client], plans: &[Plan]) {
     for resume in cl.take_failover_resumes() {
         if let Some(client) = clients.iter_mut().find(|c| c.gid == resume.id) {
             let plan = &plans[client.plan];
@@ -340,7 +342,7 @@ fn apply_resumes(cl: &mut Cluster, clients: &mut [Client], plans: &[Plan]) {
     }
 }
 
-fn oracle_matches(plan: &Plan, collected: &BitVec, out: &StreamOutput) -> bool {
+pub(crate) fn oracle_matches(plan: &Plan, collected: &BitVec, out: &StreamOutput) -> bool {
     if plan.is_crc {
         let spec = CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
         match out {

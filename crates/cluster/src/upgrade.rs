@@ -1,0 +1,129 @@
+//! Rolling personality upgrades: drain → rehost → undrain, one shard
+//! at a time, while the cluster keeps serving.
+//!
+//! A fleet-wide personality upgrade (a new generation of mapped
+//! configurations) must not stop traffic. The driver walks the shard
+//! list: fence and drain the current shard (its streams live-migrate to
+//! peers), rebuild it empty via [`Cluster::reopen_shard`], hand it back
+//! to the caller to host the new personality generation, then move on.
+//! At most one shard is out of service at any moment, and because the
+//! drain path is the ordinary token-fenced migration machinery, the
+//! whole procedure is safe to run *under chaos* — that is exactly what
+//! the chaos storm does.
+
+use crate::cluster::{Cluster, DownReason, ShardState};
+use std::collections::VecDeque;
+
+/// What one [`RollingUpgrade::step`] call concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradeStatus {
+    /// The current shard is still draining; call again next tick.
+    Draining(
+        /// The shard being drained.
+        usize,
+    ),
+    /// The shard was rebuilt and reopened: the caller must host the
+    /// new personality generation on it now (via
+    /// [`Cluster::host_crc_on`] / [`Cluster::host_scrambler_on`])
+    /// before it takes traffic.
+    NeedsRehost(
+        /// The freshly reopened shard.
+        usize,
+    ),
+    /// A shard could not be upgraded and was skipped (it died before
+    /// or during its drain; failover already handled its streams).
+    Skipped(
+        /// The skipped shard.
+        usize,
+    ),
+    /// Every planned shard has been processed.
+    Done,
+}
+
+/// Step-driven rolling-upgrade state machine over a [`Cluster`].
+#[derive(Debug)]
+pub struct RollingUpgrade {
+    queue: VecDeque<usize>,
+    current: Option<usize>,
+    upgraded: u64,
+    skipped: u64,
+}
+
+impl RollingUpgrade {
+    /// Plans an upgrade over `shards` in the given order.
+    #[must_use]
+    pub fn new(shards: Vec<usize>) -> Self {
+        RollingUpgrade {
+            queue: shards.into(),
+            current: None,
+            upgraded: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Shards successfully drained, rebuilt and handed back for rehost.
+    #[must_use]
+    pub fn upgraded(&self) -> u64 {
+        self.upgraded
+    }
+
+    /// Shards skipped because they were gone or not rebuildable.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Whether every planned shard has been processed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+
+    /// Advances the upgrade by at most one transition. Call once per
+    /// cluster tick; the cluster's own [`Cluster::tick`] does the
+    /// actual drain work in between.
+    pub fn step(&mut self, cl: &mut Cluster) -> UpgradeStatus {
+        if self.current.is_none() {
+            let Some(next) = self.queue.pop_front() else {
+                return UpgradeStatus::Done;
+            };
+            return match cl.drain_shard(next) {
+                Ok(()) => {
+                    cl.note_upgrade(next, "drain");
+                    self.current = Some(next);
+                    UpgradeStatus::Draining(next)
+                }
+                // Already down (killed, abandoned…): failover dealt
+                // with it; skip and keep rolling.
+                Err(_) => {
+                    self.skipped += 1;
+                    UpgradeStatus::Skipped(next)
+                }
+            };
+        }
+        let shard = self.current.expect("checked above");
+        match cl.shard_state(shard) {
+            Some(ShardState::Draining) => UpgradeStatus::Draining(shard),
+            Some(ShardState::Down(DownReason::Drained)) => match cl.reopen_shard(shard) {
+                Ok(()) => {
+                    cl.note_upgrade(shard, "rehost");
+                    self.current = None;
+                    self.upgraded += 1;
+                    UpgradeStatus::NeedsRehost(shard)
+                }
+                Err(_) => {
+                    self.current = None;
+                    self.skipped += 1;
+                    UpgradeStatus::Skipped(shard)
+                }
+            },
+            // Killed or abandoned mid-drain: failover already replayed
+            // its streams; nothing left to upgrade here.
+            _ => {
+                self.current = None;
+                self.skipped += 1;
+                UpgradeStatus::Skipped(shard)
+            }
+        }
+    }
+}

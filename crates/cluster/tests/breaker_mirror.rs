@@ -1,0 +1,82 @@
+//! Cross-check: the model checker's abstract circuit breaker
+//! ([`analyze::BreakerParams`]) must compute exactly the same step
+//! function as the real [`cluster::BreakerConfig::step`] — the
+//! `breaker-*` model-checking verdicts are only as good as the model's
+//! fidelity, so drift between the two is a test failure here, not a
+//! silent soundness hole there.
+
+use analyze::BreakerParams;
+use cluster::{BreakerConfig, BreakerInput};
+use proptest::prelude::*;
+
+const INPUTS: [BreakerInput; 3] = [
+    BreakerInput::Success,
+    BreakerInput::Failure,
+    BreakerInput::Tick,
+];
+
+fn mirror(cfg: &BreakerConfig) -> BreakerParams {
+    BreakerParams {
+        trip_failures: cfg.trip_failures,
+        cool_ticks: cfg.cool_ticks,
+        close_successes: cfg.close_successes,
+    }
+}
+
+#[test]
+fn default_breaker_agrees_exhaustively() {
+    let cfg = BreakerConfig::default();
+    let model = mirror(&cfg);
+    assert_eq!(
+        model,
+        BreakerParams::serving_defaults(),
+        "the model's serving_defaults must track BreakerConfig::default"
+    );
+    // Every rank (including out-of-range ones), every count up to well
+    // past the thresholds, every input.
+    for rank in 0u8..=4 {
+        for count in 0u32..=16 {
+            for input in INPUTS {
+                let real = cfg.step(rank, count, input);
+                let abs = model.step(rank, count, input.code());
+                assert_eq!(real, abs, "rank {rank}, count {count}, input {input:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary (even degenerate zero) thresholds and arbitrary
+    /// states: the two step functions stay pointwise identical.
+    #[test]
+    fn breaker_mirror_matches_for_arbitrary_thresholds(
+        trip in 0u32..9,
+        cool in 0u32..9,
+        close in 0u32..9,
+        rank in 0u8..6,
+        count in 0u32..40,
+        input in 0usize..3,
+    ) {
+        let cfg = BreakerConfig {
+            trip_failures: trip,
+            cool_ticks: cool,
+            close_successes: close,
+        };
+        let input = INPUTS[input];
+        let real = cfg.step(rank, count, input);
+        let abs = mirror(&cfg).step(rank, count, input.code());
+        prop_assert_eq!(real, abs);
+    }
+
+    /// Saturation safety: stepping from the extreme count never panics
+    /// and stays in range.
+    #[test]
+    fn breaker_step_is_total_at_extremes(
+        rank in 0u8..6,
+        input in 0usize..3,
+    ) {
+        let cfg = BreakerConfig::default();
+        let (r, _) = cfg.step(rank, u32::MAX, INPUTS[input]);
+        prop_assert!(r <= 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the self-healing control loop: idempotent
+//! tokens make duplicate delivery harmless at every supported block
+//! width, and a tripped breaker never admits control-plane traffic.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cluster::{
+    BreakerConfig, BreakerState, CircuitBreaker, Cluster, ClusterConfig, ClusterError, OpApply,
+    OpToken, TransferChaos,
+};
+use dream_lfsr::FlowOptions;
+use lfsr::crc::{crc_bitwise, CrcSpec};
+use proptest::prelude::*;
+use stream::{AdmissionConfig, Priority, StreamOutput};
+
+/// One cached two-shard cluster per block width (synthesis dominates
+/// the cost of a case; every case finishes the streams it opens).
+fn with_cluster<R>(m: usize, f: impl FnOnce(&mut Cluster) -> R) -> R {
+    thread_local! {
+        static CACHE: RefCell<HashMap<usize, Cluster>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        let cl = map.entry(m).or_insert_with(|| {
+            let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+            let mut cl = Cluster::new(&cfg);
+            let spec = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+            cl.host_crc("eth", &spec, FlowOptions::dream_with_m(m))
+                .unwrap();
+            cl
+        });
+        f(cl)
+    })
+}
+
+/// Open a stream, migrate it under an optionally sabotaged transfer
+/// channel with one token, then redeliver that token `dups` times: the
+/// operation must apply exactly once, every duplicate must be
+/// suppressed, and the stream must still finish with the oracle's
+/// digest.
+fn duplicate_delivery_applies_once(
+    m: usize,
+    data: &[u8],
+    cut_pct: usize,
+    dups: usize,
+    sabotage: Option<TransferChaos>,
+    token: u64,
+) -> Result<(), TestCaseError> {
+    let spec = CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    let oracle = crc_bitwise(spec, data);
+    let cut = data.len() * cut_pct / 100;
+    with_cluster(m, |cl| {
+        let id = cl.open_crc("eth", Priority::High, 8).unwrap();
+        if cut > 0 {
+            cl.feed(id, &data[..cut]).unwrap();
+            cl.tick();
+        }
+        let from = cl.shard_of(id).unwrap();
+        let to = 1 - from;
+        if let Some(mode) = sabotage {
+            cl.chaos_arm_transfer(mode);
+        }
+        let migrations_before = cl.counters().migrations;
+        let token = OpToken(token);
+        let first = cl.migrate_with_token(token, id, to).unwrap();
+        prop_assert_eq!(first, OpApply::Applied, "first delivery applies");
+        prop_assert_eq!(cl.shard_of(id), Some(to), "the stream moved");
+        for _ in 0..dups {
+            let again = cl.migrate_with_token(token, id, to).unwrap();
+            prop_assert_eq!(again, OpApply::Duplicate, "duplicates are suppressed");
+        }
+        prop_assert_eq!(
+            cl.counters().migrations,
+            migrations_before + 1,
+            "exactly one migration applied"
+        );
+        prop_assert_eq!(cl.shard_of(id), Some(to), "duplicates moved nothing");
+        if cut < data.len() {
+            cl.feed(id, &data[cut..]).unwrap();
+            cl.tick();
+        }
+        match cl.finish(id).unwrap() {
+            StreamOutput::Crc(got) => prop_assert_eq!(got, oracle, "digest survives retries"),
+            StreamOutput::Scrambled(_) => prop_assert!(false, "CRC stream"),
+        }
+        Ok(())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Duplicate delivery never double-applies, at every supported
+    /// block width, with and without a sabotaged transfer channel
+    /// (which forces the bounded retry path under the same token).
+    #[test]
+    fn tokenized_migration_applies_exactly_once(
+        m in (0usize..3).prop_map(|i| [8usize, 32, 128][i]),
+        data in proptest::collection::vec(any::<u8>(), 4..48),
+        cut_pct in 0usize..101,
+        dups in 1usize..4,
+        sabotage in (0usize..3).prop_map(|i| {
+            [None, Some(TransferChaos::Corrupt), Some(TransferChaos::Truncate)][i]
+        }),
+        token in any::<u64>(),
+    ) {
+        duplicate_delivery_applies_once(m, &data, cut_pct, dups, sabotage, token)?;
+    }
+}
+
+/// Drives a breaker with an arbitrary input script and checks the
+/// admission invariants after every step.
+#[derive(Debug, Clone, Copy)]
+enum Drive {
+    Success,
+    Failure,
+    Tick,
+}
+
+proptest! {
+    /// The breaker never admits while Open, and HalfOpen admits at
+    /// most one outstanding probe — for arbitrary thresholds and
+    /// arbitrary input interleavings.
+    #[test]
+    fn breaker_never_admits_while_open(
+        trip in 1u32..5,
+        cool in 1u32..6,
+        close in 1u32..4,
+        script in proptest::collection::vec(
+            (0u8..3).prop_map(|i| [Drive::Success, Drive::Failure, Drive::Tick][i as usize]),
+            1..60,
+        ),
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            trip_failures: trip,
+            cool_ticks: cool,
+            close_successes: close,
+        });
+        for step in script {
+            // Model the wrapper's discipline: a verdict only reaches
+            // the breaker if the operation was admitted (except
+            // failures, which also arrive as external evidence).
+            match step {
+                Drive::Success => {
+                    if b.admits() {
+                        b.begin_probe();
+                        prop_assert!(
+                            b.state() != BreakerState::HalfOpen || !b.admits(),
+                            "half-open: the single probe slot is taken"
+                        );
+                        b.on_success();
+                    }
+                }
+                Drive::Failure => {
+                    b.on_failure();
+                }
+                Drive::Tick => {
+                    b.on_tick();
+                }
+            }
+            prop_assert!(
+                b.state() != BreakerState::Open || !b.admits(),
+                "an Open breaker admits nothing"
+            );
+        }
+    }
+}
+
+/// Cluster-level enforcement: a tripped shard is fenced from both
+/// placement and migration until it heals.
+#[test]
+fn tripped_shard_is_fenced_until_probed() {
+    let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+    let mut cl = Cluster::new(&cfg);
+    let spec = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+    cl.host_crc("eth", &spec, FlowOptions::dream_with_m(8))
+        .unwrap();
+    let id = cl.open_crc("eth", Priority::High, 8).unwrap();
+    let home = cl.shard_of(id).unwrap();
+    let other = 1 - home;
+
+    // Trip the other shard's breaker with a sustained slowdown.
+    cl.chaos_slow_shard(other, 3);
+    for _ in 0..3 {
+        cl.tick();
+    }
+    assert_eq!(cl.breaker_state(other), Some(BreakerState::Open));
+    assert!(
+        matches!(
+            cl.migrate(id, other),
+            Err(ClusterError::NotAccepting(s)) if s == other
+        ),
+        "an Open breaker refuses migration restores"
+    );
+    // New placements all land on the healthy shard while the breaker
+    // is Open.
+    let id2 = cl.open_crc("eth", Priority::High, 8).unwrap();
+    assert_eq!(cl.shard_of(id2), Some(home), "placement routes around");
+
+    // After the cooldown the healing probe loop closes it again.
+    for _ in 0..40 {
+        cl.tick();
+        if cl.breaker_state(other) == Some(BreakerState::Closed) {
+            break;
+        }
+    }
+    assert_eq!(
+        cl.breaker_state(other),
+        Some(BreakerState::Closed),
+        "probe migrations close the breaker"
+    );
+    assert!(cl.counters().probe_migrations >= 1, "healing loop probed");
+    assert!(cl.counters().breaker_trips >= 1);
+
+    // Everything still finishes exactly.
+    for sid in [id, id2] {
+        cl.feed(sid, &[0xAB, 0xCD]).unwrap();
+        cl.tick();
+        cl.finish(sid).unwrap();
+    }
+}

@@ -123,6 +123,45 @@ pub enum EventKind {
         /// Why: `no_checkpoint` or `incompatible`.
         reason: &'static str,
     },
+    /// Chaos-level: the chaos scheduler injected a typed disturbance
+    /// (slowdown, transfer corruption, byzantine probe, …).
+    ChaosInject {
+        /// Which disturbance (e.g. `slowdown`, `transfer_corrupt`,
+        /// `transfer_truncate`, `byzantine_health`, `flapping_fault`,
+        /// `admission_storm`).
+        what: &'static str,
+    },
+    /// Cluster-level: a shard's circuit breaker changed state.
+    BreakerState {
+        /// State before (`closed`, `open`, `half_open`).
+        from: &'static str,
+        /// State after.
+        to: &'static str,
+    },
+    /// Cluster-level: a tokenized control-plane operation is being
+    /// retried after a transient failure, with a deterministic backoff.
+    OpRetry {
+        /// 1-based attempt number about to run.
+        attempt: u64,
+        /// Backoff delay (ticks) charged before this attempt.
+        delay: u64,
+    },
+    /// Cluster-level: the load rebalancer ran and moved streams.
+    RebalanceRun {
+        /// Streams migrated hottest→coldest this pass.
+        moved: u64,
+    },
+    /// Cluster-level: a health-monitor death verdict was vetoed by a
+    /// direct confirmation probe (byzantine-probe defense).
+    RetireVeto,
+    /// Cluster-level: a drained shard was rebuilt and reopened
+    /// (rolling-upgrade rehost).
+    ShardReopen,
+    /// Cluster-level: a rolling upgrade advanced a stage.
+    UpgradeStage {
+        /// The stage entered (`drain`, `rehost`, `done`).
+        stage: &'static str,
+    },
 }
 
 impl EventKind {
@@ -152,6 +191,13 @@ impl EventKind {
             EventKind::StreamMigrate { .. } => "stream_migrate",
             EventKind::StreamFailover { .. } => "stream_failover",
             EventKind::StreamLost { .. } => "stream_lost",
+            EventKind::ChaosInject { .. } => "chaos_inject",
+            EventKind::BreakerState { .. } => "breaker_state",
+            EventKind::OpRetry { .. } => "op_retry",
+            EventKind::RebalanceRun { .. } => "rebalance_run",
+            EventKind::RetireVeto => "retire_veto",
+            EventKind::ShardReopen => "shard_reopen",
+            EventKind::UpgradeStage { .. } => "upgrade_stage",
         }
     }
 
@@ -193,13 +239,25 @@ impl EventKind {
                 ("shard", shard.to_string()),
                 ("reason", (*reason).to_string()),
             ],
+            EventKind::ChaosInject { what } => vec![("what", (*what).to_string())],
+            EventKind::BreakerState { from, to } => {
+                vec![("from", (*from).to_string()), ("to", (*to).to_string())]
+            }
+            EventKind::OpRetry { attempt, delay } => vec![
+                ("attempt", attempt.to_string()),
+                ("delay", delay.to_string()),
+            ],
+            EventKind::RebalanceRun { moved } => vec![("moved", moved.to_string())],
+            EventKind::UpgradeStage { stage } => vec![("stage", (*stage).to_string())],
             EventKind::Detection
             | EventKind::RecoveryStart
             | EventKind::StreamAdmit
             | EventKind::StreamResume
             | EventKind::StreamComplete
             | EventKind::Degrade
-            | EventKind::StreamDetach => Vec::new(),
+            | EventKind::StreamDetach
+            | EventKind::RetireVeto
+            | EventKind::ShardReopen => Vec::new(),
         }
     }
 }

@@ -107,6 +107,33 @@ fn migrate_drain_kill_and_failover_keep_digests_exact() {
 }
 
 #[test]
+fn chaos_campaign_heals_and_stays_exact_through_the_facade() {
+    use picolfsr::cluster::{run_chaos_storm, ChaosStormConfig};
+
+    // The lib tests cover the full smoke shape; through the facade a
+    // reduced campaign proves the public API carries the whole loop:
+    // chaos injection, breakers, tokenized retries, a rolling upgrade.
+    let mut cfg = ChaosStormConfig::smoke(77);
+    cfg.storm.streams = 48;
+    cfg.storm.ticks = 100;
+    cfg.storm.drain_tick = 20;
+    cfg.storm.kill_tick = 40;
+    cfg.storm.crc_ms = vec![8];
+    cfg.upgrade_tick = 50;
+    cfg.upgrade_shards = vec![2];
+    let report = run_chaos_storm(&cfg).unwrap();
+    assert!(
+        report.passed(),
+        "chaos campaign failed:\n{}",
+        report.render()
+    );
+    assert_eq!(report.completed, report.planned);
+    assert_eq!(report.dup_violations, 0);
+    let again = run_chaos_storm(&cfg).unwrap();
+    assert_eq!(report.render(), again.render(), "same seed, same campaign");
+}
+
+#[test]
 fn unswept_streams_die_typed_not_silent() {
     // Sweeps disabled: a killed shard's residents have no checkpoint
     // and must surface as typed `NoCheckpoint` losses.
