@@ -42,8 +42,8 @@ pub use ir::{CellFunc, CellIr, FabricConfig, LutTable, SignalId, MAX_LUT_INPUTS}
 pub use linearity::{certify, CellClass, LinearityCert};
 pub use mc::{explore, Exploration, ExploreLimits, Model, Violation};
 pub use models::{
-    BreakerModel, BreakerParams, ClusterModel, LadderParams, RecoveryModel, ServiceModel,
-    BRK_FAILURE, BRK_SUCCESS, BRK_TICK,
+    BreakerModel, BreakerParams, ClusterModel, JournalEvent, JournalModel, JournalSt, LadderParams,
+    RecoveryModel, ServiceModel, BRK_FAILURE, BRK_SUCCESS, BRK_TICK,
 };
 pub use timing::{analyze_timing, cross_check, StaticTiming, TimingMismatch};
 

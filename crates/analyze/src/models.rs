@@ -8,7 +8,10 @@
 //! `resilience::ResilientSystem`'s recovery ladder. [`ClusterModel`]
 //! abstracts the `cluster::Cluster` control plane: placement fencing,
 //! checkpoint sweeps, two-step live migration, drain, and
-//! kill-triggered failover replay. All are small-scope models: a
+//! kill-triggered failover replay. [`JournalModel`] abstracts
+//! `wal::Journal` recovery: append/flush/crash/replay with an
+//! idempotency ledger journaled alongside every effect. All are
+//! small-scope models: a
 //! handful of streams, tiny queues — enough for exhaustive exploration
 //! of every event interleaving, which is exactly where the unit tests
 //! had their blind spot.
@@ -1479,6 +1482,282 @@ impl Model for BreakerModel {
     }
 }
 
+/// One event the journal model can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JournalEvent {
+    /// A client issues operation `op`: it is applied to live state, its
+    /// idempotency token enters the ledger, and one record carrying
+    /// both is appended to the unflushed journal tail.
+    Apply(u8),
+    /// Every pending record becomes durable.
+    Flush,
+    /// Power loss; nothing of the in-flight flush reached the platter.
+    /// Replay rebuilds live state from the durable records.
+    CrashLost,
+    /// Power loss mid-flush: operation `op`'s record was half-written —
+    /// a torn frame at the durable tail, its CRC unverifiable. Replay
+    /// must stop at (and truncate) the tear.
+    CrashTorn(u8),
+    /// The client retries operation `op` (it cannot know whether the
+    /// original committed). The ledger must suppress the duplicate.
+    Redeliver(u8),
+}
+
+/// One explored journal/recovery state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JournalSt {
+    /// Times each operation's effect was applied to live state. Any
+    /// count ≥ 2 is a double apply.
+    pub effects: Vec<u8>,
+    /// Operations the client has issued at least once.
+    pub issued: Vec<bool>,
+    /// Operations whose records sit in the unflushed journal tail.
+    pub pending: Vec<bool>,
+    /// Operations whose records are durably complete (flushed, intact
+    /// CRC).
+    pub durable: Vec<bool>,
+    /// Operations the live idempotency ledger remembers.
+    pub ledger: Vec<bool>,
+    /// Crashes taken so far (scope bound).
+    pub crashes: u8,
+    /// Set by the replay that just ran: (effects bitmask, durable
+    /// bitmask) at the instant recovery finished. Cleared by the next
+    /// event, so the invariant is judged exactly once per recovery.
+    pub last_recovery: Option<(u8, u8)>,
+}
+
+impl JournalSt {
+    fn mask(flags: &[u8]) -> u8 {
+        flags
+            .iter()
+            .enumerate()
+            .fold(0u8, |m, (i, &c)| if c > 0 { m | (1 << i) } else { m })
+    }
+}
+
+/// Abstract model of `wal::Journal` recovery: append/flush/crash/replay
+/// with an idempotency ledger journaled alongside every effect
+/// (mirroring `cluster::Cluster::recover` over the write-ahead log).
+///
+/// The fixed model stops replay at a torn tail and rebuilds the token
+/// ledger from the durable records, so redelivered operations are
+/// suppressed. Each seeded bug disables one of those guarantees:
+///
+/// * [`JournalModel::torn_bug`] — replay reads **past** the torn frame,
+///   applying a half-written record as if it were durable
+///   (`replay-stops-at-torn-tail`).
+/// * [`JournalModel::tokenless_bug`] — replay rebuilds effects but
+///   forgets the token ledger, so a post-recovery redelivery applies
+///   the operation a second time (`no-double-apply-across-recovery`).
+#[derive(Debug, Clone, Copy)]
+pub struct JournalModel {
+    /// Distinct client operations in scope (≤ 8: states carry bitmasks).
+    pub n_ops: u8,
+    /// Crashes allowed before the model goes terminal.
+    pub max_crashes: u8,
+    /// Seeded bug: replay continues past a torn tail.
+    pub replay_past_torn_bug: bool,
+    /// Seeded bug: replay drops the idempotency ledger.
+    pub tokenless_replay_bug: bool,
+}
+
+impl JournalModel {
+    /// The fixed small-scope model: every invariant must hold.
+    #[must_use]
+    pub fn small() -> Self {
+        JournalModel {
+            n_ops: 3,
+            max_crashes: 2,
+            replay_past_torn_bug: false,
+            tokenless_replay_bug: false,
+        }
+    }
+
+    /// Replay that accepts the half-written frame at the tear.
+    #[must_use]
+    pub fn torn_bug() -> Self {
+        JournalModel {
+            replay_past_torn_bug: true,
+            ..JournalModel::small()
+        }
+    }
+
+    /// Replay that reconstructs effects but not the token ledger.
+    #[must_use]
+    pub fn tokenless_bug() -> Self {
+        JournalModel {
+            tokenless_replay_bug: true,
+            ..JournalModel::small()
+        }
+    }
+
+    /// Live state after replaying the durable log, with `torn` the
+    /// operation (if any) whose half-written frame sits at the tail.
+    /// `durable` is unchanged by replay either way: the fixed replay
+    /// stops at the tear and truncates it, and even the buggy replay
+    /// only misreads the partial frame — it cannot complete it.
+    fn replay(&self, s: &JournalSt, torn: Option<u8>) -> JournalSt {
+        let n = self.n_ops as usize;
+        let mut effects: Vec<u8> = s.durable.iter().map(|&d| u8::from(d)).collect();
+        if let Some(op) = torn {
+            if self.replay_past_torn_bug {
+                // The bug: the half-written frame is decoded anyway and
+                // its effect applied, though it never durably completed.
+                effects[op as usize] = effects[op as usize].saturating_add(1);
+            }
+        }
+        let ledger = if self.tokenless_replay_bug {
+            vec![false; n]
+        } else {
+            effects.iter().map(|&c| c > 0).collect()
+        };
+        let eff_mask = JournalSt::mask(&effects);
+        let dur_mask = s
+            .durable
+            .iter()
+            .enumerate()
+            .fold(0u8, |m, (i, &d)| if d { m | (1 << i) } else { m });
+        JournalSt {
+            effects,
+            issued: s.issued.clone(),
+            pending: vec![false; n],
+            durable: s.durable.clone(),
+            ledger,
+            crashes: s.crashes + 1,
+            last_recovery: Some((eff_mask, dur_mask)),
+        }
+    }
+}
+
+impl Model for JournalModel {
+    type State = JournalSt;
+    type Event = JournalEvent;
+
+    fn initial(&self) -> JournalSt {
+        let n = self.n_ops as usize;
+        JournalSt {
+            effects: vec![0; n],
+            issued: vec![false; n],
+            pending: vec![false; n],
+            durable: vec![false; n],
+            ledger: vec![false; n],
+            crashes: 0,
+            last_recovery: None,
+        }
+    }
+
+    fn events(&self, s: &JournalSt) -> Vec<JournalEvent> {
+        let mut ev = Vec::new();
+        for op in 0..self.n_ops {
+            if !s.issued[op as usize] {
+                ev.push(JournalEvent::Apply(op));
+            } else {
+                ev.push(JournalEvent::Redeliver(op));
+            }
+        }
+        if s.pending.iter().any(|&p| p) {
+            ev.push(JournalEvent::Flush);
+        }
+        if s.crashes < self.max_crashes {
+            ev.push(JournalEvent::CrashLost);
+            for op in 0..self.n_ops {
+                if s.pending[op as usize] {
+                    ev.push(JournalEvent::CrashTorn(op));
+                }
+            }
+        }
+        ev
+    }
+
+    fn apply(&self, s: &JournalSt, e: &JournalEvent) -> Option<JournalSt> {
+        let mut n = s.clone();
+        n.last_recovery = None;
+        match *e {
+            JournalEvent::Apply(op) => {
+                let op = op as usize;
+                if s.issued[op] {
+                    return None;
+                }
+                n.effects[op] = 1;
+                n.issued[op] = true;
+                n.ledger[op] = true;
+                n.pending[op] = true;
+            }
+            JournalEvent::Flush => {
+                if !s.pending.iter().any(|&p| p) {
+                    return None;
+                }
+                for op in 0..self.n_ops as usize {
+                    if n.pending[op] {
+                        n.durable[op] = true;
+                        n.pending[op] = false;
+                    }
+                }
+            }
+            JournalEvent::CrashLost => {
+                if s.crashes >= self.max_crashes {
+                    return None;
+                }
+                n = self.replay(s, None);
+            }
+            JournalEvent::CrashTorn(op) => {
+                if s.crashes >= self.max_crashes || !s.pending[op as usize] {
+                    return None;
+                }
+                n = self.replay(s, Some(op));
+            }
+            JournalEvent::Redeliver(op) => {
+                let op = op as usize;
+                if !s.issued[op] {
+                    return None;
+                }
+                if !s.ledger[op] {
+                    // The original's fate is unknown to the client; a
+                    // correct ledger makes this a first (re)apply, a
+                    // dropped ledger makes it a double apply.
+                    n.effects[op] = n.effects[op].saturating_add(1);
+                    n.ledger[op] = true;
+                    n.pending[op] = true;
+                }
+            }
+        }
+        Some(n)
+    }
+
+    fn violations(&self, s: &JournalSt) -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        for (op, &c) in s.effects.iter().enumerate() {
+            if c >= 2 {
+                v.push((
+                    "no-double-apply-across-recovery".into(),
+                    format!("operation {op} applied {c} times"),
+                ));
+            }
+        }
+        // A recorded effect whose token the ledger forgot is a double
+        // apply waiting on the next redelivery.
+        for op in 0..self.n_ops as usize {
+            if s.effects[op] > 0 && !s.ledger[op] {
+                v.push((
+                    "ledger-covers-effects".into(),
+                    format!("operation {op} applied but absent from the ledger"),
+                ));
+            }
+        }
+        if let Some((eff, dur)) = s.last_recovery {
+            if eff & !dur != 0 {
+                v.push((
+                    "replay-stops-at-torn-tail".into(),
+                    format!(
+                        "recovery applied effects {eff:#05b} but only {dur:#05b} were durably complete"
+                    ),
+                ));
+            }
+        }
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1673,5 +1952,58 @@ mod tests {
             .iter()
             .any(|e| matches!(e, ClusterEvent::Advance(_))));
         assert!(v.trace.iter().any(|e| matches!(e, ClusterEvent::Kill(_))));
+    }
+
+    #[test]
+    fn fixed_journal_model_holds_all_invariants() {
+        let r = explore(&JournalModel::small(), &ExploreLimits::default());
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert!(!r.truncated, "exploration must exhaust the small scope");
+        assert!(r.states > 150, "suspiciously small scope: {}", r.states);
+    }
+
+    #[test]
+    fn torn_bug_journal_model_replays_past_the_tear() {
+        let r = explore(&JournalModel::torn_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "replay-stops-at-torn-tail")
+            .expect("replay past a torn tail must apply a non-durable record");
+        // The counterexample needs a half-written frame: a torn crash
+        // with the record still pending.
+        assert!(
+            v.trace
+                .iter()
+                .any(|e| matches!(e, JournalEvent::CrashTorn(_))),
+            "trace: {:?}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn tokenless_bug_journal_model_double_applies_on_redelivery() {
+        let r = explore(&JournalModel::tokenless_bug(), &ExploreLimits::default());
+        let v = r
+            .violations
+            .iter()
+            .find(|v| v.invariant == "no-double-apply-across-recovery")
+            .expect("a ledger dropped at recovery must let a redelivery double-apply");
+        // The counterexample needs a durable apply, a crash that forgets
+        // the ledger, and the client's retry.
+        assert!(
+            v.trace
+                .iter()
+                .any(|e| matches!(e, JournalEvent::CrashLost | JournalEvent::CrashTorn(_))),
+            "trace: {:?}",
+            v.trace
+        );
+        assert!(
+            v.trace
+                .iter()
+                .any(|e| matches!(e, JournalEvent::Redeliver(_))),
+            "trace: {:?}",
+            v.trace
+        );
     }
 }

@@ -2,16 +2,20 @@
 //! reports, one line per headline metric — plus an append-only history
 //! of those metrics across PRs.
 //!
-//! Reads up to seven report pairs — `BENCH_obs.json`,
+//! Reads up to eight report pairs — `BENCH_obs.json`,
 //! `BENCH_analyze.json`, `BENCH_storm.json`, `BENCH_cluster.json`,
-//! `BENCH_chaos.json`, `BENCH_lint.json`, `BENCH_fault.json` — from
-//! `baselines/` (the values committed by past PRs) and from the
-//! working directory (this build), and prints an aligned table with
-//! signed deltas. Purely informational: missing files render as `-`
-//! and never fail the run; the gating lives in the `*_baseline`
-//! comparators. CI prints this table into the job log so reviewers see
-//! at a glance what a PR did to throughput, fabric depth, state-space
-//! coverage and cluster robustness.
+//! `BENCH_chaos.json`, `BENCH_crash.json`, `BENCH_lint.json`,
+//! `BENCH_fault.json` — from `baselines/` (the values committed by
+//! past PRs) and from the working directory (this build), and prints
+//! an aligned table with signed deltas. Every metric carries a
+//! direction annotation (`higher` / `lower` is better, or `-` for
+//! pure exercise counters); a delta that moved a directed metric the
+//! wrong way is flagged with a trailing `!`. Purely informational:
+//! missing files render as `-` and never fail the run; the gating
+//! lives in the `*_baseline` comparators. CI prints this table into
+//! the job log so reviewers see at a glance what a PR did to
+//! throughput, fabric depth, state-space coverage and cluster
+//! robustness.
 //!
 //! `--append LABEL` additionally snapshots the current-build metrics
 //! as one flat JSON line appended to `baselines/trend.jsonl` (keys in
@@ -26,12 +30,51 @@
 use obs::{json_objects, json_section, json_u64};
 use std::fmt::Write as _;
 
+/// Which way a metric should move across PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Bigger is better: throughput, coverage, survivors.
+    Higher,
+    /// Smaller is better: latency tails, losses, warnings.
+    Lower,
+    /// An exercise counter — it measures how much adversity a harness
+    /// applied, not how well the system did; no direction is "better".
+    Neutral,
+}
+
+impl Direction {
+    /// Column cell for the trend table.
+    fn label(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+            Direction::Neutral => "-",
+        }
+    }
+
+    /// `" !"` when a directed metric moved the wrong way, else `""`.
+    fn flag(self, base: u64, cur: u64) -> &'static str {
+        let worse = match self {
+            Direction::Higher => cur < base,
+            Direction::Lower => cur > base,
+            Direction::Neutral => false,
+        };
+        if worse {
+            " !"
+        } else {
+            ""
+        }
+    }
+}
+
 /// One metric extractor: file stem, human label, history slug (the
-/// key the metric is stored under in `trend.jsonl`), closure.
+/// key the metric is stored under in `trend.jsonl`), which direction
+/// is an improvement, closure.
 type Extract = (
     &'static str,
     &'static str,
     &'static str,
+    Direction,
     fn(&str) -> Option<u64>,
 );
 
@@ -77,108 +120,205 @@ const METRICS: &[Extract] = &[
         "BENCH_obs",
         "peak throughput (b/s)",
         "obs_peak_bps",
+        Direction::Higher,
         obs_peak_throughput,
     ),
     (
         "BENCH_obs",
         "storm queue p99 (chunks)",
         "obs_queue_p99",
+        Direction::Lower,
         obs_queue_p99,
     ),
     (
         "BENCH_analyze",
         "catalogue points analysed",
         "analyze_points",
+        Direction::Higher,
         analyze_points,
     ),
     (
         "BENCH_analyze",
         "max critical path (levels)",
         "analyze_crit_path",
+        Direction::Lower,
         analyze_max_critical_path,
     ),
-    ("BENCH_analyze", "models checked", "mc_models", mc_models),
+    (
+        "BENCH_analyze",
+        "models checked",
+        "mc_models",
+        Direction::Higher,
+        mc_models,
+    ),
     (
         "BENCH_analyze",
         "model states explored",
         "mc_states",
+        Direction::Higher,
         mc_total_states,
     ),
-    ("BENCH_storm", "streams completed", "storm_completed", |d| {
-        json_u64(d, "completed")
-    }),
-    ("BENCH_storm", "faults injected", "storm_faults", |d| {
-        json_u64(d, "faults_injected")
-    }),
+    (
+        "BENCH_storm",
+        "streams completed",
+        "storm_completed",
+        Direction::Higher,
+        |d| json_u64(d, "completed"),
+    ),
+    (
+        "BENCH_storm",
+        "faults injected",
+        "storm_faults",
+        Direction::Neutral,
+        |d| json_u64(d, "faults_injected"),
+    ),
     (
         "BENCH_storm",
         "queue p99 (chunks)",
         "storm_queue_p99",
+        Direction::Lower,
         |d| json_u64(d, "p99_queue_depth"),
     ),
     (
         "BENCH_cluster",
         "streams completed",
         "cluster_completed",
+        Direction::Higher,
         |d| json_u64(d, "completed"),
     ),
     (
         "BENCH_cluster",
         "live migrations",
         "cluster_migrations",
+        Direction::Neutral,
         |d| json_u64(d, "migrations"),
     ),
     (
         "BENCH_cluster",
         "failover replays",
         "cluster_failovers",
+        Direction::Neutral,
         |d| json_u64(d, "failovers"),
     ),
-    ("BENCH_cluster", "typed losses", "cluster_losses", |d| {
-        json_u64(d, "lost_streams")
-    }),
+    (
+        "BENCH_cluster",
+        "typed losses",
+        "cluster_losses",
+        Direction::Lower,
+        |d| json_u64(d, "lost_streams"),
+    ),
     (
         "BENCH_cluster",
         "checkpoints swept",
         "cluster_checkpoints",
+        Direction::Neutral,
         |d| json_u64(d, "checkpoints_stored"),
     ),
-    ("BENCH_chaos", "streams completed", "chaos_completed", |d| {
-        json_u64(d, "completed")
-    }),
-    ("BENCH_chaos", "breaker trips", "chaos_breaker_trips", |d| {
-        json_u64(d, "breaker_trips")
-    }),
+    (
+        "BENCH_chaos",
+        "streams completed",
+        "chaos_completed",
+        Direction::Higher,
+        |d| json_u64(d, "completed"),
+    ),
+    (
+        "BENCH_chaos",
+        "breaker trips",
+        "chaos_breaker_trips",
+        Direction::Neutral,
+        |d| json_u64(d, "breaker_trips"),
+    ),
     (
         "BENCH_chaos",
         "healing probe migrations",
         "chaos_probes",
+        Direction::Neutral,
         |d| json_u64(d, "probe_migrations"),
     ),
-    ("BENCH_chaos", "shards upgraded", "chaos_upgraded", |d| {
-        json_u64(d, "upgraded")
-    }),
+    (
+        "BENCH_chaos",
+        "shards upgraded",
+        "chaos_upgraded",
+        Direction::Higher,
+        |d| json_u64(d, "upgraded"),
+    ),
     (
         "BENCH_chaos",
         "duplicates suppressed",
         "chaos_dups_suppressed",
+        Direction::Neutral,
         |d| json_u64(d, "dups_suppressed"),
     ),
-    ("BENCH_lint", "mappings verified", "lint_mapped", |d| {
-        json_u64(d, "mapped")
-    }),
-    ("BENCH_lint", "lint warnings", "lint_warnings", |d| {
-        json_u64(d, "warnings")
-    }),
+    (
+        "BENCH_crash",
+        "streams completed",
+        "crash_completed",
+        Direction::Higher,
+        |d| json_u64(d, "completed"),
+    ),
+    (
+        "BENCH_crash",
+        "crash recoveries",
+        "crash_recoveries",
+        Direction::Neutral,
+        |d| json_u64(d, "recoveries"),
+    ),
+    (
+        "BENCH_crash",
+        "journal frames replayed",
+        "crash_frames",
+        Direction::Neutral,
+        |d| json_u64(d, "frames_replayed"),
+    ),
+    (
+        "BENCH_crash",
+        "streams restored",
+        "crash_restored",
+        Direction::Higher,
+        |d| json_u64(d, "streams_restored"),
+    ),
+    (
+        "BENCH_crash",
+        "digest mismatches",
+        "crash_mismatches",
+        Direction::Lower,
+        |d| json_u64(d, "mismatches"),
+    ),
+    (
+        "BENCH_crash",
+        "duplicates suppressed",
+        "crash_dups_suppressed",
+        Direction::Neutral,
+        |d| json_u64(d, "dups_suppressed"),
+    ),
+    (
+        "BENCH_lint",
+        "mappings verified",
+        "lint_mapped",
+        Direction::Higher,
+        |d| json_u64(d, "mapped"),
+    ),
+    (
+        "BENCH_lint",
+        "lint warnings",
+        "lint_warnings",
+        Direction::Lower,
+        |d| json_u64(d, "warnings"),
+    ),
     (
         "BENCH_fault",
         "coverage (basis points)",
         "fault_coverage_bp",
+        Direction::Higher,
         |d| json_u64(d, "coverage_bp_standard"),
     ),
-    ("BENCH_fault", "semantic faults", "fault_semantic", |d| {
-        json_u64(d, "semantic")
-    }),
+    (
+        "BENCH_fault",
+        "semantic faults",
+        "fault_semantic",
+        Direction::Higher,
+        |d| json_u64(d, "semantic"),
+    ),
 ];
 
 /// Pulls `"label":"…"` out of one trend line (labels never contain
@@ -211,7 +351,7 @@ fn print_history(trend_path: &str) {
         let _ = write!(rule, "{:-<14}|", "");
     }
     println!("{rule}");
-    for &(_, label, slug, _) in METRICS {
+    for &(_, label, slug, _, _) in METRICS {
         let mut row = format!("| {label:<28} |");
         for line in shown {
             let cell = json_u64(line, slug).map_or_else(|| "-".to_string(), |v| v.to_string());
@@ -265,7 +405,7 @@ fn main() {
         }
         let mut line = format!("{{\"label\":\"{label}\"");
         let mut captured = 0usize;
-        for &(stem, _, slug, extract) in METRICS {
+        for &(stem, _, slug, _, extract) in METRICS {
             if let Some(v) = load(&current_dir, stem).as_deref().and_then(extract) {
                 let _ = write!(line, ",\"{slug}\":{v}");
                 captured += 1;
@@ -282,26 +422,27 @@ fn main() {
     }
 
     println!(
-        "| {:<14} | {:<28} | {:>14} | {:>14} | {:>8} |",
-        "report", "metric", "baseline", "current", "delta"
+        "| {:<14} | {:<28} | {:>6} | {:>14} | {:>14} | {:>10} |",
+        "report", "metric", "better", "baseline", "current", "delta"
     );
     println!(
-        "|{:-<16}|{:-<30}|{:-<16}|{:-<16}|{:-<10}|",
-        "", "", "", "", ""
+        "|{:-<16}|{:-<30}|{:-<8}|{:-<16}|{:-<16}|{:-<12}|",
+        "", "", "", "", "", ""
     );
-    for &(stem, label, _, extract) in METRICS {
+    for &(stem, label, _, dir, extract) in METRICS {
         let base = load(&baseline_dir, stem).as_deref().and_then(extract);
         let cur = load(&current_dir, stem).as_deref().and_then(extract);
         let cell = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
         let delta = match (base, cur) {
             (Some(b), Some(c)) if b > 0 => {
                 let pct = (i128::from(c) - i128::from(b)) * 100 / i128::from(b);
-                format!("{pct:+}%")
+                format!("{pct:+}%{}", dir.flag(b, c))
             }
             _ => "-".to_string(),
         };
         println!(
-            "| {stem:<14} | {label:<28} | {:>14} | {:>14} | {delta:>8} |",
+            "| {stem:<14} | {label:<28} | {:>6} | {:>14} | {:>14} | {delta:>10} |",
+            dir.label(),
             cell(base),
             cell(cur),
         );

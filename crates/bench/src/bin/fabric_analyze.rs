@@ -33,7 +33,8 @@
 
 use analyze::{
     analyze_timing, check_config, explore, AnalysisParams, AnalyzeCode, BreakerModel, ClusterModel,
-    Exploration, ExploreLimits, FabricConfig, Model, RecoveryModel, ServiceModel, Severity,
+    Exploration, ExploreLimits, FabricConfig, JournalModel, Model, RecoveryModel, ServiceModel,
+    Severity,
 };
 use dream_lfsr::{build_crc_app, build_scrambler_app, FlowOptions};
 use gf2::BitVec;
@@ -349,6 +350,27 @@ fn mc_section(out: &mut String) -> bool {
         ),
     ] {
         let (e, ok) = mc_entry::<BreakerModel>(name, &explore(&model, &limits), expect);
+        entries.push(e);
+        all_ok &= ok;
+    }
+
+    // The write-ahead log's recovery contract: the fixed model must
+    // pass; each seeded bug must be rediscovered with its
+    // counterexample trace.
+    for (name, model, expect) in [
+        ("journal-fixed", JournalModel::small(), None),
+        (
+            "journal-torn-replay-bug",
+            JournalModel::torn_bug(),
+            Some("replay-stops-at-torn-tail"),
+        ),
+        (
+            "journal-tokenless-replay-bug",
+            JournalModel::tokenless_bug(),
+            Some("no-double-apply-across-recovery"),
+        ),
+    ] {
+        let (e, ok) = mc_entry::<JournalModel>(name, &explore(&model, &limits), expect);
         entries.push(e);
         all_ok &= ok;
     }

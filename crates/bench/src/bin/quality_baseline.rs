@@ -1,6 +1,7 @@
 //! Tolerance-based comparator between committed quality baselines
-//! (`BENCH_lint.json`, `BENCH_fault.json`) and freshly generated
-//! reports — the verification rung of the regression ratchet.
+//! (`BENCH_lint.json`, `BENCH_fault.json`, `BENCH_crash.json`) and
+//! freshly generated reports — the verification rung of the
+//! regression ratchet.
 //!
 //! Lint gates (vs `--lint-baseline`):
 //!
@@ -18,8 +19,19 @@
 //!   baseline floor — a campaign that stops injecting semantic faults
 //!   is no longer measuring coverage.
 //!
+//! Crash-storm gates (vs `--crash-baseline`):
+//!
+//! * `mismatches`, `losses_unaccounted` and `dup_violations` must be
+//!   zero (absolute) — a crash campaign that corrupts a digest, loses
+//!   a stream silently or double-applies a token is broken, full stop.
+//! * `crashes`, `recoveries` and `hasher_ladder_runs` may not drop
+//!   below the committed baseline (pure ratchet, no tolerance): the
+//!   campaign must keep killing the cluster, recovering it, and
+//!   running the journal's CRC lane through the recovery ladder.
+//!
 //! Usage: `quality_baseline [--lint-baseline PATH] [--lint-current PATH]
 //!         [--fault-baseline PATH] [--fault-current PATH]
+//!         [--crash-baseline PATH] [--crash-current PATH]
 //!         [--tolerance-pct N]`
 
 use obs::json_u64;
@@ -77,6 +89,8 @@ fn main() {
     let mut lint_current_path = String::from("BENCH_lint.json");
     let mut fault_baseline_path = String::from("baselines/BENCH_fault.json");
     let mut fault_current_path = String::from("BENCH_fault.json");
+    let mut crash_baseline_path = String::from("baselines/BENCH_crash.json");
+    let mut crash_current_path = String::from("BENCH_crash.json");
     let mut tol: u64 = 10;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,6 +105,8 @@ fn main() {
             "--lint-current" => lint_current_path = val("--lint-current"),
             "--fault-baseline" => fault_baseline_path = val("--fault-baseline"),
             "--fault-current" => fault_current_path = val("--fault-current"),
+            "--crash-baseline" => crash_baseline_path = val("--crash-baseline"),
+            "--crash-current" => crash_current_path = val("--crash-current"),
             "--tolerance-pct" => {
                 let v = val("--tolerance-pct");
                 tol = v.parse().unwrap_or_else(|_| {
@@ -103,6 +119,7 @@ fn main() {
                     "unknown argument {other:?}; usage: quality_baseline \
                      [--lint-baseline PATH] [--lint-current PATH] \
                      [--fault-baseline PATH] [--fault-current PATH] \
+                     [--crash-baseline PATH] [--crash-current PATH] \
                      [--tolerance-pct N]"
                 );
                 std::process::exit(2);
@@ -175,9 +192,33 @@ fn main() {
         );
     }
 
-    println!("quality_baseline: lint + fault reports compared (tolerance {tol}%)");
+    let base = read(&crash_baseline_path);
+    let cur = read(&crash_current_path);
+    let what = "crash storm";
+    for key in ["mismatches", "losses_unaccounted", "dup_violations"] {
+        gate_zero(
+            &mut regressions,
+            what,
+            key,
+            field(&cur, "crash current", key),
+        );
+    }
+    for key in ["crashes", "recoveries", "hasher_ladder_runs"] {
+        gate_floor(
+            &mut regressions,
+            what,
+            key,
+            field(&base, "crash baseline", key),
+            field(&cur, "crash current", key),
+            0,
+        );
+    }
+
+    println!("quality_baseline: lint + fault + crash reports compared (tolerance {tol}%)");
     if regressions.is_empty() {
-        println!("no regressions against {lint_baseline_path} / {fault_baseline_path}");
+        println!(
+            "no regressions against {lint_baseline_path} / {fault_baseline_path} / {crash_baseline_path}"
+        );
     } else {
         eprintln!("{} regression(s):", regressions.len());
         for r in &regressions {

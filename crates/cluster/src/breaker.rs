@@ -197,6 +197,25 @@ impl CircuitBreaker {
         self.trips
     }
 
+    /// Restores a journaled `(rank, count)` pair after a crash
+    /// restart. An out-of-range rank (a future format, or corruption
+    /// that slipped past framing) normalizes to a fresh Closed breaker
+    /// — the safe default, since Closed only admits what health
+    /// monitoring would re-trip anyway. The probe slot is always
+    /// released (any in-flight probe died with the process) and the
+    /// trip counter is not rewound: restoring an Open rank is not a
+    /// new trip.
+    pub fn restore_raw(&mut self, rank: u8, count: u32) {
+        if rank > RANK_HALF_OPEN {
+            self.rank = RANK_CLOSED;
+            self.count = 0;
+        } else {
+            self.rank = rank;
+            self.count = count;
+        }
+        self.probe_out = false;
+    }
+
     /// Whether a guarded operation may proceed right now: always when
     /// Closed, never when Open, and in HalfOpen only while no probe is
     /// outstanding.
@@ -316,6 +335,45 @@ mod tests {
         b.begin_probe();
         assert_eq!(b.on_failure(), Some(("half_open", "open")), "probe failed");
         assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn restore_raw_round_trips_and_normalizes_garbage() {
+        let mut b = CircuitBreaker::default();
+        b.on_failure();
+        b.on_failure();
+        b.on_failure(); // default trips at 3 → Open
+        assert_eq!(b.state(), BreakerState::Open);
+        let (rank, count) = b.raw();
+
+        let mut restored = CircuitBreaker::default();
+        restored.restore_raw(rank, count);
+        assert_eq!(restored.raw(), (rank, count));
+        assert_eq!(restored.state(), BreakerState::Open);
+        assert_eq!(restored.trips(), 0, "a restore is not a new trip");
+        assert!(!restored.admits());
+
+        let mut junk = CircuitBreaker::default();
+        junk.restore_raw(0xEE, 42);
+        assert_eq!(junk.state(), BreakerState::Closed, "garbage → Closed");
+        assert_eq!(junk.raw(), (RANK_CLOSED, 0));
+    }
+
+    #[test]
+    fn restore_raw_releases_the_probe_slot() {
+        let cfg = BreakerConfig {
+            trip_failures: 1,
+            cool_ticks: 1,
+            close_successes: 1,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.on_failure();
+        b.on_tick(); // → half-open
+        b.begin_probe();
+        assert!(!b.admits());
+        let (rank, count) = b.raw();
+        b.restore_raw(rank, count);
+        assert!(b.admits(), "in-flight probes die with the process");
     }
 
     #[test]

@@ -77,6 +77,47 @@ impl TransferChaos {
     }
 }
 
+/// How the storage channel sabotages the journal's disk. Drawn by the
+/// scheduler from its own forked rng (so enabling storage chaos never
+/// perturbs the traffic-facing schedules); applied by the crash
+/// harness ([`crate::crash`]), which owns the simulated disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageChaos {
+    /// The next crash tears the in-flight write: `keep` (reduced modulo
+    /// the pending length at crash time) bytes of the unflushed suffix
+    /// survive, possibly splitting a frame.
+    TornTail {
+        /// Raw draw; the harness reduces it modulo the pending length.
+        keep: u64,
+    },
+    /// Bit rot lands in a cold (superseded) segment: `mask` is XORed
+    /// into one durable payload byte chosen by `offset`.
+    BitRot {
+        /// Raw draw; the harness maps it onto a cold payload byte.
+        offset: u64,
+        /// Bits to flip (never zero).
+        mask: u8,
+    },
+    /// The next crash drops the whole unflushed suffix.
+    LostSuffix,
+    /// The disk's next append is written twice (a retried write whose
+    /// first attempt silently succeeded).
+    DuplicateAppend,
+}
+
+impl StorageChaos {
+    /// Stable label for traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageChaos::TornTail { .. } => "storage_torn_tail",
+            StorageChaos::BitRot { .. } => "storage_bit_rot",
+            StorageChaos::LostSuffix => "storage_lost_suffix",
+            StorageChaos::DuplicateAppend => "storage_dup_append",
+        }
+    }
+}
+
 /// One typed disturbance drawn by the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChaosEvent {
@@ -113,6 +154,11 @@ pub enum ChaosEvent {
         /// Extra arrivals offered at once.
         extra: usize,
     },
+    /// The journal's storage device is sabotaged.
+    StorageFault(
+        /// How the disk misbehaves.
+        StorageChaos,
+    ),
 }
 
 impl ChaosEvent {
@@ -125,6 +171,7 @@ impl ChaosEvent {
             ChaosEvent::ByzantineHealth { .. } => "byzantine_health",
             ChaosEvent::FaultFlap { .. } => "fault_flap",
             ChaosEvent::AdmissionStorm { .. } => "admission_storm",
+            ChaosEvent::StorageFault(kind) => kind.label(),
         }
     }
 }
@@ -153,6 +200,11 @@ pub struct ChaosConfig {
     pub storm_prob: f64,
     /// Arrivals pulled forward, drawn uniformly from this range.
     pub storm_extra: (usize, usize),
+    /// Per-tick probability of a storage fault against the journal's
+    /// disk. Drawn from a **separately forked** rng, so turning this on
+    /// (the crash harness does) leaves every other schedule — and the
+    /// committed chaos-storm baselines — byte-identical.
+    pub storage_prob: f64,
 }
 
 impl ChaosConfig {
@@ -169,6 +221,7 @@ impl ChaosConfig {
             flap_burst: (0, 0),
             storm_prob: 0.0,
             storm_extra: (0, 0),
+            storage_prob: 0.0,
         }
     }
 
@@ -186,6 +239,9 @@ impl ChaosConfig {
             flap_burst: (1, 2),
             storm_prob: 0.05,
             storm_extra: (6, 12),
+            // The plain chaos storm has no journal; the crash harness
+            // turns storage faults on over this same schedule.
+            storage_prob: 0.0,
         }
     }
 }
@@ -205,6 +261,14 @@ pub struct ChaosCounts {
     pub fault_flaps: u64,
     /// Admission storms.
     pub admission_storms: u64,
+    /// Storage faults: torn tail writes armed.
+    pub storage_torn_tails: u64,
+    /// Storage faults: cold-segment bit rot.
+    pub storage_bit_rots: u64,
+    /// Storage faults: lost unflushed suffixes armed.
+    pub storage_lost_suffixes: u64,
+    /// Storage faults: duplicated appends armed.
+    pub storage_dup_appends: u64,
 }
 
 /// Seeded per-tick disturbance drawer. Decisions are a pure function
@@ -214,6 +278,10 @@ pub struct ChaosCounts {
 pub struct ChaosScheduler {
     cfg: ChaosConfig,
     rng: SplitMix64,
+    /// Storage-fault draws come from their own stream (a pure function
+    /// of the seed, never touching `rng`), so a campaign with storage
+    /// chaos disabled replays identically to one that predates it.
+    storage_rng: SplitMix64,
     counts: ChaosCounts,
 }
 
@@ -232,6 +300,7 @@ impl ChaosScheduler {
         ChaosScheduler {
             cfg,
             rng: SplitMix64::new(seed),
+            storage_rng: SplitMix64::new(mix64(seed ^ 0x5704_A6E5_D15C_FA17)),
             counts: ChaosCounts::default(),
         }
     }
@@ -292,6 +361,32 @@ impl ChaosScheduler {
             self.counts.admission_storms += 1;
             events.push(ChaosEvent::AdmissionStorm { extra });
         }
+        if cfg.storage_prob > 0.0 && self.storage_rng.chance(cfg.storage_prob) {
+            let kind = match self.storage_rng.below(4) {
+                0 => {
+                    self.counts.storage_torn_tails += 1;
+                    StorageChaos::TornTail {
+                        keep: self.storage_rng.next_u64(),
+                    }
+                }
+                1 => {
+                    self.counts.storage_bit_rots += 1;
+                    StorageChaos::BitRot {
+                        offset: self.storage_rng.next_u64(),
+                        mask: 1 << (self.storage_rng.below(8) as u8),
+                    }
+                }
+                2 => {
+                    self.counts.storage_lost_suffixes += 1;
+                    StorageChaos::LostSuffix
+                }
+                _ => {
+                    self.counts.storage_dup_appends += 1;
+                    StorageChaos::DuplicateAppend
+                }
+            };
+            events.push(ChaosEvent::StorageFault(kind));
+        }
         events
     }
 }
@@ -314,6 +409,10 @@ pub struct ChaosStormConfig {
     pub dup_prob: f64,
     /// Rebalancer policy for the run.
     pub rebalance: RebalancePolicy,
+    /// Per-shard admission overrides `(shard, admission)` applied on
+    /// top of the homogeneous base — a heterogeneous topology, where
+    /// shards differ in queue depths, stream caps and pump budgets.
+    pub shard_admission: Vec<(usize, stream::AdmissionConfig)>,
 }
 
 impl ChaosStormConfig {
@@ -338,7 +437,29 @@ impl ChaosStormConfig {
             upgrade_shards: vec![2, 3],
             dup_prob: 0.5,
             rebalance: RebalancePolicy::serving_defaults(),
+            shard_admission: Vec::new(),
         }
+    }
+
+    /// The heterogeneous smoke campaign: the same disturbance schedule
+    /// over a fleet whose shards differ — shard 1 is a small box (half
+    /// the stream cap and queue), shard 3 an oversized one (double
+    /// both) — so placement, drain, failover and the rebalancer all
+    /// operate across unequal capacities.
+    #[must_use]
+    pub fn hetero(seed: u64) -> Self {
+        let mut cfg = ChaosStormConfig::smoke(seed);
+        let base = cfg.storm.admission;
+        let mut small = base;
+        small.max_streams = (base.max_streams / 2).max(1);
+        small.global_queue_bytes = (base.global_queue_bytes / 2).max(64);
+        small.pump_budget_chunks = (base.pump_budget_chunks / 2).max(1);
+        let mut large = base;
+        large.max_streams = base.max_streams * 2;
+        large.global_queue_bytes = base.global_queue_bytes * 2;
+        large.pump_budget_chunks = base.pump_budget_chunks * 2;
+        cfg.shard_admission = vec![(1, small), (3, large)];
+        cfg
     }
 }
 
@@ -496,7 +617,8 @@ fn rehost_all(
 }
 
 /// Shards placement currently trusts: Active with a Closed breaker.
-fn eligible_shards(cl: &Cluster) -> Vec<usize> {
+/// Shared with the crash harness ([`crate::crash`]).
+pub(crate) fn eligible_shards(cl: &Cluster) -> Vec<usize> {
     (0..cl.shard_count())
         .filter(|&i| {
             cl.shard_state(i) == Some(ShardState::Active)
@@ -531,6 +653,11 @@ pub fn run_chaos_storm(cfg: &ChaosStormConfig) -> Result<ChaosStormReport, Clust
         abandoned_ticks: base.abandoned_ticks,
     };
     ccfg.rebalance = cfg.rebalance;
+    for (shard, admission) in &cfg.shard_admission {
+        if let Some(spec) = ccfg.shards.get_mut(*shard) {
+            spec.admission = *admission;
+        }
+    }
     let mut cl = Cluster::new(&ccfg);
     let eth = *CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
     let mut names: Vec<(String, bool)> = Vec::new();
@@ -647,6 +774,12 @@ pub fn run_chaos_storm(cfg: &ChaosStormConfig) -> Result<ChaosStormReport, Clust
                             pulled += 1;
                         }
                     }
+                    // The plain chaos storm runs without a journal;
+                    // storage faults are applied by the crash harness
+                    // ([`crate::crash`]), which owns the simulated
+                    // disk. `storage_prob` is zero here, so this arm
+                    // never fires.
+                    ChaosEvent::StorageFault(_) => {}
                 }
             }
 
@@ -882,6 +1015,51 @@ mod tests {
         }
         let quiet = ChaosScheduler::new(ChaosConfig::quiet(), 77).draw(&[0, 1], &[0, 1]);
         assert!(quiet.is_empty());
+    }
+
+    #[test]
+    fn storage_chaos_never_perturbs_the_other_schedules() {
+        let mut plain = ChaosScheduler::new(ChaosConfig::smoke(), 77);
+        let mut with_storage = ChaosConfig::smoke();
+        with_storage.storage_prob = 0.5;
+        let mut stormy = ChaosScheduler::new(with_storage, 77);
+        let mut saw_storage = false;
+        for _ in 0..300 {
+            let a = plain.draw(&[0, 1, 2], &[0, 1, 2]);
+            let b = stormy.draw(&[0, 1, 2], &[0, 1, 2]);
+            let b_rest: Vec<ChaosEvent> = b
+                .iter()
+                .copied()
+                .filter(|e| !matches!(e, ChaosEvent::StorageFault(_)))
+                .collect();
+            saw_storage |= b_rest.len() != b.len();
+            assert_eq!(a, b_rest, "non-storage schedule must be untouched");
+        }
+        assert!(saw_storage, "storage faults fired at p=0.5");
+        let counts = stormy.counts();
+        assert!(
+            counts.storage_torn_tails
+                + counts.storage_bit_rots
+                + counts.storage_lost_suffixes
+                + counts.storage_dup_appends
+                > 0
+        );
+    }
+
+    #[test]
+    fn heterogeneous_chaos_storm_is_exact_and_deterministic() {
+        let mut cfg = ChaosStormConfig::hetero(2008);
+        cfg.storm.streams = 60;
+        cfg.storm.ticks = 120;
+        cfg.storm.drain_tick = 25;
+        cfg.storm.kill_tick = 50;
+        cfg.storm.crc_ms = vec![8];
+        cfg.upgrade_tick = 60;
+        cfg.upgrade_shards = vec![2];
+        let a = run_chaos_storm(&cfg).unwrap();
+        assert!(a.passed(), "hetero chaos storm must pass:\n{}", a.render());
+        let b = run_chaos_storm(&cfg).unwrap();
+        assert_eq!(a.render(), b.render(), "same seed, same campaign");
     }
 
     #[test]

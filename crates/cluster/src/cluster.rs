@@ -44,6 +44,7 @@ use stream::{
     AdmissionConfig, Priority, RestoreDisposition, ServiceError, StreamCheckpoint, StreamOutput,
     StreamProgress, StreamService,
 };
+use wal::{Journal, Record as WalRecord, Replay};
 
 /// FNV-1a 64 over the snapshot bytes: the transfer-channel integrity
 /// digest a migration verifies before restoring. (The snapshot's own
@@ -58,6 +59,18 @@ pub fn transfer_digest(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Shard index as the journal's u32 wire type (indexes are small; a
+/// saturation can only mean a corrupted journal, which replay rejects).
+fn shard32(shard: usize) -> u32 {
+    u32::try_from(shard).unwrap_or(u32::MAX)
+}
+
+/// Datapath width M as the journal's u8 wire type (the paper's M is at
+/// most 128).
+fn m_code(m: usize) -> u8 {
+    u8::try_from(m).unwrap_or(u8::MAX)
 }
 
 /// Static description of one shard.
@@ -168,6 +181,29 @@ impl DownReason {
             DownReason::TickFailed => "tick_failed",
         }
     }
+
+    /// Stable wire code for journal records.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            DownReason::Drained => 0,
+            DownReason::Killed => 1,
+            DownReason::Abandoned => 2,
+            DownReason::TickFailed => 3,
+        }
+    }
+
+    /// Decodes a journal wire code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(DownReason::Drained),
+            1 => Some(DownReason::Killed),
+            2 => Some(DownReason::Abandoned),
+            3 => Some(DownReason::TickFailed),
+            _ => None,
+        }
+    }
 }
 
 /// Why a stream on a dead shard could not be replayed.
@@ -192,6 +228,29 @@ impl LossReason {
             LossReason::Incompatible => "incompatible",
             LossReason::NoCapacity => "no_capacity",
             LossReason::Corrupt => "corrupt",
+        }
+    }
+
+    /// Stable wire code for journal records.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            LossReason::NoCheckpoint => 0,
+            LossReason::Incompatible => 1,
+            LossReason::NoCapacity => 2,
+            LossReason::Corrupt => 3,
+        }
+    }
+
+    /// Decodes a journal wire code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(LossReason::NoCheckpoint),
+            1 => Some(LossReason::Incompatible),
+            2 => Some(LossReason::NoCapacity),
+            3 => Some(LossReason::Corrupt),
+            _ => None,
         }
     }
 }
@@ -228,6 +287,42 @@ pub struct FailoverResume {
     /// anything a client collected past this is regenerated and must be
     /// dropped before re-collecting.
     pub delivered_bits: u64,
+}
+
+/// What [`Cluster::recover`] rebuilt from the journal — and what it
+/// could not. Every stream the journal knew about is accounted for in
+/// `streams_restored + streams_lost + losses_carried` plus the
+/// finished set; recovery never drops one silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Frames the journal replay accepted.
+    pub frames_replayed: u64,
+    /// Whether replay stopped at a torn tail.
+    pub torn_tail: bool,
+    /// Complete frames dropped for CRC mismatch (bit rot).
+    pub corrupt_frames: u64,
+    /// Frames skipped as duplicated appends.
+    pub duplicate_frames: u64,
+    /// Personalities re-hosted from the spec catalogue.
+    pub hosts_restored: u64,
+    /// Host records that could not be re-hosted (unknown spec, dead
+    /// scope, capacity); streams needing them become typed losses.
+    pub hosts_failed: u64,
+    /// Streams restored from their checkpoint anchors.
+    pub streams_restored: u64,
+    /// Streams newly declared lost by this recovery (anchored but
+    /// unplaceable, or live with no anchor).
+    pub streams_lost: u64,
+    /// Losses already typed before the crash, carried over.
+    pub losses_carried: u64,
+    /// Idempotency tokens re-entered into the ledger.
+    pub tokens_restored: u64,
+    /// In-flight migrations resolved as committed (transfer landed).
+    pub migrations_committed: u64,
+    /// In-flight migrations resolved as aborted (no landing recorded).
+    pub migrations_aborted: u64,
+    /// Shard circuit breakers restored from their last journal record.
+    pub breakers_restored: u64,
 }
 
 /// Typed refusals and failures of the cluster layer.
@@ -480,6 +575,8 @@ pub struct Cluster {
     ledger: BTreeMap<u64, u64>,
     /// Chaos: the next migration's transfer channel is sabotaged.
     armed_transfer: Option<TransferChaos>,
+    /// The attached write-ahead journal, when durability is on.
+    journal: Option<Journal>,
     next_id: u64,
     now: u64,
     registry: obs::MetricsRegistry,
@@ -542,6 +639,7 @@ impl Cluster {
             resumes: Vec::new(),
             ledger: BTreeMap::new(),
             armed_transfer: None,
+            journal: None,
             next_id: 1,
             now: 0,
             registry,
@@ -567,6 +665,12 @@ impl Cluster {
         for sh in &mut self.shards {
             sh.svc.host_crc(name, spec, opts)?;
         }
+        self.log(WalRecord::HostCrc {
+            shard: None,
+            name: name.to_string(),
+            spec: spec.name.to_string(),
+            m: m_code(opts.m),
+        });
         Ok(())
     }
 
@@ -584,6 +688,12 @@ impl Cluster {
         for sh in &mut self.shards {
             sh.svc.host_scrambler(name, spec, opts)?;
         }
+        self.log(WalRecord::HostScrambler {
+            shard: None,
+            name: name.to_string(),
+            spec: spec.name.to_string(),
+            m: m_code(opts.m),
+        });
         Ok(())
     }
 
@@ -605,6 +715,12 @@ impl Cluster {
             .get_mut(shard)
             .ok_or(ClusterError::UnknownShard(shard))?;
         sh.svc.host_crc(name, spec, opts)?;
+        self.log(WalRecord::HostCrc {
+            shard: Some(shard32(shard)),
+            name: name.to_string(),
+            spec: spec.name.to_string(),
+            m: m_code(opts.m),
+        });
         Ok(())
     }
 
@@ -626,7 +742,58 @@ impl Cluster {
             .get_mut(shard)
             .ok_or(ClusterError::UnknownShard(shard))?;
         sh.svc.host_scrambler(name, spec, opts)?;
+        self.log(WalRecord::HostScrambler {
+            shard: Some(shard32(shard)),
+            name: name.to_string(),
+            spec: spec.name.to_string(),
+            m: m_code(opts.m),
+        });
         Ok(())
+    }
+
+    // ----- durability ---------------------------------------------------
+
+    /// Attaches a write-ahead journal: every subsequent control-plane
+    /// transition (hosting, admission, checkpoints, migrations, shard
+    /// lifecycle, breaker moves, losses) is appended as a typed
+    /// [`wal::Record`], and [`Cluster::tick`] flushes once per tick.
+    /// [`Cluster::recover`] rebuilds a cluster from the journal after a
+    /// crash.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable access to the attached journal (harnesses degrade and
+    /// heal its frame hasher through this).
+    pub fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_mut()
+    }
+
+    /// Detaches and returns the journal, flushing it first.
+    pub fn detach_journal(&mut self) -> Option<Journal> {
+        let mut j = self.journal.take()?;
+        j.flush();
+        Some(j)
+    }
+
+    /// Appends one record when a journal is attached; a no-op without.
+    fn log(&mut self, rec: WalRecord) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&rec);
+        }
+    }
+
+    /// Flushes the attached journal's pending frames to durable bytes.
+    fn flush_journal(&mut self) {
+        if let Some(j) = self.journal.as_mut() {
+            j.flush();
+        }
     }
 
     // ----- accessors ----------------------------------------------------
@@ -845,6 +1012,14 @@ impl Cluster {
                 self.registry.inc(self.ids.breaker_trips);
             }
             self.record(None, Some(shard), EventKind::BreakerState { from, to });
+            if self.journal.is_some() {
+                let (rank, count) = self.shards[shard].breaker.raw();
+                self.log(WalRecord::Breaker {
+                    shard: shard32(shard),
+                    rank,
+                    count,
+                });
+            }
         }
     }
 
@@ -885,6 +1060,9 @@ impl Cluster {
     /// Records a rolling-upgrade stage transition in the cluster trace.
     pub(crate) fn note_upgrade(&mut self, shard: usize, stage: &'static str) {
         self.record(None, Some(shard), EventKind::UpgradeStage { stage });
+        self.log(WalRecord::UpgradeStage {
+            stage: stage.to_string(),
+        });
     }
 
     // ----- stream lifecycle ---------------------------------------------
@@ -903,7 +1081,7 @@ impl Cluster {
         priority: Priority,
         deadline_in: u64,
     ) -> Result<u64, ClusterError> {
-        self.open_with(|svc| svc.open_crc(name, priority, deadline_in))
+        self.open_with(name, |svc| svc.open_crc(name, priority, deadline_in))
     }
 
     /// Opens a scrambler stream somewhere (see [`Cluster::open_crc`]).
@@ -918,11 +1096,14 @@ impl Cluster {
         priority: Priority,
         deadline_in: u64,
     ) -> Result<u64, ClusterError> {
-        self.open_with(|svc| svc.open_scrambler(name, seed, priority, deadline_in))
+        self.open_with(name, |svc| {
+            svc.open_scrambler(name, seed, priority, deadline_in)
+        })
     }
 
     fn open_with(
         &mut self,
+        personality: &str,
         mut open: impl FnMut(&mut StreamService) -> Result<u64, ServiceError>,
     ) -> Result<u64, ClusterError> {
         let id = self.next_id;
@@ -934,6 +1115,11 @@ impl Cluster {
                     self.routes.insert(id, Route { shard, local });
                     self.registry.inc(self.ids.opened);
                     self.record(Some(id), Some(shard), EventKind::StreamAdmit);
+                    self.log(WalRecord::Open {
+                        id,
+                        shard: shard32(shard),
+                        personality: personality.to_string(),
+                    });
                     return Ok(id);
                 }
                 // Refusals spill to the next-preferred shard; anything
@@ -966,7 +1152,16 @@ impl Cluster {
         self.shards[r.shard]
             .svc
             .feed(r.local, chunk)
-            .map_err(|e| Self::remap(e, id))
+            .map_err(|e| Self::remap(e, id))?;
+        if self.journal.is_some() {
+            if let Ok(p) = self.shards[r.shard].svc.progress(r.local) {
+                self.log(WalRecord::FeedWatermark {
+                    id,
+                    bytes_fed: p.fed_through(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Takes the scrambler output produced so far.
@@ -1032,6 +1227,7 @@ impl Cluster {
                 self.store.remove(&id);
                 self.registry.inc(self.ids.completed);
                 self.record(Some(id), Some(r.shard), EventKind::StreamComplete);
+                self.log(WalRecord::Finish { id });
                 Ok(out)
             }
             Err(e) => Err(Self::remap(e, id)),
@@ -1059,6 +1255,15 @@ impl Cluster {
             return Err(ClusterError::UnknownStream(id));
         };
         if let Some(rec) = CheckpointRecord::from_snapshot(bytes) {
+            if self.journal.is_some() {
+                self.log(WalRecord::CheckpointAnchor {
+                    id,
+                    shard: shard32(r.shard),
+                    resume_from: rec.resume_from,
+                    delivered_bits: rec.delivered_bits,
+                    bytes: rec.bytes.clone(),
+                });
+            }
             self.store.insert(id, rec);
             self.registry.inc(self.ids.checkpoints_stored);
         }
@@ -1205,6 +1410,11 @@ impl Cluster {
                         to_shard: target as u64,
                     },
                 );
+                self.log(WalRecord::Migrated {
+                    id,
+                    from: shard32(source),
+                    to: shard32(target),
+                });
                 Ok(())
             }
             Err(e) => {
@@ -1306,18 +1516,32 @@ impl Cluster {
         if self.ledger.contains_key(&token.0) {
             return Ok(OpApply::Duplicate);
         }
+        if self.journal.is_some() {
+            if let Ok(r) = self.route_of(id) {
+                self.log(WalRecord::MigrateBegin {
+                    token: token.0,
+                    id,
+                    from: shard32(r.shard),
+                    to: shard32(target),
+                });
+            }
+        }
         let mut attempt = 1u32;
         loop {
             match self.migrate(id, target) {
                 Ok(()) => {
                     self.ledger.insert(token.0, id);
+                    self.log(WalRecord::TokenApplied { token: token.0, id });
                     return Ok(OpApply::Applied);
                 }
                 Err(e) if Self::retryable(&e) && attempt < self.retry.max_attempts.max(1) => {
                     self.charge_retry(Some(id), token, attempt);
                     attempt += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.log(WalRecord::MigrateAbort { token: token.0, id });
+                    return Err(e);
+                }
             }
         }
     }
@@ -1340,6 +1564,7 @@ impl Cluster {
         }
         self.checkpoint_now(id)?;
         self.ledger.insert(token.0, id);
+        self.log(WalRecord::TokenApplied { token: token.0, id });
         Ok(OpApply::Applied)
     }
 
@@ -1360,6 +1585,7 @@ impl Cluster {
         }
         let id = self.adopt(bytes)?;
         self.ledger.insert(token.0, id);
+        self.log(WalRecord::TokenApplied { token: token.0, id });
         Ok((id, OpApply::Applied))
     }
 
@@ -1380,6 +1606,15 @@ impl Cluster {
                     self.next_id += 1;
                     self.routes.insert(id, Route { shard, local });
                     if let Some(rec) = CheckpointRecord::from_snapshot(bytes.to_vec()) {
+                        if self.journal.is_some() {
+                            self.log(WalRecord::CheckpointAnchor {
+                                id,
+                                shard: shard32(shard),
+                                resume_from: rec.resume_from,
+                                delivered_bits: rec.delivered_bits,
+                                bytes: rec.bytes.clone(),
+                            });
+                        }
                         self.store.insert(id, rec);
                     }
                     self.registry.inc(self.ids.opened);
@@ -1428,6 +1663,9 @@ impl Cluster {
                         to: "draining",
                     },
                 );
+                self.log(WalRecord::Drain {
+                    shard: shard32(shard),
+                });
                 Ok(())
             }
         }
@@ -1476,6 +1714,10 @@ impl Cluster {
                         to: "down",
                     },
                 );
+                self.log(WalRecord::ShardDown {
+                    shard: shard32(shard),
+                    reason: DownReason::Drained.code(),
+                });
             }
         }
     }
@@ -1513,6 +1755,9 @@ impl Cluster {
                 sh.lie_ticks = 0;
                 sh.state = ShardState::Active;
                 self.registry.inc(self.ids.shards_reopened);
+                self.log(WalRecord::Reopen {
+                    shard: shard32(shard),
+                });
                 self.record(None, Some(shard), EventKind::ShardReopen);
                 self.record(
                     None,
@@ -1686,6 +1931,10 @@ impl Cluster {
                 to: "down",
             },
         );
+        self.log(WalRecord::ShardDown {
+            shard: shard32(shard),
+            reason: reason.code(),
+        });
         self.fail_over(shard);
     }
 
@@ -1715,6 +1964,11 @@ impl Cluster {
                             to_shard: to as u64,
                         },
                     );
+                    self.log(WalRecord::Failover {
+                        id,
+                        from: shard32(dead),
+                        to: shard32(to),
+                    });
                     self.resumes.push(FailoverResume {
                         id,
                         from_shard: dead,
@@ -1776,6 +2030,11 @@ impl Cluster {
                 reason: reason.label(),
             },
         );
+        self.log(WalRecord::Lost {
+            id,
+            shard: shard32(shard),
+            reason: reason.code(),
+        });
     }
 
     // ----- the clock ----------------------------------------------------
@@ -1788,6 +2047,7 @@ impl Cluster {
     /// here, not an exception.
     pub fn tick(&mut self) {
         self.now += 1;
+        self.log(WalRecord::Clock { now: self.now });
         for shard in 0..self.shards.len() {
             if matches!(self.shards[shard].state, ShardState::Down(_)) {
                 continue;
@@ -1844,6 +2104,7 @@ impl Cluster {
         if self.checkpoint_interval > 0 && self.now.is_multiple_of(self.checkpoint_interval) {
             self.checkpoint_sweep();
         }
+        self.flush_journal();
     }
 
     /// What a byzantine probe fabricates: the shard's real lane list,
@@ -1860,6 +2121,412 @@ impl Cluster {
             unrecovered: real.unrecovered,
             recoveries: real.recoveries,
         }
+    }
+
+    // ----- crash recovery -------------------------------------------
+
+    /// Rebuilds a cluster from a replayed journal after a whole-process
+    /// crash.
+    ///
+    /// The caller replays the durable bytes first (usually via
+    /// [`Journal::recover`], which already applies the torn-tail rule:
+    /// bit-rotted frames are skipped and counted, a torn tail stops
+    /// replay) and hands over both the journal — still positioned to
+    /// append — and the replay. Recovery folds the records:
+    ///
+    /// 1. **Hosting** — the last `HostCrc`/`HostScrambler` per
+    ///    `(scope, lane)` is re-hosted from the spec catalogue; unknown
+    ///    specs are counted, not fatal.
+    /// 2. **Shard lifecycle** — drains, downs and reopens fold to each
+    ///    shard's final state; breaker states are restored from the
+    ///    last `Breaker` record per shard.
+    /// 3. **Tokens** — every `TokenApplied` re-enters the idempotency
+    ///    ledger. An in-flight `MigrateBegin` (no `TokenApplied` /
+    ///    `MigrateAbort` after it) resolves **commit-or-abort**: it
+    ///    committed iff a later `Migrated` for the same stream and
+    ///    target landed, in which case its token enters the ledger so a
+    ///    redelivery returns [`OpApply::Duplicate`] — never a double
+    ///    apply.
+    /// 4. **Streams** — each unfinished, un-lost stream restores from
+    ///    its last `CheckpointAnchor` onto its last-known shard (or the
+    ///    best survivor), emitting a [`FailoverResume`] so clients know
+    ///    where to rewind; an anchored restore that no shard accepts —
+    ///    and any live stream with **no** anchor — becomes a typed
+    ///    [`StreamLoss`], never a silent disappearance.
+    ///
+    /// The recovered cluster starts a fresh journal epoch on the same
+    /// log: it re-appends its reconstructed state (clock, hosts, shard
+    /// states, breakers, tokens, losses, anchors), so the journal stays
+    /// append-only across repeated crashes and later recoveries never
+    /// depend on frames older than the last epoch.
+    #[must_use]
+    pub fn recover(
+        cfg: &ClusterConfig,
+        journal: Journal,
+        replay: &Replay,
+    ) -> (Self, RecoveryReport) {
+        let mut report = RecoveryReport {
+            frames_replayed: replay.frames_ok,
+            torn_tail: replay.torn_tail,
+            corrupt_frames: replay.corrupt_frames,
+            duplicate_frames: replay.duplicate_frames,
+            ..RecoveryReport::default()
+        };
+
+        // ---- fold the journal into last-writer-wins facts ----
+        struct AnchorInfo {
+            shard: u32,
+            resume_from: u64,
+            delivered_bits: u64,
+            bytes: Vec<u8>,
+        }
+        let mut now = 0u64;
+        let mut max_id = 0u64;
+        let mut hosts: BTreeMap<(bool, u32, String), (String, u8)> = BTreeMap::new();
+        let mut placed: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut anchors: BTreeMap<u64, AnchorInfo> = BTreeMap::new();
+        let mut finished: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut lost: BTreeMap<u64, (u32, u8)> = BTreeMap::new();
+        let mut tokens: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut shard_states: BTreeMap<u32, ShardState> = BTreeMap::new();
+        let mut breakers: BTreeMap<u32, (u8, u32)> = BTreeMap::new();
+        let mut pending_begin: BTreeMap<u64, (usize, u64, u32)> = BTreeMap::new();
+        let mut migrated_at: Vec<(usize, u64, u32)> = Vec::new();
+
+        for (pos, (_seq, rec)) in replay.records.iter().enumerate() {
+            match rec {
+                WalRecord::Clock { now: n } => now = *n,
+                WalRecord::HostCrc {
+                    shard,
+                    name,
+                    spec,
+                    m,
+                } => {
+                    hosts.insert(
+                        (true, shard.unwrap_or(u32::MAX), name.clone()),
+                        (spec.clone(), *m),
+                    );
+                }
+                WalRecord::HostScrambler {
+                    shard,
+                    name,
+                    spec,
+                    m,
+                } => {
+                    hosts.insert(
+                        (false, shard.unwrap_or(u32::MAX), name.clone()),
+                        (spec.clone(), *m),
+                    );
+                }
+                WalRecord::Open { id, shard, .. } => {
+                    placed.insert(*id, *shard);
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::FeedWatermark { id, .. } => max_id = max_id.max(*id),
+                WalRecord::Finish { id } => {
+                    finished.insert(*id);
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::CheckpointAnchor {
+                    id,
+                    shard,
+                    resume_from,
+                    delivered_bits,
+                    bytes,
+                } => {
+                    anchors.insert(
+                        *id,
+                        AnchorInfo {
+                            shard: *shard,
+                            resume_from: *resume_from,
+                            delivered_bits: *delivered_bits,
+                            bytes: bytes.clone(),
+                        },
+                    );
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::MigrateBegin { token, id, to, .. } => {
+                    pending_begin.insert(*token, (pos, *id, *to));
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::Migrated { id, to, .. } => {
+                    placed.insert(*id, *to);
+                    migrated_at.push((pos, *id, *to));
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::MigrateAbort { token, id } => {
+                    pending_begin.remove(token);
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::TokenApplied { token, id } => {
+                    tokens.insert(*token, *id);
+                    pending_begin.remove(token);
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::Drain { shard } => {
+                    shard_states.insert(*shard, ShardState::Draining);
+                }
+                WalRecord::ShardDown { shard, reason } => {
+                    let r = DownReason::from_code(*reason).unwrap_or(DownReason::Killed);
+                    shard_states.insert(*shard, ShardState::Down(r));
+                }
+                WalRecord::Reopen { shard } => {
+                    shard_states.insert(*shard, ShardState::Active);
+                }
+                WalRecord::Breaker { shard, rank, count } => {
+                    breakers.insert(*shard, (*rank, *count));
+                }
+                WalRecord::UpgradeStage { .. } => {}
+                WalRecord::Lost { id, shard, reason } => {
+                    lost.insert(*id, (*shard, *reason));
+                    max_id = max_id.max(*id);
+                }
+                WalRecord::Failover { id, to, .. } => {
+                    placed.insert(*id, *to);
+                    max_id = max_id.max(*id);
+                }
+            }
+        }
+
+        // In-flight migrations resolve commit-or-abort: committed iff
+        // the transfer landed (a later `Migrated` for the same stream
+        // and target); its token then enters the ledger so redelivery
+        // is a duplicate, never a second apply.
+        for (token, (pos, id, to)) in &pending_begin {
+            let committed = migrated_at
+                .iter()
+                .any(|&(p, mid, mto)| p > *pos && mid == *id && mto == *to);
+            if committed {
+                tokens.insert(*token, *id);
+                report.migrations_committed += 1;
+            } else {
+                report.migrations_aborted += 1;
+            }
+        }
+
+        // ---- rebuild: a fresh cluster, the journal reattached ----
+        let mut cl = Cluster::new(cfg);
+        cl.journal = Some(journal);
+        cl.now = now;
+        cl.next_id = max_id.saturating_add(1).max(1);
+        cl.log(WalRecord::Clock { now });
+
+        // Hosting (the hooks re-journal each host for the new epoch).
+        for ((is_crc, scope, name), (spec, m)) in &hosts {
+            let opts = FlowOptions::dream_with_m(usize::from(*m));
+            let ok = if *is_crc {
+                CrcSpec::by_name(spec).is_some_and(|s| {
+                    if *scope == u32::MAX {
+                        cl.host_crc(name, s, opts).is_ok()
+                    } else {
+                        cl.host_crc_on(*scope as usize, name, s, opts).is_ok()
+                    }
+                })
+            } else {
+                ScramblerSpec::by_name(spec).is_some_and(|s| {
+                    if *scope == u32::MAX {
+                        cl.host_scrambler(name, s, &opts).is_ok()
+                    } else {
+                        cl.host_scrambler_on(*scope as usize, name, s, &opts)
+                            .is_ok()
+                    }
+                })
+            };
+            if ok {
+                report.hosts_restored += 1;
+            } else {
+                report.hosts_failed += 1;
+            }
+        }
+
+        // Shard lifecycle and breakers.
+        for (shard, state) in &shard_states {
+            let i = *shard as usize;
+            if i >= cl.shards.len() {
+                continue;
+            }
+            cl.shards[i].state = *state;
+            match state {
+                ShardState::Draining => cl.log(WalRecord::Drain { shard: *shard }),
+                ShardState::Down(r) => cl.log(WalRecord::ShardDown {
+                    shard: *shard,
+                    reason: r.code(),
+                }),
+                ShardState::Active => {}
+            }
+        }
+        for (shard, (rank, count)) in &breakers {
+            let i = *shard as usize;
+            if i >= cl.shards.len() {
+                continue;
+            }
+            cl.shards[i].breaker.restore_raw(*rank, *count);
+            let (rank, count) = cl.shards[i].breaker.raw();
+            cl.log(WalRecord::Breaker {
+                shard: *shard,
+                rank,
+                count,
+            });
+            report.breakers_restored += 1;
+        }
+
+        // The idempotency ledger and carried-over losses.
+        for (token, id) in &tokens {
+            cl.ledger.insert(*token, *id);
+            cl.log(WalRecord::TokenApplied {
+                token: *token,
+                id: *id,
+            });
+            report.tokens_restored += 1;
+        }
+        for (id, (shard, code)) in &lost {
+            let reason = LossReason::from_code(*code).unwrap_or(LossReason::Corrupt);
+            cl.losses.insert(
+                *id,
+                StreamLoss {
+                    id: *id,
+                    shard: *shard as usize,
+                    reason,
+                },
+            );
+            cl.log(WalRecord::Lost {
+                id: *id,
+                shard: *shard,
+                reason: reason.code(),
+            });
+            report.losses_carried += 1;
+        }
+        // Re-emit finished-ness so the new epoch is self-contained:
+        // bit rot in a cold (pre-epoch) segment must never resurrect a
+        // stream the previous epoch already delivered.
+        for id in &finished {
+            cl.log(WalRecord::Finish { id: *id });
+        }
+
+        // Streams: anchored ones restore, anchor-less live ones are
+        // typed losses — never silent.
+        for (id, a) in &anchors {
+            if finished.contains(id) || lost.contains_key(id) {
+                continue;
+            }
+            let rec = CheckpointRecord {
+                bytes: a.bytes.clone(),
+                resume_from: a.resume_from,
+                delivered_bits: a.delivered_bits,
+            };
+            let prefer = placed.get(id).copied().unwrap_or(a.shard) as usize;
+            match cl.restore_recovered(*id, prefer, &rec) {
+                Ok(()) => report.streams_restored += 1,
+                Err(reason) => {
+                    let blame = prefer.min(cl.shards.len().saturating_sub(1));
+                    cl.declare_lost(*id, blame, reason);
+                    report.streams_lost += 1;
+                }
+            }
+        }
+        for (id, shard) in &placed {
+            if finished.contains(id) || lost.contains_key(id) || anchors.contains_key(id) {
+                continue;
+            }
+            let blame = (*shard as usize).min(cl.shards.len().saturating_sub(1));
+            cl.declare_lost(*id, blame, LossReason::NoCheckpoint);
+            report.streams_lost += 1;
+        }
+
+        cl.record(
+            None,
+            None,
+            EventKind::WalRecovered {
+                frames: report.frames_replayed,
+                corrupt: report.corrupt_frames,
+                torn_tail: report.torn_tail,
+                restored: report.streams_restored,
+                lost: report.streams_lost,
+            },
+        );
+        cl.flush_journal();
+        (cl, report)
+    }
+
+    /// Restores a recovered snapshot, preferring the stream's last
+    /// known shard, spilling to placement order. On success the stream
+    /// routes, re-anchors (journal + store) and queues a
+    /// [`FailoverResume`] so the client rewinds its feed.
+    fn restore_recovered(
+        &mut self,
+        id: u64,
+        prefer: usize,
+        rec: &CheckpointRecord,
+    ) -> Result<(), LossReason> {
+        let mut order: Vec<usize> = Vec::new();
+        if self
+            .shards
+            .get(prefer)
+            .is_some_and(|s| s.state == ShardState::Active)
+        {
+            order.push(prefer);
+        }
+        order.extend(
+            self.placement
+                .ordered(id, &self.views())
+                .into_iter()
+                .filter(|&s| s != prefer),
+        );
+        if order.is_empty() {
+            return Err(LossReason::NoCapacity);
+        }
+        let mut saw_capacity = false;
+        for shard in order {
+            match self.shards[shard].svc.restore(&rec.bytes) {
+                Ok(local) => {
+                    self.routes.insert(id, Route { shard, local });
+                    self.resumes.push(FailoverResume {
+                        id,
+                        from_shard: prefer,
+                        to_shard: shard,
+                        resume_from: rec.resume_from,
+                        delivered_bits: rec.delivered_bits,
+                    });
+                    if self.journal.is_some() {
+                        self.log(WalRecord::CheckpointAnchor {
+                            id,
+                            shard: shard32(shard),
+                            resume_from: rec.resume_from,
+                            delivered_bits: rec.delivered_bits,
+                            bytes: rec.bytes.clone(),
+                        });
+                        if shard != prefer {
+                            self.log(WalRecord::Failover {
+                                id,
+                                from: shard32(prefer),
+                                to: shard32(shard),
+                            });
+                        }
+                    }
+                    self.store.insert(id, rec.clone());
+                    self.registry.inc(self.ids.failovers);
+                    self.record(
+                        Some(id),
+                        Some(shard),
+                        EventKind::StreamFailover {
+                            from_shard: prefer as u64,
+                            to_shard: shard as u64,
+                        },
+                    );
+                    return Ok(());
+                }
+                Err(e) => match e.restore_disposition() {
+                    Some(RestoreDisposition::RetryTransfer) => return Err(LossReason::Corrupt),
+                    Some(RestoreDisposition::Incompatible) => {}
+                    None => saw_capacity = true,
+                },
+            }
+        }
+        Err(if saw_capacity {
+            LossReason::NoCapacity
+        } else {
+            LossReason::Incompatible
+        })
     }
 }
 
@@ -1942,5 +2609,95 @@ mod tests {
             Some(ShardState::Active),
             "a degraded cluster beats no cluster"
         );
+    }
+
+    use lfsr::crc::crc_bitwise;
+    use wal::{CrashKind, SharedDisk, SoftwareHasher};
+
+    fn journaled_cluster(cfg: &ClusterConfig) -> (Cluster, SharedDisk) {
+        let disk = SharedDisk::new();
+        let mut cl = Cluster::new(cfg);
+        cl.attach_journal(Journal::new(
+            Box::new(disk.clone()),
+            Box::new(SoftwareHasher::new()),
+        ));
+        let eth = *CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
+        cl.host_crc("crc", &eth, FlowOptions::dream_with_m(8))
+            .expect("host");
+        (cl, disk)
+    }
+
+    #[test]
+    fn journaled_cluster_recovers_streams_after_crash() {
+        let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+        let (mut cl, disk) = journaled_cluster(&cfg);
+        let data: Vec<u8> = (0..96).map(|i| (i * 37) as u8).collect();
+
+        let id = cl.open_crc("crc", Priority::High, 8).expect("open");
+        cl.feed(id, &data[..48]).expect("feed");
+        cl.tick();
+        cl.checkpoint_now(id).expect("anchor");
+        cl.tick(); // flushes the anchor frame
+
+        // Power loss: the unflushed suffix is gone, the process dies.
+        disk.crash(CrashKind::LostSuffix);
+        drop(cl);
+
+        let (journal, replay) =
+            Journal::recover(Box::new(disk.clone()), Box::new(SoftwareHasher::new()));
+        assert!(replay.frames_ok > 0, "flushed frames survive the crash");
+        let (mut rec, report) = Cluster::recover(&cfg, journal, &replay);
+        assert_eq!(report.streams_restored, 1, "{report:?}");
+        assert_eq!(report.streams_lost, 0, "{report:?}");
+        assert_eq!(report.hosts_restored, 1, "{report:?}");
+
+        let resumes = rec.take_failover_resumes();
+        assert_eq!(resumes.len(), 1);
+        let resume = resumes[0];
+        assert_eq!(resume.id, id);
+
+        // The client rewinds its feed to the anchor offset and the
+        // digest comes out as if the crash never happened.
+        let from = usize::try_from(resume.resume_from).expect("small");
+        rec.feed(id, &data[from..]).expect("refeed");
+        rec.tick();
+        match rec.finish(id).expect("finish") {
+            StreamOutput::Crc(got) => {
+                let eth = CrcSpec::by_name("CRC-32/ETHERNET").expect("catalogue entry");
+                assert_eq!(got, crc_bitwise(eth, &data));
+            }
+            other => panic!("CRC stream delivered {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_redelivery_after_recovery_is_a_duplicate() {
+        let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+        let (mut cl, disk) = journaled_cluster(&cfg);
+
+        let id = cl.open_crc("crc", Priority::High, 8).expect("open");
+        cl.feed(id, &[0xA5; 32]).expect("feed");
+        cl.tick();
+        let target = 1 - cl.shard_of(id).expect("routed");
+        let token = OpToken(0xFEED_0001);
+        assert!(matches!(
+            cl.migrate_with_token(token, id, target),
+            Ok(OpApply::Applied)
+        ));
+        cl.tick(); // flush
+
+        disk.crash(CrashKind::LostSuffix);
+        drop(cl);
+
+        let (journal, replay) =
+            Journal::recover(Box::new(disk.clone()), Box::new(SoftwareHasher::new()));
+        let (mut rec, report) = Cluster::recover(&cfg, journal, &replay);
+        assert!(report.tokens_restored >= 1, "{report:?}");
+
+        // Redelivering the committed token must not double-apply.
+        assert!(matches!(
+            rec.migrate_with_token(token, id, target),
+            Ok(OpApply::Duplicate)
+        ));
     }
 }

@@ -36,8 +36,15 @@
 //!   undrain, one shard at a time, under live traffic.
 //! * [`chaos`] — the deterministic chaos harness behind the
 //!   `chaos_storm` binary: seeded slowdowns, corrupted/truncated
-//!   transfers, byzantine health probes, fault flaps and admission
-//!   storms against the self-healing control loop (DESIGN.md §12).
+//!   transfers, byzantine health probes, fault flaps, admission
+//!   storms and typed storage faults against the self-healing control
+//!   loop (DESIGN.md §12).
+//! * [`crash`] — the crash storm behind the `crash_storm` binary:
+//!   the control plane journals every decision to a write-ahead log
+//!   ([`wal`]), seeded whole-cluster power losses drop everything but
+//!   the (hostile) disk, and recovery replays the journal back into a
+//!   serving cluster with zero digest mismatches, zero silent losses
+//!   and zero double-applied tokens (DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +52,7 @@
 pub mod breaker;
 pub mod chaos;
 pub mod cluster;
+pub mod crash;
 pub mod health;
 pub mod placement;
 pub mod rebalance;
@@ -58,12 +66,13 @@ pub use breaker::{
 };
 pub use chaos::{
     run_chaos_storm, ChaosConfig, ChaosCounts, ChaosEvent, ChaosScheduler, ChaosStormConfig,
-    ChaosStormReport, TransferChaos,
+    ChaosStormReport, StorageChaos, TransferChaos,
 };
 pub use cluster::{
     transfer_digest, Cluster, ClusterConfig, ClusterCounters, ClusterError, DownReason,
-    FailoverResume, LossReason, ShardSpec, ShardState, StreamLoss,
+    FailoverResume, LossReason, RecoveryReport, ShardSpec, ShardState, StreamLoss,
 };
+pub use crash::{run_crash_storm, CrashStormConfig, CrashStormReport};
 pub use health::{HealthPolicy, HealthVerdict, ShardHealthMonitor};
 pub use placement::{mix64, shard_seed, PlacementPolicy, ShardView};
 pub use rebalance::{plan_moves, RebalancePolicy};

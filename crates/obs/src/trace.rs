@@ -162,6 +162,20 @@ pub enum EventKind {
         /// The stage entered (`drain`, `rehost`, `done`).
         stage: &'static str,
     },
+    /// Cluster-level: the control plane was rebuilt from its
+    /// write-ahead log after a whole-cluster crash.
+    WalRecovered {
+        /// Complete frames the replay accepted.
+        frames: u64,
+        /// CRC-rejected frames the replay skipped.
+        corrupt: u64,
+        /// Whether the durable log ended in a torn (truncated) frame.
+        torn_tail: bool,
+        /// Streams restored to a serving shard.
+        restored: u64,
+        /// Streams declared lost (typed, never silent).
+        lost: u64,
+    },
 }
 
 impl EventKind {
@@ -198,6 +212,7 @@ impl EventKind {
             EventKind::RetireVeto => "retire_veto",
             EventKind::ShardReopen => "shard_reopen",
             EventKind::UpgradeStage { .. } => "upgrade_stage",
+            EventKind::WalRecovered { .. } => "wal_recovered",
         }
     }
 
@@ -249,6 +264,19 @@ impl EventKind {
             ],
             EventKind::RebalanceRun { moved } => vec![("moved", moved.to_string())],
             EventKind::UpgradeStage { stage } => vec![("stage", (*stage).to_string())],
+            EventKind::WalRecovered {
+                frames,
+                corrupt,
+                torn_tail,
+                restored,
+                lost,
+            } => vec![
+                ("frames", frames.to_string()),
+                ("corrupt", corrupt.to_string()),
+                ("torn_tail", torn_tail.to_string()),
+                ("restored", restored.to_string()),
+                ("lost", lost.to_string()),
+            ],
             EventKind::Detection
             | EventKind::RecoveryStart
             | EventKind::StreamAdmit

@@ -1,0 +1,307 @@
+//! The storage layer under the journal: a trait for append-only byte
+//! devices and a simulated disk with partial-flush semantics.
+//!
+//! The simulated disk models the one property the journal's recovery
+//! logic exists to survive: an `append` is **not** durable until a
+//! `flush`, and a crash in the flush window can persist any byte
+//! *prefix* of the pending data — including a prefix that ends in the
+//! middle of a frame (a torn write). Cold (already durable) bytes can
+//! additionally rot: a storage fault flips a byte long after the frame
+//! was written, which replay must detect by CRC and skip without
+//! derailing the records behind it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An append-only byte device with explicit durability.
+pub trait StorageBackend {
+    /// Queues `bytes` at the end of the device. Not durable yet.
+    fn append(&mut self, bytes: &[u8]);
+
+    /// Makes every queued byte durable.
+    fn flush(&mut self);
+
+    /// The bytes that would survive a crash right now.
+    fn durable(&self) -> Vec<u8>;
+
+    /// Durable length in bytes.
+    fn durable_len(&self) -> usize;
+
+    /// Total length including the unflushed suffix.
+    fn total_len(&self) -> usize;
+
+    /// Discards durable bytes past `len` (recovery cutting off a
+    /// damaged tail so new appends are reachable by future replays).
+    /// No-op when `len` is at or past the durable end.
+    fn truncate(&mut self, len: usize);
+}
+
+/// How a crash treats the unflushed suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The whole pending suffix is lost (the common case: nothing of
+    /// the in-flight flush reached the platter).
+    LostSuffix,
+    /// A torn write: the first `keep` bytes of the pending suffix were
+    /// persisted before power was cut, possibly splitting a frame.
+    Torn {
+        /// Pending-suffix bytes that made it to durable storage.
+        keep: usize,
+    },
+}
+
+impl CrashKind {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashKind::LostSuffix => "lost_suffix",
+            CrashKind::Torn { .. } => "torn_tail",
+        }
+    }
+}
+
+/// Counters the simulated disk keeps about the faults applied to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// `flush` calls.
+    pub flushes: u64,
+    /// Crashes applied (any kind).
+    pub crashes: u64,
+    /// Crashes that persisted a partial (torn) suffix.
+    pub torn_tails: u64,
+    /// Durable bytes corrupted in place (bit rot).
+    pub rotted_bytes: u64,
+    /// Appends that were written twice by an armed duplication fault.
+    pub duplicated_appends: u64,
+    /// Damaged tail bytes recovery truncated away.
+    pub truncated_bytes: u64,
+}
+
+/// An in-memory disk: a durable prefix plus an unflushed pending
+/// suffix, with fault hooks for crashes, bit rot and duplicated
+/// appends.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+    dup_armed: bool,
+    stats: DiskStats,
+}
+
+impl SimDisk {
+    /// An empty disk.
+    #[must_use]
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    /// Fault counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Unflushed bytes currently at risk.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Arms a duplicated-append fault: the next `append` is written
+    /// twice back to back (a retried write whose first attempt silently
+    /// succeeded).
+    pub fn arm_duplicate(&mut self) {
+        self.dup_armed = true;
+    }
+
+    /// Crashes the disk: the pending suffix is dropped, except for the
+    /// prefix a torn write managed to persist.
+    pub fn crash(&mut self, kind: CrashKind) {
+        self.stats.crashes += 1;
+        if let CrashKind::Torn { keep } = kind {
+            let keep = keep.min(self.pending.len());
+            if keep > 0 {
+                self.stats.torn_tails += 1;
+                self.durable.extend_from_slice(&self.pending[..keep]);
+            }
+        }
+        self.pending.clear();
+    }
+
+    /// Flips bits in one durable (cold) byte: `durable[offset] ^= mask`.
+    /// No-op when the offset is out of range or the mask is zero.
+    pub fn corrupt_byte(&mut self, offset: usize, mask: u8) {
+        if mask != 0 {
+            if let Some(b) = self.durable.get_mut(offset) {
+                *b ^= mask;
+                self.stats.rotted_bytes += 1;
+            }
+        }
+    }
+}
+
+impl StorageBackend for SimDisk {
+    fn append(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+        if self.dup_armed {
+            self.dup_armed = false;
+            self.stats.duplicated_appends += 1;
+            self.pending.extend_from_slice(bytes);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.stats.flushes += 1;
+        self.durable.append(&mut self.pending);
+    }
+
+    fn durable(&self) -> Vec<u8> {
+        self.durable.clone()
+    }
+
+    fn durable_len(&self) -> usize {
+        self.durable.len()
+    }
+
+    fn total_len(&self) -> usize {
+        self.durable.len() + self.pending.len()
+    }
+
+    fn truncate(&mut self, len: usize) {
+        if len < self.durable.len() {
+            self.stats.truncated_bytes += (self.durable.len() - len) as u64;
+            self.durable.truncate(len);
+        }
+    }
+}
+
+/// A cloneable handle to one [`SimDisk`], so a crash harness can hold
+/// the disk while the journal (inside the cluster) writes to it. The
+/// workspace forbids `unsafe`; shared ownership is `Rc<RefCell<_>>`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedDisk(Rc<RefCell<SimDisk>>);
+
+impl SharedDisk {
+    /// A handle to a fresh empty disk.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedDisk::default()
+    }
+
+    /// See [`SimDisk::crash`].
+    pub fn crash(&self, kind: CrashKind) {
+        self.0.borrow_mut().crash(kind);
+    }
+
+    /// See [`SimDisk::corrupt_byte`].
+    pub fn corrupt_byte(&self, offset: usize, mask: u8) {
+        self.0.borrow_mut().corrupt_byte(offset, mask);
+    }
+
+    /// See [`SimDisk::arm_duplicate`].
+    pub fn arm_duplicate(&self) {
+        self.0.borrow_mut().arm_duplicate();
+    }
+
+    /// See [`SimDisk::stats`].
+    #[must_use]
+    pub fn stats(&self) -> DiskStats {
+        self.0.borrow().stats()
+    }
+
+    /// See [`SimDisk::pending_len`].
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.0.borrow().pending_len()
+    }
+}
+
+impl StorageBackend for SharedDisk {
+    fn append(&mut self, bytes: &[u8]) {
+        self.0.borrow_mut().append(bytes);
+    }
+
+    fn flush(&mut self) {
+        self.0.borrow_mut().flush();
+    }
+
+    fn durable(&self) -> Vec<u8> {
+        self.0.borrow().durable()
+    }
+
+    fn durable_len(&self) -> usize {
+        self.0.borrow().durable_len()
+    }
+
+    fn total_len(&self) -> usize {
+        self.0.borrow().total_len()
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.0.borrow_mut().truncate(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_is_lost_on_clean_crash() {
+        let mut d = SimDisk::new();
+        d.append(b"abc");
+        d.flush();
+        d.append(b"def");
+        d.crash(CrashKind::LostSuffix);
+        assert_eq!(d.durable(), b"abc");
+        assert_eq!(d.pending_len(), 0);
+        assert_eq!(d.stats().crashes, 1);
+        assert_eq!(d.stats().torn_tails, 0);
+    }
+
+    #[test]
+    fn torn_crash_keeps_a_prefix() {
+        let mut d = SimDisk::new();
+        d.append(b"abc");
+        d.flush();
+        d.append(b"defgh");
+        d.crash(CrashKind::Torn { keep: 2 });
+        assert_eq!(d.durable(), b"abcde");
+        assert_eq!(d.stats().torn_tails, 1);
+    }
+
+    #[test]
+    fn duplicate_arm_fires_once() {
+        let mut d = SimDisk::new();
+        d.arm_duplicate();
+        d.append(b"xy");
+        d.append(b"z");
+        d.flush();
+        assert_eq!(d.durable(), b"xyxyz");
+        assert_eq!(d.stats().duplicated_appends, 1);
+    }
+
+    #[test]
+    fn corrupt_byte_flips_cold_data_only_in_range() {
+        let mut d = SimDisk::new();
+        d.append(&[0u8, 0, 0]);
+        d.flush();
+        d.corrupt_byte(1, 0x10);
+        d.corrupt_byte(99, 0x10); // out of range: no-op
+        d.corrupt_byte(0, 0); // zero mask: no-op
+        assert_eq!(d.durable(), vec![0u8, 0x10, 0]);
+        assert_eq!(d.stats().rotted_bytes, 1);
+    }
+
+    #[test]
+    fn shared_disk_views_one_device() {
+        let mut a = SharedDisk::new();
+        let b = a.clone();
+        a.append(b"hello");
+        a.flush();
+        assert_eq!(b.durable(), b"hello");
+        b.crash(CrashKind::LostSuffix);
+        assert_eq!(a.stats().crashes, 1);
+    }
+}

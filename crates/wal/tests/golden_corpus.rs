@@ -1,0 +1,151 @@
+//! Golden corpus pinning the version-1 journal wire format.
+//!
+//! The committed `corpus/journal_v1.bin` is a journal image holding
+//! one of every record kind. These tests require today's encoder to
+//! reproduce it byte-for-byte and today's replay to read it back
+//! bit-exactly. If either fails, the change is a wire-format break:
+//! recovery would misread journals written by the previous build. Add
+//! a new `WIRE_VERSION` (and a new corpus file) instead of mutating
+//! version 1.
+//!
+//! Regenerate (only for a deliberate, reviewed format change):
+//! `cargo test -p picolfsr-wal --test golden_corpus -- --ignored`
+
+use wal::{replay_bytes, Journal, Record, SharedDisk, SoftwareHasher, StorageBackend};
+
+const GOLDEN_V1: &[u8] = include_bytes!("corpus/journal_v1.bin");
+
+/// One of every record kind, with field values chosen to exercise the
+/// optional-scope and string encodings. Order and values are part of
+/// the pinned corpus.
+fn corpus_records() -> Vec<Record> {
+    vec![
+        Record::Clock { now: 42 },
+        Record::HostCrc {
+            shard: None,
+            name: "eth8".into(),
+            spec: "CRC-32/ETHERNET".into(),
+            m: 8,
+        },
+        Record::HostCrc {
+            shard: Some(2),
+            name: "eth32".into(),
+            spec: "CRC-32/ETHERNET".into(),
+            m: 32,
+        },
+        Record::HostScrambler {
+            shard: Some(1),
+            name: "wifi16".into(),
+            spec: "IEEE-802.11".into(),
+            m: 16,
+        },
+        Record::Open {
+            id: 7,
+            shard: 1,
+            personality: "eth8".into(),
+        },
+        Record::FeedWatermark {
+            id: 7,
+            bytes_fed: 96,
+        },
+        Record::CheckpointAnchor {
+            id: 7,
+            shard: 1,
+            resume_from: 64,
+            delivered_bits: 448,
+            bytes: vec![0xAB, 0xCD, 0xEF, 0x01, 0x23],
+        },
+        Record::MigrateBegin {
+            token: 0xDEAD_BEEF,
+            id: 7,
+            from: 1,
+            to: 2,
+        },
+        Record::Migrated {
+            id: 7,
+            from: 1,
+            to: 2,
+        },
+        Record::TokenApplied {
+            token: 0xDEAD_BEEF,
+            id: 7,
+        },
+        Record::MigrateAbort {
+            token: 0xFEED_F00D,
+            id: 7,
+        },
+        Record::Drain { shard: 3 },
+        Record::ShardDown {
+            shard: 3,
+            reason: 0,
+        },
+        Record::Reopen { shard: 3 },
+        Record::Breaker {
+            shard: 1,
+            rank: 2,
+            count: 1,
+        },
+        Record::UpgradeStage {
+            stage: "cordon:2".into(),
+        },
+        Record::Lost {
+            id: 11,
+            shard: 2,
+            reason: 1,
+        },
+        Record::Failover {
+            id: 7,
+            from: 2,
+            to: 0,
+        },
+        Record::Finish { id: 7 },
+    ]
+}
+
+fn build_image() -> Vec<u8> {
+    let disk = SharedDisk::new();
+    let mut j = Journal::new(Box::new(disk.clone()), Box::new(SoftwareHasher::new()));
+    for r in &corpus_records() {
+        j.append(r);
+    }
+    j.flush();
+    disk.durable()
+}
+
+#[test]
+fn encoder_reproduces_the_golden_image_byte_for_byte() {
+    assert_eq!(
+        build_image(),
+        GOLDEN_V1,
+        "journal v1 encoding changed — this is a wire-format break; \
+         bump WIRE_VERSION and add a new corpus instead of mutating v1"
+    );
+}
+
+#[test]
+fn golden_image_replays_bit_exactly() {
+    let mut h = SoftwareHasher::new();
+    let replay = replay_bytes(GOLDEN_V1, &mut h);
+    assert!(replay.clean(), "committed corpus must replay cleanly");
+    let got: Vec<Record> = replay.records.into_iter().map(|(_, r)| r).collect();
+    assert_eq!(got, corpus_records());
+}
+
+#[test]
+fn golden_image_sequence_numbers_are_dense_from_one() {
+    let mut h = SoftwareHasher::new();
+    let replay = replay_bytes(GOLDEN_V1, &mut h);
+    let seqs: Vec<u64> = replay.records.iter().map(|(s, _)| *s).collect();
+    let want: Vec<u64> = (1..=seqs.len() as u64).collect();
+    assert_eq!(seqs, want);
+}
+
+#[test]
+#[ignore = "regenerates the committed golden corpus"]
+fn regenerate_corpus() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    std::fs::create_dir_all(dir).expect("create corpus dir");
+    let path = format!("{dir}/journal_v1.bin");
+    std::fs::write(&path, build_image()).expect("write corpus");
+    println!("wrote {path}");
+}

@@ -46,7 +46,13 @@
 //!   harness: per-shard circuit breakers, idempotent-token retries,
 //!   health-scored rebalancing, rolling personality upgrades, and the
 //!   seeded `chaos_storm` campaign that drives all of it under
-//!   adversarial schedules (DESIGN.md §12).
+//!   adversarial schedules (DESIGN.md §12);
+//! * [`wal`] — crash-consistent durability for the control plane: an
+//!   append-only CRC-framed journal over a simulated disk with
+//!   partial-flush semantics (torn tails, bit rot, duplicated
+//!   appends), replayed by `cluster::Cluster::recover` after seeded
+//!   whole-cluster power losses in the `crash_storm` campaign
+//!   (DESIGN.md §13).
 //!
 //! ## Quickstart
 //!
@@ -79,4 +85,5 @@ pub use resilience;
 pub use riscsim;
 pub use stream;
 pub use verify;
+pub use wal;
 pub use xornet;
