@@ -24,6 +24,11 @@
 //!    The pre-fix `transact()` model rediscovers the PR 5 double-park
 //!    bug; the current model passes.
 //!
+//! A fourth, IR-free checker ([`spans`]) audits recorded operation
+//! traces instead of configurations: every causal span begun must end
+//! exactly once, with forward-running cycles and intact parent links
+//! (DESIGN.md §14).
+//!
 //! [`check_config`] is the front door: it runs the prover and the
 //! timing analyzer over one configuration, applies fabric bounds, and
 //! returns either a [`ConfigAnalysis`] or a typed [`AnalyzeError`]
@@ -36,6 +41,7 @@ pub mod ir;
 pub mod linearity;
 pub mod mc;
 pub mod models;
+pub mod spans;
 pub mod timing;
 
 pub use ir::{CellFunc, CellIr, FabricConfig, LutTable, SignalId, MAX_LUT_INPUTS};
@@ -45,6 +51,7 @@ pub use models::{
     BreakerModel, BreakerParams, ClusterModel, JournalEvent, JournalModel, JournalSt, LadderParams,
     RecoveryModel, ServiceModel, BRK_FAILURE, BRK_SUCCESS, BRK_TICK,
 };
+pub use spans::{check_span_balance, SpanBalanceReport};
 pub use timing::{analyze_timing, cross_check, StaticTiming, TimingMismatch};
 
 use picoga::PicogaParams;

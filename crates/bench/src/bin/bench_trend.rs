@@ -2,9 +2,10 @@
 //! reports, one line per headline metric — plus an append-only history
 //! of those metrics across PRs.
 //!
-//! Reads up to eight report pairs — `BENCH_obs.json`,
+//! Reads up to nine report pairs — `BENCH_obs.json`,
 //! `BENCH_analyze.json`, `BENCH_storm.json`, `BENCH_cluster.json`,
-//! `BENCH_chaos.json`, `BENCH_crash.json`, `BENCH_lint.json`,
+//! `BENCH_chaos.json`, `BENCH_crash.json`, `BENCH_scope.json`,
+//! `BENCH_lint.json`,
 //! `BENCH_fault.json` — from `baselines/` (the values committed by
 //! past PRs) and from the working directory (this build), and prints
 //! an aligned table with signed deltas. Every metric carries a
@@ -290,6 +291,41 @@ const METRICS: &[Extract] = &[
         "crash_dups_suppressed",
         Direction::Neutral,
         |d| json_u64(d, "dups_suppressed"),
+    ),
+    (
+        "BENCH_scope",
+        "causal spans recorded",
+        "scope_spans",
+        Direction::Higher,
+        |d| json_u64(d, "spans_total"),
+    ),
+    (
+        "BENCH_scope",
+        "open-span leaks",
+        "scope_open_spans",
+        Direction::Lower,
+        |d| json_u64(d, "open_spans"),
+    ),
+    (
+        "BENCH_scope",
+        "migration p99 (ticks)",
+        "scope_migrate_p99",
+        Direction::Lower,
+        |d| json_u64(d, "chaos_migrate_p99"),
+    ),
+    (
+        "BENCH_scope",
+        "failover p99 (ticks)",
+        "scope_failover_p99",
+        Direction::Lower,
+        |d| json_u64(d, "chaos_failover_p99"),
+    ),
+    (
+        "BENCH_scope",
+        "fleet streams completed",
+        "scope_completed",
+        Direction::Higher,
+        |d| json_u64(d, "completed_total"),
     ),
     (
         "BENCH_lint",

@@ -1,5 +1,6 @@
 //! Tolerance-based comparator between committed quality baselines
-//! (`BENCH_lint.json`, `BENCH_fault.json`, `BENCH_crash.json`) and
+//! (`BENCH_lint.json`, `BENCH_fault.json`, `BENCH_crash.json`,
+//! `BENCH_scope.json`) and
 //! freshly generated reports — the verification rung of the
 //! regression ratchet.
 //!
@@ -29,9 +30,19 @@
 //!   campaign must keep killing the cluster, recovering it, and
 //!   running the journal's CRC lane through the recovery ladder.
 //!
+//! Observability gates (vs `--scope-baseline`):
+//!
+//! * `open_spans`, `span_misuse`, `balance_violations` and
+//!   `failovers_unrooted` must be zero (absolute) — a leaked causal
+//!   span, a runtime misuse, or a failover with no crash/kill ancestor
+//!   means the observability plane is lying about the deployment.
+//! * `spans_total` may not drop below the committed baseline (pure
+//!   ratchet): operations must not silently stop being traced.
+//!
 //! Usage: `quality_baseline [--lint-baseline PATH] [--lint-current PATH]
 //!         [--fault-baseline PATH] [--fault-current PATH]
 //!         [--crash-baseline PATH] [--crash-current PATH]
+//!         [--scope-baseline PATH] [--scope-current PATH]
 //!         [--tolerance-pct N]`
 
 use obs::json_u64;
@@ -91,6 +102,8 @@ fn main() {
     let mut fault_current_path = String::from("BENCH_fault.json");
     let mut crash_baseline_path = String::from("baselines/BENCH_crash.json");
     let mut crash_current_path = String::from("BENCH_crash.json");
+    let mut scope_baseline_path = String::from("baselines/BENCH_scope.json");
+    let mut scope_current_path = String::from("BENCH_scope.json");
     let mut tol: u64 = 10;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -107,6 +120,8 @@ fn main() {
             "--fault-current" => fault_current_path = val("--fault-current"),
             "--crash-baseline" => crash_baseline_path = val("--crash-baseline"),
             "--crash-current" => crash_current_path = val("--crash-current"),
+            "--scope-baseline" => scope_baseline_path = val("--scope-baseline"),
+            "--scope-current" => scope_current_path = val("--scope-current"),
             "--tolerance-pct" => {
                 let v = val("--tolerance-pct");
                 tol = v.parse().unwrap_or_else(|_| {
@@ -120,6 +135,7 @@ fn main() {
                      [--lint-baseline PATH] [--lint-current PATH] \
                      [--fault-baseline PATH] [--fault-current PATH] \
                      [--crash-baseline PATH] [--crash-current PATH] \
+                     [--scope-baseline PATH] [--scope-current PATH] \
                      [--tolerance-pct N]"
                 );
                 std::process::exit(2);
@@ -214,10 +230,37 @@ fn main() {
         );
     }
 
-    println!("quality_baseline: lint + fault + crash reports compared (tolerance {tol}%)");
+    let base = read(&scope_baseline_path);
+    let cur = read(&scope_current_path);
+    let what = "cluster report";
+    for key in [
+        "open_spans",
+        "span_misuse",
+        "balance_violations",
+        "failovers_unrooted",
+    ] {
+        gate_zero(
+            &mut regressions,
+            what,
+            key,
+            field(&cur, "scope current", key),
+        );
+    }
+    // Span coverage is a pure ratchet: operations must not silently
+    // stop being traced.
+    gate_floor(
+        &mut regressions,
+        what,
+        "spans_total",
+        field(&base, "scope baseline", "spans_total"),
+        field(&cur, "scope current", "spans_total"),
+        0,
+    );
+
+    println!("quality_baseline: lint + fault + crash + scope reports compared (tolerance {tol}%)");
     if regressions.is_empty() {
         println!(
-            "no regressions against {lint_baseline_path} / {fault_baseline_path} / {crash_baseline_path}"
+            "no regressions against {lint_baseline_path} / {fault_baseline_path} / {crash_baseline_path} / {scope_baseline_path}"
         );
     } else {
         eprintln!("{} regression(s):", regressions.len());

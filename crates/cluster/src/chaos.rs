@@ -24,8 +24,8 @@ use crate::placement::mix64;
 use crate::rebalance::RebalancePolicy;
 use crate::retry::{OpApply, OpToken};
 use crate::storm::{
-    apply_resumes, gen_plans, inject_random_fault, oracle_matches, Client, ClusterStormConfig,
-    ShardSummary,
+    apply_resumes, audit_spans, gen_plans, inject_random_fault, oracle_matches, Client,
+    ClusterStormConfig, ShardSummary, SpanAudit,
 };
 use crate::upgrade::{RollingUpgrade, UpgradeStatus};
 use dream_lfsr::FlowOptions;
@@ -506,6 +506,11 @@ pub struct ChaosStormReport {
     pub shard_lines: Vec<ShardSummary>,
     /// Merged deployment-wide metrics snapshot.
     pub metrics: obs::MetricsSnapshot,
+    /// Causal-span audit over the cluster tracer at campaign end.
+    pub spans: SpanAudit,
+    /// The cluster tracer (events + span table), for trace queries and
+    /// the SLO report.
+    pub tracer: obs::Tracer,
     /// Rendered cluster-level event trace (chaos injections included).
     pub trace_log: String,
 }
@@ -513,13 +518,14 @@ pub struct ChaosStormReport {
 impl ChaosStormReport {
     /// Chaos may slow the cluster, never make it wrong: zero
     /// mismatches, zero silent losses, zero double-applies, nothing
-    /// stranded.
+    /// stranded, and a clean causal-span audit.
     #[must_use]
     pub fn passed(&self) -> bool {
         self.mismatches == 0
             && self.losses_unaccounted == 0
             && self.unfinished == 0
             && self.dup_violations == 0
+            && self.spans.clean()
     }
 
     /// Deterministic text rendering — byte-identical across runs with
@@ -573,6 +579,11 @@ impl ChaosStormReport {
             s,
             "background    faults_injected={} sweeps_stored={}",
             self.faults_injected, c.checkpoints_stored
+        );
+        let _ = writeln!(
+            s,
+            "spans         total={} open={} misuse={} failovers_unrooted={}",
+            self.spans.total, self.spans.open, self.spans.misuse, self.spans.failovers_unrooted
         );
         for line in &self.shard_lines {
             let _ = writeln!(
@@ -984,6 +995,8 @@ pub fn run_chaos_storm(cfg: &ChaosStormConfig) -> Result<ChaosStormReport, Clust
         counters: cl.counters(),
         shard_lines,
         metrics: cl.metrics_merged(),
+        spans: audit_spans(cl.trace()),
+        tracer: cl.trace().clone(),
         trace_log: cl.trace().render(),
     })
 }

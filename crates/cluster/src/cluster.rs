@@ -34,7 +34,7 @@ use dream_lfsr::FlowOptions;
 use gf2::BitVec;
 use lfsr::crc::CrcSpec;
 use lfsr::scramble::ScramblerSpec;
-use obs::EventKind;
+use obs::{EventKind, ScopeId, SpanCtx, SpanId};
 use picoga::PicogaParams;
 use resilience::FabricHealthSummary;
 use resilience::{RecoveryPolicy, ResilientSystem};
@@ -488,6 +488,20 @@ struct ClusterIds {
     retire_vetoes: obs::CounterId,
     shards_reopened: obs::CounterId,
     probe_migrations: obs::CounterId,
+    // WAL mirrors (satellite: journal health visible in snapshots, not
+    // only in BENCH_crash.json). Counters mirror the journal's own
+    // monotonic stats via set_counter; gauges carry point-in-time facts.
+    wal_frames: obs::CounterId,
+    wal_flushes: obs::CounterId,
+    wal_bytes: obs::GaugeId,
+    wal_frames_replayed: obs::CounterId,
+    wal_frames_skipped: obs::CounterId,
+    wal_torn_tails: obs::CounterId,
+    wal_hasher_frames: obs::CounterId,
+    wal_hasher_software_frames: obs::CounterId,
+    wal_hasher_ladder_runs: obs::CounterId,
+    wal_hasher_dmr_mismatches: obs::CounterId,
+    wal_hasher_level: obs::GaugeId,
 }
 
 impl ClusterIds {
@@ -510,6 +524,17 @@ impl ClusterIds {
             retire_vetoes: reg.counter("cluster.retire_vetoes"),
             shards_reopened: reg.counter("cluster.shards_reopened"),
             probe_migrations: reg.counter("cluster.probe_migrations"),
+            wal_frames: reg.counter("cluster.wal.frames_appended"),
+            wal_flushes: reg.counter("cluster.wal.flushes"),
+            wal_bytes: reg.gauge("cluster.wal.bytes"),
+            wal_frames_replayed: reg.counter("cluster.wal.frames_replayed"),
+            wal_frames_skipped: reg.counter("cluster.wal.frames_skipped"),
+            wal_torn_tails: reg.counter("cluster.wal.torn_tails"),
+            wal_hasher_frames: reg.counter("cluster.wal.hasher_frames"),
+            wal_hasher_software_frames: reg.counter("cluster.wal.hasher_software_frames"),
+            wal_hasher_ladder_runs: reg.counter("cluster.wal.hasher_ladder_runs"),
+            wal_hasher_dmr_mismatches: reg.counter("cluster.wal.hasher_dmr_mismatches"),
+            wal_hasher_level: reg.gauge("cluster.wal.hasher_level"),
         }
     }
 }
@@ -582,6 +607,16 @@ pub struct Cluster {
     registry: obs::MetricsRegistry,
     tracer: obs::Tracer,
     ids: ClusterIds,
+    /// Per-shard breaker-state gauges (`shard{i}/breaker.state`,
+    /// Closed = 0, Open = 1, HalfOpen = 2), index-aligned with `shards`.
+    breaker_gauges: Vec<obs::GaugeId>,
+    /// Innermost-first stack of the causal spans currently open in this
+    /// call tree; `record` stamps events with the top.
+    span_stack: Vec<SpanId>,
+    /// Open cross-tick `drain` span per draining shard.
+    drain_spans: BTreeMap<usize, SpanId>,
+    /// Open cross-tick `upgrade` span per shard being rolled.
+    upgrade_spans: BTreeMap<usize, SpanId>,
 }
 
 impl fmt::Debug for Cluster {
@@ -601,6 +636,9 @@ impl Cluster {
     pub fn new(cfg: &ClusterConfig) -> Self {
         let mut registry = obs::MetricsRegistry::new();
         let ids = ClusterIds::register(&mut registry);
+        let breaker_gauges = (0..cfg.shards.len())
+            .map(|i| registry.scoped_gauge(&ScopeId::shard(i as u64), "breaker.state"))
+            .collect();
         let shards = cfg
             .shards
             .iter()
@@ -645,6 +683,10 @@ impl Cluster {
             registry,
             tracer: obs::Tracer::new(4096),
             ids,
+            breaker_gauges,
+            span_stack: Vec::new(),
+            drain_spans: BTreeMap::new(),
+            upgrade_spans: BTreeMap::new(),
         }
     }
 
@@ -789,10 +831,31 @@ impl Cluster {
         }
     }
 
-    /// Flushes the attached journal's pending frames to durable bytes.
+    /// Flushes the attached journal's pending frames to durable bytes
+    /// and mirrors the journal's health into the cluster registry
+    /// (`cluster.wal.*`), so WAL facts show up in every snapshot and
+    /// rollup instead of only in the crash-storm report.
     fn flush_journal(&mut self) {
+        let ids = self.ids;
         if let Some(j) = self.journal.as_mut() {
             j.flush();
+            let s = j.stats();
+            let h = j.hasher_stats();
+            self.registry.set_counter(ids.wal_frames, s.frames);
+            self.registry.set_counter(ids.wal_flushes, s.flushes);
+            self.registry
+                .set_gauge(ids.wal_bytes, i64::try_from(s.bytes).unwrap_or(i64::MAX));
+            self.registry.set_counter(ids.wal_hasher_frames, h.frames);
+            self.registry
+                .set_counter(ids.wal_hasher_software_frames, h.software_frames);
+            self.registry
+                .set_counter(ids.wal_hasher_ladder_runs, h.ladder_runs);
+            self.registry
+                .set_counter(ids.wal_hasher_dmr_mismatches, h.dmr_mismatches);
+            // Ladder level: 0 while the CRC lane runs on fabric, 1 on
+            // the degraded software path.
+            let level = i64::from(!j.hasher_mut().lane_healthy());
+            self.registry.set_gauge(ids.wal_hasher_level, level);
         }
     }
 
@@ -1011,6 +1074,12 @@ impl Cluster {
             if to == "open" {
                 self.registry.inc(self.ids.breaker_trips);
             }
+            let rank = match self.shards[shard].breaker.state() {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            };
+            self.registry.set_gauge(self.breaker_gauges[shard], rank);
             self.record(None, Some(shard), EventKind::BreakerState { from, to });
             if self.journal.is_some() {
                 let (rank, count) = self.shards[shard].breaker.raw();
@@ -1054,15 +1123,109 @@ impl Cluster {
 
     fn record(&mut self, stream: Option<u64>, shard: Option<usize>, kind: EventKind) {
         let lane = shard.map(|i| self.shards[i].name.clone());
-        self.tracer.record(self.now, stream, lane.as_deref(), kind);
+        match self.span_stack.last().copied() {
+            Some(sp) => self
+                .tracer
+                .record_in_span(self.now, sp, stream, lane.as_deref(), kind),
+            None => self.tracer.record(self.now, stream, lane.as_deref(), kind),
+        }
     }
 
-    /// Records a rolling-upgrade stage transition in the cluster trace.
+    /// Records an event inside an explicit span (for cross-tick spans
+    /// that are not on the call-scoped stack).
+    fn record_spanned(
+        &mut self,
+        span: SpanId,
+        stream: Option<u64>,
+        shard: Option<usize>,
+        kind: EventKind,
+    ) {
+        let lane = shard.map(|i| self.shards[i].name.clone());
+        self.tracer
+            .record_in_span(self.now, span, stream, lane.as_deref(), kind);
+    }
+
+    /// Opens a causal span and pushes it on the call-scoped stack, so
+    /// nested operations and events attribute to it. A context without
+    /// an explicit parent inherits the current stack top.
+    fn begin_op(&mut self, op: &'static str, mut ctx: SpanCtx) -> SpanId {
+        if ctx.parent.is_none() {
+            ctx.parent = self.span_stack.last().copied();
+        }
+        let id = self.tracer.begin_span(self.now, op, ctx);
+        self.span_stack.push(id);
+        id
+    }
+
+    /// Opens a cross-tick span (drain, upgrade) *without* putting it on
+    /// the stack — it outlives this call tree and is closed by whoever
+    /// tracks it.
+    fn begin_op_detached(&mut self, op: &'static str, mut ctx: SpanCtx) -> SpanId {
+        if ctx.parent.is_none() {
+            ctx.parent = self.span_stack.last().copied();
+        }
+        self.tracer.begin_span(self.now, op, ctx)
+    }
+
+    /// Closes a span and unwinds it (and anything still above it) off
+    /// the stack; detached spans are simply closed.
+    fn end_op(&mut self, id: SpanId, outcome: &'static str) {
+        self.tracer.end_span(self.now, id, outcome);
+        if let Some(pos) = self.span_stack.iter().rposition(|&s| s == id) {
+            self.span_stack.truncate(pos);
+        }
+    }
+
+    /// Stable span-outcome label for a failed control-plane operation.
+    fn outcome_label(e: &ClusterError) -> &'static str {
+        match e {
+            ClusterError::SnapshotCorrupt => "snapshot_corrupt",
+            ClusterError::Incompatible { .. } => "incompatible",
+            ClusterError::StreamLost { .. } => "lost",
+            ClusterError::NotAccepting(_) => "not_accepting",
+            ClusterError::NoEligibleShard => "no_eligible_shard",
+            ClusterError::ShardDown(_) => "shard_down",
+            ClusterError::NotReopenable(_) => "not_reopenable",
+            ClusterError::UnknownStream(_) | ClusterError::UnknownShard(_) => "unknown",
+            ClusterError::Shard(_) => "shard_error",
+        }
+    }
+
+    /// Closes a shard's open upgrade span as interrupted — the rolling
+    /// upgrade lost the shard (killed mid-drain, or reopened behind its
+    /// back) and is skipping it.
+    pub(crate) fn abort_upgrade_span(&mut self, shard: usize) {
+        if let Some(sp) = self.upgrade_spans.remove(&shard) {
+            self.tracer.end_span(self.now, sp, "interrupted");
+        }
+    }
+
+    /// Records a rolling-upgrade stage transition in the cluster trace,
+    /// opening the shard's `upgrade` span at the drain stage and
+    /// closing it at rehost.
     pub(crate) fn note_upgrade(&mut self, shard: usize, stage: &'static str) {
-        self.record(None, Some(shard), EventKind::UpgradeStage { stage });
+        let span = match stage {
+            "drain" => {
+                let sp = self.begin_op_detached("upgrade", SpanCtx::shard(shard as u64));
+                self.upgrade_spans.insert(shard, sp);
+                Some(sp)
+            }
+            _ => self.upgrade_spans.get(&shard).copied(),
+        };
+        match span {
+            Some(sp) => {
+                self.record_spanned(sp, None, Some(shard), EventKind::UpgradeStage { stage });
+            }
+            None => self.record(None, Some(shard), EventKind::UpgradeStage { stage }),
+        }
         self.log(WalRecord::UpgradeStage {
             stage: stage.to_string(),
         });
+        if stage == "rehost" {
+            if let Some(sp) = self.upgrade_spans.remove(&shard) {
+                self.end_op(sp, "ok");
+            }
+        }
     }
 
     // ----- stream lifecycle ---------------------------------------------
@@ -1326,6 +1489,22 @@ impl Cluster {
         source: usize,
         target: usize,
     ) -> Result<(), ClusterError> {
+        let span = self.begin_op("migrate", SpanCtx::shard(target as u64).with_stream(id));
+        let result = self.probe_transfer_inner(id, source, target);
+        let outcome = match &result {
+            Ok(()) => "ok",
+            Err(e) => Self::outcome_label(e),
+        };
+        self.end_op(span, outcome);
+        result
+    }
+
+    fn probe_transfer_inner(
+        &mut self,
+        id: u64,
+        source: usize,
+        target: usize,
+    ) -> Result<(), ClusterError> {
         let local = self.route_of(id)?.local;
         // Restoring onto a HalfOpen shard is its one allowed probe.
         self.shards[target].breaker.begin_probe();
@@ -1485,6 +1664,9 @@ impl Cluster {
         let delay = self.retry.backoff_ticks(token, attempt);
         self.registry.inc(self.ids.retry_attempts);
         self.registry.add(self.ids.retry_backoff_ticks, delay);
+        if let Some(&sp) = self.span_stack.last() {
+            self.tracer.span_retry(sp);
+        }
         self.record(
             id,
             None,
@@ -1526,13 +1708,19 @@ impl Cluster {
                 });
             }
         }
+        let span = self.begin_op(
+            "migrate_op",
+            SpanCtx::shard(target as u64)
+                .with_stream(id)
+                .with_token(token.0),
+        );
         let mut attempt = 1u32;
-        loop {
+        let result = loop {
             match self.migrate(id, target) {
                 Ok(()) => {
                     self.ledger.insert(token.0, id);
                     self.log(WalRecord::TokenApplied { token: token.0, id });
-                    return Ok(OpApply::Applied);
+                    break Ok(OpApply::Applied);
                 }
                 Err(e) if Self::retryable(&e) && attempt < self.retry.max_attempts.max(1) => {
                     self.charge_retry(Some(id), token, attempt);
@@ -1540,10 +1728,16 @@ impl Cluster {
                 }
                 Err(e) => {
                     self.log(WalRecord::MigrateAbort { token: token.0, id });
-                    return Err(e);
+                    break Err(e);
                 }
             }
-        }
+        };
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(e) => Self::outcome_label(e),
+        };
+        self.end_op(span, outcome);
+        result
     }
 
     /// [`Cluster::checkpoint_now`] under an idempotency token: a
@@ -1654,7 +1848,17 @@ impl Cluster {
             Some(ShardState::Active) => {
                 self.shards[shard].state = ShardState::Draining;
                 self.registry.inc(self.ids.drains_started);
-                self.record(
+                // The drain outlives this call: it closes when the last
+                // resident leaves (drain_step) or the shard is killed
+                // mid-drain. An upgrade rolling this shard parents it.
+                let ctx = match self.upgrade_spans.get(&shard) {
+                    Some(&up) => SpanCtx::child(up).with_shard(shard as u64),
+                    None => SpanCtx::shard(shard as u64),
+                };
+                let span = self.begin_op_detached("drain", ctx);
+                self.drain_spans.insert(shard, span);
+                self.record_spanned(
+                    span,
                     None,
                     Some(shard),
                     EventKind::ShardState {
@@ -1675,6 +1879,12 @@ impl Cluster {
         for shard in 0..self.shards.len() {
             if self.shards[shard].state != ShardState::Draining {
                 continue;
+            }
+            // Re-enter the shard's open drain span for this batch so
+            // its migrations attribute to the drain, not to the tick.
+            let drain_span = self.drain_spans.get(&shard).copied();
+            if let Some(sp) = drain_span {
+                self.span_stack.push(sp);
             }
             let residents: Vec<u64> = self
                 .routes
@@ -1718,6 +1928,14 @@ impl Cluster {
                     shard: shard32(shard),
                     reason: DownReason::Drained.code(),
                 });
+                if let Some(sp) = self.drain_spans.remove(&shard) {
+                    self.end_op(sp, "ok");
+                }
+            }
+            if let Some(sp) = drain_span {
+                if let Some(pos) = self.span_stack.iter().rposition(|&s| s == sp) {
+                    self.span_stack.truncate(pos);
+                }
             }
         }
     }
@@ -1754,6 +1972,8 @@ impl Cluster {
                 sh.slow_ticks = 0;
                 sh.lie_ticks = 0;
                 sh.state = ShardState::Active;
+                // The rebuilt breaker starts Closed; keep its gauge honest.
+                self.registry.set_gauge(self.breaker_gauges[shard], 0);
                 self.registry.inc(self.ids.shards_reopened);
                 self.log(WalRecord::Reopen {
                     shard: shard32(shard),
@@ -1797,6 +2017,7 @@ impl Cluster {
         let Some((hot, cold, budget)) = plan_moves(&pol, &loads) else {
             return;
         };
+        let span = self.begin_op("rebalance", SpanCtx::shard(hot as u64));
         let residents: Vec<u64> = self
             .routes
             .iter()
@@ -1822,6 +2043,7 @@ impl Cluster {
         if moved > 0 {
             self.record(None, Some(hot), EventKind::RebalanceRun { moved });
         }
+        self.end_op(span, if moved > 0 { "ok" } else { "no_moves" });
     }
 
     /// One pass of the breaker-healing probe loop (called from
@@ -1855,13 +2077,17 @@ impl Cluster {
                     .find(|(_, r)| r.shard == d)
                     .map(|(id, _)| *id)
             });
-            if let Some(id) = donor_stream {
+            let span = self.begin_op("breaker_probe", SpanCtx::shard(shard as u64));
+            let probed = if let Some(id) = donor_stream {
                 let token = OpToken(mix64((self.now << 24) ^ id) ^ 0x9B0B_E500_0000_0000);
                 if matches!(
                     self.migrate_with_token(token, id, shard),
                     Ok(OpApply::Applied)
                 ) {
                     self.registry.inc(self.ids.probe_migrations);
+                    true
+                } else {
+                    false
                 }
             } else if let Some(id) = self
                 .routes
@@ -1875,6 +2101,9 @@ impl Cluster {
                 // the breaker guards.
                 if self.probe_transfer(id, shard, shard).is_ok() {
                     self.registry.inc(self.ids.probe_migrations);
+                    true
+                } else {
+                    false
                 }
             } else {
                 // Nothing to restore anywhere in the cluster: an idle
@@ -1885,7 +2114,9 @@ impl Cluster {
                 let tr = s.breaker.on_success();
                 self.note_breaker(shard, tr);
                 self.registry.inc(self.ids.probe_migrations);
-            }
+                true
+            };
+            self.end_op(span, if probed { "ok" } else { "failed" });
         }
     }
 
@@ -1919,6 +2150,15 @@ impl Cluster {
     }
 
     fn retire(&mut self, shard: usize, reason: DownReason) {
+        let span = self.begin_op("shard_down", SpanCtx::shard(shard as u64));
+        // A kill interrupts any drain or upgrade rolling this shard:
+        // close their spans truthfully rather than leaking them open.
+        if let Some(sp) = self.drain_spans.remove(&shard) {
+            self.tracer.end_span(self.now, sp, "interrupted");
+        }
+        if let Some(sp) = self.upgrade_spans.remove(&shard) {
+            self.tracer.end_span(self.now, sp, "interrupted");
+        }
         let from = self.shards[shard].state.label();
         self.shards[shard].state = ShardState::Down(reason);
         self.registry.inc(self.ids.shards_down);
@@ -1936,6 +2176,7 @@ impl Cluster {
             reason: reason.code(),
         });
         self.fail_over(shard);
+        self.end_op(span, reason.label());
     }
 
     /// Replays every stream routed to `dead` from its last checkpoint
@@ -1948,37 +2189,48 @@ impl Cluster {
             .map(|(id, _)| *id)
             .collect();
         for id in victims {
-            let Some(rec) = self.store.get(&id).cloned() else {
-                self.declare_lost(id, dead, LossReason::NoCheckpoint);
-                continue;
-            };
-            match self.place_snapshot(id, &rec.bytes, dead) {
-                Ok((to, local)) => {
-                    self.routes.insert(id, Route { shard: to, local });
-                    self.registry.inc(self.ids.failovers);
-                    self.record(
-                        Some(id),
-                        Some(to),
-                        EventKind::StreamFailover {
-                            from_shard: dead as u64,
-                            to_shard: to as u64,
-                        },
-                    );
-                    self.log(WalRecord::Failover {
-                        id,
-                        from: shard32(dead),
-                        to: shard32(to),
-                    });
-                    self.resumes.push(FailoverResume {
-                        id,
-                        from_shard: dead,
-                        to_shard: to,
-                        resume_from: rec.resume_from,
-                        delivered_bits: rec.delivered_bits,
-                    });
+            let span = self.begin_op(
+                "failover_stream",
+                SpanCtx::shard(dead as u64).with_stream(id),
+            );
+            let outcome = match self.store.get(&id).cloned() {
+                None => {
+                    self.declare_lost(id, dead, LossReason::NoCheckpoint);
+                    LossReason::NoCheckpoint.label()
                 }
-                Err(reason) => self.declare_lost(id, dead, reason),
-            }
+                Some(rec) => match self.place_snapshot(id, &rec.bytes, dead) {
+                    Ok((to, local)) => {
+                        self.routes.insert(id, Route { shard: to, local });
+                        self.registry.inc(self.ids.failovers);
+                        self.record(
+                            Some(id),
+                            Some(to),
+                            EventKind::StreamFailover {
+                                from_shard: dead as u64,
+                                to_shard: to as u64,
+                            },
+                        );
+                        self.log(WalRecord::Failover {
+                            id,
+                            from: shard32(dead),
+                            to: shard32(to),
+                        });
+                        self.resumes.push(FailoverResume {
+                            id,
+                            from_shard: dead,
+                            to_shard: to,
+                            resume_from: rec.resume_from,
+                            delivered_bits: rec.delivered_bits,
+                        });
+                        "ok"
+                    }
+                    Err(reason) => {
+                        self.declare_lost(id, dead, reason);
+                        reason.label()
+                    }
+                },
+            };
+            self.end_op(span, outcome);
         }
     }
 
@@ -2310,6 +2562,20 @@ impl Cluster {
         cl.now = now;
         cl.next_id = max_id.saturating_add(1).max(1);
         cl.log(WalRecord::Clock { now });
+        // Everything the fold re-derives — losses, re-placed streams,
+        // re-logged state — descends causally from this recovery span.
+        let rspan = cl.begin_op("wal_recover", SpanCtx::default());
+        cl.registry
+            .set_counter(cl.ids.wal_frames_replayed, replay.frames_ok);
+        cl.registry.set_counter(
+            cl.ids.wal_frames_skipped,
+            replay
+                .corrupt_frames
+                .saturating_add(replay.duplicate_frames)
+                .saturating_add(replay.decode_errors),
+        );
+        cl.registry
+            .set_counter(cl.ids.wal_torn_tails, u64::from(replay.torn_tail));
 
         // Hosting (the hooks re-journal each host for the new epoch).
         for ((is_crc, scope, name), (spec, m)) in &hosts {
@@ -2347,7 +2613,13 @@ impl Cluster {
             }
             cl.shards[i].state = *state;
             match state {
-                ShardState::Draining => cl.log(WalRecord::Drain { shard: *shard }),
+                ShardState::Draining => {
+                    // The drain survives the crash: reopen its span in
+                    // the new epoch so drain_step can close it.
+                    let sp = cl.begin_op_detached("drain", SpanCtx::shard(u64::from(*shard)));
+                    cl.drain_spans.insert(i, sp);
+                    cl.log(WalRecord::Drain { shard: *shard });
+                }
                 ShardState::Down(r) => cl.log(WalRecord::ShardDown {
                     shard: *shard,
                     reason: r.code(),
@@ -2361,6 +2633,12 @@ impl Cluster {
                 continue;
             }
             cl.shards[i].breaker.restore_raw(*rank, *count);
+            let state_rank = match cl.shards[i].breaker.state() {
+                BreakerState::Closed => 0,
+                BreakerState::Open => 1,
+                BreakerState::HalfOpen => 2,
+            };
+            cl.registry.set_gauge(cl.breaker_gauges[i], state_rank);
             let (rank, count) = cl.shards[i].breaker.raw();
             cl.log(WalRecord::Breaker {
                 shard: *shard,
@@ -2415,14 +2693,23 @@ impl Cluster {
                 delivered_bits: a.delivered_bits,
             };
             let prefer = placed.get(id).copied().unwrap_or(a.shard) as usize;
-            match cl.restore_recovered(*id, prefer, &rec) {
-                Ok(()) => report.streams_restored += 1,
+            let span = cl.begin_op(
+                "failover_stream",
+                SpanCtx::shard(prefer as u64).with_stream(*id),
+            );
+            let outcome = match cl.restore_recovered(*id, prefer, &rec) {
+                Ok(()) => {
+                    report.streams_restored += 1;
+                    "ok"
+                }
                 Err(reason) => {
                     let blame = prefer.min(cl.shards.len().saturating_sub(1));
                     cl.declare_lost(*id, blame, reason);
                     report.streams_lost += 1;
+                    reason.label()
                 }
-            }
+            };
+            cl.end_op(span, outcome);
         }
         for (id, shard) in &placed {
             if finished.contains(id) || lost.contains_key(id) || anchors.contains_key(id) {
@@ -2444,6 +2731,7 @@ impl Cluster {
                 lost: report.streams_lost,
             },
         );
+        cl.end_op(rspan, "ok");
         cl.flush_journal();
         (cl, report)
     }

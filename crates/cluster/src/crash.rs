@@ -34,8 +34,8 @@ use crate::cluster::{Cluster, ClusterConfig, ClusterCounters, ClusterError, Shar
 use crate::placement::mix64;
 use crate::retry::{OpApply, OpToken};
 use crate::storm::{
-    apply_resumes, gen_plans, inject_random_fault, oracle_matches, Client, ClusterStormConfig,
-    ShardSummary,
+    apply_resumes, audit_spans, gen_plans, inject_random_fault, oracle_matches, Client,
+    ClusterStormConfig, ShardSummary, SpanAudit,
 };
 use dream_lfsr::FlowOptions;
 use gf2::BitVec;
@@ -191,8 +191,17 @@ pub struct CrashStormReport {
     pub counters: ClusterCounters,
     /// Per-shard end-of-campaign summaries.
     pub shard_lines: Vec<ShardSummary>,
+    /// Merged final-epoch deployment-wide metrics snapshot.
+    pub metrics: obs::MetricsSnapshot,
     /// Rendered final-epoch cluster event trace.
     pub trace_log: String,
+    /// Campaign-wide span audit over every epoch's operations (spans
+    /// cut short by a crash are closed as `"crashed"` before adoption).
+    pub spans: SpanAudit,
+    /// Accumulated span tables of every epoch (crashed epochs closed
+    /// out, then adopted), for trace-query consumers like
+    /// `cluster_report`.
+    pub tracer: obs::Tracer,
 }
 
 impl CrashStormReport {
@@ -204,6 +213,7 @@ impl CrashStormReport {
             && self.losses_unaccounted == 0
             && self.unfinished == 0
             && self.dup_violations == 0
+            && self.spans.clean()
     }
 
     /// Coverage floors proving the campaign exercised what it claims:
@@ -290,6 +300,11 @@ impl CrashStormReport {
             s,
             "fleet         migrations={} failovers={} faults_injected={} sweeps_stored={}",
             c.migrations, c.failovers, self.faults_injected, c.checkpoints_stored
+        );
+        let _ = writeln!(
+            s,
+            "spans         total={} open={} misuse={} failovers_unrooted={}",
+            self.spans.total, self.spans.open, self.spans.misuse, self.spans.failovers_unrooted
         );
         for line in &self.shard_lines {
             let _ = writeln!(
@@ -433,6 +448,11 @@ pub fn run_crash_storm(cfg: &CrashStormConfig) -> Result<CrashStormReport, Clust
     let mut rots_applied = 0u64;
     // Accumulated across epochs (each recovery hosts a fresh hasher).
     let mut hasher_total = HasherStats::default();
+    // Span tables of the doomed epochs, closed as "crashed" at the
+    // power-loss cycle and adopted here so the campaign-wide audit and
+    // trace queries see every operation ever begun. Capacity 1: only
+    // the span table matters, the event ring stays with each epoch.
+    let mut span_acc = obs::Tracer::new(1);
     let mut crashes = 0u64;
     let mut recoveries = 0u64;
     let mut torn_detected = 0u64;
@@ -737,6 +757,13 @@ pub fn run_crash_storm(cfg: &CrashStormConfig) -> Result<CrashStormReport, Clust
                 hasher_total.ladder_runs += s.ladder_runs;
                 hasher_total.dmr_mismatches += s.dmr_mismatches;
             }
+            // Bank the doomed epoch's spans: whatever was still open
+            // (cross-tick drains, upgrades) was truthfully ended by
+            // the power loss, so close it as "crashed" before adopting
+            // the table into the campaign accumulator.
+            let mut dead_trace = cl.trace().clone();
+            dead_trace.close_open_spans(cl.now(), "crashed");
+            span_acc.adopt_spans(&dead_trace);
             let pending = disk.pending_len();
             let kind = match armed_crash.take() {
                 Some(CrashKind::Torn { keep }) => CrashKind::Torn {
@@ -817,6 +844,10 @@ pub fn run_crash_storm(cfg: &CrashStormConfig) -> Result<CrashStormReport, Clust
         hasher_total.ladder_runs += s.ladder_runs;
         hasher_total.dmr_mismatches += s.dmr_mismatches;
     }
+    // The surviving epoch's spans join the accumulator un-doctored:
+    // anything still open here is a genuine leak the audit must flag.
+    span_acc.adopt_spans(cl.trace());
+    let span_audit = audit_spans(&span_acc);
     let dstats = disk.stats();
     let losses_total = cl.losses().len() as u64;
     let losses_unaccounted = losses_total - seen_losses.len() as u64;
@@ -873,7 +904,10 @@ pub fn run_crash_storm(cfg: &CrashStormConfig) -> Result<CrashStormReport, Clust
         ticks_run: tick,
         counters: cl.counters(),
         shard_lines,
+        metrics: cl.metrics_merged(),
         trace_log: cl.trace().render(),
+        spans: span_audit,
+        tracer: span_acc,
     })
 }
 

@@ -77,5 +77,7 @@ pub use health::{HealthPolicy, HealthVerdict, ShardHealthMonitor};
 pub use placement::{mix64, shard_seed, PlacementPolicy, ShardView};
 pub use rebalance::{plan_moves, RebalancePolicy};
 pub use retry::{OpApply, OpToken, RetryPolicy};
-pub use storm::{run_cluster_storm, ClusterStormConfig, ClusterStormReport};
+pub use storm::{
+    audit_spans, run_cluster_storm, ClusterStormConfig, ClusterStormReport, SpanAudit,
+};
 pub use upgrade::{RollingUpgrade, UpgradeStatus};

@@ -166,15 +166,25 @@ pub struct ClusterStormReport {
     /// Merged deployment-wide metrics snapshot (cluster + every
     /// shard, name-scoped; byte-identical across same-seed runs).
     pub metrics: obs::MetricsSnapshot,
+    /// Causal-span audit over the cluster tracer at campaign end.
+    pub spans: SpanAudit,
+    /// The cluster tracer (events + span table), for trace queries and
+    /// the SLO report.
+    pub tracer: obs::Tracer,
     /// Rendered cluster-level event trace.
     pub trace_log: String,
 }
 
 impl ClusterStormReport {
-    /// Zero mismatches, nothing stranded, no silent losses.
+    /// Zero mismatches, nothing stranded, no silent losses, and a
+    /// clean causal-span audit (nothing leaked open, every failover
+    /// rooted in a kill or a recovery).
     #[must_use]
     pub fn passed(&self) -> bool {
-        self.mismatches == 0 && self.unfinished == 0 && self.losses_unaccounted == 0
+        self.mismatches == 0
+            && self.unfinished == 0
+            && self.losses_unaccounted == 0
+            && self.spans.clean()
     }
 
     /// Deterministic text rendering — byte-identical across runs with
@@ -212,6 +222,11 @@ impl ClusterStormReport {
             "lifecycle     drains_started={} shards_drained={} shards_down={} sweeps_stored={}",
             c.drains_started, c.shards_drained, c.shards_down, c.checkpoints_stored
         );
+        let _ = writeln!(
+            s,
+            "spans         total={} open={} misuse={} failovers_unrooted={}",
+            self.spans.total, self.spans.open, self.spans.misuse, self.spans.failovers_unrooted
+        );
         for line in &self.shard_lines {
             let _ = writeln!(
                 s,
@@ -226,6 +241,53 @@ impl ClusterStormReport {
             if self.passed() { "PASS" } else { "FAIL" }
         );
         s
+    }
+}
+
+/// End-of-campaign causal-span audit: the invariants every storm
+/// asserts over the tracer's span table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAudit {
+    /// Spans begun over the whole campaign.
+    pub total: u64,
+    /// Spans never ended — must be zero at campaign end.
+    pub open: u64,
+    /// Tracer-counted span API misuse (double-end, unknown id) — must
+    /// be zero.
+    pub misuse: u64,
+    /// `failover_stream` spans with no `shard_down` / `wal_recover`
+    /// ancestor — every failover must be causally rooted in the event
+    /// that forced it. Must be zero.
+    pub failovers_unrooted: u64,
+}
+
+impl SpanAudit {
+    /// Every audited invariant holds.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.open == 0 && self.misuse == 0 && self.failovers_unrooted == 0
+    }
+}
+
+/// Audits a tracer's span table at campaign end: counts leaked-open
+/// spans, API misuse, and causally-unrooted failovers.
+#[must_use]
+pub fn audit_spans(tracer: &obs::Tracer) -> SpanAudit {
+    let q = obs::TraceQuery::new(tracer);
+    let failovers = q.spans().by_kind("failover_stream");
+    let unrooted = failovers
+        .iter()
+        .filter(|s| {
+            !q.spans()
+                .by_span(s.id)
+                .rooted_in_any(&["shard_down", "wal_recover"])
+        })
+        .count() as u64;
+    SpanAudit {
+        total: q.spans().count() as u64,
+        open: tracer.open_spans() as u64,
+        misuse: tracer.span_misuse(),
+        failovers_unrooted: unrooted,
     }
 }
 
@@ -619,6 +681,8 @@ pub fn run_cluster_storm(cfg: &ClusterStormConfig) -> Result<ClusterStormReport,
         counters: cl.counters(),
         shard_lines,
         metrics: cl.metrics_merged(),
+        spans: audit_spans(cl.trace()),
+        tracer: cl.trace().clone(),
         trace_log: cl.trace().render(),
     })
 }

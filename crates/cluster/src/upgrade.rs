@@ -87,15 +87,19 @@ impl RollingUpgrade {
             let Some(next) = self.queue.pop_front() else {
                 return UpgradeStatus::Done;
             };
-            return match cl.drain_shard(next) {
-                Ok(()) => {
+            // The upgrade stage is noted *before* the drain starts so
+            // the drain's causal span nests under the upgrade's.
+            // `drain_shard` cannot fail on an Active/Draining shard.
+            return match cl.shard_state(next) {
+                Some(ShardState::Active | ShardState::Draining) => {
                     cl.note_upgrade(next, "drain");
+                    let _ = cl.drain_shard(next);
                     self.current = Some(next);
                     UpgradeStatus::Draining(next)
                 }
                 // Already down (killed, abandoned…): failover dealt
                 // with it; skip and keep rolling.
-                Err(_) => {
+                _ => {
                     self.skipped += 1;
                     UpgradeStatus::Skipped(next)
                 }
@@ -112,14 +116,17 @@ impl RollingUpgrade {
                     UpgradeStatus::NeedsRehost(shard)
                 }
                 Err(_) => {
+                    cl.abort_upgrade_span(shard);
                     self.current = None;
                     self.skipped += 1;
                     UpgradeStatus::Skipped(shard)
                 }
             },
-            // Killed or abandoned mid-drain: failover already replayed
-            // its streams; nothing left to upgrade here.
+            // Killed or abandoned mid-drain (failover already replayed
+            // its streams), or reopened behind the upgrade's back:
+            // nothing left to upgrade here.
             _ => {
+                cl.abort_upgrade_span(shard);
                 self.current = None;
                 self.skipped += 1;
                 UpgradeStatus::Skipped(shard)

@@ -1,0 +1,190 @@
+//! Properties of the cluster observability plane: same-seed campaigns
+//! reproduce their span trees and scoped-metric rollups byte for byte,
+//! trace queries prove the causal invariants the storms gate on, and —
+//! at every supported block width — every causal span a cluster begins
+//! is ended exactly once.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use analyze::check_span_balance;
+use cluster::{
+    run_chaos_storm, ChaosStormConfig, Cluster, ClusterConfig, DownReason, OpToken, ShardState,
+};
+use dream_lfsr::FlowOptions;
+use lfsr::crc::CrcSpec;
+use obs::{Rollup, ScopeId, TraceQuery};
+use proptest::prelude::*;
+use stream::{AdmissionConfig, Priority};
+
+/// A tiny campaign whose scripted violence all lands *before* the 60
+/// streams finish (~26 ticks): the drain, the kill (which forces
+/// failovers) and the rolling upgrade all leave spans in the table.
+fn tiny_chaos() -> ChaosStormConfig {
+    let mut cfg = ChaosStormConfig::smoke(2008);
+    cfg.storm.streams = 60;
+    cfg.storm.ticks = 120;
+    cfg.storm.drain_tick = 10;
+    cfg.storm.kill_tick = 15;
+    cfg.storm.crc_ms = vec![8];
+    cfg.upgrade_tick = 18;
+    cfg.upgrade_shards = vec![2];
+    cfg
+}
+
+/// Two same-seed chaos campaigns must agree on everything the
+/// observability plane records: the span table (ids, parents, cycles,
+/// outcomes, retry counts), and the scoped-metric rollup's merged
+/// JSON export.
+#[test]
+fn same_seed_campaigns_reproduce_spans_and_rollup() {
+    let cfg = tiny_chaos();
+    let a = run_chaos_storm(&cfg).unwrap();
+    let b = run_chaos_storm(&cfg).unwrap();
+    assert!(a.passed(), "campaign must pass:\n{}", a.render());
+
+    assert_eq!(
+        a.tracer.spans(),
+        b.tracer.spans(),
+        "same seed, same span tree"
+    );
+
+    let roll = |metrics: &obs::MetricsSnapshot| {
+        let mut r = Rollup::new();
+        r.add(ScopeId::named("chaos"), metrics.clone());
+        r.merged().to_json_lines()
+    };
+    assert_eq!(
+        roll(&a.metrics),
+        roll(&b.metrics),
+        "same seed, same rollup export"
+    );
+}
+
+/// The causal invariants the storms gate on, proven through the query
+/// API directly: every failover descends from a shard-death or a
+/// journal recovery, and no migration span is still open at campaign
+/// end.
+#[test]
+fn trace_queries_prove_causality_at_campaign_end() {
+    let report = run_chaos_storm(&tiny_chaos()).unwrap();
+    let q = TraceQuery::new(&report.tracer);
+
+    assert!(
+        !q.spans().by_kind("shard_down").is_empty(),
+        "the scripted kill produced a shard-death span"
+    );
+    let failovers = q.spans().by_kind("failover_stream");
+    assert!(!failovers.is_empty(), "the kill forced failovers");
+    assert!(
+        failovers.rooted_in_any(&["shard_down", "wal_recover"]),
+        "every failover descends from a shard death or a recovery"
+    );
+
+    assert_eq!(
+        q.spans().by_kind("migrate_op").open().count(),
+        0,
+        "no migration span still open at campaign end"
+    );
+    assert_eq!(q.spans().open().count(), 0, "no span leaked at all");
+
+    let balance = check_span_balance(&report.tracer);
+    assert!(balance.balanced(), "{balance}");
+}
+
+/// One cached two-shard cluster per block width (synthesis dominates
+/// the cost of a case; the span balance invariant is cumulative, so a
+/// shared cluster only makes the property stronger).
+fn with_cluster<R>(m: usize, f: impl FnOnce(&mut Cluster) -> R) -> R {
+    thread_local! {
+        static CACHE: RefCell<HashMap<usize, Cluster>> = RefCell::new(HashMap::new());
+    }
+    CACHE.with(|c| {
+        let mut map = c.borrow_mut();
+        let cl = map.entry(m).or_insert_with(|| {
+            let cfg = ClusterConfig::homogeneous(2, AdmissionConfig::default());
+            let mut cl = Cluster::new(&cfg);
+            let spec = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+            cl.host_crc("eth", &spec, FlowOptions::dream_with_m(m))
+                .unwrap();
+            cl
+        });
+        f(cl)
+    })
+}
+
+/// Opens a stream, migrates it (tokenized, with duplicate deliveries),
+/// optionally drains and rebuilds the peer shard, finishes the stream,
+/// and then proves the whole recorded span table is balanced: every
+/// span begun has ended exactly once, with sane cycles and intact
+/// parent links.
+fn spans_balance_after_operations(
+    m: usize,
+    data: &[u8],
+    dups: usize,
+    drain_peer: bool,
+    token: u64,
+) -> Result<(), TestCaseError> {
+    with_cluster(m, |cl| {
+        let id = cl.open_crc("eth", Priority::High, 8).unwrap();
+        cl.feed(id, data).unwrap();
+        cl.tick();
+        let home = cl.shard_of(id).unwrap();
+        let peer = 1 - home;
+        let token = OpToken(token);
+        cl.migrate_with_token(token, id, peer).unwrap();
+        for _ in 0..dups {
+            cl.migrate_with_token(token, id, peer).unwrap();
+        }
+        if drain_peer {
+            // The stream now lives on `peer`: draining it forces the
+            // drain-batch migration path, then the retire path, then a
+            // rebuild — three more span kinds in the table.
+            cl.drain_shard(peer).unwrap();
+            for _ in 0..50 {
+                cl.tick();
+                if cl.shard_state(peer) == Some(ShardState::Down(DownReason::Drained)) {
+                    break;
+                }
+            }
+            prop_assert_eq!(
+                cl.shard_state(peer),
+                Some(ShardState::Down(DownReason::Drained)),
+                "the drained shard retired"
+            );
+            cl.reopen_shard(peer).unwrap();
+            let spec = *CrcSpec::by_name("CRC-32/ETHERNET").unwrap();
+            cl.host_crc_on(peer, "eth", &spec, FlowOptions::dream_with_m(m))
+                .unwrap();
+        }
+        cl.tick();
+        cl.finish(id).unwrap();
+
+        let balance = check_span_balance(cl.trace());
+        prop_assert!(balance.balanced(), "unbalanced span table: {}", balance);
+        prop_assert_eq!(cl.trace().open_spans(), 0, "no span left open");
+        prop_assert!(
+            cl.trace().spans().iter().all(|s| s.end_cycle.is_some()),
+            "every begun span carries exactly one end"
+        );
+        Ok(())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+
+    /// Every causal span a cluster begins is ended exactly once — at
+    /// every supported block width, across migrations, duplicate
+    /// deliveries and drain/rebuild cycles.
+    #[test]
+    fn every_begun_span_is_ended_exactly_once(
+        m in (0usize..3).prop_map(|i| [8usize, 32, 128][i]),
+        data in proptest::collection::vec(any::<u8>(), 4..40),
+        dups in 0usize..3,
+        drain_peer in any::<bool>(),
+        token in any::<u64>(),
+    ) {
+        spans_balance_after_operations(m, &data, dups, drain_peer, token)?;
+    }
+}

@@ -26,16 +26,22 @@ mod hist;
 mod hub;
 mod json;
 mod profile;
+mod query;
 mod registry;
+mod scope;
+mod span;
 mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use hub::{CycleIds, ObsHub};
 pub use json::{json_objects, json_section, json_str, json_u64};
 pub use profile::{FabricProfiler, LaneUsage};
+pub use query::{SpanSet, TraceQuery};
 pub use registry::{
     CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
+pub use scope::{Rollup, ScopeId, ScopedView};
+pub use span::{SpanCtx, SpanId, SpanRecord};
 pub use trace::{EventKind, TraceEvent, Tracer};
 
 /// Minimal JSON string escaping (quotes, backslash, control chars) for the

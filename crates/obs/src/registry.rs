@@ -207,6 +207,39 @@ impl MetricsRegistry {
         self.names.is_empty()
     }
 
+    /// Registers (or finds) a counter named `name` under `scope`
+    /// (`shard3/svc.opened`) — one registry serving N shards.
+    ///
+    /// # Panics
+    ///
+    /// If the scoped name is already registered as a different kind.
+    pub fn scoped_counter(&mut self, scope: &crate::ScopeId, name: &str) -> CounterId {
+        self.counter(&scope.metric(name))
+    }
+
+    /// Registers (or finds) a gauge named `name` under `scope`.
+    ///
+    /// # Panics
+    ///
+    /// If the scoped name is already registered as a different kind.
+    pub fn scoped_gauge(&mut self, scope: &crate::ScopeId, name: &str) -> GaugeId {
+        self.gauge(&scope.metric(name))
+    }
+
+    /// Registers (or finds) a histogram named `name` under `scope`.
+    ///
+    /// # Panics
+    ///
+    /// If the scoped name is already registered as a different kind.
+    pub fn scoped_histogram(
+        &mut self,
+        scope: &crate::ScopeId,
+        name: &str,
+        bounds: &[u64],
+    ) -> HistogramId {
+        self.histogram(&scope.metric(name), bounds)
+    }
+
     /// Captures every metric into an immutable, name-ordered snapshot.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -251,6 +284,23 @@ impl MetricsSnapshot {
         for (name, v) in &other.entries {
             let prev = self.entries.insert(name.clone(), *v);
             assert!(prev.is_none(), "metric {name} present in both snapshots");
+        }
+    }
+
+    /// The inverse of [`MetricsSnapshot::scoped`]: the metrics whose
+    /// names start with `prefix` followed by `/`, with that prefix
+    /// stripped. `restrict("shard1")` does not swallow `shard10/…`.
+    #[must_use]
+    pub fn restrict(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter_map(|(name, v)| {
+                    let rest = name.strip_prefix(prefix)?.strip_prefix('/')?;
+                    Some((rest.to_owned(), *v))
+                })
+                .collect(),
         }
     }
 

@@ -1,0 +1,319 @@
+//! Scoped metrics: one registry (or one merged snapshot) serving N
+//! shards, with per-shard / per-lane / per-personality attribution.
+//!
+//! A [`ScopeId`] names the unit a metric belongs to — shard, lane
+//! within a shard, personality — and turns into a deterministic path
+//! prefix (`shard3`, `shard3/eth32`). [`ScopedView`] cuts one scope's
+//! metrics back out of a merged snapshot with the prefix stripped, and
+//! [`Rollup`] folds many per-scope snapshots into a single cluster
+//! view with deterministic (scope-ordered) naming — the "per-shard
+//! dashboards cut from the tagged metrics" the ROADMAP asked for.
+
+use std::collections::BTreeMap;
+
+use crate::registry::{MetricValue, MetricsSnapshot};
+
+/// The unit a metric is attributed to. Ordering is derived from the
+/// fields (numeric shard index first), so `shard10` sorts after
+/// `shard9` — scope order, not string order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ScopeId {
+    shard: Option<u64>,
+    name: Option<String>,
+    lane: Option<String>,
+    personality: Option<String>,
+}
+
+impl ScopeId {
+    /// Scope for shard `idx` (path `shard{idx}`).
+    #[must_use]
+    pub fn shard(idx: u64) -> Self {
+        ScopeId {
+            shard: Some(idx),
+            ..ScopeId::default()
+        }
+    }
+
+    /// Free-form named scope (path `name`) — for non-shard units like
+    /// the cluster control plane itself.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        ScopeId {
+            name: Some(name.to_owned()),
+            ..ScopeId::default()
+        }
+    }
+
+    /// Returns `self` narrowed to one lane (path `…/{lane}`).
+    #[must_use]
+    pub fn with_lane(mut self, lane: &str) -> Self {
+        self.lane = Some(lane.to_owned());
+        self
+    }
+
+    /// Returns `self` narrowed to one personality (path
+    /// `…/{personality}`).
+    #[must_use]
+    pub fn with_personality(mut self, personality: &str) -> Self {
+        self.personality = Some(personality.to_owned());
+        self
+    }
+
+    /// The shard index, when this scope is shard-rooted.
+    #[must_use]
+    pub fn shard_index(&self) -> Option<u64> {
+        self.shard
+    }
+
+    /// The deterministic path prefix: `shard3`, `shard3/eth32`,
+    /// `cluster`, … Segments are joined with `/`.
+    #[must_use]
+    pub fn path(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(s) = self.shard {
+            parts.push(format!("shard{s}"));
+        }
+        if let Some(n) = &self.name {
+            parts.push(n.clone());
+        }
+        if let Some(l) = &self.lane {
+            parts.push(l.clone());
+        }
+        if let Some(p) = &self.personality {
+            parts.push(p.clone());
+        }
+        if parts.is_empty() {
+            parts.push("global".to_owned());
+        }
+        parts.join("/")
+    }
+
+    /// Full metric name for `name` under this scope
+    /// (`shard3/breaker.state`).
+    #[must_use]
+    pub fn metric(&self, name: &str) -> String {
+        format!("{}/{name}", self.path())
+    }
+}
+
+/// A read-only cut of one scope out of a (merged) snapshot: iterates
+/// the metrics under the scope's path with the prefix stripped.
+#[derive(Debug, Clone)]
+pub struct ScopedView<'a> {
+    snap: &'a MetricsSnapshot,
+    prefix: String,
+}
+
+impl<'a> ScopedView<'a> {
+    /// Views `scope`'s metrics inside `snap`.
+    #[must_use]
+    pub fn new(snap: &'a MetricsSnapshot, scope: &ScopeId) -> Self {
+        ScopedView {
+            snap,
+            prefix: scope.path(),
+        }
+    }
+
+    /// The scope path this view cuts.
+    #[must_use]
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The value recorded under `name` within this scope.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&'a MetricValue> {
+        self.snap.get(&format!("{}/{name}", self.prefix))
+    }
+
+    /// Sorted `(stripped name, value)` pairs under this scope.
+    pub fn iter(&self) -> impl Iterator<Item = (&'a str, &'a MetricValue)> + '_ {
+        let want = &self.prefix;
+        self.snap.iter().filter_map(move |(name, v)| {
+            let rest = name.strip_prefix(want.as_str())?;
+            let rest = rest.strip_prefix('/')?;
+            Some((rest, v))
+        })
+    }
+
+    /// Number of metrics under this scope.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when the scope has no metrics in the snapshot.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Materializes the view as a standalone snapshot with the scope
+    /// prefix stripped.
+    #[must_use]
+    pub fn to_snapshot(&self) -> MetricsSnapshot {
+        self.snap.restrict(&self.prefix)
+    }
+}
+
+/// Deterministic fold of many per-scope snapshots into one cluster
+/// view. Scopes are kept in [`ScopeId`] order, so the merged snapshot
+/// and every derived export are byte-stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Rollup {
+    parts: BTreeMap<ScopeId, MetricsSnapshot>,
+}
+
+impl Rollup {
+    /// An empty rollup.
+    #[must_use]
+    pub fn new() -> Self {
+        Rollup::default()
+    }
+
+    /// Adds one scope's snapshot.
+    ///
+    /// # Panics
+    ///
+    /// If `scope` was already added — double-adding a shard would
+    /// silently shadow metrics.
+    pub fn add(&mut self, scope: ScopeId, snap: MetricsSnapshot) {
+        let path = scope.path();
+        let prev = self.parts.insert(scope, snap);
+        assert!(prev.is_none(), "scope {path} already added to rollup");
+    }
+
+    /// The scopes folded in, in deterministic order.
+    pub fn scopes(&self) -> impl Iterator<Item = &ScopeId> {
+        self.parts.keys()
+    }
+
+    /// One scope's snapshot, if present.
+    #[must_use]
+    pub fn get(&self, scope: &ScopeId) -> Option<&MetricsSnapshot> {
+        self.parts.get(scope)
+    }
+
+    /// Number of scopes folded in.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when no scope has been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The merged cluster view: every scope's snapshot prefixed with
+    /// its path and merged. Name-ordered like every snapshot; panics
+    /// only if two scopes produce a colliding prefixed name, which the
+    /// unique-scope invariant of [`Rollup::add`] prevents.
+    #[must_use]
+    pub fn merged(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (scope, snap) in &self.parts {
+            out.merge(&snap.scoped(&scope.path()));
+        }
+        out
+    }
+
+    /// Sum of counter `name` across every scope that records it — the
+    /// cluster-total cut of a per-shard counter.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.parts
+            .values()
+            .filter_map(|s| match s.get(name) {
+                Some(MetricValue::Counter(c)) => Some(*c),
+                _ => None,
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Rollup, ScopeId, ScopedView};
+    use crate::registry::{MetricValue, MetricsRegistry};
+
+    #[test]
+    fn scope_paths_compose_and_order_numerically() {
+        assert_eq!(ScopeId::shard(3).path(), "shard3");
+        assert_eq!(ScopeId::shard(3).with_lane("eth32").path(), "shard3/eth32");
+        assert_eq!(
+            ScopeId::shard(0).with_personality("crc32").path(),
+            "shard0/crc32"
+        );
+        assert_eq!(ScopeId::named("cluster").path(), "cluster");
+        assert_eq!(ScopeId::default().path(), "global");
+        assert_eq!(
+            ScopeId::shard(3).metric("breaker.state"),
+            "shard3/breaker.state"
+        );
+        let mut v = [ScopeId::shard(10), ScopeId::shard(9), ScopeId::shard(2)];
+        v.sort();
+        assert_eq!(v[0], ScopeId::shard(2));
+        assert_eq!(v[2], ScopeId::shard(10));
+    }
+
+    #[test]
+    fn scoped_view_cuts_and_strips() {
+        let mut r = MetricsRegistry::new();
+        let a = r.scoped_counter(&ScopeId::shard(1), "svc.opened");
+        let b = r.scoped_counter(&ScopeId::shard(2), "svc.opened");
+        let g = r.scoped_gauge(&ScopeId::shard(1), "breaker.state");
+        r.add(a, 5);
+        r.add(b, 7);
+        r.set_gauge(g, 2);
+        let snap = r.snapshot();
+        let v1 = ScopedView::new(&snap, &ScopeId::shard(1));
+        assert_eq!(v1.get("svc.opened"), Some(&MetricValue::Counter(5)));
+        assert_eq!(v1.get("breaker.state"), Some(&MetricValue::Gauge(2)));
+        assert_eq!(v1.len(), 2);
+        let names: Vec<&str> = v1.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["breaker.state", "svc.opened"]);
+        let v2 = ScopedView::new(&snap, &ScopeId::shard(2));
+        assert_eq!(v2.len(), 1);
+        let sub = v1.to_snapshot();
+        assert_eq!(sub.get("svc.opened"), Some(&MetricValue::Counter(5)));
+        // shard1 must not swallow a hypothetical shard10.
+        let c10 = ScopedView::new(&snap, &ScopeId::shard(10));
+        assert!(c10.is_empty());
+    }
+
+    #[test]
+    fn rollup_merges_deterministically_and_sums() {
+        let mk = |n: u64| {
+            let mut r = MetricsRegistry::new();
+            let c = r.counter("svc.opened");
+            r.add(c, n);
+            r.snapshot()
+        };
+        let mut roll = Rollup::new();
+        roll.add(ScopeId::shard(1), mk(10));
+        roll.add(ScopeId::shard(0), mk(4));
+        let merged = roll.merged();
+        assert_eq!(
+            merged.get("shard0/svc.opened"),
+            Some(&MetricValue::Counter(4))
+        );
+        assert_eq!(
+            merged.get("shard1/svc.opened"),
+            Some(&MetricValue::Counter(10))
+        );
+        assert_eq!(roll.counter_total("svc.opened"), 14);
+        assert_eq!(merged.to_json_lines(), roll.merged().to_json_lines());
+        let order: Vec<String> = roll.scopes().map(ScopeId::path).collect();
+        assert_eq!(order, vec!["shard0", "shard1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already added")]
+    fn rollup_rejects_duplicate_scope() {
+        let mut roll = Rollup::new();
+        roll.add(ScopeId::shard(0), MetricsRegistry::new().snapshot());
+        roll.add(ScopeId::shard(0), MetricsRegistry::new().snapshot());
+    }
+}

@@ -1,0 +1,170 @@
+//! Causal operation spans: cycle-stamped begin/end records with parent
+//! lineage, wrapping the multi-step operations of the cluster control
+//! plane (migrate → transfer → restore, drain → rehost, crash → replay).
+//!
+//! Spans live in a side table on the [`crate::Tracer`] — a plain `Vec`
+//! that is *not* subject to the event ring's drop policy, so open-span
+//! leak detection stays sound even after the ring wraps. Like every
+//! other obs structure they are stamped with the *simulated* cycle
+//! count, never a wall clock: two runs with the same seed produce
+//! byte-identical span tables.
+
+/// Identifier of one span. Ids are assigned sequentially starting at 1
+/// by [`crate::Tracer::begin_span`]; 0 is never a valid id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// Builds a `SpanId` from its raw value (for replaying exported
+    /// traces; live code should only use ids returned by `begin_span`).
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        SpanId(raw)
+    }
+
+    /// The raw id value — what event records carry in their `span`
+    /// field.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Correlation context attached to a span at begin time. All fields are
+/// optional; `SpanCtx::default()` is a root span with no correlation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// Enclosing span, when this operation runs inside another.
+    pub parent: Option<SpanId>,
+    /// Correlated shard index, when the operation targets a shard.
+    pub shard: Option<u64>,
+    /// Correlated stream id, when the operation targets a stream.
+    pub stream: Option<u64>,
+    /// Idempotency token fencing the operation, when tokenized —
+    /// the retry lineage: every attempt of a retried operation shares
+    /// one token and therefore one span.
+    pub token: Option<u64>,
+}
+
+impl SpanCtx {
+    /// A root-span context correlated to `shard`.
+    #[must_use]
+    pub fn shard(shard: u64) -> Self {
+        SpanCtx {
+            shard: Some(shard),
+            ..SpanCtx::default()
+        }
+    }
+
+    /// A child-span context under `parent`.
+    #[must_use]
+    pub fn child(parent: SpanId) -> Self {
+        SpanCtx {
+            parent: Some(parent),
+            ..SpanCtx::default()
+        }
+    }
+
+    /// Returns `self` with the stream correlation set.
+    #[must_use]
+    pub fn with_stream(mut self, stream: u64) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Returns `self` with the shard correlation set.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u64) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Returns `self` with the idempotency-token correlation set.
+    #[must_use]
+    pub fn with_token(mut self, token: u64) -> Self {
+        self.token = Some(token);
+        self
+    }
+}
+
+/// One span: an operation's begin/end cycle stamps, outcome, lineage
+/// and correlation ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Stable operation label (`migrate`, `shard_down`, `wal_recover`, …).
+    pub op: &'static str,
+    /// Correlated shard index.
+    pub shard: Option<u64>,
+    /// Correlated stream id.
+    pub stream: Option<u64>,
+    /// Idempotency token fencing the operation.
+    pub token: Option<u64>,
+    /// Retry attempts charged inside this span (see
+    /// [`crate::Tracer::span_retry`]).
+    pub retries: u64,
+    /// Simulated cycle at which the operation began.
+    pub begin_cycle: u64,
+    /// Simulated cycle at which it ended; `None` while still open.
+    pub end_cycle: Option<u64>,
+    /// Outcome label recorded at end time (`ok`, `aborted`, `lost`, …);
+    /// `None` while still open.
+    pub outcome: Option<&'static str>,
+}
+
+impl SpanRecord {
+    /// True while the span has begun but not ended.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.end_cycle.is_none()
+    }
+
+    /// Duration in simulated cycles, once closed.
+    #[must_use]
+    pub fn duration(&self) -> Option<u64> {
+        self.end_cycle
+            .map(|end| end.saturating_sub(self.begin_cycle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{SpanCtx, SpanId, SpanRecord};
+
+    #[test]
+    fn ctx_builders_compose() {
+        let c = SpanCtx::shard(3).with_stream(7).with_token(9);
+        assert_eq!(c.shard, Some(3));
+        assert_eq!(c.stream, Some(7));
+        assert_eq!(c.token, Some(9));
+        assert_eq!(c.parent, None);
+        let k = SpanCtx::child(SpanId::from_raw(1)).with_shard(2);
+        assert_eq!(k.parent, Some(SpanId::from_raw(1)));
+        assert_eq!(k.shard, Some(2));
+    }
+
+    #[test]
+    fn duration_is_saturating_and_open_aware() {
+        let mut s = SpanRecord {
+            id: SpanId::from_raw(1),
+            parent: None,
+            op: "migrate",
+            shard: None,
+            stream: None,
+            token: None,
+            retries: 0,
+            begin_cycle: 10,
+            end_cycle: None,
+            outcome: None,
+        };
+        assert!(s.is_open());
+        assert_eq!(s.duration(), None);
+        s.end_cycle = Some(25);
+        s.outcome = Some("ok");
+        assert!(!s.is_open());
+        assert_eq!(s.duration(), Some(15));
+    }
+}

@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use crate::json_escape;
+use crate::span::{SpanCtx, SpanId, SpanRecord};
 
 /// What happened. Variants mirror the decision points of the simulated
 /// stack: fabric reconfiguration, configuration-cache behaviour, the
@@ -162,6 +163,20 @@ pub enum EventKind {
         /// The stage entered (`drain`, `rehost`, `done`).
         stage: &'static str,
     },
+    /// A causal span opened (see [`crate::SpanRecord`]). The event's
+    /// `span` field carries the new span's id; the span table holds the
+    /// authoritative record.
+    SpanBegin {
+        /// The span's operation label.
+        op: &'static str,
+    },
+    /// A causal span closed with an outcome.
+    SpanEnd {
+        /// The span's operation label.
+        op: &'static str,
+        /// Outcome recorded at end time (`ok`, `aborted`, `lost`, …).
+        outcome: &'static str,
+    },
     /// Cluster-level: the control plane was rebuilt from its
     /// write-ahead log after a whole-cluster crash.
     WalRecovered {
@@ -212,6 +227,8 @@ impl EventKind {
             EventKind::RetireVeto => "retire_veto",
             EventKind::ShardReopen => "shard_reopen",
             EventKind::UpgradeStage { .. } => "upgrade_stage",
+            EventKind::SpanBegin { .. } => "span_begin",
+            EventKind::SpanEnd { .. } => "span_end",
             EventKind::WalRecovered { .. } => "wal_recovered",
         }
     }
@@ -264,6 +281,11 @@ impl EventKind {
             ],
             EventKind::RebalanceRun { moved } => vec![("moved", moved.to_string())],
             EventKind::UpgradeStage { stage } => vec![("stage", (*stage).to_string())],
+            EventKind::SpanBegin { op } => vec![("op", (*op).to_string())],
+            EventKind::SpanEnd { op, outcome } => vec![
+                ("op", (*op).to_string()),
+                ("outcome", (*outcome).to_string()),
+            ],
             EventKind::WalRecovered {
                 frames,
                 corrupt,
@@ -301,6 +323,9 @@ pub struct TraceEvent {
     pub stream: Option<u64>,
     /// Correlated personality/lane name, when known.
     pub lane: Option<String>,
+    /// Enclosing causal span's raw id, when the event happened inside
+    /// one (see [`crate::SpanId`]).
+    pub span: Option<u64>,
     /// What happened.
     pub kind: EventKind,
 }
@@ -312,6 +337,8 @@ pub struct Tracer {
     next_seq: u64,
     dropped: u64,
     buf: VecDeque<TraceEvent>,
+    spans: Vec<SpanRecord>,
+    span_misuse: u64,
 }
 
 impl Tracer {
@@ -323,6 +350,8 @@ impl Tracer {
             next_seq: 0,
             dropped: 0,
             buf: VecDeque::new(),
+            spans: Vec::new(),
+            span_misuse: 0,
         }
     }
 
@@ -330,6 +359,30 @@ impl Tracer {
     /// stream/personality correlation ids. Drops the oldest event when
     /// full.
     pub fn record(&mut self, cycle: u64, stream: Option<u64>, lane: Option<&str>, kind: EventKind) {
+        self.push(cycle, None, stream, lane, kind);
+    }
+
+    /// Records an event inside causal span `span` (same drop policy as
+    /// [`Tracer::record`]).
+    pub fn record_in_span(
+        &mut self,
+        cycle: u64,
+        span: SpanId,
+        stream: Option<u64>,
+        lane: Option<&str>,
+        kind: EventKind,
+    ) {
+        self.push(cycle, Some(span.raw()), stream, lane, kind);
+    }
+
+    fn push(
+        &mut self,
+        cycle: u64,
+        span: Option<u64>,
+        stream: Option<u64>,
+        lane: Option<&str>,
+        kind: EventKind,
+    ) {
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
             self.dropped = self.dropped.saturating_add(1);
@@ -339,9 +392,140 @@ impl Tracer {
             cycle,
             stream,
             lane: lane.map(str::to_owned),
+            span,
             kind,
         });
         self.next_seq = self.next_seq.saturating_add(1);
+    }
+
+    /// Opens a causal span for operation `op` at simulated `cycle` with
+    /// the given correlation context, records a
+    /// [`EventKind::SpanBegin`] event inside it, and returns its id.
+    ///
+    /// The span table is a plain `Vec` outside the event ring: spans
+    /// are never dropped, so open-span accounting survives ring wraps.
+    pub fn begin_span(&mut self, cycle: u64, op: &'static str, ctx: SpanCtx) -> SpanId {
+        let id = SpanId::from_raw(self.spans.len() as u64 + 1);
+        self.spans.push(SpanRecord {
+            id,
+            parent: ctx.parent,
+            op,
+            shard: ctx.shard,
+            stream: ctx.stream,
+            token: ctx.token,
+            retries: 0,
+            begin_cycle: cycle,
+            end_cycle: None,
+            outcome: None,
+        });
+        self.push(
+            cycle,
+            Some(id.raw()),
+            ctx.stream,
+            None,
+            EventKind::SpanBegin { op },
+        );
+        id
+    }
+
+    /// Closes span `id` at simulated `cycle` with `outcome`, recording
+    /// a [`EventKind::SpanEnd`] event inside it. Ending an unknown or
+    /// already-closed span is counted in [`Tracer::span_misuse`] and
+    /// otherwise ignored — never a panic in the serving path.
+    pub fn end_span(&mut self, cycle: u64, id: SpanId, outcome: &'static str) {
+        let Some(rec) = self.span_mut(id) else {
+            self.span_misuse = self.span_misuse.saturating_add(1);
+            return;
+        };
+        if rec.end_cycle.is_some() {
+            self.span_misuse = self.span_misuse.saturating_add(1);
+            return;
+        }
+        rec.end_cycle = Some(cycle.max(rec.begin_cycle));
+        rec.outcome = Some(outcome);
+        let (op, stream) = (rec.op, rec.stream);
+        self.push(
+            cycle,
+            Some(id.raw()),
+            stream,
+            None,
+            EventKind::SpanEnd { op, outcome },
+        );
+    }
+
+    /// Charges one retry attempt to span `id` (unknown ids are counted
+    /// as misuse and ignored).
+    pub fn span_retry(&mut self, id: SpanId) {
+        if let Some(rec) = self.span_mut(id) {
+            rec.retries = rec.retries.saturating_add(1);
+        } else {
+            self.span_misuse = self.span_misuse.saturating_add(1);
+        }
+    }
+
+    fn span_mut(&mut self, id: SpanId) -> Option<&mut SpanRecord> {
+        let idx = id.raw().checked_sub(1)? as usize;
+        self.spans.get_mut(idx)
+    }
+
+    /// The span table, in id order (id `n` is at index `n - 1`).
+    #[must_use]
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Looks one span up by id.
+    #[must_use]
+    pub fn span(&self, id: SpanId) -> Option<&SpanRecord> {
+        let idx = id.raw().checked_sub(1)? as usize;
+        self.spans.get(idx)
+    }
+
+    /// Number of spans begun but not yet ended. A steady state of 0 at
+    /// campaign end is the open-span-leak gate.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.spans.iter().filter(|s| s.is_open()).count()
+    }
+
+    /// Misuse count: `end_span`/`span_retry` calls against unknown or
+    /// already-closed spans.
+    #[must_use]
+    pub fn span_misuse(&self) -> u64 {
+        self.span_misuse
+    }
+
+    /// Ends every still-open span at `cycle` with `outcome`, returning
+    /// how many were closed. For harnesses that simulate a power loss:
+    /// the crash is what truthfully ended those operations, so the
+    /// crashed epoch's span table is closed out before being adopted
+    /// into the campaign accumulator.
+    pub fn close_open_spans(&mut self, cycle: u64, outcome: &'static str) -> usize {
+        let open: Vec<SpanId> = self
+            .spans
+            .iter()
+            .filter(|s| s.is_open())
+            .map(|s| s.id)
+            .collect();
+        for id in &open {
+            self.end_span(cycle, *id, outcome);
+        }
+        open.len()
+    }
+
+    /// Moves another tracer's span table into this one, rebasing ids
+    /// (and parent links) past the spans already held, and merging its
+    /// misuse count. How a multi-epoch campaign accumulates the span
+    /// tables of per-epoch tracers into one queryable table.
+    pub fn adopt_spans(&mut self, other: &Tracer) {
+        let base = self.spans.len() as u64;
+        for s in &other.spans {
+            let mut s = s.clone();
+            s.id = SpanId::from_raw(s.id.raw() + base);
+            s.parent = s.parent.map(|p| SpanId::from_raw(p.raw() + base));
+            self.spans.push(s);
+        }
+        self.span_misuse = self.span_misuse.saturating_add(other.span_misuse);
     }
 
     /// The retained events, oldest first.
@@ -402,6 +586,9 @@ impl Tracer {
             if let Some(lane) = &e.lane {
                 let _ = write!(out, " lane={lane}");
             }
+            if let Some(span) = e.span {
+                let _ = write!(out, " span={span}");
+            }
             for (k, v) in e.kind.fields() {
                 let _ = write!(out, " {k}={v}");
             }
@@ -428,6 +615,9 @@ impl Tracer {
             if let Some(lane) = &e.lane {
                 let _ = write!(out, ",\"lane\":\"{}\"", json_escape(lane));
             }
+            if let Some(span) = e.span {
+                let _ = write!(out, ",\"span\":{span}");
+            }
             for (k, v) in e.kind.fields() {
                 // Numeric payloads stay numeric; everything else is quoted.
                 if v.chars().all(|c| c.is_ascii_digit()) {
@@ -444,7 +634,7 @@ impl Tracer {
 
 #[cfg(test)]
 mod tests {
-    use super::{EventKind, Tracer};
+    use super::{EventKind, SpanCtx, SpanId, Tracer};
 
     #[test]
     fn ring_drops_oldest_and_keeps_sequence() {
@@ -485,5 +675,91 @@ mod tests {
         assert!(j.contains("\"kind\":\"stream_shed\""));
         assert!(j.contains("\"stream\":1"));
         assert!(j.contains("\"reason\":\"overload\""));
+    }
+
+    #[test]
+    fn spans_nest_close_and_survive_ring_wrap() {
+        let mut t = Tracer::new(2);
+        let root = t.begin_span(10, "shard_down", SpanCtx::shard(1));
+        let child = t.begin_span(11, "failover_stream", SpanCtx::child(root).with_stream(7));
+        assert_eq!(t.open_spans(), 2);
+        t.end_span(14, child, "ok");
+        t.end_span(20, root, "ok");
+        // The 2-slot ring has long since dropped the begin events…
+        assert!(t.dropped() > 0);
+        // …but the span table is complete and closed.
+        assert_eq!(t.open_spans(), 0);
+        assert_eq!(t.spans().len(), 2);
+        let c = t.span(child).unwrap();
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.stream, Some(7));
+        assert_eq!(c.duration(), Some(3));
+        assert_eq!(c.outcome, Some("ok"));
+        assert_eq!(t.span_misuse(), 0);
+    }
+
+    #[test]
+    fn span_misuse_is_counted_not_panicked() {
+        let mut t = Tracer::new(8);
+        let s = t.begin_span(1, "migrate", SpanCtx::default());
+        t.end_span(2, s, "ok");
+        t.end_span(3, s, "ok"); // double end
+        t.end_span(3, SpanId::from_raw(99), "ok"); // unknown id
+        t.span_retry(SpanId::from_raw(99)); // unknown id
+        assert_eq!(t.span_misuse(), 3);
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn span_events_are_rendered_with_span_field() {
+        let mut t = Tracer::new(8);
+        let s = t.begin_span(5, "migrate", SpanCtx::shard(0).with_stream(3));
+        t.record_in_span(
+            6,
+            s,
+            Some(3),
+            None,
+            EventKind::OpRetry {
+                attempt: 2,
+                delay: 4,
+            },
+        );
+        t.span_retry(s);
+        t.end_span(9, s, "ok");
+        let r = t.render();
+        assert!(r.contains("kind=span_begin stream=3 span=1 op=migrate"));
+        assert!(r.contains("kind=op_retry stream=3 span=1 attempt=2 delay=4"));
+        assert!(r.contains("kind=span_end stream=3 span=1 op=migrate outcome=ok"));
+        let j = t.to_json_lines();
+        assert!(j.contains("\"span\":1"));
+        assert!(j.contains("\"outcome\":\"ok\""));
+        assert_eq!(t.span(s).unwrap().retries, 1);
+    }
+
+    #[test]
+    fn adopt_spans_rebases_ids_and_parents() {
+        let mut a = Tracer::new(8);
+        let ra = a.begin_span(1, "wal_recover", SpanCtx::default());
+        a.end_span(2, ra, "ok");
+        let mut b = Tracer::new(8);
+        let rb = b.begin_span(3, "shard_down", SpanCtx::shard(0));
+        let cb = b.begin_span(4, "failover_stream", SpanCtx::child(rb));
+        b.end_span(5, cb, "ok");
+        b.end_span(6, rb, "ok");
+        a.adopt_spans(&b);
+        assert_eq!(a.spans().len(), 3);
+        let adopted_child = &a.spans()[2];
+        assert_eq!(adopted_child.op, "failover_stream");
+        assert_eq!(adopted_child.id, SpanId::from_raw(3));
+        assert_eq!(adopted_child.parent, Some(SpanId::from_raw(2)));
+        assert_eq!(a.open_spans(), 0);
+    }
+
+    #[test]
+    fn end_cycle_never_precedes_begin() {
+        let mut t = Tracer::new(8);
+        let s = t.begin_span(10, "probe", SpanCtx::default());
+        t.end_span(4, s, "ok"); // clock misuse: clamped, not negative
+        assert_eq!(t.span(s).unwrap().duration(), Some(0));
     }
 }

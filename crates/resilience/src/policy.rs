@@ -25,7 +25,7 @@
 use dream::{ControlModel, DreamSystem, Health, RunReport, SystemError};
 use dream_lfsr::{build_personality, FlowOptions};
 use lfsr::crc::CrcSpec;
-use obs::EventKind;
+use obs::{EventKind, SpanCtx};
 use picoga::PicogaParams;
 use std::collections::HashMap;
 use std::fmt;
@@ -541,7 +541,13 @@ impl ResilientSystem {
     pub fn recover(&mut self, name: &str) -> Result<RecoveryOutcome, ResilienceError> {
         let hub = self.sys.obs_mut();
         let t0 = hub.now_cycles();
-        hub.event_for(None, Some(name), EventKind::RecoveryStart);
+        // One causal span per ladder run: its duration is the ladder
+        // latency, its outcome the rung that ended the walk.
+        let span = hub
+            .tracer
+            .begin_span(t0, "recovery_ladder", SpanCtx::default());
+        hub.tracer
+            .record_in_span(t0, span, None, Some(name), EventKind::RecoveryStart);
         let outcome = self.recover_ladder(name)?;
         let ids = self.ids;
         let hub = self.sys.obs_mut();
@@ -556,11 +562,15 @@ impl ResilientSystem {
             RecoveryOutcome::Unrecovered => ("unrecovered", ids.unrecovered),
         };
         hub.registry.inc(counter);
-        hub.event_for(
+        let t1 = hub.now_cycles();
+        hub.tracer.record_in_span(
+            t1,
+            span,
             None,
             Some(name),
             EventKind::RecoveryOutcome { outcome: label },
         );
+        hub.tracer.end_span(t1, span, label);
         Ok(outcome)
     }
 
